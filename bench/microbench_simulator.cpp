@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's hot paths: raw
+ * cache accesses per policy, full-hierarchy walks, channel iterations
+ * and victim calls.  These guard the simulator's own performance (the
+ * figure benches run millions of simulated ops).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "channel/covert_channel.hpp"
+#include "sim/hierarchy.hpp"
+#include "spectre/attack.hpp"
+
+using namespace lruleak;
+
+namespace {
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    const auto policy = static_cast<sim::ReplPolicyKind>(state.range(0));
+    sim::Cache cache(sim::CacheConfig::intelL1d(policy));
+    const auto ref = sim::MemRef::load(0x40);
+    cache.access(ref);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(ref));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_CacheAccessMissStream(benchmark::State &state)
+{
+    sim::Cache cache(sim::CacheConfig::intelL1d());
+    sim::Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(sim::MemRef::load(addr)));
+        addr += 64;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_HierarchyWalk(benchmark::State &state)
+{
+    sim::CacheHierarchy h;
+    sim::Xoshiro256 rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            h.access(sim::MemRef::load(rng.below(1 << 22) * 64)));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_CovertChannelBit(benchmark::State &state)
+{
+    // Cost of simulating one transmitted bit end to end.
+    for (auto _ : state) {
+        channel::CovertConfig cfg;
+        cfg.message = channel::Bits{1, 0, 1, 1};
+        cfg.seed = 3;
+        benchmark::DoNotOptimize(channel::runCovertChannel(cfg));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4);
+}
+
+void
+BM_SpectreVictimCall(benchmark::State &state)
+{
+    sim::CacheHierarchy h;
+    spectre::SpectreVictim victim("x");
+    spectre::TransientCore core(h, timing::Uarch::intelXeonE52690());
+    for (int i = 0; i < 6; ++i)
+        core.callVictim(victim, 0, spectre::GadgetPart::LowSixBits);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.callVictim(
+            victim, spectre::SpectreVictim::maliciousX(0),
+            spectre::GadgetPart::LowSixBits));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+} // namespace
+
+BENCHMARK(BM_CacheAccessHit)
+    ->Arg(static_cast<int>(sim::ReplPolicyKind::TrueLru))
+    ->Arg(static_cast<int>(sim::ReplPolicyKind::TreePlru))
+    ->Arg(static_cast<int>(sim::ReplPolicyKind::BitPlru))
+    ->Arg(static_cast<int>(sim::ReplPolicyKind::Fifo))
+    ->Arg(static_cast<int>(sim::ReplPolicyKind::Random));
+BENCHMARK(BM_CacheAccessMissStream);
+BENCHMARK(BM_HierarchyWalk);
+BENCHMARK(BM_CovertChannelBit);
+BENCHMARK(BM_SpectreVictimCall);

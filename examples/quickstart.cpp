@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: send a text message through the LRU covert channel.
+ *
+ * Two hyper-threads share an Intel Sandy Bridge L1D.  The sender
+ * modulates the Tree-PLRU state of one cache set with *cache hits* on a
+ * shared line (Algorithm 1); the receiver reads the bits back by timing
+ * a single pointer-chased access per sample.  No sender cache miss ever
+ * happens — that is the paper's stealth headline.
+ *
+ *   $ ./quickstart [message]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "channel/covert_channel.hpp"
+#include "core/table.hpp"
+
+using namespace lruleak;
+using namespace lruleak::channel;
+
+int
+main(int argc, char **argv)
+{
+    const std::string message =
+        argc > 1 ? argv[1] : "LRU states leak!";
+
+    std::cout << "lruleak quickstart: covert channel over the L1D "
+                 "replacement state\n\n";
+
+    // 1. Configure the channel: CPU model, protocol, timing.
+    CovertConfig cfg;
+    cfg.uarch = timing::Uarch::intelXeonE52690(); // Table III machine
+    cfg.alg = LruAlgorithm::Alg1Shared;           // shared `line 0`
+    cfg.mode = SharingMode::HyperThreaded;        // SMT co-residency
+    cfg.d = 8;         // receiver init-phase depth (paper's d)
+    cfg.ts = 6000;     // sender cycles per bit
+    cfg.tr = 600;      // receiver sampling period
+    cfg.message = textToBits(message);
+    cfg.seed = 42;
+
+    // 2. Run the whole transmission in the simulator.
+    const CovertResult res = runCovertChannel(cfg);
+
+    // 3. Decode and report.
+    std::cout << "sent      : \"" << message << "\" ("
+              << res.sent.size() << " bits)\n";
+    std::cout << "received  : \"" << bitsToText(res.received) << "\"\n";
+    std::cout << "error rate: " << core::fmtPercent(res.error_rate)
+              << " (Wagner-Fischer edit distance)\n";
+    std::cout << "rate      : " << core::fmtKbps(res.kbps)
+              << " over one cache set\n";
+    std::cout << "threshold : " << res.threshold
+              << " cycles (L1-hit/L1-miss decision)\n\n";
+
+    std::cout << "stealth: the sender's L1D miss rate was "
+              << core::fmtPercent(res.sender_l1.missRate(), 4) << " ("
+              << res.sender_l1.misses << " misses in "
+              << res.sender_l1.accesses
+              << " accesses) —\nits encode accesses are cache HITS, which "
+                 "is what makes the LRU channel hard to\ndetect with "
+                 "miss-counting monitors (paper Section VII).\n\n";
+
+    std::cout << "first 80 receiver observations (latency in cycles, "
+                 "low = hit = bit 1):\n";
+    std::vector<double> lat;
+    for (std::size_t i = 0; i < res.samples.size() && i < 80; ++i)
+        lat.push_back(res.samples[i].latency);
+    std::cout << core::sparkline(lat) << "\n";
+    return res.error_rate < 0.05 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Secure-cache evaluation demo (paper Section IX-B, Figures 10/11).
+ *
+ * A PL (Partition-Locked) cache pins a victim's lines so they can never
+ * be evicted — which stops every eviction-based attack.  But the
+ * *original* PL design still updates the LRU state when a locked line is
+ * accessed, so the LRU channel walks right through it.  The fixed
+ * design (lock the replacement state along with the line) closes it.
+ *
+ *   $ ./secure_cache_demo
+ */
+
+#include <iostream>
+
+#include "channel/decoder.hpp"
+#include "core/experiments.hpp"
+#include "core/table.hpp"
+
+using namespace lruleak;
+using namespace lruleak::core;
+
+namespace {
+
+void
+evaluate(sim::PlMode mode, const char *name)
+{
+    const auto trace = plCacheAttack(mode, timing::Uarch::intelXeonE52690(),
+                                     /*bits=*/24, /*seed=*/11);
+    std::cout << "\n--- " << name << " ---\n";
+
+    std::vector<double> lat;
+    for (const auto &s : trace.samples)
+        lat.push_back(s.latency);
+    std::cout << "receiver's timed accesses to line 0 (sender sends "
+                 "0,1,0,1,...):\n"
+              << asciiChart(lat, 6, 100);
+
+    if (trace.constant) {
+        std::cout << "=> every observation identical: the channel "
+                     "carries ZERO information.\n";
+    } else {
+        std::cout << "=> observations follow the secret; decode error "
+                  << fmtPercent(trace.error_rate)
+                  << " — the \"secure\" cache leaks.\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "lruleak secure-cache demo: LRU attack vs the PL "
+                 "cache\n"
+              << "(the sender locks its line, then runs Algorithm 2 "
+                 "against the lock-protected set)\n";
+
+    evaluate(sim::PlMode::Original,
+             "Original PL cache (Wang & Lee 2007): lines locked, LRU "
+             "state NOT locked");
+    evaluate(sim::PlMode::FixedLruLock,
+             "Fixed PL cache (paper's Fig. 10 blue boxes): LRU state "
+             "locked too");
+
+    std::cout << "\nLesson: partitioning the *data* is not enough — "
+                 "every piece of shared\nmicroarchitectural state "
+                 "(including replacement metadata) must be partitioned\n"
+                 "or frozen (paper Section IX-B; DAWG is cited as the "
+                 "only design that\npartitions the Tree-PLRU state).\n";
+    return 0;
+}

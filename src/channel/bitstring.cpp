@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bit-string helpers.
+ */
+
+#include "channel/bitstring.hpp"
+
+namespace lruleak::channel {
+
+Bits
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    sim::Xoshiro256 rng(seed);
+    Bits bits(n);
+    for (auto &b : bits)
+        b = static_cast<std::uint8_t>(rng.below(2));
+    return bits;
+}
+
+Bits
+alternatingBits(std::size_t n, std::uint8_t first)
+{
+    Bits bits(n);
+    for (std::size_t i = 0; i < n; ++i)
+        bits[i] = static_cast<std::uint8_t>((first + i) & 1);
+    return bits;
+}
+
+Bits
+repeatBits(const Bits &bits, std::size_t times)
+{
+    Bits out;
+    out.reserve(bits.size() * times);
+    for (std::size_t t = 0; t < times; ++t)
+        out.insert(out.end(), bits.begin(), bits.end());
+    return out;
+}
+
+Bits
+textToBits(const std::string &text)
+{
+    Bits bits;
+    bits.reserve(text.size() * 8);
+    for (unsigned char c : text) {
+        for (int i = 7; i >= 0; --i)
+            bits.push_back(static_cast<std::uint8_t>((c >> i) & 1));
+    }
+    return bits;
+}
+
+std::string
+bitsToText(const Bits &bits)
+{
+    std::string text;
+    for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        unsigned char c = 0;
+        for (std::size_t j = 0; j < 8; ++j)
+            c = static_cast<unsigned char>((c << 1) | (bits[i + j] & 1));
+        text.push_back(static_cast<char>(c));
+    }
+    return text;
+}
+
+std::string
+bitsToString(const Bits &bits)
+{
+    std::string s;
+    s.reserve(bits.size());
+    for (auto b : bits)
+        s.push_back(b ? '1' : '0');
+    return s;
+}
+
+double
+fractionOnes(const Bits &bits)
+{
+    if (bits.empty())
+        return 0.0;
+    std::size_t ones = 0;
+    for (auto b : bits)
+        ones += b ? 1 : 0;
+    return static_cast<double>(ones) / static_cast<double>(bits.size());
+}
+
+} // namespace lruleak::channel

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bit-string helpers for the covert-channel experiments: random message
+ * generation (the paper's random 128-bit strings), text conversion for
+ * the examples, and pretty-printing.
+ */
+
+#ifndef LRULEAK_CHANNEL_BITSTRING_HPP
+#define LRULEAK_CHANNEL_BITSTRING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace lruleak::channel {
+
+/** A message as a sequence of 0/1 bytes. */
+using Bits = std::vector<std::uint8_t>;
+
+/** Random bit string of length @p n. */
+Bits randomBits(std::size_t n, std::uint64_t seed);
+
+/** Alternating 0,1,0,1,... (the pattern of Figures 5/7/14). */
+Bits alternatingBits(std::size_t n, std::uint8_t first = 0);
+
+/** Repeat @p bits @p times. */
+Bits repeatBits(const Bits &bits, std::size_t times);
+
+/** ASCII text -> bits, MSB first per byte. */
+Bits textToBits(const std::string &text);
+
+/** Bits -> ASCII text (truncates trailing partial byte). */
+std::string bitsToText(const Bits &bits);
+
+/** "0101..." rendering. */
+std::string bitsToString(const Bits &bits);
+
+/** Fraction of ones in @p bits (0 if empty). */
+double fractionOnes(const Bits &bits);
+
+} // namespace lruleak::channel
+
+#endif // LRULEAK_CHANNEL_BITSTRING_HPP

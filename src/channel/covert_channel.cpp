@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Covert-channel run orchestration.
+ */
+
+#include "channel/covert_channel.hpp"
+
+#include <algorithm>
+
+#include "timing/pointer_chase.hpp"
+
+namespace lruleak::channel {
+
+sim::HierarchyConfig
+hierarchyFor(const CovertConfig &config)
+{
+    sim::HierarchyConfig h;
+    h.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
+    h.l1.seed = config.seed;
+    h.l1_way_predictor = config.uarch.way_predictor;
+    h.l1_pl_mode = config.pl_mode;
+    return h;
+}
+
+namespace {
+
+/** Shared setup for both runners. */
+struct RunContext
+{
+    sim::CacheHierarchy hierarchy;
+    ChannelLayout layout;
+    LruSender sender;
+    LruReceiver receiver;
+
+    RunContext(const CovertConfig &config, const SenderConfig &sc,
+               const ReceiverConfig &rc)
+        : hierarchy(hierarchyFor(config)),
+          layout(sim::CacheConfig::intelL1d(config.l1_policy),
+                 config.target_set, config.chase_set,
+                 config.shared_same_vaddr),
+          sender(layout, sc), receiver(layout, rc)
+    {}
+};
+
+std::uint64_t
+runScheduler(const CovertConfig &config, RunContext &ctx)
+{
+    if (config.mode == SharingMode::HyperThreaded) {
+        exec::SmtConfig smt = config.smt;
+        smt.seed = config.seed;
+        exec::SmtScheduler sched(ctx.hierarchy, config.uarch, smt);
+        return sched.run(ctx.sender, ctx.receiver, /*primary=*/1);
+    }
+    exec::TimeSliceConfig ts = config.tslice;
+    ts.seed = config.seed;
+    exec::TimeSliceScheduler sched(ctx.hierarchy, config.uarch, ts);
+    return sched.run(ctx.sender, ctx.receiver, /*primary=*/1);
+}
+
+} // namespace
+
+CovertResult
+runCovertChannel(const CovertConfig &config)
+{
+    const std::size_t nbits = config.message.size() * config.repeats;
+
+    SenderConfig sc;
+    sc.alg = config.alg;
+    sc.message = config.message;
+    sc.repeats = config.repeats;
+    sc.ts = config.ts;
+    sc.encode_gap = config.encode_gap;
+    sc.lock_line = config.sender_locks_line;
+
+    ReceiverConfig rc;
+    rc.alg = config.alg;
+    rc.d = config.d;
+    rc.tr = config.tr;
+    // Sample slightly past the end of the message so the last bit gets
+    // its full window even with scheduling skew.
+    rc.max_samples = config.max_samples
+        ? config.max_samples
+        : (nbits * config.ts) / std::max<std::uint64_t>(config.tr, 1) + 8;
+
+    RunContext ctx(config, sc, rc);
+    const std::uint64_t end = runScheduler(config, ctx);
+
+    const timing::MeasurementModel model(config.uarch);
+
+    CovertResult res;
+    res.samples = ctx.receiver.samples();
+    res.sent = ctx.sender.sentBits();
+    res.threshold = model.chaseThreshold();
+    res.sender_start = ctx.sender.startTsc();
+
+    const bool invert = config.alg == LruAlgorithm::Alg2Disjoint;
+    res.received = windowDecode(res.samples, res.threshold, invert,
+                                res.sender_start, config.ts, nbits);
+    res.error_rate = editErrorRate(res.sent, res.received);
+
+    res.elapsed_cycles = end > res.sender_start ? end - res.sender_start
+                                                : 0;
+    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
+
+    const auto &h = ctx.hierarchy;
+    res.sender_l1 = h.l1().counters().forThread(kSenderThread);
+    res.sender_l2 = h.l2().counters().forThread(kSenderThread);
+    res.sender_llc = h.llc().counters().forThread(kSenderThread);
+    res.receiver_l1 = h.l1().counters().forThread(kReceiverThread);
+    return res;
+}
+
+double
+runPercentOnes(const CovertConfig &config, std::uint8_t constant_bit)
+{
+    SenderConfig sc;
+    sc.alg = config.alg;
+    sc.message = Bits{constant_bit};
+    sc.infinite = true;
+    sc.ts = config.ts;
+    // In the time-sliced setting an encode iteration per ~20k cycles is
+    // behaviourally equivalent to a tight loop (the state only changes at
+    // slice granularity) and keeps simulation tractable.
+    sc.encode_gap = config.encode_gap;
+
+    ReceiverConfig rc;
+    rc.alg = config.alg;
+    rc.d = config.d;
+    rc.tr = config.tr;
+    rc.max_samples = config.max_samples ? config.max_samples : 300;
+
+    RunContext ctx(config, sc, rc);
+    runScheduler(config, ctx);
+
+    const timing::MeasurementModel model(config.uarch);
+    const bool invert = config.alg == LruAlgorithm::Alg2Disjoint;
+    const Bits bits = thresholdSamples(ctx.receiver.samples(),
+                                       model.chaseThreshold(), invert);
+    // Skip the first few warm-up observations.
+    const std::size_t skip = std::min<std::size_t>(bits.size(), 4);
+    Bits tail(bits.begin() + static_cast<std::ptrdiff_t>(skip), bits.end());
+    return fractionOnes(tail);
+}
+
+} // namespace lruleak::channel

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * End-to-end covert-channel runs (paper Algorithm 3 + Sections V/VI).
+ *
+ * One call builds the hierarchy for a chosen CPU model, wires up sender
+ * and receiver under the chosen sharing mode, runs the transmission, and
+ * decodes the receiver's trace — returning everything the paper's
+ * figures need: the raw latency trace, the decoded bits, the edit-
+ * distance error rate, the effective transmission rate and the sender's
+ * per-level miss rates.
+ */
+
+#ifndef LRULEAK_CHANNEL_COVERT_CHANNEL_HPP
+#define LRULEAK_CHANNEL_COVERT_CHANNEL_HPP
+
+#include <cstdint>
+
+#include "channel/decoder.hpp"
+#include "channel/edit_distance.hpp"
+#include "channel/lru_channel.hpp"
+#include "exec/smt_scheduler.hpp"
+#include "exec/timeslice_scheduler.hpp"
+#include "sim/plcache.hpp"
+#include "timing/uarch.hpp"
+
+namespace lruleak::channel {
+
+/** How sender and receiver share the physical core. */
+enum class SharingMode
+{
+    HyperThreaded, //!< SMT siblings (Section V-A)
+    TimeSliced,    //!< one context, OS scheduling (Section V-B)
+};
+
+/** Full configuration of one covert-channel run. */
+struct CovertConfig
+{
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+    LruAlgorithm alg = LruAlgorithm::Alg1Shared;
+    SharingMode mode = SharingMode::HyperThreaded;
+    sim::ReplPolicyKind l1_policy = sim::ReplPolicyKind::TreePlru;
+    sim::PlMode pl_mode = sim::PlMode::Disabled;
+
+    std::uint32_t d = 8;          //!< receiver init-phase parameter
+    std::uint64_t tr = 600;       //!< receiver sampling period (cycles)
+    std::uint64_t ts = 6000;      //!< sender per-bit period (cycles)
+    Bits message;                 //!< bits to transmit
+    std::uint32_t repeats = 1;
+
+    std::uint32_t target_set = 7;
+    std::uint32_t chase_set = 63;
+    bool shared_same_vaddr = true;  //!< false: separate address spaces
+                                    //!< (AMD utag experiment)
+    bool sender_locks_line = false; //!< PL-cache attack (Fig. 11)
+    std::uint32_t encode_gap = 40;
+    std::uint64_t max_samples = 0;  //!< 0: derived from bits, Ts and Tr
+
+    exec::SmtConfig smt{};
+    exec::TimeSliceConfig tslice{};
+    std::uint64_t seed = 1;
+};
+
+/** Everything a figure/table needs from one run. */
+struct CovertResult
+{
+    std::vector<Sample> samples;   //!< receiver's raw trace
+    Bits sent;                     //!< ground-truth transmitted bits
+    Bits received;                 //!< decoded bits
+    double error_rate = 0.0;       //!< edit distance / sent length
+    double kbps = 0.0;             //!< effective rate during the send
+    std::uint64_t elapsed_cycles = 0;
+    std::uint32_t threshold = 0;   //!< hit/miss decision latency
+    std::uint64_t sender_start = 0;
+
+    // Sender-process cache behaviour (Table VI).
+    sim::LevelStats sender_l1;
+    sim::LevelStats sender_l2;
+    sim::LevelStats sender_llc;
+    // Receiver side, for reference.
+    sim::LevelStats receiver_l1;
+};
+
+/** Run a full transmission and decode it. */
+CovertResult runCovertChannel(const CovertConfig &config);
+
+/**
+ * Time-sliced observation experiment (Figures 6, 8 and 15): the sender
+ * constantly sends @p constant_bit; the receiver takes
+ * @p config.max_samples measurements with period Tr; the return value is
+ * the fraction of samples the receiver reads as 1.
+ */
+double runPercentOnes(const CovertConfig &config, std::uint8_t constant_bit);
+
+/** Derive the hierarchy configuration a CovertConfig implies. */
+sim::HierarchyConfig hierarchyFor(const CovertConfig &config);
+
+} // namespace lruleak::channel
+
+#endif // LRULEAK_CHANNEL_COVERT_CHANNEL_HPP

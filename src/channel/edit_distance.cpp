@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Wagner-Fischer dynamic program, two-row formulation.
+ */
+
+#include "channel/edit_distance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lruleak::channel {
+
+std::size_t
+editDistance(const Bits &a, const Bits &b)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    if (n == 0)
+        return m;
+    if (m == 0)
+        return n;
+
+    std::vector<std::size_t> prev(m + 1), curr(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        curr[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t substitute =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            const std::size_t remove = prev[j] + 1;
+            const std::size_t insert = curr[j - 1] + 1;
+            curr[j] = std::min({substitute, remove, insert});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+double
+editErrorRate(const Bits &sent, const Bits &received)
+{
+    if (sent.empty())
+        return 0.0;
+    return static_cast<double>(editDistance(sent, received)) /
+           static_cast<double>(sent.size());
+}
+
+} // namespace lruleak::channel

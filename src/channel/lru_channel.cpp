@@ -1,0 +1,194 @@
+/**
+ * @file
+ * LRU channel program implementations.
+ */
+
+#include "channel/lru_channel.hpp"
+
+#include <algorithm>
+
+namespace lruleak::channel {
+
+// -------------------------------------------------------------- receiver
+
+LruReceiver::LruReceiver(const ChannelLayout &layout, ReceiverConfig config)
+    : layout_(layout), config_(config),
+      chase_(layout.chaseRefs(config.chain_len))
+{
+    // Algorithm 1 walks lines 0..N (N+1 lines), Algorithm 2 walks
+    // lines 0..N-1 (N lines).
+    last_line_ = config_.alg == LruAlgorithm::Alg1Shared
+                     ? layout_.ways()
+                     : layout_.ways() - 1;
+    samples_.reserve(config_.max_samples);
+}
+
+exec::Op
+LruReceiver::next(std::uint64_t now)
+{
+    switch (phase_) {
+      case Phase::Prewarm:
+        if (index_ < chase_.size())
+            return exec::Op::access(chase_[index_++]);
+        index_ = 0;
+        phase_ = Phase::Init;
+        mark_ = now;
+        [[fallthrough]];
+
+      case Phase::Init:
+        if (index_ < config_.d)
+            return exec::Op::access(
+                layout_.receiverLine(config_.alg, index_++));
+        index_ = 0;
+        phase_ = Phase::Sleep;
+        [[fallthrough]];
+
+      case Phase::Sleep: {
+        phase_ = Phase::Decode;
+        const std::uint64_t deadline = mark_ + config_.tr;
+        // Tlast = TSC when the wait loop exits (Algorithm 3): if we are
+        // already past the deadline, the mark snaps to now.
+        mark_ = std::max(deadline, now);
+        if (deadline > now)
+            return exec::Op::spinUntil(deadline);
+        [[fallthrough]];
+      }
+
+      case Phase::Decode:
+        if (config_.d + index_ <= last_line_)
+            return exec::Op::access(
+                layout_.receiverLine(config_.alg, config_.d + index_++));
+        index_ = 0;
+        phase_ = Phase::Chain;
+        [[fallthrough]];
+
+      case Phase::Chain:
+        // Refetch the chain so the timed pass hits L1 seven times.
+        if (index_ < chase_.size())
+            return exec::Op::access(chase_[index_++]);
+        index_ = 0;
+        phase_ = Phase::Measure;
+        [[fallthrough]];
+
+      case Phase::Measure:
+        phase_ = Phase::Init;
+        return exec::Op::measure(
+            layout_.receiverLine(config_.alg, 0),
+            std::vector<sim::HitLevel>(chase_.size(), sim::HitLevel::L1));
+
+      case Phase::Finished:
+        break;
+    }
+    return exec::Op::done();
+}
+
+void
+LruReceiver::onResult(const exec::OpResult &result)
+{
+    if (result.kind != exec::OpKind::Measure)
+        return;
+    samples_.push_back(Sample{result.tsc, result.measured, result.level});
+    if (samples_.size() >= config_.max_samples)
+        phase_ = Phase::Finished;
+}
+
+// ---------------------------------------------------------------- sender
+
+LruSender::LruSender(const ChannelLayout &layout, SenderConfig config)
+    : layout_(layout), config_(config), line_(layout.senderLine(config.alg))
+{
+    // The sender's private "stack" lines: always-hot local work placed in
+    // a set far from the target so the access mix is realistic without
+    // polluting the channel.
+    const std::uint32_t stack_set =
+        (layout_.targetSet() + 17) % layout_.layout().numSets();
+    for (std::uint32_t i = 0; i < config_.stack_lines; ++i) {
+        const sim::Addr a = sim::lineInSet(layout_.layout(), stack_set, i,
+                                           ChannelLayout::kSenderBase);
+        stack_.push_back(sim::MemRef{a, a, kSenderThread, false});
+    }
+}
+
+int
+LruSender::currentBit(std::size_t index) const
+{
+    const std::size_t total = config_.message.size() *
+        (config_.infinite ? ~std::size_t{0} / config_.message.size()
+                          : config_.repeats);
+    if (config_.message.empty() || index >= total)
+        return -1;
+    return config_.message[index % config_.message.size()];
+}
+
+exec::Op
+LruSender::next(std::uint64_t now)
+{
+    if (phase_ == Phase::Prewarm) {
+        phase_ = Phase::Encode;
+        if (config_.prewarm) {
+            return config_.lock_line
+                       ? exec::Op::accessLock(line_, sim::LockReq::Lock)
+                       : exec::Op::access(line_);
+        }
+    }
+
+    if (phase_ == Phase::Finished)
+        return exec::Op::done();
+
+    if (!started_) {
+        started_ = true;
+        start_tsc_ = now;
+        bit_deadline_ = now + config_.ts;
+    }
+
+    // Advance to the bit that owns the current instant.
+    while (now >= bit_deadline_) {
+        ++bit_index_;
+        bit_deadline_ += config_.ts;
+        sub_step_ = 0;
+    }
+
+    const int bit = currentBit(bit_index_);
+    if (bit < 0) {
+        phase_ = Phase::Finished;
+        return exec::Op::done();
+    }
+
+    // One encode iteration: (encode access if sending 1) -> local stack
+    // work -> short spin.  The iteration then repeats until Ts expires.
+    if (sub_step_ == 0) {
+        sub_step_ = 1;
+        if (bit == 1) {
+            awaiting_encode_ = true;
+            return exec::Op::access(line_);
+        }
+        // Sending 0: no access to the target set.
+    }
+    if (sub_step_ <= config_.stack_lines) {
+        const auto &ref = stack_[sub_step_ - 1];
+        ++sub_step_;
+        return exec::Op::access(ref);
+    }
+
+    sub_step_ = 0;
+    const std::uint64_t wake =
+        std::min(now + config_.encode_gap, bit_deadline_);
+    return exec::Op::spinUntil(wake);
+}
+
+void
+LruSender::onResult(const exec::OpResult &result)
+{
+    if (awaiting_encode_ && result.kind == exec::OpKind::Access) {
+        encode_levels_.push_back(result.level);
+        awaiting_encode_ = false;
+    }
+}
+
+Bits
+LruSender::sentBits() const
+{
+    return repeatBits(config_.message, config_.repeats);
+}
+
+} // namespace lruleak::channel

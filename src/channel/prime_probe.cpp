@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Prime+Probe receiver implementation.
+ */
+
+#include "channel/prime_probe.hpp"
+
+#include <algorithm>
+
+namespace lruleak::channel {
+
+PpReceiver::PpReceiver(const ChannelLayout &layout, PpReceiverConfig config)
+    : layout_(layout), config_(config)
+{
+    // The receiver's own N lines filling the target set.
+    for (std::uint32_t i = 0; i < layout_.ways(); ++i)
+        lines_.push_back(layout_.receiverLine(LruAlgorithm::Alg2Disjoint, i));
+    samples_.reserve(config_.max_samples);
+}
+
+std::uint32_t
+PpReceiver::probeThreshold(const timing::Uarch &uarch, std::uint32_t ways)
+{
+    const std::uint32_t all_hits =
+        uarch.chase_overhead + ways * uarch.l1_latency;
+    return all_hits + (uarch.l2_latency - uarch.l1_latency) / 2;
+}
+
+exec::Op
+PpReceiver::next(std::uint64_t now)
+{
+    switch (phase_) {
+      case Phase::Prime:
+        if (index_ < lines_.size())
+            return exec::Op::access(lines_[index_++]);
+        index_ = 0;
+        phase_ = Phase::Sleep;
+        [[fallthrough]];
+
+      case Phase::Sleep: {
+        phase_ = Phase::Probe;
+        probe_levels_.clear();
+        const std::uint64_t deadline = mark_ + config_.tr;
+        mark_ = std::max(deadline, now);
+        if (deadline > now)
+            return exec::Op::spinUntil(deadline);
+        [[fallthrough]];
+      }
+
+      case Phase::Probe:
+        // Probe lines N-1 .. 1 (reverse order reduces self-eviction with
+        // PLRU), collecting their levels; the final access is timed.
+        if (index_ + 1 < lines_.size()) {
+            const auto &ref = lines_[lines_.size() - 1 - index_];
+            ++index_;
+            return exec::Op::access(ref);
+        }
+        index_ = 0;
+        phase_ = Phase::Measure;
+        [[fallthrough]];
+
+      case Phase::Measure:
+        phase_ = Phase::Prime;
+        return exec::Op::measure(lines_[0], probe_levels_);
+
+      case Phase::Finished:
+        break;
+    }
+    return exec::Op::done();
+}
+
+void
+PpReceiver::onResult(const exec::OpResult &result)
+{
+    if (result.kind == exec::OpKind::Access && phase_ == Phase::Probe) {
+        probe_levels_.push_back(result.level);
+        return;
+    }
+    if (result.kind != exec::OpKind::Measure)
+        return;
+    samples_.push_back(Sample{result.tsc, result.measured, result.level});
+    if (samples_.size() >= config_.max_samples)
+        phase_ = Phase::Finished;
+}
+
+} // namespace lruleak::channel

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Prime+Probe baseline channel (paper Section II-A, Osvik et al.).
+ *
+ * The receiver occupies the whole target set with N of its own lines
+ * (prime), sleeps, then re-walks all N lines as a dependency chain and
+ * times the walk (probe).  A sender access to the set evicts one of the
+ * primed lines, which shows up as extra latency in the probe.  No shared
+ * memory is needed — the sender is the LRU channel's Algorithm 2 sender.
+ */
+
+#ifndef LRULEAK_CHANNEL_PRIME_PROBE_HPP
+#define LRULEAK_CHANNEL_PRIME_PROBE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/layout.hpp"
+#include "channel/lru_channel.hpp"
+#include "exec/op.hpp"
+#include "timing/uarch.hpp"
+
+namespace lruleak::channel {
+
+/** Prime+Probe receiver knobs. */
+struct PpReceiverConfig
+{
+    std::uint64_t tr = 600;
+    std::uint64_t max_samples = 1000;
+};
+
+/**
+ * The Prime+Probe receiver.  Each Sample's latency is the timed N-access
+ * probe chain; the hit/miss threshold is N L1 hits plus half an L2 delta
+ * (see probeThreshold).
+ */
+class PpReceiver : public exec::ThreadProgram
+{
+  public:
+    PpReceiver(const ChannelLayout &layout, PpReceiverConfig config);
+
+    exec::Op next(std::uint64_t now) override;
+    void onResult(const exec::OpResult &result) override;
+
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Probe-latency threshold separating "all hits" from ">=1 miss". */
+    static std::uint32_t probeThreshold(const timing::Uarch &uarch,
+                                        std::uint32_t ways);
+
+  private:
+    enum class Phase
+    {
+        Prime,
+        Sleep,
+        Probe,   //!< N-1 chained accesses, levels collected
+        Measure, //!< final chained access, timed
+        Finished,
+    };
+
+    ChannelLayout layout_;
+    PpReceiverConfig config_;
+    std::vector<sim::MemRef> lines_;
+    std::vector<Sample> samples_;
+    std::vector<sim::HitLevel> probe_levels_;
+
+    Phase phase_ = Phase::Prime;
+    std::uint32_t index_ = 0;
+    std::uint64_t mark_ = 0;
+};
+
+} // namespace lruleak::channel
+
+#endif // LRULEAK_CHANNEL_PRIME_PROBE_HPP

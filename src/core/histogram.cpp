@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Histogram implementation.
+ */
+
+#include "core/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lruleak::core {
+
+double
+Histogram::frequency(std::uint32_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    auto it = counts_.find(value / bucket_width_ * bucket_width_);
+    return it == counts_.end()
+               ? 0.0
+               : static_cast<double>(it->second) /
+                     static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[bucket, count] : counts_)
+        sum += static_cast<double>(bucket) * static_cast<double>(count);
+    return sum / static_cast<double>(total_);
+}
+
+std::uint32_t
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (const auto &[bucket, count] : counts_) {
+        seen += count;
+        if (seen > target)
+            return bucket;
+    }
+    return counts_.rbegin()->first;
+}
+
+std::uint32_t
+Histogram::min() const
+{
+    return counts_.empty() ? 0 : counts_.begin()->first;
+}
+
+std::uint32_t
+Histogram::max() const
+{
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::uint32_t, double>>
+Histogram::normalized() const
+{
+    std::vector<std::pair<std::uint32_t, double>> out;
+    out.reserve(counts_.size());
+    for (const auto &[bucket, count] : counts_)
+        out.emplace_back(bucket, static_cast<double>(count) /
+                                     static_cast<double>(total_));
+    return out;
+}
+
+std::string
+Histogram::renderPair(const Histogram &a, const Histogram &b,
+                      const std::string &label_a, const std::string &label_b,
+                      std::size_t bar_width)
+{
+    if (a.empty() && b.empty())
+        return "(empty histograms)\n";
+
+    const std::uint32_t lo = std::min(a.empty() ? ~0u : a.min(),
+                                      b.empty() ? ~0u : b.min());
+    const std::uint32_t hi = std::max(a.empty() ? 0u : a.max(),
+                                      b.empty() ? 0u : b.max());
+    const std::uint32_t step = std::max(a.bucket_width_, b.bucket_width_);
+
+    double peak = 0.0;
+    for (std::uint32_t v = lo; v <= hi; v += step)
+        peak = std::max({peak, a.frequency(v), b.frequency(v)});
+    if (peak <= 0.0)
+        peak = 1.0;
+
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "  cycles | %-*s | %s\n",
+                  static_cast<int>(bar_width), label_a.c_str(),
+                  label_b.c_str());
+    out += line;
+    for (std::uint32_t v = lo; v <= hi; v += step) {
+        const double fa = a.frequency(v);
+        const double fb = b.frequency(v);
+        if (fa == 0.0 && fb == 0.0)
+            continue;
+        const auto na = static_cast<std::size_t>(
+            fa / peak * static_cast<double>(bar_width));
+        const auto nb = static_cast<std::size_t>(
+            fb / peak * static_cast<double>(bar_width));
+        std::string bar_a(na, '#');
+        bar_a.resize(bar_width, ' ');
+        std::snprintf(line, sizeof(line), "  %6u | %s | %s  (%4.1f%% / %4.1f%%)\n",
+                      v, bar_a.c_str(), std::string(nb, '#').c_str(),
+                      fa * 100.0, fb * 100.0);
+        out += line;
+    }
+    return out;
+}
+
+double
+overlapCoefficient(const Histogram &a, const Histogram &b)
+{
+    if (a.empty() || b.empty())
+        return 0.0;
+    // Walk the union of occupied buckets (the two histograms are
+    // expected to share a bucket width).
+    std::map<std::uint32_t, double> fa, fb;
+    for (const auto &[bucket, freq] : a.normalized())
+        fa[bucket] = freq;
+    for (const auto &[bucket, freq] : b.normalized())
+        fb[bucket] = freq;
+    double overlap = 0.0;
+    for (const auto &[bucket, freq] : fa) {
+        auto it = fb.find(bucket);
+        if (it != fb.end())
+            overlap += std::min(freq, it->second);
+    }
+    return overlap;
+}
+
+} // namespace lruleak::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Latency histogram used to reproduce the measurement figures
+ * (Fig. 3, Fig. 13).
+ */
+
+#ifndef LRULEAK_CORE_HISTOGRAM_HPP
+#define LRULEAK_CORE_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lruleak::core {
+
+/** Integer-bucketed histogram with frequency rendering. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::uint32_t bucket_width = 1)
+        : bucket_width_(bucket_width ? bucket_width : 1)
+    {}
+
+    void
+    add(std::uint32_t value)
+    {
+        ++counts_[value / bucket_width_ * bucket_width_];
+        ++total_;
+    }
+
+    std::uint64_t total() const { return total_; }
+    bool empty() const { return total_ == 0; }
+
+    /** Fraction of samples in the bucket containing @p value. */
+    double frequency(std::uint32_t value) const;
+
+    double mean() const;
+    std::uint32_t percentile(double p) const; //!< p in [0,1]
+    std::uint32_t min() const;
+    std::uint32_t max() const;
+
+    /** Bucket -> fraction map (sorted by bucket). */
+    std::vector<std::pair<std::uint32_t, double>> normalized() const;
+
+    /**
+     * Side-by-side text rendering of two histograms over a shared value
+     * axis — the shape of the paper's hit/miss latency figures.
+     */
+    static std::string renderPair(const Histogram &a, const Histogram &b,
+                                  const std::string &label_a,
+                                  const std::string &label_b,
+                                  std::size_t bar_width = 46);
+
+  private:
+    std::uint32_t bucket_width_;
+    std::map<std::uint32_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Overlap coefficient of two distributions: sum over buckets of
+ * min(freq_a, freq_b).  1.0 = identical distributions (Fig. 13's point),
+ * ~0.0 = fully separable (Fig. 3's point).
+ */
+double overlapCoefficient(const Histogram &a, const Histogram &b);
+
+} // namespace lruleak::core
+
+#endif // LRULEAK_CORE_HISTOGRAM_HPP

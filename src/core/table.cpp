@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Table and chart rendering.
+ */
+
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace lruleak::core {
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  ";
+            os << row[c];
+            for (std::size_t p = row[c].size(); p < widths[c]; ++p)
+                os << ' ';
+        }
+        os << '\n';
+    };
+
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    for (std::size_t i = 0; i < total; ++i)
+        os << '-';
+    os << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtKbps(double kbps)
+{
+    if (kbps >= 1.0)
+        return fmtDouble(kbps, 1) + " Kbps";
+    return fmtDouble(kbps * 1e3, 2) + " bps";
+}
+
+std::string
+sparkline(const std::vector<double> &values)
+{
+    static const char *levels[] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+    if (values.empty())
+        return "";
+    double lo = values[0], hi = values[0];
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    std::string out;
+    for (double v : values) {
+        const int idx = static_cast<int>((v - lo) / span * 7.0);
+        out += levels[std::clamp(idx, 0, 7)];
+    }
+    return out;
+}
+
+std::string
+asciiChart(const std::vector<double> &values, std::size_t height,
+           std::size_t max_width)
+{
+    if (values.empty() || height == 0)
+        return "";
+
+    // Downsample to max_width columns by averaging buckets.
+    std::vector<double> cols;
+    const std::size_t n = values.size();
+    const std::size_t width = std::min(max_width, n);
+    for (std::size_t c = 0; c < width; ++c) {
+        const std::size_t lo = c * n / width;
+        const std::size_t hi = std::max(lo + 1, (c + 1) * n / width);
+        double sum = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+            sum += values[i];
+        cols.push_back(sum / static_cast<double>(hi - lo));
+    }
+
+    double lo = cols[0], hi = cols[0];
+    for (double v : cols) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+
+    std::string out;
+    for (std::size_t r = 0; r < height; ++r) {
+        const double row_top = hi - span * static_cast<double>(r) /
+            static_cast<double>(height);
+        const double row_bot = hi - span * static_cast<double>(r + 1) /
+            static_cast<double>(height);
+        char label[32];
+        std::snprintf(label, sizeof(label), "%8.1f |", row_top);
+        out += label;
+        for (double v : cols)
+            out += (v > row_bot && v <= row_top + 1e-12) ? '*' : ' ';
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace lruleak::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The operation vocabulary of simulated threads.
+ *
+ * Sender and receiver are modelled as state machines that yield one
+ * operation at a time; the scheduler executes the operation against the
+ * shared cache hierarchy, charges its latency to the thread's clock and
+ * reports the outcome back.  This makes the interleaving of the two
+ * parties explicit, reproducible and schedulable under both sharing
+ * models.
+ */
+
+#ifndef LRULEAK_EXEC_OP_HPP
+#define LRULEAK_EXEC_OP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/address.hpp"
+#include "sim/cache_set.hpp"
+#include "sim/hierarchy.hpp"
+
+namespace lruleak::exec {
+
+/** What a thread wants to do next. */
+enum class OpKind
+{
+    Access,    //!< one load/store through the hierarchy
+    Measure,   //!< timed load of @c ref using the pointer-chase readout
+    Flush,     //!< clflush @c ref from all levels
+    SpinUntil, //!< busy-wait until the TSC reaches @c until
+    Done,      //!< thread finished
+};
+
+/** One operation yielded by a ThreadProgram. */
+struct Op
+{
+    OpKind kind = OpKind::Done;
+    sim::MemRef ref;                     //!< Access/Measure/Flush target
+    sim::LockReq lock_req = sim::LockReq::None;
+    std::uint64_t until = 0;             //!< SpinUntil deadline (TSC)
+
+    /**
+     * For Measure: the observed hit levels of the preceding chase-chain
+     * accesses (the receiver issues those as ordinary Access ops and
+     * collects their levels via onResult).
+     */
+    std::vector<sim::HitLevel> chain_levels;
+
+    static Op
+    access(const sim::MemRef &ref)
+    {
+        Op op;
+        op.kind = OpKind::Access;
+        op.ref = ref;
+        return op;
+    }
+
+    static Op
+    accessLock(const sim::MemRef &ref, sim::LockReq req)
+    {
+        Op op = access(ref);
+        op.lock_req = req;
+        return op;
+    }
+
+    static Op
+    measure(const sim::MemRef &ref, std::vector<sim::HitLevel> chain)
+    {
+        Op op;
+        op.kind = OpKind::Measure;
+        op.ref = ref;
+        op.chain_levels = std::move(chain);
+        return op;
+    }
+
+    static Op
+    flush(const sim::MemRef &ref)
+    {
+        Op op;
+        op.kind = OpKind::Flush;
+        op.ref = ref;
+        return op;
+    }
+
+    static Op
+    spinUntil(std::uint64_t tsc)
+    {
+        Op op;
+        op.kind = OpKind::SpinUntil;
+        op.until = tsc;
+        return op;
+    }
+
+    static Op
+    done()
+    {
+        return Op{};
+    }
+};
+
+/** Outcome of an executed Access/Measure/Flush op. */
+struct OpResult
+{
+    OpKind kind = OpKind::Access;
+    sim::HitLevel level = sim::HitLevel::Memory; //!< where it was served
+    std::uint32_t measured = 0;   //!< latency readout (Measure only)
+    std::uint64_t tsc = 0;        //!< completion time
+};
+
+/**
+ * A simulated thread.  @c next is called whenever the thread is runnable;
+ * @c onResult delivers the outcome of the op that just executed.
+ */
+class ThreadProgram
+{
+  public:
+    virtual ~ThreadProgram() = default;
+
+    /** Yield the next operation. @p now is the current TSC. */
+    virtual Op next(std::uint64_t now) = 0;
+
+    /** Outcome of the last Access/Measure/Flush. */
+    virtual void onResult(const OpResult &result) { (void)result; }
+
+    /** The scheduler's thread id for this program's accesses. */
+    sim::ThreadId threadId() const { return thread_id_; }
+    void setThreadId(sim::ThreadId id) { thread_id_ = id; }
+
+  private:
+    sim::ThreadId thread_id_ = 0;
+};
+
+} // namespace lruleak::exec
+
+#endif // LRULEAK_EXEC_OP_HPP

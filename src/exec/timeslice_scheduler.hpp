@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Time-sliced (single hardware context) execution of two thread programs,
+ * with OS context-switch effects (Section V-B, Figures 6 and 8).
+ *
+ * Only one program runs at a time; the scheduler rotates them with a
+ * jittered quantum.  Every context switch executes kernel scheduler code
+ * whose cache footprint sprays lines across random sets — this pollution
+ * is what limits the time-sliced channel in the paper (the receiver sees
+ * the sender's signal only when its sleep window ends shortly after a
+ * sender slice, before the kernel noise has scrubbed the target set).
+ */
+
+#ifndef LRULEAK_EXEC_TIMESLICE_SCHEDULER_HPP
+#define LRULEAK_EXEC_TIMESLICE_SCHEDULER_HPP
+
+#include <cstdint>
+
+#include "exec/op.hpp"
+#include "sim/random.hpp"
+#include "timing/pointer_chase.hpp"
+#include "timing/uarch.hpp"
+
+namespace lruleak::exec {
+
+/** Knobs of the time-sliced model. */
+struct TimeSliceConfig
+{
+    /**
+     * Scheduling quantum in cycles (~40 ms at 3.8 GHz).  Two CPU-bound
+     * tasks on CFS get long slices; crucially the quantum is *larger*
+     * than the paper's Tr values (up to 4.5e8), so several receiver
+     * measurements run inside one slice and only the first one after a
+     * sender slice reflects the sender — the mechanism behind Fig. 6's
+     * ~30% ceiling.
+     */
+    std::uint64_t quantum = 150'000'000;
+    std::uint64_t quantum_jitter = 80'000'000; //!< uniform extra per slice
+    std::uint32_t switch_cost = 3'000;     //!< direct context-switch cost
+    std::uint32_t kernel_noise_lines = 48; //!< mean kernel lines touched
+                                           //!< per switch (spread over
+                                           //!< all sets)
+    double background_prob = 0.25; //!< chance a third process takes a
+                                   //!< slice instead of sender/receiver
+    std::uint32_t background_lines = 1024; //!< its cache footprint
+    /**
+     * OS timer tick: every tick_period cycles the kernel interrupts the
+     * running task and touches a few lines (timer/RCU/softirq work).
+     * This is what ages the sender's imprint on the LRU state while the
+     * receiver spins — the decay that caps Fig. 6's curves.
+     */
+    std::uint64_t tick_period = 4'000'000; //!< ~1 ms at ~4 GHz
+    std::uint32_t tick_lines = 24;         //!< mean lines per tick
+
+    std::uint64_t max_cycles = 4'000'000'000'000ULL;
+    std::uint32_t op_overhead = 10;
+    std::uint32_t jitter = 4;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Runs two programs time-sharing one core over one hierarchy.
+ */
+class TimeSliceScheduler
+{
+  public:
+    TimeSliceScheduler(sim::CacheHierarchy &hierarchy,
+                       const timing::Uarch &uarch,
+                       TimeSliceConfig config = {});
+
+    /**
+     * Run until @p primary yields Done (or max_cycles elapse).
+     * @return the final TSC value.
+     */
+    std::uint64_t run(ThreadProgram &thread0, ThreadProgram &thread1,
+                      unsigned primary = 1);
+
+    std::uint64_t now() const { return now_; }
+
+    /** Thread id used for kernel-noise accesses in perf counters. */
+    static constexpr sim::ThreadId kKernelThread = 1000;
+    /** Thread id used for background-process accesses. */
+    static constexpr sim::ThreadId kBackgroundThread = 1001;
+
+  private:
+    std::uint64_t executeOp(ThreadProgram &prog, const Op &op,
+                            std::uint64_t start);
+    void contextSwitchNoise();
+    void backgroundSlice(std::uint64_t slice_end);
+    void kernelBurst(std::uint64_t mean_lines);
+    void serviceTicks();
+
+    sim::CacheHierarchy &hierarchy_;
+    timing::Uarch uarch_;
+    timing::MeasurementModel model_;
+    TimeSliceConfig config_;
+    sim::Xoshiro256 rng_;
+    std::uint64_t now_ = 0;
+    std::uint64_t next_tick_ = 0;
+};
+
+} // namespace lruleak::exec
+
+#endif // LRULEAK_EXEC_TIMESLICE_SCHEDULER_HPP

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Address types and set/tag decomposition for set-associative caches.
+ *
+ * The simulator carries both a virtual and a physical address on every
+ * memory reference: L1 caches are virtually-indexed physically-tagged
+ * (VIPT), which is what lets Algorithm 2 of the paper target a set without
+ * shared memory (bits 6..11 are identical in VA and PA for 4 KiB pages),
+ * and the AMD way-predictor model needs the virtual address to compute its
+ * linear-address utag.
+ */
+
+#ifndef LRULEAK_SIM_ADDRESS_HPP
+#define LRULEAK_SIM_ADDRESS_HPP
+
+#include <cstdint>
+
+namespace lruleak::sim {
+
+/** Raw address type used throughout the simulator. */
+using Addr = std::uint64_t;
+
+/** Identifier of a hardware thread / process issuing an access. */
+using ThreadId = std::uint32_t;
+
+/**
+ * A single memory reference as seen by the cache hierarchy.
+ *
+ * @c vaddr is the program's virtual address (used for VIPT indexing and
+ * the AMD utag); @c paddr is the translated physical address (used for tag
+ * match).  For same-address-space accesses the two are typically equal.
+ */
+struct MemRef
+{
+    Addr vaddr = 0;          //!< virtual address
+    Addr paddr = 0;          //!< physical address
+    ThreadId thread = 0;     //!< issuing hardware thread
+    bool is_write = false;   //!< store (true) or load (false)
+
+    /** Convenience factory for a same-VA/PA load. */
+    static constexpr MemRef
+    load(Addr addr, ThreadId thread = 0)
+    {
+        return MemRef{addr, addr, thread, false};
+    }
+
+    /** Convenience factory for a load with distinct VA and PA. */
+    static constexpr MemRef
+    loadVaPa(Addr vaddr, Addr paddr, ThreadId thread = 0)
+    {
+        return MemRef{vaddr, paddr, thread, false};
+    }
+};
+
+/**
+ * Bit-level geometry of one cache level.  Decomposes addresses into
+ * {offset, set index, tag}.
+ */
+class AddressLayout
+{
+  public:
+    /**
+     * @param line_size line size in bytes (power of two)
+     * @param num_sets number of sets (power of two)
+     */
+    constexpr AddressLayout(std::uint32_t line_size, std::uint32_t num_sets)
+        : line_bits_(log2i(line_size)), set_bits_(log2i(num_sets)),
+          num_sets_(num_sets)
+    {}
+
+    /** Set index of an address (uses the *virtual* address: VIPT). */
+    constexpr std::uint32_t
+    setIndex(Addr vaddr) const
+    {
+        return static_cast<std::uint32_t>(
+            (vaddr >> line_bits_) & (num_sets_ - 1));
+    }
+
+    /** Tag of an address (uses the *physical* address). */
+    constexpr Addr
+    tag(Addr paddr) const
+    {
+        return paddr >> (line_bits_ + set_bits_);
+    }
+
+    /** Line-aligned base of an address. */
+    constexpr Addr
+    lineBase(Addr addr) const
+    {
+        return addr & ~((Addr{1} << line_bits_) - 1);
+    }
+
+    /** Reconstruct a line base address from (tag, set). */
+    constexpr Addr
+    compose(Addr tag, std::uint32_t set) const
+    {
+        return (tag << (line_bits_ + set_bits_)) |
+               (static_cast<Addr>(set) << line_bits_);
+    }
+
+    constexpr std::uint32_t lineBits() const { return line_bits_; }
+    constexpr std::uint32_t setBits() const { return set_bits_; }
+    constexpr std::uint32_t numSets() const { return num_sets_; }
+    constexpr std::uint32_t lineSize() const { return 1u << line_bits_; }
+
+    /** Integer log2 for powers of two. */
+    static constexpr std::uint32_t
+    log2i(std::uint64_t value)
+    {
+        std::uint32_t bits = 0;
+        while (value > 1) {
+            value >>= 1;
+            ++bits;
+        }
+        return bits;
+    }
+
+  private:
+    std::uint32_t line_bits_;
+    std::uint32_t set_bits_;
+    std::uint32_t num_sets_;
+};
+
+/**
+ * Helper used by channel code and tests: build the address of the i-th
+ * distinct cache line mapping to a given set (same set index, different
+ * tags).  Address space base separates different owners (sender versus
+ * receiver in Algorithm 2).
+ */
+constexpr Addr
+lineInSet(const AddressLayout &layout, std::uint32_t set, std::uint32_t i,
+          Addr base = 0)
+{
+    return base + layout.compose(i + 1, set);
+}
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_ADDRESS_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cache level implementation.
+ */
+
+#include "sim/cache.hpp"
+
+#include "sim/way_predictor.hpp"
+
+namespace lruleak::sim {
+
+Cache::Cache(const CacheConfig &config, PlMode pl_mode, bool way_predictor)
+    : config_(config), layout_(config.line_size, config.numSets()),
+      pl_mode_(pl_mode), way_predictor_(way_predictor)
+{
+    config_.validate();
+    sets_.reserve(layout_.numSets());
+    for (std::uint32_t s = 0; s < layout_.numSets(); ++s) {
+        // Give each Random-policy set its own derived seed so sets do not
+        // evict in lockstep.
+        sets_.emplace_back(config_.ways,
+                           makeReplacementPolicy(config_.policy,
+                                                 config_.ways,
+                                                 config_.seed + s),
+                           pl_mode);
+    }
+}
+
+CacheAccessResult
+Cache::access(const MemRef &ref, LockReq lock_req)
+{
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    const Addr tag = layout_.tag(ref.paddr);
+    const std::uint16_t utag =
+        way_predictor_ ? WayPredictor::utag(ref.vaddr) : 0;
+
+    SetAccessResult sr = sets_[set].access(tag, utag, way_predictor_,
+                                           lock_req, ref.thread);
+
+    CacheAccessResult res;
+    res.hit = sr.hit;
+    res.set = set;
+    res.way = sr.way;
+    res.filled = sr.filled;
+    res.bypassed = sr.bypassed;
+    res.utag_mismatch = sr.utag_mismatch;
+    if (sr.evicted_tag)
+        res.evicted_line = layout_.compose(*sr.evicted_tag, set);
+
+    counters_.record(ref.thread, sr.hit);
+    return res;
+}
+
+CacheAccessResult
+Cache::prefetch(const MemRef &ref)
+{
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    const Addr tag = layout_.tag(ref.paddr);
+    const std::uint16_t utag =
+        way_predictor_ ? WayPredictor::utag(ref.vaddr) : 0;
+
+    SetAccessResult sr = sets_[set].prefetchFill(tag, utag, ref.thread);
+
+    CacheAccessResult res;
+    res.hit = sr.hit;
+    res.set = set;
+    res.way = sr.way;
+    res.filled = sr.filled;
+    if (sr.evicted_tag)
+        res.evicted_line = layout_.compose(*sr.evicted_tag, set);
+    return res;
+}
+
+bool
+Cache::contains(const MemRef &ref) const
+{
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    return sets_[set].probe(layout_.tag(ref.paddr)).has_value();
+}
+
+bool
+Cache::flush(const MemRef &ref)
+{
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    return sets_[set].invalidate(layout_.tag(ref.paddr));
+}
+
+void
+Cache::reset()
+{
+    for (auto &set : sets_)
+        set.reset();
+    counters_.reset();
+}
+
+void
+Cache::setPlMode(PlMode mode)
+{
+    pl_mode_ = mode;
+    for (auto &set : sets_)
+        set.setPlMode(mode);
+}
+
+} // namespace lruleak::sim

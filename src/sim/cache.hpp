@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A set-associative cache level built from CacheSet instances.
+ */
+
+#ifndef LRULEAK_SIM_CACHE_HPP
+#define LRULEAK_SIM_CACHE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/address.hpp"
+#include "sim/cache_config.hpp"
+#include "sim/cache_set.hpp"
+#include "sim/stats.hpp"
+
+namespace lruleak::sim {
+
+/** Outcome of a cache-level access, in address space. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    bool filled = false;
+    bool bypassed = false;
+    bool utag_mismatch = false;
+    std::optional<Addr> evicted_line; //!< line base address of the victim
+};
+
+/**
+ * One cache level.  VIPT: the set index comes from the virtual address,
+ * the tag from the physical address.  Supports PL-cache lock bits and the
+ * AMD utag way predictor, both off by default.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config,
+                   PlMode pl_mode = PlMode::Disabled,
+                   bool way_predictor = false);
+
+    /** Demand access (load/store), with optional PL lock request. */
+    CacheAccessResult access(const MemRef &ref,
+                             LockReq lock_req = LockReq::None);
+
+    /** Prefetch fill: installs the line, updates LRU, no perf counters. */
+    CacheAccessResult prefetch(const MemRef &ref);
+
+    /** Presence check without any state change. */
+    bool contains(const MemRef &ref) const;
+
+    /** clflush semantics for this level. @return true if the line hit. */
+    bool flush(const MemRef &ref);
+
+    /** Clear all contents, replacement state and counters. */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    const AddressLayout &layout() const { return layout_; }
+    const PerfCounters &counters() const { return counters_; }
+    PerfCounters &counters() { return counters_; }
+
+    const CacheSet &cacheSet(std::uint32_t index) const
+    {
+        return sets_[index];
+    }
+    CacheSet &cacheSet(std::uint32_t index) { return sets_[index]; }
+
+    std::uint32_t numSets() const { return layout_.numSets(); }
+    bool wayPredictorEnabled() const { return way_predictor_; }
+    PlMode plMode() const { return pl_mode_; }
+
+    /** Switch the PL mode for every set (used by the defense study). */
+    void setPlMode(PlMode mode);
+
+  private:
+    CacheConfig config_;
+    AddressLayout layout_;
+    PlMode pl_mode_;
+    bool way_predictor_;
+    std::vector<CacheSet> sets_;
+    PerfCounters counters_;
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_CACHE_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Configuration of one cache level.
+ */
+
+#ifndef LRULEAK_SIM_CACHE_CONFIG_HPP
+#define LRULEAK_SIM_CACHE_CONFIG_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/replacement.hpp"
+
+namespace lruleak::sim {
+
+/**
+ * Geometry and policy of one cache level.  All counts must be powers of
+ * two; @c validate() enforces this so misconfiguration fails loudly at
+ * construction instead of corrupting index math later.
+ */
+struct CacheConfig
+{
+    std::string name = "L1D";              //!< label used in stats dumps
+    std::uint32_t size_bytes = 32 * 1024;  //!< total capacity
+    std::uint32_t ways = 8;                //!< associativity
+    std::uint32_t line_size = 64;          //!< bytes per line
+    ReplPolicyKind policy = ReplPolicyKind::TreePlru;
+    std::uint64_t seed = 0;                //!< Random-policy seed
+
+    std::uint32_t
+    numSets() const
+    {
+        return size_bytes / (ways * line_size);
+    }
+
+    void
+    validate() const
+    {
+        auto pow2 = [](std::uint64_t v) { return v && !(v & (v - 1)); };
+        if (!pow2(size_bytes) || !pow2(ways) || !pow2(line_size))
+            throw std::invalid_argument(name +
+                ": size, ways and line size must be powers of two");
+        if (size_bytes < ways * line_size)
+            throw std::invalid_argument(name + ": capacity below one set");
+    }
+
+    /** 32 KiB, 8-way, 64-set L1D as on all three evaluated CPUs. */
+    static CacheConfig
+    intelL1d(ReplPolicyKind policy = ReplPolicyKind::TreePlru)
+    {
+        return CacheConfig{"L1D", 32 * 1024, 8, 64, policy, 0};
+    }
+
+    /** 256 KiB, 8-way private L2. */
+    static CacheConfig
+    intelL2()
+    {
+        return CacheConfig{"L2", 256 * 1024, 8, 64,
+                           ReplPolicyKind::TreePlru, 0};
+    }
+
+    /** 2 MiB 16-way LLC slice (scaled down to keep simulation fast). */
+    static CacheConfig
+    intelLlc()
+    {
+        return CacheConfig{"LLC", 2 * 1024 * 1024, 16, 64,
+                           ReplPolicyKind::Srrip, 0};
+    }
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_CACHE_CONFIG_HPP

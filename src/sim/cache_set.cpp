@@ -1,0 +1,178 @@
+/**
+ * @file
+ * CacheSet implementation: the paper's Fig. 10 flow chart lives here.
+ */
+
+#include "sim/cache_set.hpp"
+
+namespace lruleak::sim {
+
+CacheSet::CacheSet(std::uint32_t ways,
+                   std::unique_ptr<ReplacementPolicy> policy, PlMode pl_mode)
+    : ways_(ways), pl_mode_(pl_mode), lines_(ways),
+      policy_(std::move(policy))
+{
+}
+
+CacheSet::CacheSet(const CacheSet &other)
+    : ways_(other.ways_), pl_mode_(other.pl_mode_), lines_(other.lines_),
+      policy_(other.policy_->clone())
+{
+}
+
+std::optional<std::uint32_t>
+CacheSet::probe(Addr tag) const
+{
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (lines_[w].valid && lines_[w].tag == tag)
+            return w;
+    }
+    return std::nullopt;
+}
+
+std::vector<bool>
+CacheSet::lockedMask() const
+{
+    std::vector<bool> mask(ways_);
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        mask[w] = lines_[w].valid && lines_[w].locked;
+    return mask;
+}
+
+SetAccessResult
+CacheSet::access(Addr tag, std::uint16_t utag, bool check_utag,
+                 LockReq lock_req, ThreadId thread)
+{
+    SetAccessResult res;
+
+    if (auto way = probe(tag)) {
+        // ----- Cache hit path of Fig. 10.
+        res.hit = true;
+        res.way = *way;
+        LineState &line = lines_[*way];
+
+        if (check_utag && line.utag != utag) {
+            // AMD way predictor: the load matched the physical tag but the
+            // stored linear-address utag disagrees, so the hardware first
+            // misses in the predicted way and retrains the utag.  The
+            // caller charges miss-like latency for this access.
+            res.utag_mismatch = true;
+            line.utag = utag;
+        }
+
+        const bool locked_hit = line.locked;
+        if (pl_mode_ == PlMode::FixedLruLock && locked_hit) {
+            // Blue box: "Normal hit; Do not update replacement state".
+        } else {
+            policy_->touch(*way);
+        }
+
+        if (lock_req == LockReq::Lock && pl_mode_ != PlMode::Disabled)
+            line.locked = true;
+        else if (lock_req == LockReq::Unlock)
+            line.locked = false;
+        return res;
+    }
+
+    // ----- Cache miss path of Fig. 10: choose a victim.
+    // Invalid ways are filled first (lowest index), as in real caches;
+    // the replacement policy only arbitrates between valid lines.
+    std::uint32_t victim_way = ReplacementPolicy::kNoVictim;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!lines_[w].valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way != ReplacementPolicy::kNoVictim) {
+        LineState &line = lines_[victim_way];
+        line.tag = tag;
+        line.valid = true;
+        line.locked =
+            (lock_req == LockReq::Lock && pl_mode_ != PlMode::Disabled);
+        line.utag = utag;
+        line.filled_by = thread;
+        policy_->onFill(victim_way);
+        res.hit = false;
+        res.way = victim_way;
+        res.filled = true;
+        return res;
+    }
+
+    if (pl_mode_ == PlMode::FixedLruLock) {
+        // Blue behaviour: locked ways are excluded from victim selection
+        // so the replacement decision is independent of locked lines.
+        victim_way = policy_->victimUnlocked(lockedMask());
+        if (victim_way == ReplacementPolicy::kNoVictim) {
+            res.bypassed = true; // whole set locked: handle uncached
+            return res;
+        }
+    } else {
+        victim_way = policy_->victim();
+        if (pl_mode_ == PlMode::Original && lines_[victim_way].valid &&
+            lines_[victim_way].locked) {
+            // White box: "victim locked? -> ld/st without replacement".
+            res.bypassed = true;
+            return res;
+        }
+    }
+
+    LineState &line = lines_[victim_way];
+    if (line.valid)
+        res.evicted_tag = line.tag;
+    line.tag = tag;
+    line.valid = true;
+    line.locked = (lock_req == LockReq::Lock && pl_mode_ != PlMode::Disabled);
+    line.utag = utag;
+    line.filled_by = thread;
+
+    policy_->onFill(victim_way);
+
+    res.hit = false;
+    res.way = victim_way;
+    res.filled = true;
+    return res;
+}
+
+bool
+CacheSet::invalidate(Addr tag)
+{
+    if (auto way = probe(tag)) {
+        lines_[*way] = LineState{};
+        return true;
+    }
+    return false;
+}
+
+SetAccessResult
+CacheSet::prefetchFill(Addr tag, std::uint16_t utag, ThreadId thread)
+{
+    SetAccessResult res;
+    if (auto way = probe(tag)) {
+        // Already present: hardware prefetchers still promote the line.
+        res.hit = true;
+        res.way = *way;
+        policy_->touch(*way);
+        return res;
+    }
+    return access(tag, utag, false, LockReq::None, thread);
+}
+
+std::uint32_t
+CacheSet::occupancy() const
+{
+    std::uint32_t n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+void
+CacheSet::reset()
+{
+    for (auto &line : lines_)
+        line = LineState{};
+    policy_->reset();
+}
+
+} // namespace lruleak::sim

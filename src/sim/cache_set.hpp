@@ -1,0 +1,127 @@
+/**
+ * @file
+ * One set of a set-associative cache: tags, valid/lock bits, utags, and
+ * the per-set replacement state machine.
+ */
+
+#ifndef LRULEAK_SIM_CACHE_SET_HPP
+#define LRULEAK_SIM_CACHE_SET_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/address.hpp"
+#include "sim/replacement.hpp"
+
+namespace lruleak::sim {
+
+/** Lock request carried by an access (PL cache, Section IX-B). */
+enum class LockReq
+{
+    None,   //!< plain load/store
+    Lock,   //!< set the lock bit of the accessed line
+    Unlock, //!< clear the lock bit of the accessed line
+};
+
+/** How lock bits interact with the replacement state. */
+enum class PlMode
+{
+    Disabled,     //!< lock bits ignored entirely (plain cache)
+    Original,     //!< paper Fig. 10 white boxes: locked lines are never
+                  //!< evicted but still update the LRU state on access
+    FixedLruLock, //!< + blue boxes: locked lines neither update the LRU
+                  //!< state nor participate in victim selection
+};
+
+/** Per-way metadata. */
+struct LineState
+{
+    Addr tag = 0;               //!< physical tag
+    bool valid = false;
+    bool locked = false;        //!< PL-cache lock bit
+    std::uint16_t utag = 0;     //!< AMD linear-address micro-tag
+    ThreadId filled_by = 0;     //!< thread that installed the line
+};
+
+/** Outcome of a set access. */
+struct SetAccessResult
+{
+    bool hit = false;
+    std::uint32_t way = ReplacementPolicy::kNoVictim;
+    bool filled = false;          //!< a new line was installed
+    bool bypassed = false;        //!< miss on a fully/victim-locked set,
+                                  //!< handled uncached (PL cache)
+    bool utag_mismatch = false;   //!< hit whose utag did not match (AMD)
+    std::optional<Addr> evicted_tag; //!< tag displaced by the fill
+};
+
+/**
+ * A single cache set.  The cache decomposes addresses; the set works in
+ * tag space only.
+ */
+class CacheSet
+{
+  public:
+    CacheSet(std::uint32_t ways, std::unique_ptr<ReplacementPolicy> policy,
+             PlMode pl_mode = PlMode::Disabled);
+
+    CacheSet(const CacheSet &other);
+    CacheSet &operator=(const CacheSet &other) = delete;
+    CacheSet(CacheSet &&) noexcept = default;
+    CacheSet &operator=(CacheSet &&) noexcept = default;
+
+    /** Find the way holding @p tag without touching any state. */
+    std::optional<std::uint32_t> probe(Addr tag) const;
+
+    /**
+     * Perform an access: hit updates replacement state (subject to the
+     * PL mode); miss selects a victim, evicts it and installs @p tag.
+     *
+     * @param tag physical tag being accessed
+     * @param utag linear-address micro-tag of the access (AMD model);
+     *        pass 0 when the way predictor is disabled
+     * @param check_utag when true, a tag hit whose stored utag differs
+     *        from @p utag is flagged (and the stored utag is retrained)
+     * @param lock_req PL-cache lock/unlock request
+     * @param thread issuing thread (recorded on fills)
+     */
+    SetAccessResult access(Addr tag, std::uint16_t utag, bool check_utag,
+                           LockReq lock_req, ThreadId thread);
+
+    /** Invalidate the line holding @p tag (clflush). @return true if hit */
+    bool invalidate(Addr tag);
+
+    /**
+     * Install @p tag without it being a demand access (prefetch fill).
+     * Updates the replacement state like any fill.  No-op if present.
+     */
+    SetAccessResult prefetchFill(Addr tag, std::uint16_t utag,
+                                 ThreadId thread);
+
+    const LineState &line(std::uint32_t way) const { return lines_[way]; }
+    const ReplacementPolicy &policy() const { return *policy_; }
+    ReplacementPolicy &policy() { return *policy_; }
+    std::uint32_t ways() const { return ways_; }
+    PlMode plMode() const { return pl_mode_; }
+    void setPlMode(PlMode mode) { pl_mode_ = mode; }
+
+    /** Number of valid lines currently in the set. */
+    std::uint32_t occupancy() const;
+
+    /** Clear all lines and the replacement state. */
+    void reset();
+
+  private:
+    std::vector<bool> lockedMask() const;
+
+    std::uint32_t ways_;
+    PlMode pl_mode_;
+    std::vector<LineState> lines_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_CACHE_SET_HPP

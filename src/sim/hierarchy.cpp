@@ -1,0 +1,111 @@
+/**
+ * @file
+ * CacheHierarchy implementation.
+ */
+
+#include "sim/hierarchy.hpp"
+
+namespace lruleak::sim {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : config_(config),
+      l1_(std::make_unique<Cache>(config.l1, config.l1_pl_mode,
+                                  config.l1_way_predictor)),
+      l2_(std::make_unique<Cache>(config.l2)),
+      llc_(std::make_unique<Cache>(config.llc))
+{
+    if (config.enable_prefetcher)
+        prefetcher_ = std::make_unique<StridePrefetcher>(
+            config.l1.line_size, 2);
+}
+
+HierarchyAccessResult
+CacheHierarchy::access(const MemRef &ref, LockReq lock_req)
+{
+    HierarchyAccessResult res;
+
+    res.l1 = l1_->access(ref, lock_req);
+    res.l1_utag_mismatch = res.l1.utag_mismatch;
+    res.l1_bypassed = res.l1.bypassed;
+
+    if (res.l1.hit && !res.l1.utag_mismatch) {
+        res.level = HitLevel::L1;
+    } else if (res.l1.hit && res.l1.utag_mismatch) {
+        // Way-predictor miss: data was in L1 but the access pays (about)
+        // an L2-hit latency while the utag retrains.  No lower-level
+        // access happens architecturally.
+        res.level = HitLevel::L2;
+    } else {
+        // L1 miss: walk down.  Perf counters of lower levels tick only
+        // when the level is actually referenced, as with real HW events.
+        const auto l2_res = l2_->access(ref);
+        if (l2_res.hit) {
+            res.level = HitLevel::L2;
+        } else {
+            const auto llc_res = llc_->access(ref);
+            res.level = llc_res.hit ? HitLevel::LLC : HitLevel::Memory;
+        }
+    }
+
+    if (prefetcher_) {
+        const bool l1_hit = res.level == HitLevel::L1;
+        for (Addr pf_vaddr : prefetcher_->observe(ref, l1_hit)) {
+            // Prefetches translate with the same VA->PA offset as the
+            // triggering access.
+            MemRef pf{pf_vaddr, pf_vaddr + (ref.paddr - ref.vaddr),
+                      ref.thread, false};
+            if (!l1_->contains(pf)) {
+                l2_->prefetch(pf);
+                l1_->prefetch(pf);
+            }
+        }
+    }
+
+    return res;
+}
+
+void
+CacheHierarchy::flush(const MemRef &ref)
+{
+    l1_->flush(ref);
+    l2_->flush(ref);
+    llc_->flush(ref);
+}
+
+bool
+CacheHierarchy::inAnyLevel(const MemRef &ref) const
+{
+    return l1_->contains(ref) || l2_->contains(ref) || llc_->contains(ref);
+}
+
+HitLevel
+CacheHierarchy::peekLevel(const MemRef &ref) const
+{
+    if (l1_->contains(ref))
+        return HitLevel::L1;
+    if (l2_->contains(ref))
+        return HitLevel::L2;
+    if (llc_->contains(ref))
+        return HitLevel::LLC;
+    return HitLevel::Memory;
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1_->reset();
+    l2_->reset();
+    llc_->reset();
+    if (prefetcher_)
+        prefetcher_->reset();
+}
+
+void
+CacheHierarchy::resetCounters()
+{
+    l1_->counters().reset();
+    l2_->counters().reset();
+    llc_->counters().reset();
+}
+
+} // namespace lruleak::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Three-level cache hierarchy (L1D / L2 / LLC + memory).
+ *
+ * The channel itself only needs the L1D replacement state, but the paper's
+ * Tables VI and VII report per-level miss rates and its Flush+Reload
+ * baselines differ precisely in which level they evict to, so the full
+ * hierarchy is modelled.
+ */
+
+#ifndef LRULEAK_SIM_HIERARCHY_HPP
+#define LRULEAK_SIM_HIERARCHY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace lruleak::sim {
+
+/** Where an access was served from. */
+enum class HitLevel : std::uint8_t
+{
+    L1 = 1,
+    L2 = 2,
+    LLC = 3,
+    Memory = 4,
+};
+
+/** Outcome of a hierarchy access. */
+struct HierarchyAccessResult
+{
+    HitLevel level = HitLevel::Memory;  //!< level that served the data
+    bool l1_utag_mismatch = false;      //!< AMD way-predictor miss
+    bool l1_bypassed = false;           //!< PL cache handled it uncached
+    CacheAccessResult l1;               //!< detailed L1 outcome
+};
+
+/** Configuration of the whole hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1 = CacheConfig::intelL1d();
+    CacheConfig l2 = CacheConfig::intelL2();
+    CacheConfig llc = CacheConfig::intelLlc();
+    PlMode l1_pl_mode = PlMode::Disabled;
+    bool l1_way_predictor = false;  //!< AMD utag model
+    bool enable_prefetcher = false; //!< attach a stride prefetcher to L1
+};
+
+/**
+ * The memory system seen by the simulated threads.  Non-inclusive:
+ * evictions from a level simply drop (writebacks are not modelled; the
+ * channels are read-only).
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config = {});
+
+    /**
+     * Demand access.  Fills every missed level on the way back (L1 is
+     * filled last so its replacement state sees exactly one update).
+     */
+    HierarchyAccessResult access(const MemRef &ref,
+                                 LockReq lock_req = LockReq::None);
+
+    /** clflush: remove the line from every level. */
+    void flush(const MemRef &ref);
+
+    /** Present in L1? (no state change) */
+    bool inL1(const MemRef &ref) const { return l1_->contains(ref); }
+    /** Present in any level? (no state change) */
+    bool inAnyLevel(const MemRef &ref) const;
+
+    /**
+     * Level a demand access *would* hit, without mutating any state.
+     * Used by the transient-execution model to decide whether a
+     * speculative load completes inside the speculation window before
+     * letting its fill land.
+     */
+    HitLevel peekLevel(const MemRef &ref) const;
+
+    Cache &l1() { return *l1_; }
+    Cache &l2() { return *l2_; }
+    Cache &llc() { return *llc_; }
+    const Cache &l1() const { return *l1_; }
+    const Cache &l2() const { return *l2_; }
+    const Cache &llc() const { return *llc_; }
+
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Reset contents, replacement state and counters of all levels. */
+    void reset();
+
+    /** Reset only the performance counters (start of a measured region). */
+    void resetCounters();
+
+  private:
+    HierarchyConfig config_;
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> llc_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_HIERARCHY_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Hardware prefetcher models (Appendix C noise source).
+ *
+ * During the Spectre experiments the attacker scans many sets with
+ * regular strides, which real L1 prefetchers latch onto; the prefetched
+ * fills perturb the LRU state of neighbouring sets.  The paper defeats
+ * this by scanning sets in a fresh random order each round.  These models
+ * create exactly that noise.
+ */
+
+#ifndef LRULEAK_SIM_PREFETCHER_HPP
+#define LRULEAK_SIM_PREFETCHER_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/address.hpp"
+
+namespace lruleak::sim {
+
+/**
+ * Prefetcher interface: observes demand accesses and proposes line
+ * addresses to prefetch into L1.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe a demand access.
+     * @param ref the access
+     * @param l1_hit whether it hit in L1
+     * @return virtual line addresses to prefetch (may be empty)
+     */
+    virtual std::vector<Addr> observe(const MemRef &ref, bool l1_hit) = 0;
+
+    /** Forget all training state. */
+    virtual void reset() = 0;
+};
+
+/** Fetches line+1 on every L1 miss (DCU next-line prefetcher). */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(std::uint32_t line_size = 64)
+        : line_size_(line_size)
+    {}
+
+    std::vector<Addr>
+    observe(const MemRef &ref, bool l1_hit) override
+    {
+        if (l1_hit)
+            return {};
+        return {(ref.vaddr & ~(Addr{line_size_} - 1)) + line_size_};
+    }
+
+    void reset() override {}
+
+  private:
+    std::uint32_t line_size_;
+};
+
+/**
+ * Per-thread stride detector (IP-stride style): after two accesses with
+ * the same line-granular stride it prefetches @c degree lines ahead.
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(std::uint32_t line_size = 64,
+                              std::uint32_t degree = 2)
+        : line_size_(line_size), degree_(degree)
+    {}
+
+    std::vector<Addr>
+    observe(const MemRef &ref, bool) override
+    {
+        const Addr line = ref.vaddr & ~(Addr{line_size_} - 1);
+        auto &st = streams_[ref.thread];
+        std::vector<Addr> out;
+        if (st.valid) {
+            const std::int64_t stride =
+                static_cast<std::int64_t>(line) -
+                static_cast<std::int64_t>(st.last_line);
+            if (stride != 0 && stride == st.last_stride) {
+                ++st.confidence;
+                if (st.confidence >= 2) {
+                    for (std::uint32_t i = 1; i <= degree_; ++i)
+                        out.push_back(static_cast<Addr>(
+                            static_cast<std::int64_t>(line) +
+                            stride * static_cast<std::int64_t>(i)));
+                }
+            } else {
+                st.confidence = 0;
+            }
+            st.last_stride = stride;
+        }
+        st.last_line = line;
+        st.valid = true;
+        return out;
+    }
+
+    void reset() override { streams_.clear(); }
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr last_line = 0;
+        std::int64_t last_stride = 0;
+        std::uint32_t confidence = 0;
+    };
+
+    std::uint32_t line_size_;
+    std::uint32_t degree_;
+    std::map<ThreadId, Stream> streams_;
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_PREFETCHER_HPP

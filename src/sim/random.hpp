@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic component of lruleak (interleaving jitter, timing noise,
+ * random replacement, kernel noise) draws from an explicitly seeded
+ * Xoshiro256** stream so that every experiment is reproducible
+ * bit-for-bit.  std::mt19937_64 is avoided because its seeding and
+ * distribution behaviour is not identical across standard libraries.
+ */
+
+#ifndef LRULEAK_SIM_RANDOM_HPP
+#define LRULEAK_SIM_RANDOM_HPP
+
+#include <cstdint>
+
+namespace lruleak::sim {
+
+/** SplitMix64 step, used to expand a single seed into a full state. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Xoshiro256** generator (Blackman & Vigna).  Small, fast, and with a
+ * well-understood state layout; good enough for simulation noise, never
+ * used for cryptography.
+ */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a single 64-bit seed (expanded via SplitMix64). */
+    explicit constexpr Xoshiro256(std::uint64_t seed = 0x1ee7c0ffeeULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    constexpr result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire-style rejection-free
+     *  multiply-shift (bias negligible for simulation purposes). */
+    constexpr std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // 128-bit multiply-high keeps the value uniform over [0, bound).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+    }
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    constexpr std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    constexpr double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    constexpr bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Approximately normal deviate (mean 0, stddev 1) via the sum of
+     * twelve uniforms (Irwin-Hall).  Cheap, deterministic, and more than
+     * accurate enough for timing-noise modelling within +-3 sigma.
+     */
+    constexpr double
+    gaussian()
+    {
+        double acc = 0.0;
+        for (int i = 0; i < 12; ++i)
+            acc += uniform();
+        return acc - 6.0;
+    }
+
+    /** Fork an independent stream (for per-component sub-generators). */
+    constexpr Xoshiro256
+    fork()
+    {
+        return Xoshiro256((*this)() ^ 0x9e3779b97f4a7c15ULL);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_RANDOM_HPP

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Implementation of the replacement-policy state machines.
+ */
+
+#include "sim/replacement.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+#include <stdexcept>
+
+namespace lruleak::sim {
+
+std::string_view
+replPolicyName(ReplPolicyKind kind)
+{
+    switch (kind) {
+      case ReplPolicyKind::TrueLru:  return "LRU";
+      case ReplPolicyKind::TreePlru: return "TreePLRU";
+      case ReplPolicyKind::BitPlru:  return "BitPLRU";
+      case ReplPolicyKind::Fifo:     return "FIFO";
+      case ReplPolicyKind::Random:   return "Random";
+      case ReplPolicyKind::Srrip:    return "SRRIP";
+    }
+    return "unknown";
+}
+
+ReplPolicyKind
+replPolicyFromName(std::string_view name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (lower == "lru" || lower == "truelru")
+        return ReplPolicyKind::TrueLru;
+    if (lower == "treeplru" || lower == "plru" || lower == "tree-plru")
+        return ReplPolicyKind::TreePlru;
+    if (lower == "bitplru" || lower == "mru" || lower == "bit-plru")
+        return ReplPolicyKind::BitPlru;
+    if (lower == "fifo" || lower == "roundrobin")
+        return ReplPolicyKind::Fifo;
+    if (lower == "random" || lower == "rand")
+        return ReplPolicyKind::Random;
+    if (lower == "srrip" || lower == "rrip")
+        return ReplPolicyKind::Srrip;
+    throw std::invalid_argument("unknown replacement policy: " +
+                                std::string(name));
+}
+
+std::uint32_t
+ReplacementPolicy::victimUnlocked(const std::vector<bool> &locked)
+{
+    const std::uint32_t preferred = victim();
+    if (preferred < locked.size() && !locked[preferred])
+        return preferred;
+    if (preferred < locked.size()) {
+        // Preferred way is locked: scan for any unlocked way, preferring
+        // the policy's notion of oldest where it has one.  A plain scan is
+        // what hardware PL-cache proposals do (the incoming line is then
+        // handled uncached if everything is locked).
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (!locked[w])
+                return w;
+        }
+        return kNoVictim;
+    }
+    return preferred;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::uint32_t ways,
+                      std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplPolicyKind::TrueLru:
+        return std::make_unique<TrueLru>(ways);
+      case ReplPolicyKind::TreePlru:
+        return std::make_unique<TreePlru>(ways);
+      case ReplPolicyKind::BitPlru:
+        return std::make_unique<BitPlru>(ways);
+      case ReplPolicyKind::Fifo:
+        return std::make_unique<Fifo>(ways);
+      case ReplPolicyKind::Random:
+        return std::make_unique<RandomRepl>(ways, seed);
+      case ReplPolicyKind::Srrip:
+        return std::make_unique<Srrip>(ways);
+    }
+    throw std::invalid_argument("bad ReplPolicyKind");
+}
+
+// ---------------------------------------------------------------- TrueLru
+
+TrueLru::TrueLru(std::uint32_t ways) : ReplacementPolicy(ways)
+{
+    reset();
+}
+
+void
+TrueLru::reset()
+{
+    order_.resize(ways_);
+    // Power-on order: way 0 is MRU, way N-1 is LRU.
+    std::iota(order_.begin(), order_.end(), 0u);
+}
+
+void
+TrueLru::touch(std::uint32_t way)
+{
+    auto it = std::find(order_.begin(), order_.end(), way);
+    if (it != order_.end())
+        order_.erase(it);
+    order_.insert(order_.begin(), way);
+}
+
+std::uint32_t
+TrueLru::victim()
+{
+    return order_.back();
+}
+
+std::uint32_t
+TrueLru::age(std::uint32_t way) const
+{
+    auto it = std::find(order_.begin(), order_.end(), way);
+    return static_cast<std::uint32_t>(it - order_.begin());
+}
+
+std::vector<std::uint8_t>
+TrueLru::stateBits() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(order_.size());
+    for (auto w : order_)
+        out.push_back(static_cast<std::uint8_t>(w));
+    return out;
+}
+
+std::unique_ptr<ReplacementPolicy>
+TrueLru::clone() const
+{
+    return std::make_unique<TrueLru>(*this);
+}
+
+// --------------------------------------------------------------- TreePlru
+
+namespace {
+
+/** Integer log2 for powers of two. */
+std::uint32_t
+log2u(std::uint32_t value)
+{
+    std::uint32_t bits = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+TreePlru::TreePlru(std::uint32_t ways)
+    : ReplacementPolicy(ways), levels_(log2u(ways))
+{
+    if (ways < 2 || (ways & (ways - 1)) != 0)
+        throw std::invalid_argument("TreePlru requires power-of-two ways");
+    reset();
+}
+
+void
+TreePlru::reset()
+{
+    bits_.assign(ways_ - 1, false);
+}
+
+void
+TreePlru::touch(std::uint32_t way)
+{
+    // Walk from root to the leaf for `way`; at each node set the bit to
+    // point away from the subtree containing `way`.
+    std::uint32_t node = 0;
+    for (std::uint32_t level = 0; level < levels_; ++level) {
+        const std::uint32_t shift = levels_ - 1 - level;
+        const bool go_right = (way >> shift) & 1u;
+        // bit semantics: 0 => victim on the left, 1 => victim on the right.
+        // Accessed the left child => victim should be right => bit = 1.
+        bits_[node] = !go_right;
+        node = 2 * node + 1 + (go_right ? 1u : 0u);
+    }
+}
+
+std::uint32_t
+TreePlru::victim()
+{
+    std::uint32_t node = 0;
+    std::uint32_t way = 0;
+    for (std::uint32_t level = 0; level < levels_; ++level) {
+        const bool go_right = bits_[node];
+        way = (way << 1) | (go_right ? 1u : 0u);
+        node = 2 * node + 1 + (go_right ? 1u : 0u);
+    }
+    return way;
+}
+
+std::vector<std::uint8_t>
+TreePlru::stateBits() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(bits_.size());
+    for (bool b : bits_)
+        out.push_back(b ? 1 : 0);
+    return out;
+}
+
+std::unique_ptr<ReplacementPolicy>
+TreePlru::clone() const
+{
+    return std::make_unique<TreePlru>(*this);
+}
+
+// ---------------------------------------------------------------- BitPlru
+
+BitPlru::BitPlru(std::uint32_t ways) : ReplacementPolicy(ways)
+{
+    reset();
+}
+
+void
+BitPlru::reset()
+{
+    mru_.assign(ways_, false);
+}
+
+void
+BitPlru::touch(std::uint32_t way)
+{
+    mru_[way] = true;
+    if (std::all_of(mru_.begin(), mru_.end(), [](bool b) { return b; })) {
+        mru_.assign(ways_, false);
+        mru_[way] = true;
+    }
+}
+
+void
+BitPlru::onFill(std::uint32_t)
+{
+    // Fills leave the MRU bit clear; see the class comment.
+}
+
+std::uint32_t
+BitPlru::victim()
+{
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!mru_[w])
+            return w;
+    }
+    return 0; // unreachable given the saturation rule, kept for safety
+}
+
+std::vector<std::uint8_t>
+BitPlru::stateBits() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(mru_.size());
+    for (bool b : mru_)
+        out.push_back(b ? 1 : 0);
+    return out;
+}
+
+std::unique_ptr<ReplacementPolicy>
+BitPlru::clone() const
+{
+    return std::make_unique<BitPlru>(*this);
+}
+
+// ------------------------------------------------------------------- Fifo
+
+Fifo::Fifo(std::uint32_t ways) : ReplacementPolicy(ways)
+{
+    reset();
+}
+
+void
+Fifo::reset()
+{
+    fifo_.resize(ways_);
+    std::iota(fifo_.begin(), fifo_.end(), 0u);
+}
+
+void
+Fifo::touch(std::uint32_t)
+{
+    // Hits are invisible to FIFO: this is the security property the
+    // paper's defense relies on.
+}
+
+void
+Fifo::onFill(std::uint32_t way)
+{
+    auto it = std::find(fifo_.begin(), fifo_.end(), way);
+    if (it != fifo_.end())
+        fifo_.erase(it);
+    fifo_.push_back(way); // newest at the back
+}
+
+std::uint32_t
+Fifo::victim()
+{
+    return fifo_.front();
+}
+
+std::vector<std::uint8_t>
+Fifo::stateBits() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(fifo_.size());
+    for (auto w : fifo_)
+        out.push_back(static_cast<std::uint8_t>(w));
+    return out;
+}
+
+std::unique_ptr<ReplacementPolicy>
+Fifo::clone() const
+{
+    return std::make_unique<Fifo>(*this);
+}
+
+// ------------------------------------------------------------- RandomRepl
+
+RandomRepl::RandomRepl(std::uint32_t ways, std::uint64_t seed)
+    : ReplacementPolicy(ways), seed_(seed), rng_(seed)
+{
+}
+
+void
+RandomRepl::touch(std::uint32_t)
+{
+    // Stateless by design.
+}
+
+std::uint32_t
+RandomRepl::victim()
+{
+    return static_cast<std::uint32_t>(rng_.below(ways_));
+}
+
+void
+RandomRepl::reset()
+{
+    rng_ = Xoshiro256(seed_);
+}
+
+std::vector<std::uint8_t>
+RandomRepl::stateBits() const
+{
+    return {};
+}
+
+std::unique_ptr<ReplacementPolicy>
+RandomRepl::clone() const
+{
+    return std::make_unique<RandomRepl>(*this);
+}
+
+// ------------------------------------------------------------------ Srrip
+
+Srrip::Srrip(std::uint32_t ways) : ReplacementPolicy(ways)
+{
+    reset();
+}
+
+void
+Srrip::reset()
+{
+    rrpv_.assign(ways_, kMaxRrpv);
+}
+
+void
+Srrip::touch(std::uint32_t way)
+{
+    rrpv_[way] = 0; // hit priority: promote to "near-immediate"
+}
+
+void
+Srrip::onFill(std::uint32_t way)
+{
+    rrpv_[way] = kInsertRrpv;
+}
+
+std::uint32_t
+Srrip::victim()
+{
+    // Age until some way reaches the max RRPV; pick the lowest index.
+    while (true) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv_[w] == kMaxRrpv)
+                return w;
+        }
+        for (auto &v : rrpv_)
+            ++v;
+    }
+}
+
+std::vector<std::uint8_t>
+Srrip::stateBits() const
+{
+    return rrpv_;
+}
+
+std::unique_ptr<ReplacementPolicy>
+Srrip::clone() const
+{
+    return std::make_unique<Srrip>(*this);
+}
+
+} // namespace lruleak::sim

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Cache replacement policies and their per-set state machines.
+ *
+ * These are the objects the paper attacks: the LRU/PLRU state of a set is
+ * updated on *every* access (hit or miss), so a sender that only ever hits
+ * in the cache still modulates the state a receiver can later observe
+ * through a timed eviction.
+ *
+ * Implemented policies:
+ *  - TrueLru    : exact recency order, log2(N) bits/way equivalent
+ *  - TreePlru   : binary-tree PLRU, N-1 bits/set (Intel L1 style)
+ *  - BitPlru    : MRU-bit PLRU, N bits/set
+ *  - Fifo       : insertion order only; state changes on fills, not hits
+ *  - RandomRepl : stateless random victim
+ *  - Srrip      : 2-bit re-reference interval prediction (LLC-style
+ *                 extension; the paper cites RRIP [34] for LLCs)
+ */
+
+#ifndef LRULEAK_SIM_REPLACEMENT_HPP
+#define LRULEAK_SIM_REPLACEMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace lruleak::sim {
+
+/** Which replacement algorithm a cache uses. */
+enum class ReplPolicyKind
+{
+    TrueLru,
+    TreePlru,
+    BitPlru,
+    Fifo,
+    Random,
+    Srrip,
+};
+
+/** Human-readable policy name ("TreePLRU", "FIFO", ...). */
+std::string_view replPolicyName(ReplPolicyKind kind);
+
+/** Parse a policy name (case-insensitive); throws std::invalid_argument. */
+ReplPolicyKind replPolicyFromName(std::string_view name);
+
+/**
+ * Per-set replacement state machine.
+ *
+ * One instance exists per cache set.  The cache calls @c touch on every
+ * hit, @c onFill when a line is installed, and @c victim when it needs a
+ * way to evict.  @c stateBits exposes the raw state so unit tests can
+ * check exact transitions against hand-computed vectors and so
+ * experiments can dump the state.
+ *
+ * Lock support (for the PL-cache fix): ways marked locked via
+ * @c setLocked are never returned by @c victimUnlocked, and when
+ * @c lru_lock mode is enabled (the "blue boxes" of the paper's Fig. 10),
+ * touches to locked ways do not update the state.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record an access (hit) to @p way. */
+    virtual void touch(std::uint32_t way) = 0;
+
+    /** Record that a new line was installed into @p way. */
+    virtual void onFill(std::uint32_t way) { touch(way); }
+
+    /** Choose the way to evict.  Does not modify state. */
+    virtual std::uint32_t victim() = 0;
+
+    /** Reset to the power-on state. */
+    virtual void reset() = 0;
+
+    /** Raw state bits, policy-defined encoding (for tests/dumps). */
+    virtual std::vector<std::uint8_t> stateBits() const = 0;
+
+    virtual ReplPolicyKind kind() const = 0;
+    virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
+
+    std::string_view name() const { return replPolicyName(kind()); }
+    std::uint32_t numWays() const { return ways_; }
+
+    /**
+     * Choose a victim, skipping locked ways.  Falls back to a linear scan
+     * of the policy's preference order; returns @c kNoVictim when every
+     * way is locked.
+     */
+    std::uint32_t victimUnlocked(const std::vector<bool> &locked);
+
+    /** Sentinel returned when no evictable way exists. */
+    static constexpr std::uint32_t kNoVictim = ~0u;
+
+  protected:
+    explicit ReplacementPolicy(std::uint32_t ways) : ways_(ways) {}
+
+    std::uint32_t ways_;
+};
+
+/** Factory. @p rng seeds the Random policy's private stream. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::uint32_t ways,
+                      std::uint64_t seed = 0);
+
+/**
+ * Exact LRU: maintains the full recency order of all ways.
+ * Victim = least recently used way.
+ */
+class TrueLru : public ReplacementPolicy
+{
+  public:
+    explicit TrueLru(std::uint32_t ways);
+
+    void touch(std::uint32_t way) override;
+    std::uint32_t victim() override;
+    void reset() override;
+    std::vector<std::uint8_t> stateBits() const override;
+    ReplPolicyKind kind() const override { return ReplPolicyKind::TrueLru; }
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+
+    /** Age of a way: 0 = MRU, ways-1 = LRU (exposed for tests). */
+    std::uint32_t age(std::uint32_t way) const;
+
+  private:
+    /** order_[0] is MRU, order_.back() is LRU. */
+    std::vector<std::uint32_t> order_;
+};
+
+/**
+ * Tree-PLRU: a binary tree of N-1 direction bits per set.
+ *
+ * Node layout is the classic implicit heap: node i has children 2i+1 and
+ * 2i+2; the leaves correspond to the ways in order.  A node bit of 0 means
+ * "the victim is in the LEFT subtree" (left is older); 1 means the victim
+ * is in the right subtree.  On an access, every node on the root-to-leaf
+ * path is pointed AWAY from the accessed way.
+ */
+class TreePlru : public ReplacementPolicy
+{
+  public:
+    /** @p ways must be a power of two >= 2. */
+    explicit TreePlru(std::uint32_t ways);
+
+    void touch(std::uint32_t way) override;
+    std::uint32_t victim() override;
+    void reset() override;
+    std::vector<std::uint8_t> stateBits() const override;
+    ReplPolicyKind kind() const override { return ReplPolicyKind::TreePlru; }
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+
+    /** Direct node access for white-box tests. */
+    bool nodeBit(std::uint32_t node) const { return bits_[node]; }
+    void setNodeBit(std::uint32_t node, bool v) { bits_[node] = v; }
+
+  private:
+    std::uint32_t levels_;       //!< log2(ways)
+    std::vector<bool> bits_;     //!< ways-1 tree bits
+};
+
+/**
+ * Bit-PLRU (a.k.a. MRU replacement): one MRU bit per way.
+ *
+ * On an access *hit*, the way's bit is set; if that saturates all bits,
+ * every bit is cleared and then the accessed way's bit is set again.  The
+ * victim is the lowest-indexed way whose MRU bit is clear.  Fills do NOT
+ * set the MRU bit (the behaviour the paper's Table I numbers imply: with
+ * Sequence 1 the just-filled way keeps being the victim, so line 0 is
+ * evicted 100% of the time once the loop reaches steady state).
+ */
+class BitPlru : public ReplacementPolicy
+{
+  public:
+    explicit BitPlru(std::uint32_t ways);
+
+    void touch(std::uint32_t way) override;
+    void onFill(std::uint32_t way) override;
+    std::uint32_t victim() override;
+    void reset() override;
+    std::vector<std::uint8_t> stateBits() const override;
+    ReplPolicyKind kind() const override { return ReplPolicyKind::BitPlru; }
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+
+    bool mruBit(std::uint32_t way) const { return mru_[way]; }
+
+  private:
+    std::vector<bool> mru_;
+};
+
+/**
+ * FIFO (round-robin): state advances only on fills.  Cache hits do not
+ * change the state, which is exactly why the paper proposes it as an
+ * LRU-channel defense: a hitting sender becomes invisible.
+ */
+class Fifo : public ReplacementPolicy
+{
+  public:
+    explicit Fifo(std::uint32_t ways);
+
+    void touch(std::uint32_t way) override;
+    void onFill(std::uint32_t way) override;
+    std::uint32_t victim() override;
+    void reset() override;
+    std::vector<std::uint8_t> stateBits() const override;
+    ReplPolicyKind kind() const override { return ReplPolicyKind::Fifo; }
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+
+  private:
+    /** fifo_[0] is the oldest fill (next victim). */
+    std::vector<std::uint32_t> fifo_;
+};
+
+/**
+ * Random replacement: no state at all; the other defense evaluated by the
+ * paper.  Uses a private deterministic stream so experiments reproduce.
+ */
+class RandomRepl : public ReplacementPolicy
+{
+  public:
+    RandomRepl(std::uint32_t ways, std::uint64_t seed);
+
+    void touch(std::uint32_t way) override;
+    std::uint32_t victim() override;
+    void reset() override;
+    std::vector<std::uint8_t> stateBits() const override;
+    ReplPolicyKind kind() const override { return ReplPolicyKind::Random; }
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+
+  private:
+    std::uint64_t seed_;
+    Xoshiro256 rng_;
+};
+
+/**
+ * SRRIP-HP (static re-reference interval prediction, hit priority) with
+ * 2-bit RRPVs.  Insert at RRPV=2 ("long"), promote to 0 on hit, victim is
+ * the first way at RRPV=3 (aging all ways until one reaches 3).
+ */
+class Srrip : public ReplacementPolicy
+{
+  public:
+    explicit Srrip(std::uint32_t ways);
+
+    void touch(std::uint32_t way) override;
+    void onFill(std::uint32_t way) override;
+    std::uint32_t victim() override;
+    void reset() override;
+    std::vector<std::uint8_t> stateBits() const override;
+    ReplPolicyKind kind() const override { return ReplPolicyKind::Srrip; }
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+
+    std::uint8_t rrpv(std::uint32_t way) const { return rrpv_[way]; }
+
+    static constexpr std::uint8_t kMaxRrpv = 3;
+    static constexpr std::uint8_t kInsertRrpv = 2;
+
+  private:
+    std::vector<std::uint8_t> rrpv_;
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_REPLACEMENT_HPP

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * DAWG and Random Fill cache implementations.
+ */
+
+#include "sim/secure_caches.hpp"
+
+#include <stdexcept>
+
+namespace lruleak::sim {
+
+// ---------------------------------------------------------------- DAWG
+
+DawgCache::DawgCache(const CacheConfig &config, std::uint32_t domains)
+    : config_(config), layout_(config.line_size, config.numSets()),
+      domains_(domains), ways_per_domain_(config.ways / domains)
+{
+    config_.validate();
+    if (domains == 0 || config.ways % domains != 0 ||
+        (ways_per_domain_ & (ways_per_domain_ - 1)) != 0)
+        throw std::invalid_argument(
+            "DawgCache: domains must evenly split the ways into "
+            "power-of-two partitions");
+
+    sets_.resize(static_cast<std::size_t>(layout_.numSets()) * domains_);
+    for (auto &ds : sets_) {
+        ds.ways.resize(ways_per_domain_);
+        ds.policy = makeReplacementPolicy(config.policy, ways_per_domain_,
+                                          config.seed);
+    }
+}
+
+DawgCache::DomainSet &
+DawgCache::domainSet(std::uint32_t set, DomainId domain)
+{
+    return sets_[static_cast<std::size_t>(set) * domains_ + domain];
+}
+
+const DawgCache::DomainSet &
+DawgCache::domainSet(std::uint32_t set, DomainId domain) const
+{
+    return sets_[static_cast<std::size_t>(set) * domains_ + domain];
+}
+
+SecureAccessResult
+DawgCache::access(const MemRef &ref, DomainId domain)
+{
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    const Addr tag = layout_.tag(ref.paddr);
+    DomainSet &ds = domainSet(set, domain % domains_);
+
+    SecureAccessResult res;
+    for (std::uint32_t w = 0; w < ways_per_domain_; ++w) {
+        if (ds.ways[w].valid && ds.ways[w].tag == tag) {
+            // Hit inside the domain: only this domain's state moves.
+            ds.policy->touch(w);
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: fill within the domain's partition only.
+    std::uint32_t victim = ReplacementPolicy::kNoVictim;
+    for (std::uint32_t w = 0; w < ways_per_domain_; ++w) {
+        if (!ds.ways[w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ReplacementPolicy::kNoVictim)
+        victim = ds.policy->victim();
+    if (ds.ways[victim].valid)
+        res.evicted_line = layout_.compose(ds.ways[victim].tag, set);
+    ds.ways[victim].tag = tag;
+    ds.ways[victim].valid = true;
+    ds.policy->onFill(victim);
+    res.filled = true;
+    return res;
+}
+
+bool
+DawgCache::contains(const MemRef &ref, DomainId domain) const
+{
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    const Addr tag = layout_.tag(ref.paddr);
+    const DomainSet &ds = domainSet(set, domain % domains_);
+    for (const auto &way : ds.ways) {
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::uint8_t>
+DawgCache::replacementState(std::uint32_t set, DomainId domain) const
+{
+    return domainSet(set, domain % domains_).policy->stateBits();
+}
+
+// --------------------------------------------------------- Random Fill
+
+RandomFillCache::RandomFillCache(const CacheConfig &config,
+                                 std::uint32_t fill_window_lines,
+                                 std::uint64_t seed)
+    : config_(config), layout_(config.line_size, config.numSets()),
+      fill_window_lines_(fill_window_lines ? fill_window_lines : 1),
+      rng_(seed)
+{
+    config_.validate();
+    sets_.resize(layout_.numSets());
+    for (auto &set : sets_) {
+        set.ways.resize(config.ways);
+        set.policy = makeReplacementPolicy(config.policy, config.ways,
+                                           config.seed);
+    }
+}
+
+SecureAccessResult
+RandomFillCache::access(const MemRef &ref)
+{
+    const std::uint32_t set_idx = layout_.setIndex(ref.vaddr);
+    const Addr tag = layout_.tag(ref.paddr);
+    Set &set = sets_[set_idx];
+
+    SecureAccessResult res;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (set.ways[w].valid && set.ways[w].tag == tag) {
+            // The paper's observation: a HIT still updates the
+            // replacement state, so the LRU channel survives this
+            // defense.
+            set.policy->touch(w);
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: the demand load is served uncached.  Fill a random line
+    // from the +-window neighbourhood instead (it lands wherever its
+    // own set index says).
+    const std::int64_t offset =
+        rng_.range(1, static_cast<std::int64_t>(fill_window_lines_)) *
+        (rng_.chance(0.5) ? 1 : -1);
+    const Addr fill_vaddr = static_cast<Addr>(
+        static_cast<std::int64_t>(layout_.lineBase(ref.vaddr)) +
+        offset * static_cast<std::int64_t>(config_.line_size));
+    const Addr fill_paddr = fill_vaddr + (ref.paddr - ref.vaddr);
+
+    const std::uint32_t fill_set = layout_.setIndex(fill_vaddr);
+    const Addr fill_tag = layout_.tag(fill_paddr);
+    Set &target = sets_[fill_set];
+
+    bool present = false;
+    for (std::uint32_t w = 0; w < config_.ways; ++w)
+        present |= target.ways[w].valid && target.ways[w].tag == fill_tag;
+    if (!present) {
+        std::uint32_t victim = ReplacementPolicy::kNoVictim;
+        for (std::uint32_t w = 0; w < config_.ways; ++w) {
+            if (!target.ways[w].valid) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == ReplacementPolicy::kNoVictim)
+            victim = target.policy->victim();
+        if (target.ways[victim].valid)
+            res.evicted_line =
+                layout_.compose(target.ways[victim].tag, fill_set);
+        target.ways[victim].tag = fill_tag;
+        target.ways[victim].valid = true;
+        target.policy->onFill(victim);
+        res.filled = true;
+    }
+    return res;
+}
+
+bool
+RandomFillCache::contains(const MemRef &ref) const
+{
+    const std::uint32_t set_idx = layout_.setIndex(ref.vaddr);
+    const Addr tag = layout_.tag(ref.paddr);
+    for (const auto &way : sets_[set_idx].ways) {
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::uint8_t>
+RandomFillCache::replacementState(std::uint32_t set) const
+{
+    return sets_[set].policy->stateBits();
+}
+
+} // namespace lruleak::sim

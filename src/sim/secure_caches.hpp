@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Secure-cache designs evaluated in the paper's Section IX-B beyond the
+ * PL cache:
+ *
+ *  - DawgCache: DAWG-style way partitioning (Kiriansky et al., MICRO'18)
+ *    — the one design the paper credits with partitioning the Tree-PLRU
+ *    state between protection domains.  Each domain owns a fixed way
+ *    range with its *own* replacement state machine; lookups, fills and
+ *    metadata updates never cross domains, so the LRU channel dies.
+ *
+ *  - RandomFillCache: Random Fill cache (Liu & Lee, MICRO'14) — on a
+ *    miss, the demanded line is returned uncached and a random
+ *    neighbourhood line is filled instead.  The paper points out that a
+ *    cache *hit* still updates the replacement state, so the LRU channel
+ *    (whose sender encodes with hits) still works.
+ */
+
+#ifndef LRULEAK_SIM_SECURE_CACHES_HPP
+#define LRULEAK_SIM_SECURE_CACHES_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/address.hpp"
+#include "sim/cache_config.hpp"
+#include "sim/random.hpp"
+#include "sim/replacement.hpp"
+
+namespace lruleak::sim {
+
+/** Protection domain identifier for DAWG. */
+using DomainId = std::uint32_t;
+
+/** Outcome of a secure-cache access. */
+struct SecureAccessResult
+{
+    bool hit = false;
+    bool filled = false;
+    std::optional<Addr> evicted_line;
+};
+
+/**
+ * DAWG-style way-partitioned L1: the way range and the replacement
+ * state are split per domain.
+ */
+class DawgCache
+{
+  public:
+    /**
+     * @param config cache geometry (ways are split evenly)
+     * @param domains number of protection domains (power of two,
+     *        dividing the associativity)
+     */
+    explicit DawgCache(const CacheConfig &config = CacheConfig::intelL1d(),
+                       std::uint32_t domains = 2);
+
+    /** Access by @p domain; misses fill only that domain's ways. */
+    SecureAccessResult access(const MemRef &ref, DomainId domain);
+
+    /** Presence within the domain's partition (no state change). */
+    bool contains(const MemRef &ref, DomainId domain) const;
+
+    /** Raw replacement-state bits of one (set, domain) — for tests. */
+    std::vector<std::uint8_t> replacementState(std::uint32_t set,
+                                               DomainId domain) const;
+
+    std::uint32_t waysPerDomain() const { return ways_per_domain_; }
+    const AddressLayout &layout() const { return layout_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+    };
+
+    struct DomainSet
+    {
+        std::vector<Way> ways;
+        std::unique_ptr<ReplacementPolicy> policy;
+    };
+
+    /** sets_[set * domains + domain] */
+    DomainSet &domainSet(std::uint32_t set, DomainId domain);
+    const DomainSet &domainSet(std::uint32_t set, DomainId domain) const;
+
+    CacheConfig config_;
+    AddressLayout layout_;
+    std::uint32_t domains_;
+    std::uint32_t ways_per_domain_;
+    std::vector<DomainSet> sets_;
+};
+
+/**
+ * Random Fill L1: hits behave normally (including the replacement-state
+ * update!); misses return the data uncached and install a random line
+ * from a window around the demanded address instead.
+ */
+class RandomFillCache
+{
+  public:
+    explicit RandomFillCache(const CacheConfig &config =
+                                 CacheConfig::intelL1d(),
+                             std::uint32_t fill_window_lines = 64,
+                             std::uint64_t seed = 1);
+
+    /** @return hit=true only if the demanded line was already cached. */
+    SecureAccessResult access(const MemRef &ref);
+
+    bool contains(const MemRef &ref) const;
+
+    /** Raw replacement-state bits of one set — for tests. */
+    std::vector<std::uint8_t> replacementState(std::uint32_t set) const;
+
+    const AddressLayout &layout() const { return layout_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+    };
+
+    struct Set
+    {
+        std::vector<Way> ways;
+        std::unique_ptr<ReplacementPolicy> policy;
+    };
+
+    CacheConfig config_;
+    AddressLayout layout_;
+    std::uint32_t fill_window_lines_;
+    Xoshiro256 rng_;
+    std::vector<Set> sets_;
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_SECURE_CACHES_HPP

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Access/hit/miss counters, overall and per hardware thread.
+ *
+ * These mirror what the paper reads out of `perf` hardware counters for
+ * Tables VI and VII (L1D / L2 / LLC miss rates of the sender process).
+ */
+
+#ifndef LRULEAK_SIM_STATS_HPP
+#define LRULEAK_SIM_STATS_HPP
+
+#include <cstdint>
+#include <map>
+
+#include "sim/address.hpp"
+
+namespace lruleak::sim {
+
+/** Hit/miss tallies for one cache level (one owner). */
+struct LevelStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    void
+    record(bool hit)
+    {
+        ++accesses;
+        if (hit)
+            ++hits;
+        else
+            ++misses;
+    }
+
+    LevelStats &
+    operator+=(const LevelStats &other)
+    {
+        accesses += other.accesses;
+        hits += other.hits;
+        misses += other.misses;
+        return *this;
+    }
+};
+
+/**
+ * Per-thread counters for one cache level, emulating per-process
+ * performance counters.  Thread id 0 is conventionally the sender/victim
+ * and 1 the receiver/attacker in the channel experiments.
+ */
+class PerfCounters
+{
+  public:
+    void
+    record(ThreadId thread, bool hit)
+    {
+        total_.record(hit);
+        per_thread_[thread].record(hit);
+    }
+
+    const LevelStats &total() const { return total_; }
+
+    /** Stats for one thread (zero-initialised if it never accessed). */
+    LevelStats
+    forThread(ThreadId thread) const
+    {
+        auto it = per_thread_.find(thread);
+        return it == per_thread_.end() ? LevelStats{} : it->second;
+    }
+
+    void
+    reset()
+    {
+        total_ = LevelStats{};
+        per_thread_.clear();
+    }
+
+  private:
+    LevelStats total_;
+    std::map<ThreadId, LevelStats> per_thread_;
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_STATS_HPP

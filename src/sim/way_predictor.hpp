@@ -1,0 +1,47 @@
+/**
+ * @file
+ * AMD Zen linear-address utag / way-predictor model (Section VI-B).
+ *
+ * The Zen L1D predicts the hitting way from a hash ("utag") of the load's
+ * *linear* (virtual) address while the TLB translates it.  If the utag
+ * stored with the line was trained by a different virtual address, the
+ * access behaves like an L1 miss even though the physical tag matches.
+ * This is what breaks Algorithm 1 across separate address spaces on AMD
+ * while leaving the same-address-space (pthread) variant intact.
+ */
+
+#ifndef LRULEAK_SIM_WAY_PREDICTOR_HPP
+#define LRULEAK_SIM_WAY_PREDICTOR_HPP
+
+#include <cstdint>
+
+#include "sim/address.hpp"
+
+namespace lruleak::sim {
+
+/**
+ * Computes the micro-tag of a virtual address.  The real hash is
+ * undocumented; we use a xor-fold of the virtual line address, which has
+ * the property the attack cares about: equal VAs collide, distinct VAs
+ * almost never do.
+ */
+class WayPredictor
+{
+  public:
+    /** Hash the linear address of a load into a 8-bit utag. */
+    static constexpr std::uint16_t
+    utag(Addr vaddr)
+    {
+        std::uint64_t x = vaddr >> 6; // line address
+        x ^= x >> 17;
+        x *= 0xed5ad4bbULL;
+        x ^= x >> 11;
+        x *= 0xac4c1b51ULL;
+        x ^= x >> 15;
+        return static_cast<std::uint16_t>(x & 0xff);
+    }
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_WAY_PREDICTOR_HPP

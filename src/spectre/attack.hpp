@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Full Spectre-v1 attack orchestration (paper Section VIII, Table VII).
+ *
+ * The attacker recovers the victim's secret byte by byte.  Per byte and
+ * per gadget part (low 6 bits, high 2 bits), each round:
+ *
+ *   1. train the bounds-check predictor with in-bounds calls;
+ *   2. initialise the disclosure primitive over all 63 usable sets
+ *      (LRU Algorithm 1/2 init phases, or flush/evict for Flush+Reload);
+ *   3. one out-of-bounds victim call — the transient gadget touches the
+ *      array2 line of the secret symbol;
+ *   4. decode: walk the sets (in random order when the prefetcher
+ *      mitigation of Appendix C is on) and time each set's line 0.
+ *
+ * Scores accumulate across rounds; argmax per part reconstructs the
+ * byte.
+ */
+
+#ifndef LRULEAK_SPECTRE_ATTACK_HPP
+#define LRULEAK_SPECTRE_ATTACK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/hierarchy.hpp"
+#include "sim/random.hpp"
+#include "spectre/transient_core.hpp"
+#include "spectre/victim.hpp"
+#include "timing/pointer_chase.hpp"
+#include "timing/uarch.hpp"
+
+namespace lruleak::spectre {
+
+/** Which covert channel carries the secret out of transient execution. */
+enum class Disclosure
+{
+    FlushReloadMem, //!< clflush + reload (the classic PoC channel)
+    FlushReloadL1,  //!< evict-to-L2 + reload
+    LruAlg1,        //!< LRU channel, shared array2 line (Algorithm 1)
+    LruAlg2,        //!< LRU channel, attacker-only lines (Algorithm 2)
+};
+
+std::string disclosureName(Disclosure d);
+
+/** Attack knobs. */
+struct SpectreAttackConfig
+{
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+    Disclosure disclosure = Disclosure::LruAlg1;
+    std::uint32_t rounds = 3;       //!< scoring rounds per byte
+    std::uint32_t train_calls = 6;  //!< predictor training per round
+    std::uint32_t d = 8;            //!< LRU receiver init parameter
+    SpeculationConfig spec{};       //!< speculation window model
+    bool enable_prefetcher = false; //!< Appendix C noise source
+    bool random_probe_order = true; //!< Appendix C mitigation
+    std::uint64_t seed = 7;
+};
+
+/** Attack outcome plus the Table VII counters. */
+struct SpectreAttackResult
+{
+    std::string secret;
+    std::string recovered;
+    double byte_accuracy = 0.0;   //!< fraction of bytes exactly right
+    std::uint64_t victim_calls = 0;
+
+    // Combined victim+attacker cache behaviour (Table VII).
+    sim::LevelStats l1;
+    sim::LevelStats l2;
+    sim::LevelStats llc;
+};
+
+/**
+ * Run the complete attack against @p secret.
+ *
+ * Characters whose low six bits equal 63 alias the attacker's chase set
+ * and are skipped by the symbol scan (the paper likewise uses only 63 of
+ * the 64 sets); avoid them in test secrets.
+ */
+SpectreAttackResult runSpectreAttack(const SpectreAttackConfig &config,
+                                     const std::string &secret);
+
+/**
+ * The minimum speculation window (in cycles) at which the given
+ * disclosure primitive still recovers a one-character secret.  Used by
+ * the speculation-window ablation bench to show the paper's claim that
+ * LRU disclosure needs a much smaller window than Flush+Reload.
+ */
+std::uint64_t minimumWorkingWindow(SpectreAttackConfig config,
+                                   std::uint64_t lo = 4,
+                                   std::uint64_t hi = 1024);
+
+} // namespace lruleak::spectre
+
+#endif // LRULEAK_SPECTRE_ATTACK_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal branch predictor for the Spectre-v1 model: a table of 2-bit
+ * saturating counters indexed by branch identity.  The attacker trains
+ * the victim's bounds check to "taken" with in-bounds calls, then a
+ * single out-of-bounds call mispredicts into the gadget.
+ */
+
+#ifndef LRULEAK_SPECTRE_BRANCH_PREDICTOR_HPP
+#define LRULEAK_SPECTRE_BRANCH_PREDICTOR_HPP
+
+#include <cstdint>
+#include <map>
+
+namespace lruleak::spectre {
+
+/** 2-bit saturating counter predictor. */
+class BranchPredictor
+{
+  public:
+    /** Predict the branch at @p pc: true = taken (bounds check passes). */
+    bool
+    predict(std::uint64_t pc) const
+    {
+        auto it = counters_.find(pc);
+        return it == counters_.end() ? false : it->second >= 2;
+    }
+
+    /** Record the architectural outcome. */
+    void
+    update(std::uint64_t pc, bool taken)
+    {
+        std::uint8_t &c = counters_[pc];
+        if (taken) {
+            if (c < 3)
+                ++c;
+        } else if (c > 0) {
+            --c;
+        }
+    }
+
+    void reset() { counters_.clear(); }
+
+  private:
+    std::map<std::uint64_t, std::uint8_t> counters_;
+};
+
+} // namespace lruleak::spectre
+
+#endif // LRULEAK_SPECTRE_BRANCH_PREDICTOR_HPP

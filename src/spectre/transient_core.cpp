@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Transient core implementation.
+ */
+
+#include "spectre/transient_core.hpp"
+
+namespace lruleak::spectre {
+
+VictimCallResult
+TransientCore::callVictim(const SpectreVictim &victim, std::uint64_t x,
+                          GadgetPart part)
+{
+    VictimCallResult res;
+    res.architectural = x < SpectreVictim::kArray1Size;
+    res.predicted_taken = predictor_.predict(SpectreVictim::kBoundsCheckPc);
+
+    // The gadget executes when the predictor steers into it, whether or
+    // not the bounds check will eventually pass.
+    if (res.predicted_taken || res.architectural) {
+        const bool transient = !res.architectural;
+        std::uint64_t t = 0;
+
+        // Load 1: array1[x].
+        const sim::Addr a1 = SpectreVictim::kArray1 + x;
+        const sim::MemRef ref1{a1, a1, kVictimThread, false};
+        const std::uint64_t lat1 =
+            uarch_.latency(hierarchy_.peekLevel(ref1)) + config_.issue_cost;
+        if (!transient || t + lat1 <= config_.window) {
+            hierarchy_.access(ref1);
+            res.load1_landed = true;
+            t += lat1;
+
+            // Load 2: array2[transform(array1[x]) * 64] — the encode.
+            res.loaded_byte = victim.readByte(a1);
+            res.encoded_index =
+                SpectreVictim::gadgetIndex(res.loaded_byte, part);
+            const sim::Addr a2 =
+                SpectreVictim::array2Line(res.encoded_index);
+            const sim::MemRef ref2{a2, a2, kVictimThread, false};
+            const std::uint64_t lat2 =
+                uarch_.latency(hierarchy_.peekLevel(ref2)) +
+                config_.issue_cost;
+            if (!transient || t + lat2 <= config_.window) {
+                hierarchy_.access(ref2);
+                res.load2_landed = true;
+            }
+        }
+    }
+
+    predictor_.update(SpectreVictim::kBoundsCheckPc, res.architectural);
+    return res;
+}
+
+} // namespace lruleak::spectre

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Transient execution model for Spectre v1.
+ *
+ * One call executes the victim function once.  If the predictor says
+ * "in bounds" for an out-of-bounds x, the gadget's two loads execute
+ * transiently: each load's cache fill lands only if the load completes
+ * within the speculation window (squash cancels still-in-flight fills —
+ * the conservative design; see DESIGN.md).  Architectural results of
+ * transient execution are always discarded, but the cache and LRU state
+ * changes of completed loads persist — that is the covert channel.
+ *
+ * This models the paper's key comparison: the LRU channel's encode is an
+ * L1 hit (a few cycles), so the attack works with a much smaller
+ * speculation window than Flush+Reload's memory-miss encode.
+ */
+
+#ifndef LRULEAK_SPECTRE_TRANSIENT_CORE_HPP
+#define LRULEAK_SPECTRE_TRANSIENT_CORE_HPP
+
+#include <cstdint>
+
+#include "sim/hierarchy.hpp"
+#include "spectre/branch_predictor.hpp"
+#include "spectre/victim.hpp"
+#include "timing/uarch.hpp"
+
+namespace lruleak::spectre {
+
+/** Thread ids in the shared (single-process) Spectre setting. */
+constexpr sim::ThreadId kVictimThread = 0;
+constexpr sim::ThreadId kAttackerThread = 1;
+
+/** Outcome of a single victim invocation (for tests and diagnostics). */
+struct VictimCallResult
+{
+    bool predicted_taken = false;
+    bool architectural = false;  //!< bounds check actually passed
+    bool load1_landed = false;   //!< array1[x] fill committed
+    bool load2_landed = false;   //!< array2[...] encode fill committed
+    std::uint8_t loaded_byte = 0;
+    std::uint8_t encoded_index = 0;
+};
+
+/** Speculation knobs. */
+struct SpeculationConfig
+{
+    /**
+     * Cycles between the mispredicted branch's dispatch and its
+     * resolution (the window transient loads can complete in).  The
+     * default is wide enough for every disclosure primitive, including
+     * Flush+Reload's memory-miss encode; the window ablation bench
+     * shrinks it to find each primitive's minimum.
+     */
+    std::uint64_t window = 700;
+    /** Per-load issue overhead inside the window. */
+    std::uint32_t issue_cost = 2;
+};
+
+/**
+ * Executes victim calls against the shared hierarchy.
+ */
+class TransientCore
+{
+  public:
+    TransientCore(sim::CacheHierarchy &hierarchy, const timing::Uarch &uarch,
+                  SpeculationConfig config = {})
+        : hierarchy_(hierarchy), uarch_(uarch), config_(config)
+    {}
+
+    /**
+     * Execute `victim_function(x)` with the selected gadget part.
+     * Cache side effects happen as described above; the return value
+     * reports what landed (used by unit tests, invisible to attackers).
+     */
+    VictimCallResult callVictim(const SpectreVictim &victim,
+                                std::uint64_t x, GadgetPart part);
+
+    BranchPredictor &predictor() { return predictor_; }
+    const SpeculationConfig &config() const { return config_; }
+    void setWindow(std::uint64_t window) { config_.window = window; }
+
+  private:
+    sim::CacheHierarchy &hierarchy_;
+    timing::Uarch uarch_;
+    SpeculationConfig config_;
+    BranchPredictor predictor_;
+};
+
+} // namespace lruleak::spectre
+
+#endif // LRULEAK_SPECTRE_TRANSIENT_CORE_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The Spectre-v1 victim (paper Section VIII): the classic bounds-checked
+ * gadget from Kocher et al.'s sample code,
+ *
+ *     if (x < array1_size)
+ *         y = array2[array1[x] * 64];
+ *
+ * The victim owns a small flat memory: array1 (16 in-bounds entries) and,
+ * at a known offset past it, the secret string.  A malicious x reaches
+ * the secret; the transient load of array2[secret * 64] imprints the
+ * secret on the cache set (secret mod 64) that the disclosure primitive
+ * then reads out.
+ *
+ * An L1 set encodes at most 6 bits per access, so full bytes are
+ * recovered with a two-part gadget (low 6 bits, then high 2 bits); this
+ * matches the paper's use of 63 sets as the symbol alphabet.
+ */
+
+#ifndef LRULEAK_SPECTRE_VICTIM_HPP
+#define LRULEAK_SPECTRE_VICTIM_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/address.hpp"
+
+namespace lruleak::spectre {
+
+/** Which part of the loaded byte the gadget encodes. */
+enum class GadgetPart
+{
+    LowSixBits,  //!< idx = byte & 0x3f
+    HighTwoBits, //!< idx = byte >> 6
+};
+
+/**
+ * Victim address space and data.  Purely architectural: the cache side
+ * effects happen in TransientCore.
+ */
+class SpectreVictim
+{
+  public:
+    explicit SpectreVictim(std::string secret)
+        : secret_(std::move(secret))
+    {}
+
+    // ---- Address map (all line-aligned; same address space as the
+    //      attacker in the classic in-process Spectre v1 setting).
+
+    /** Base of array1 (16 byte-entries). */
+    static constexpr sim::Addr kArray1 = 0x5000'0000'0000ULL;
+    /** In-bounds length of array1. */
+    static constexpr std::uint64_t kArray1Size = 16;
+    /** The secret lives at this offset past array1. */
+    static constexpr std::uint64_t kSecretOffset = 4096;
+    /**
+     * Base of array2 (the probe array).  Offset by one line so symbol v
+     * maps to L1 set (v + 1) mod 64, keeping set 0 free for the
+     * attacker's pointer-chase chain.
+     */
+    static constexpr sim::Addr kArray2 = 0x5100'0000'0040ULL;
+    /** Branch identity of the bounds check. */
+    static constexpr std::uint64_t kBoundsCheckPc = 0x401337;
+
+    /** Malicious input that makes array1[x] read secret byte @p k. */
+    static constexpr std::uint64_t
+    maliciousX(std::size_t k)
+    {
+        return kSecretOffset + k;
+    }
+
+    /** Architectural load of the victim's byte memory. */
+    std::uint8_t
+    readByte(sim::Addr addr) const
+    {
+        if (addr >= kArray1 && addr < kArray1 + kArray1Size)
+            return static_cast<std::uint8_t>(addr - kArray1);
+        const sim::Addr secret_base = kArray1 + kSecretOffset;
+        if (addr >= secret_base && addr < secret_base + secret_.size())
+            return static_cast<std::uint8_t>(
+                secret_[static_cast<std::size_t>(addr - secret_base)]);
+        return 0;
+    }
+
+    /** The probe-array line for symbol @p idx. */
+    static constexpr sim::Addr
+    array2Line(std::uint8_t idx)
+    {
+        return kArray2 + static_cast<sim::Addr>(idx) * 64;
+    }
+
+    /** Gadget index transform for the selected part. */
+    static constexpr std::uint8_t
+    gadgetIndex(std::uint8_t byte, GadgetPart part)
+    {
+        return part == GadgetPart::LowSixBits
+                   ? static_cast<std::uint8_t>(byte & 0x3f)
+                   : static_cast<std::uint8_t>(byte >> 6);
+    }
+
+    const std::string &secret() const { return secret_; }
+    std::size_t secretLength() const { return secret_.size(); }
+
+  private:
+    std::string secret_;
+};
+
+} // namespace lruleak::spectre
+
+#endif // LRULEAK_SPECTRE_VICTIM_HPP

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The paper's measurement primitives (Section IV-D and Appendix A).
+ *
+ * A bare rdtscp pair around one load cannot tell an L1 hit (4-5 cycles)
+ * from an L2 hit (~12 cycles): the serialization of the timestamp reads
+ * puts a floor under the measured interval that swallows the difference
+ * (Fig. 13).  The paper's fix is an 8-element pointer chase: seven
+ * receiver-local elements guaranteed to hit in L1 followed by the target
+ * line.  The eight loads are serialised by the data dependency, so the
+ * single rdtscp overhead is amortised and the target's extra latency
+ * survives in the total (Fig. 3).
+ */
+
+#ifndef LRULEAK_TIMING_POINTER_CHASE_HPP
+#define LRULEAK_TIMING_POINTER_CHASE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/hierarchy.hpp"
+#include "sim/random.hpp"
+#include "timing/uarch.hpp"
+
+namespace lruleak::timing {
+
+/**
+ * Models the latency readout of the two measurement strategies.  The
+ * *levels* at which the involved loads hit come from the cache simulator;
+ * this class only turns them into the number the attacker would read.
+ */
+class MeasurementModel
+{
+  public:
+    explicit MeasurementModel(const Uarch &uarch) : uarch_(uarch) {}
+
+    /**
+     * Pointer-chase measurement: @p chain_levels are the hit levels of
+     * the chain elements (normally seven L1 hits), @p target_level is
+     * where the timed 8th access was served.
+     */
+    std::uint32_t
+    chase(const std::vector<sim::HitLevel> &chain_levels,
+          sim::HitLevel target_level, sim::Xoshiro256 &rng) const
+    {
+        double total = uarch_.chase_overhead;
+        for (auto level : chain_levels)
+            total += uarch_.latency(level);
+        total += uarch_.latency(target_level);
+        total += rng.gaussian() * uarch_.tsc_noise_stddev;
+        return quantize(total);
+    }
+
+    /** Convenience: chain of @p chain_len L1 hits plus the target. */
+    std::uint32_t
+    chaseAllL1(std::uint32_t chain_len, sim::HitLevel target_level,
+               sim::Xoshiro256 &rng) const
+    {
+        const std::vector<sim::HitLevel> chain(chain_len,
+                                               sim::HitLevel::L1);
+        return chase(chain, target_level, rng);
+    }
+
+    /**
+     * Single-access rdtscp measurement (Appendix A).  The serialization
+     * floor hides latencies below it, which is exactly why L1 and L2 hits
+     * come out identical.
+     */
+    std::uint32_t
+    single(sim::HitLevel target_level, sim::Xoshiro256 &rng) const
+    {
+        const double body = std::max<double>(uarch_.serialize_floor,
+                                             uarch_.latency(target_level));
+        double total = uarch_.single_overhead + body +
+                       rng.gaussian() * uarch_.single_noise_stddev;
+        return quantize(total);
+    }
+
+    /**
+     * Decision threshold between "target was an L1 hit" and "target
+     * missed L1" for the pointer-chase readout with a chain of
+     * @p chain_len L1 hits.  Mirrors the red dotted line of Fig. 5.
+     */
+    std::uint32_t
+    chaseThreshold(std::uint32_t chain_len = kChainLength) const
+    {
+        const double hit = uarch_.chase_overhead +
+            (chain_len + 1.0) * uarch_.l1_latency;
+        const double miss = uarch_.chase_overhead +
+            chain_len * uarch_.l1_latency + uarch_.l2_latency;
+        // Floor-quantization shifts readouts down by about half a
+        // granule; recenter the threshold accordingly (matters on AMD).
+        const double bias = (uarch_.tsc_granularity - 1) / 2.0;
+        return static_cast<std::uint32_t>((hit + miss) / 2.0 - bias);
+    }
+
+    const Uarch &uarch() const { return uarch_; }
+
+    /** The paper uses a 7-element local chain (footnote 3). */
+    static constexpr std::uint32_t kChainLength = 7;
+
+  private:
+    std::uint32_t
+    quantize(double cycles) const
+    {
+        if (cycles < 0)
+            cycles = 0;
+        const auto g = uarch_.tsc_granularity;
+        const auto raw = static_cast<std::uint64_t>(cycles);
+        return static_cast<std::uint32_t>(g <= 1 ? raw : (raw / g) * g);
+    }
+
+    Uarch uarch_;
+};
+
+} // namespace lruleak::timing
+
+#endif // LRULEAK_TIMING_POINTER_CHASE_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Uarch presets.  Latencies from Table II; calibration values chosen so
+ * the measurement histograms reproduce Fig. 3 / Fig. 13 shapes.
+ */
+
+#include "timing/uarch.hpp"
+
+namespace lruleak::timing {
+
+Uarch
+Uarch::intelXeonE52690()
+{
+    Uarch u;
+    u.name = "Intel Xeon E5-2690";
+    u.microarch = "Sandy Bridge";
+    u.ghz = 3.8;
+    u.l1_latency = 4;
+    u.l2_latency = 12;
+    u.llc_latency = 40;
+    u.mem_latency = 300;
+    u.tsc_granularity = 1;
+    u.tsc_noise_stddev = 1.0;
+    u.chase_overhead = 3;    // hit ~ 3 + 7*4 + 4 = 35, miss ~ 43 (Fig. 3)
+    u.single_overhead = 8;
+    u.serialize_floor = 16;  // both L1(4) and L2(12) report 8+16 = 24
+    u.single_noise_stddev = 2.5;
+    u.way_predictor = false;
+    u.encode_addr_calc = 17; // Table V: LRU encode = 17 + 10 + 4 = 31
+    return u;
+}
+
+Uarch
+Uarch::intelXeonE31245v5()
+{
+    Uarch u;
+    u.name = "Intel Xeon E3-1245 v5";
+    u.microarch = "Skylake";
+    u.ghz = 3.9;
+    u.l1_latency = 4;
+    u.l2_latency = 12;
+    u.llc_latency = 42;
+    u.mem_latency = 260;
+    u.tsc_granularity = 1;
+    u.tsc_noise_stddev = 1.2;
+    u.chase_overhead = 12;   // Fig. 14: hits ~ 44, misses ~ 52
+    u.single_overhead = 10;
+    u.serialize_floor = 18;
+    u.single_noise_stddev = 2.5;
+    u.way_predictor = false;
+    u.encode_addr_calc = 21; // Table V: LRU encode = 21 + 10 + 4 = 35
+    return u;
+}
+
+Uarch
+Uarch::amdEpyc7571()
+{
+    Uarch u;
+    u.name = "AMD EPYC 7571";
+    u.microarch = "Zen";
+    u.ghz = 2.5;
+    u.l1_latency = 4;
+    u.l2_latency = 17;
+    u.llc_latency = 40;
+    u.mem_latency = 205;
+    u.tsc_granularity = 16;  // coarse readout: Section VI-A
+    u.tsc_noise_stddev = 8.0;
+    u.chase_overhead = 25;   // Fig. 3 right: hit ~ 57, miss ~ 70,
+                             // heavily overlapping distributions
+    u.single_overhead = 30;
+    u.serialize_floor = 20;
+    u.single_noise_stddev = 10.0;
+    u.way_predictor = true;
+    u.encode_addr_calc = 38; // Table V: LRU encode = 38 + 10 + 4 = 52
+    return u;
+}
+
+} // namespace lruleak::timing

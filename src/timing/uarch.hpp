@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Microarchitecture descriptors for the three CPUs the paper evaluates
+ * (Table II / Table III), plus the timing parameters of the measurement
+ * primitives calibrated to reproduce Figures 3 and 13.
+ */
+
+#ifndef LRULEAK_TIMING_UARCH_HPP
+#define LRULEAK_TIMING_UARCH_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/hierarchy.hpp"
+
+namespace lruleak::timing {
+
+/**
+ * Everything the timing model needs to know about a CPU.
+ *
+ * The cache latencies come straight from the paper's Table II; the
+ * overheads/noise/granularity values are calibrated so the simulated
+ * measurement histograms match the shapes of Fig. 3 (pointer chase) and
+ * Fig. 13 (single rdtscp access) on each machine.
+ */
+struct Uarch
+{
+    std::string name;            //!< e.g. "Intel Xeon E5-2690"
+    std::string microarch;       //!< e.g. "Sandy Bridge"
+    double ghz = 3.8;            //!< nominal core frequency
+
+    // Cache access latencies in cycles (Table II).
+    std::uint32_t l1_latency = 4;
+    std::uint32_t l2_latency = 12;
+    std::uint32_t llc_latency = 40;
+    std::uint32_t mem_latency = 200;
+
+    // Timestamp-counter behaviour.
+    std::uint32_t tsc_granularity = 1;   //!< readout quantum in cycles
+    double tsc_noise_stddev = 1.0;       //!< per-measurement jitter
+
+    // Measurement-primitive calibration.
+    std::uint32_t chase_overhead = 3;    //!< rdtscp pair cost amortised
+                                         //!< over the 8-access chain
+    std::uint32_t single_overhead = 8;   //!< rdtscp pair cost for a
+                                         //!< single timed access
+    std::uint32_t serialize_floor = 16;  //!< min cycles between the two
+                                         //!< rdtscp of a single access:
+                                         //!< hides the L1/L2 difference
+    double single_noise_stddev = 2.5;
+
+    // Platform quirks.
+    bool way_predictor = false;          //!< AMD linear-address utag
+
+    /**
+     * Fixed non-memory cost of one encode iteration (victim-address
+     * arithmetic etc.), calibrated against the paper's Table V.
+     */
+    std::uint32_t encode_addr_calc = 17;
+
+    /** Latency of a demand access served at @p level. */
+    std::uint32_t
+    latency(sim::HitLevel level) const
+    {
+        switch (level) {
+          case sim::HitLevel::L1:     return l1_latency;
+          case sim::HitLevel::L2:     return l2_latency;
+          case sim::HitLevel::LLC:    return llc_latency;
+          case sim::HitLevel::Memory: return mem_latency;
+        }
+        return mem_latency;
+    }
+
+    /** Convert a cycle count to seconds. */
+    double
+    cyclesToSeconds(std::uint64_t cycles) const
+    {
+        return static_cast<double>(cycles) / (ghz * 1e9);
+    }
+
+    /** Convert cycles to a bit rate in kbit/s given bits transferred. */
+    double
+    kbps(std::uint64_t bits, std::uint64_t cycles) const
+    {
+        const double secs = cyclesToSeconds(cycles);
+        return secs > 0 ? static_cast<double>(bits) / secs / 1e3 : 0.0;
+    }
+
+    /** A hierarchy config matching this CPU's cache geometry. */
+    sim::HierarchyConfig
+    hierarchyConfig() const
+    {
+        sim::HierarchyConfig cfg;
+        cfg.l1_way_predictor = way_predictor;
+        return cfg;
+    }
+
+    // ----- Presets for the paper's Table III machines.
+
+    /** Intel Xeon E5-2690, Sandy Bridge, 3.8 GHz. */
+    static Uarch intelXeonE52690();
+    /** Intel Xeon E3-1245 v5, Skylake, 3.9 GHz. */
+    static Uarch intelXeonE31245v5();
+    /** AMD EPYC 7571, Zen, 2.5 GHz (AWS EC2 part). */
+    static Uarch amdEpyc7571();
+};
+
+} // namespace lruleak::timing
+
+#endif // LRULEAK_TIMING_UARCH_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Simple in-order CPI model for the defense-performance study (Fig. 9)
+ * plus ThreadProgram adapters so workloads can co-run with channel
+ * parties (Table VI's "sender & gcc" baseline).
+ *
+ * Every instruction costs one base cycle; a memory instruction that
+ * misses L1 additionally stalls for the difference between the serving
+ * level's latency and the L1 latency.  This is deliberately simpler than
+ * the paper's out-of-order GEM5 core; since Fig. 9 reports *normalized*
+ * CPI, the relative effect of the L1 replacement policy survives (an
+ * in-order core actually upper-bounds the CPI impact, making our < 2 %
+ * check conservative).
+ */
+
+#ifndef LRULEAK_WORKLOAD_CPU_MODEL_HPP
+#define LRULEAK_WORKLOAD_CPU_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "exec/op.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/random.hpp"
+#include "timing/uarch.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace lruleak::workload {
+
+/** Result of one workload x policy run. */
+struct CpuRunResult
+{
+    std::string workload;
+    std::string policy;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double l1d_miss_rate = 0.0;
+    double l2_miss_rate = 0.0;
+    double cpi = 0.0;
+};
+
+/** Knobs of the CPI model. */
+struct CpuModelConfig
+{
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+    std::uint64_t instructions = 1'000'000;
+    std::uint64_t warmup_instructions = 100'000; //!< not counted
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Run @p workload over a hierarchy whose L1D uses @p policy and account
+ * cycles with the in-order model.
+ */
+CpuRunResult runCpuModel(TraceGenerator &workload,
+                         sim::ReplPolicyKind policy,
+                         const CpuModelConfig &config = {});
+
+/**
+ * ThreadProgram adapter: replays a workload forever (the benign
+ * co-runner of Table VI).  Issues one access per "instruction window",
+ * with short spins standing in for non-memory work.
+ */
+class WorkloadProgram : public exec::ThreadProgram
+{
+  public:
+    WorkloadProgram(std::unique_ptr<TraceGenerator> gen, std::uint64_t seed,
+                    sim::ThreadId thread = 0, std::uint32_t spin_gap = 20)
+        : gen_(std::move(gen)), rng_(seed), thread_(thread),
+          spin_gap_(spin_gap)
+    {}
+
+    exec::Op
+    next(std::uint64_t now) override
+    {
+        if (spin_next_) {
+            spin_next_ = false;
+            return exec::Op::spinUntil(now + spin_gap_);
+        }
+        spin_next_ = !rng_.chance(gen_->memFraction());
+        const sim::Addr a = gen_->next(rng_);
+        return exec::Op::access(sim::MemRef{a, a, thread_, false});
+    }
+
+  private:
+    std::unique_ptr<TraceGenerator> gen_;
+    sim::Xoshiro256 rng_;
+    sim::ThreadId thread_;
+    std::uint32_t spin_gap_;
+    bool spin_next_ = false;
+};
+
+/** A program that only spins: the "sender only" co-runner. */
+class IdleProgram : public exec::ThreadProgram
+{
+  public:
+    explicit IdleProgram(std::uint32_t gap = 1000) : gap_(gap) {}
+
+    exec::Op
+    next(std::uint64_t now) override
+    {
+        return exec::Op::spinUntil(now + gap_);
+    }
+
+  private:
+    std::uint32_t gap_;
+};
+
+} // namespace lruleak::workload
+
+#endif // LRULEAK_WORKLOAD_CPU_MODEL_HPP

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * The synthetic workload suite.
+ */
+
+#include "workload/trace_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lruleak::workload {
+
+namespace {
+
+constexpr sim::Addr kHeapBase = 0x0900'0000'0000ULL;
+
+/** Zipf-ish rank sampler: rank ~ floor(n * u^theta). */
+std::uint64_t
+zipfRank(sim::Xoshiro256 &rng, std::uint64_t n, double theta = 2.0)
+{
+    const double u = rng.uniform();
+    const double r = std::pow(u, theta) * static_cast<double>(n);
+    const auto rank = static_cast<std::uint64_t>(r);
+    return rank >= n ? n - 1 : rank;
+}
+
+/** Sequential walk over a large array (libquantum-like). */
+class Streaming : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &) override
+    {
+        const sim::Addr a = kHeapBase + (pos_ % kSpan);
+        pos_ += 8; // element-granular stream
+        return a;
+    }
+
+    std::string name() const override { return "stream"; }
+    double memFraction() const override { return 0.40; }
+    void reset() override { pos_ = 0; }
+
+  private:
+    static constexpr std::uint64_t kSpan = 4ULL << 20;
+    std::uint64_t pos_ = 0;
+};
+
+/** Random pointer chasing over a big working set (mcf-like). */
+class PointerChase : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &rng) override
+    {
+        return kHeapBase + rng.below(kSpan / 64) * 64;
+    }
+
+    std::string name() const override { return "ptrchase"; }
+    double memFraction() const override { return 0.42; }
+
+  private:
+    static constexpr std::uint64_t kSpan = 8ULL << 20;
+};
+
+/** Small hot loop with zipf reuse and rare cold misses (perl-like). */
+class HotLoop : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &rng) override
+    {
+        if (rng.chance(0.05))
+            return kHeapBase + (1ULL << 24) + rng.below(1ULL << 22);
+        return kHeapBase + zipfRank(rng, kHotLines) * 64;
+    }
+
+    std::string name() const override { return "hotloop"; }
+    double memFraction() const override { return 0.30; }
+
+  private:
+    static constexpr std::uint64_t kHotLines = 256; // 16 KiB hot set
+};
+
+/** Blocked 2-D array walk (bwaves-like). */
+class BlockedWalk : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &) override
+    {
+        const std::uint64_t row = (step_ / kBlock) % kBlock;
+        const std::uint64_t col = step_ % kBlock;
+        const std::uint64_t block = (step_ / (kBlock * kBlock)) % kBlocks;
+        ++step_;
+        return kHeapBase + block * kBlock * kRowBytes + row * kRowBytes +
+               col * 8;
+    }
+
+    std::string name() const override { return "blocked"; }
+    double memFraction() const override { return 0.45; }
+    void reset() override { step_ = 0; }
+
+  private:
+    static constexpr std::uint64_t kBlock = 64;
+    static constexpr std::uint64_t kBlocks = 24;
+    static constexpr std::uint64_t kRowBytes = 2048;
+    std::uint64_t step_ = 0;
+};
+
+/** 7-point stencil over a 3-D grid (milc-like). */
+class Stencil3d : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &) override
+    {
+        static constexpr std::int64_t offsets[7] = {
+            0, -8, 8,
+            -static_cast<std::int64_t>(kRow),
+            static_cast<std::int64_t>(kRow),
+            -static_cast<std::int64_t>(kPlane),
+            static_cast<std::int64_t>(kPlane)};
+        const std::int64_t off = offsets[point_ % 7];
+        if (point_ % 7 == 6)
+            center_ = (center_ + 8) % kGrid;
+        ++point_;
+        std::int64_t a = static_cast<std::int64_t>(center_) + off;
+        if (a < 0)
+            a += kGrid;
+        return kHeapBase +
+               static_cast<std::uint64_t>(a) % kGrid;
+    }
+
+    std::string name() const override { return "stencil3d"; }
+    double memFraction() const override { return 0.44; }
+    void reset() override { center_ = kPlane; point_ = 0; }
+
+  private:
+    static constexpr std::uint64_t kRow = 4096;
+    static constexpr std::uint64_t kPlane = kRow * 64;
+    static constexpr std::uint64_t kGrid = kPlane * 8; // 2 MiB
+    std::uint64_t center_ = kPlane;
+    std::uint64_t point_ = 0;
+};
+
+/** Sequential build side + random probe side (hash-join-like). */
+class HashJoin : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &rng) override
+    {
+        if ((toggle_++ & 1) == 0) {
+            const sim::Addr a = kHeapBase + (build_ % kBuildSpan);
+            build_ += 8;
+            return a;
+        }
+        return kHeapBase + (8ULL << 20) + rng.below(kTableLines) * 64;
+    }
+
+    std::string name() const override { return "hashjoin"; }
+    double memFraction() const override { return 0.38; }
+    void reset() override { build_ = 0; toggle_ = 0; }
+
+  private:
+    static constexpr std::uint64_t kBuildSpan = 2ULL << 20;
+    static constexpr std::uint64_t kTableLines = 16384; // 1 MiB table
+    std::uint64_t build_ = 0;
+    std::uint64_t toggle_ = 0;
+};
+
+/** Zipf object graph over a medium heap (xalancbmk-like). */
+class ZipfObjects : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &rng) override
+    {
+        const std::uint64_t obj = zipfRank(rng, kObjects, 1.6);
+        const std::uint64_t field = rng.below(4) * 16;
+        return kHeapBase + obj * 128 + field;
+    }
+
+    std::string name() const override { return "zipfobj"; }
+    double memFraction() const override { return 0.33; }
+
+  private:
+    static constexpr std::uint64_t kObjects = 4096; // 512 KiB heap
+};
+
+/** Mixture of hot/medium/cold regions (gcc-like). */
+class GccMix : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &rng) override
+    {
+        const double u = rng.uniform();
+        if (u < 0.60)
+            return kHeapBase + rng.below(512) * 64; // 32 KiB hot
+        if (u < 0.90)
+            return kHeapBase + (1ULL << 20) + rng.below(4096) * 64;
+        return kHeapBase + (16ULL << 20) + rng.below(65536) * 64;
+    }
+
+    std::string name() const override { return "gccmix"; }
+    double memFraction() const override { return 0.33; }
+};
+
+/** Tiny working set with heavy reuse (sjeng-like). */
+class StackHeavy : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &rng) override
+    {
+        if (rng.chance(0.02))
+            return kHeapBase + (4ULL << 20) + rng.below(1ULL << 20);
+        return kHeapBase + rng.below(128) * 64; // 8 KiB
+    }
+
+    std::string name() const override { return "stackheavy"; }
+    double memFraction() const override { return 0.25; }
+};
+
+/** Two interleaved sequential streams (hmmer-like). */
+class DualStream : public TraceGenerator
+{
+  public:
+    sim::Addr
+    next(sim::Xoshiro256 &) override
+    {
+        const bool second = (toggle_++ & 1) != 0;
+        std::uint64_t &pos = second ? pos_b_ : pos_a_;
+        const sim::Addr base = second ? kHeapBase + (32ULL << 20)
+                                      : kHeapBase;
+        const sim::Addr a = base + (pos % (2ULL << 20));
+        pos += 8;
+        return a;
+    }
+
+    std::string name() const override { return "dualstream"; }
+    double memFraction() const override { return 0.38; }
+    void reset() override { pos_a_ = pos_b_ = 0; toggle_ = 0; }
+
+  private:
+    std::uint64_t pos_a_ = 0;
+    std::uint64_t pos_b_ = 0;
+    std::uint64_t toggle_ = 0;
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<TraceGenerator>>
+makeWorkloadSuite()
+{
+    std::vector<std::unique_ptr<TraceGenerator>> suite;
+    suite.push_back(std::make_unique<Streaming>());
+    suite.push_back(std::make_unique<PointerChase>());
+    suite.push_back(std::make_unique<HotLoop>());
+    suite.push_back(std::make_unique<BlockedWalk>());
+    suite.push_back(std::make_unique<Stencil3d>());
+    suite.push_back(std::make_unique<HashJoin>());
+    suite.push_back(std::make_unique<ZipfObjects>());
+    suite.push_back(std::make_unique<GccMix>());
+    suite.push_back(std::make_unique<StackHeavy>());
+    suite.push_back(std::make_unique<DualStream>());
+    return suite;
+}
+
+std::unique_ptr<TraceGenerator>
+makeWorkload(const std::string &name)
+{
+    for (auto &w : makeWorkloadSuite()) {
+        if (w->name() == name)
+            return std::move(w);
+    }
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : makeWorkloadSuite())
+        names.push_back(w->name());
+    return names;
+}
+
+} // namespace lruleak::workload

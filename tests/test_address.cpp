@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for address decomposition (sim/address.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/address.hpp"
+
+using namespace lruleak::sim;
+
+TEST(AddressLayout, Log2)
+{
+    EXPECT_EQ(AddressLayout::log2i(1), 0u);
+    EXPECT_EQ(AddressLayout::log2i(2), 1u);
+    EXPECT_EQ(AddressLayout::log2i(64), 6u);
+    EXPECT_EQ(AddressLayout::log2i(4096), 12u);
+}
+
+TEST(AddressLayout, FieldWidths)
+{
+    const AddressLayout layout(64, 64);
+    EXPECT_EQ(layout.lineBits(), 6u);
+    EXPECT_EQ(layout.setBits(), 6u);
+    EXPECT_EQ(layout.numSets(), 64u);
+    EXPECT_EQ(layout.lineSize(), 64u);
+}
+
+TEST(AddressLayout, SetIndexUsesBits6To11)
+{
+    const AddressLayout layout(64, 64);
+    // Bits 0-5 are the line offset and must not affect the index.
+    EXPECT_EQ(layout.setIndex(0x0000), 0u);
+    EXPECT_EQ(layout.setIndex(0x003f), 0u);
+    EXPECT_EQ(layout.setIndex(0x0040), 1u);
+    EXPECT_EQ(layout.setIndex(0x0fc0), 63u);
+    // Bit 12 wraps around.
+    EXPECT_EQ(layout.setIndex(0x1000), 0u);
+}
+
+TEST(AddressLayout, PageOffsetInvariant)
+{
+    // The VIPT property Algorithm 2 depends on: any page-aligned
+    // remapping preserves the set index.
+    const AddressLayout layout(64, 64);
+    const Addr va = 0x1234'5678'9a40ULL;
+    for (Addr page_delta : {0x1000ULL, 0x20000ULL, 0x40000000ULL})
+        EXPECT_EQ(layout.setIndex(va), layout.setIndex(va + page_delta * 0x1000));
+}
+
+TEST(AddressLayout, ComposeRoundTrips)
+{
+    const AddressLayout layout(64, 64);
+    const Addr addr = layout.compose(0xabcde, 37);
+    EXPECT_EQ(layout.setIndex(addr), 37u);
+    EXPECT_EQ(layout.tag(addr), 0xabcdeULL);
+    EXPECT_EQ(layout.lineBase(addr + 17), addr);
+}
+
+TEST(AddressLayout, LineBaseMasksOffset)
+{
+    const AddressLayout layout(64, 64);
+    EXPECT_EQ(layout.lineBase(0x1fff), 0x1fc0ULL);
+    EXPECT_EQ(layout.lineBase(0x1fc0), 0x1fc0ULL);
+}
+
+TEST(MemRef, Factories)
+{
+    const auto load = MemRef::load(0x1000, 3);
+    EXPECT_EQ(load.vaddr, 0x1000ULL);
+    EXPECT_EQ(load.paddr, 0x1000ULL);
+    EXPECT_EQ(load.thread, 3u);
+    EXPECT_FALSE(load.is_write);
+
+    const auto vapa = MemRef::loadVaPa(0x2000, 0x9000, 1);
+    EXPECT_EQ(vapa.vaddr, 0x2000ULL);
+    EXPECT_EQ(vapa.paddr, 0x9000ULL);
+}
+
+/** Property sweep: lineInSet always lands in the requested set with a
+ *  distinct tag per index. */
+class LineInSetProperty : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(LineInSetProperty, MapsToSetWithDistinctTags)
+{
+    const AddressLayout layout(64, 64);
+    const std::uint32_t set = GetParam();
+    Addr prev_tag = ~0ULL;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        const Addr a = lineInSet(layout, set, i, 0x7000'0000ULL);
+        EXPECT_EQ(layout.setIndex(a), set);
+        const Addr tag = layout.tag(a);
+        EXPECT_NE(tag, prev_tag);
+        prev_tag = tag;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, LineInSetProperty,
+                         ::testing::Values(0u, 1u, 7u, 31u, 32u, 63u));
+
+/** Property sweep over cache geometries. */
+class LayoutGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>>
+{};
+
+TEST_P(LayoutGeometry, ComposeDecomposeIdentity)
+{
+    const auto [line, sets] = GetParam();
+    const AddressLayout layout(line, sets);
+    for (Addr tag : {0ULL, 1ULL, 0x5555ULL, 0xdeadbeefULL}) {
+        for (std::uint32_t set = 0; set < sets; set += sets / 4 + 1) {
+            const Addr a = layout.compose(tag, set);
+            EXPECT_EQ(layout.tag(a), tag);
+            EXPECT_EQ(layout.setIndex(a), set);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LayoutGeometry,
+    ::testing::Values(std::make_pair(32u, 64u), std::make_pair(64u, 64u),
+                      std::make_pair(64u, 128u), std::make_pair(128u, 16u)));

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for bit-string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/bitstring.hpp"
+
+using namespace lruleak::channel;
+
+TEST(Bitstring, RandomBitsDeterministic)
+{
+    EXPECT_EQ(randomBits(128, 1), randomBits(128, 1));
+    EXPECT_NE(randomBits(128, 1), randomBits(128, 2));
+}
+
+TEST(Bitstring, RandomBitsBalanced)
+{
+    const auto bits = randomBits(10'000, 3);
+    EXPECT_NEAR(fractionOnes(bits), 0.5, 0.03);
+}
+
+TEST(Bitstring, Alternating)
+{
+    EXPECT_EQ(bitsToString(alternatingBits(6)), "010101");
+    EXPECT_EQ(bitsToString(alternatingBits(6, 1)), "101010");
+}
+
+TEST(Bitstring, RepeatBits)
+{
+    const Bits unit{1, 0, 1};
+    EXPECT_EQ(bitsToString(repeatBits(unit, 3)), "101101101");
+    EXPECT_TRUE(repeatBits({}, 5).empty());
+}
+
+TEST(Bitstring, TextRoundTrip)
+{
+    const std::string msg = "Hello, LRU!";
+    EXPECT_EQ(bitsToText(textToBits(msg)), msg);
+}
+
+TEST(Bitstring, TextToBitsMsbFirst)
+{
+    // 'A' = 0x41 = 01000001.
+    EXPECT_EQ(bitsToString(textToBits("A")), "01000001");
+}
+
+TEST(Bitstring, BitsToTextTruncatesPartialByte)
+{
+    Bits bits = textToBits("AB");
+    bits.pop_back();
+    EXPECT_EQ(bitsToText(bits), "A");
+}
+
+TEST(Bitstring, FractionOnesEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(fractionOnes({}), 0.0);
+    EXPECT_DOUBLE_EQ(fractionOnes({1, 1, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(fractionOnes({0, 1}), 0.5);
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the in-order CPI model behind Fig. 9.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/cpu_model.hpp"
+
+using namespace lruleak;
+using namespace lruleak::workload;
+
+namespace {
+
+CpuModelConfig
+quickConfig()
+{
+    CpuModelConfig cfg;
+    cfg.instructions = 200'000;
+    cfg.warmup_instructions = 20'000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CpuModel, CpiAtLeastOne)
+{
+    auto w = makeWorkload("stream");
+    const auto res = runCpuModel(*w, sim::ReplPolicyKind::TreePlru,
+                                 quickConfig());
+    EXPECT_GE(res.cpi, 1.0);
+    EXPECT_EQ(res.instructions, 200'000u);
+    EXPECT_EQ(res.workload, "stream");
+    EXPECT_EQ(res.policy, "TreePLRU");
+}
+
+TEST(CpuModel, HotLoopHitsAlmostAlways)
+{
+    auto w = makeWorkload("stackheavy");
+    const auto res = runCpuModel(*w, sim::ReplPolicyKind::TreePlru,
+                                 quickConfig());
+    EXPECT_LT(res.l1d_miss_rate, 0.05);
+    // The rare (2%) cold accesses stall a full memory latency on the
+    // in-order model, so CPI sits well above 1 but far below the
+    // pointer-chasing workloads.
+    EXPECT_LT(res.cpi, 3.0);
+}
+
+TEST(CpuModel, PointerChaseMissesHard)
+{
+    auto w = makeWorkload("ptrchase");
+    const auto res = runCpuModel(*w, sim::ReplPolicyKind::TreePlru,
+                                 quickConfig());
+    EXPECT_GT(res.l1d_miss_rate, 0.5);
+    EXPECT_GT(res.cpi, 1.5);
+}
+
+TEST(CpuModel, StreamMissRateMatchesLineReuse)
+{
+    // Stride 8 over 64-byte lines: one compulsory miss per 8 accesses.
+    auto w = makeWorkload("stream");
+    const auto res = runCpuModel(*w, sim::ReplPolicyKind::TreePlru,
+                                 quickConfig());
+    EXPECT_NEAR(res.l1d_miss_rate, 0.125, 0.03);
+}
+
+TEST(CpuModel, DeterministicForSeed)
+{
+    auto w1 = makeWorkload("gccmix");
+    auto w2 = makeWorkload("gccmix");
+    const auto a = runCpuModel(*w1, sim::ReplPolicyKind::TreePlru,
+                               quickConfig());
+    const auto b = runCpuModel(*w2, sim::ReplPolicyKind::TreePlru,
+                               quickConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.l1d_miss_rate, b.l1d_miss_rate);
+}
+
+TEST(CpuModel, Fig9PolicyDeltasAreSmall)
+{
+    // The defense claim: switching L1D to FIFO or Random costs little.
+    for (const auto &name : {"gccmix", "hotloop", "zipfobj"}) {
+        auto base_w = makeWorkload(name);
+        const auto base = runCpuModel(*base_w, sim::ReplPolicyKind::TreePlru,
+                                      quickConfig());
+        for (auto policy : {sim::ReplPolicyKind::Fifo,
+                            sim::ReplPolicyKind::Random}) {
+            auto w = makeWorkload(name);
+            const auto res = runCpuModel(*w, policy, quickConfig());
+            EXPECT_LT(std::abs(res.cpi - base.cpi) / base.cpi, 0.10)
+                << name << " under " << sim::replPolicyName(policy);
+        }
+    }
+}
+
+TEST(CpuModel, WarmupNotCounted)
+{
+    auto w = makeWorkload("stream");
+    CpuModelConfig cfg = quickConfig();
+    const auto with_warmup = runCpuModel(*w, sim::ReplPolicyKind::TreePlru,
+                                         cfg);
+    EXPECT_EQ(with_warmup.instructions, cfg.instructions);
+}
+
+TEST(WorkloadProgram, IssuesAccessesAndSpins)
+{
+    WorkloadProgram prog(makeWorkload("gccmix"), 5, 1);
+    int accesses = 0, spins = 0;
+    std::uint64_t now = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto op = prog.next(now);
+        if (op.kind == exec::OpKind::Access) {
+            ++accesses;
+            EXPECT_EQ(op.ref.thread, 1u);
+        } else if (op.kind == exec::OpKind::SpinUntil) {
+            ++spins;
+            now = op.until;
+        }
+        now += 10;
+    }
+    EXPECT_GT(accesses, 30);
+    EXPECT_GT(spins, 30);
+}
+
+TEST(IdleProgram, OnlySpins)
+{
+    IdleProgram idle(500);
+    std::uint64_t now = 0;
+    for (int i = 0; i < 10; ++i) {
+        const auto op = idle.next(now);
+        ASSERT_EQ(op.kind, exec::OpKind::SpinUntil);
+        EXPECT_EQ(op.until, now + 500);
+        now = op.until;
+    }
+}

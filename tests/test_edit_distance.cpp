@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the Wagner-Fischer edit distance used to score channel
+ * transmissions (flips + insertions + losses).
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/bitstring.hpp"
+#include "channel/edit_distance.hpp"
+#include "sim/random.hpp"
+
+using namespace lruleak::channel;
+
+namespace {
+
+Bits
+b(const std::string &s)
+{
+    Bits out;
+    for (char c : s)
+        out.push_back(c == '1' ? 1 : 0);
+    return out;
+}
+
+} // namespace
+
+TEST(EditDistance, IdenticalStringsZero)
+{
+    EXPECT_EQ(editDistance(b("10110"), b("10110")), 0u);
+    EXPECT_EQ(editDistance({}, {}), 0u);
+}
+
+TEST(EditDistance, EmptyVersusNonEmpty)
+{
+    EXPECT_EQ(editDistance({}, b("1010")), 4u);
+    EXPECT_EQ(editDistance(b("1010"), {}), 4u);
+}
+
+TEST(EditDistance, SingleFlip)
+{
+    EXPECT_EQ(editDistance(b("10110"), b("10010")), 1u);
+}
+
+TEST(EditDistance, SingleLoss)
+{
+    EXPECT_EQ(editDistance(b("10110"), b("1010")), 1u);
+}
+
+TEST(EditDistance, SingleInsertion)
+{
+    EXPECT_EQ(editDistance(b("10110"), b("101100")), 1u);
+}
+
+TEST(EditDistance, MixedErrors)
+{
+    // A one-position shift costs one insertion plus one deletion.
+    EXPECT_EQ(editDistance(b("101010"), b("010101")), 2u);
+}
+
+TEST(EditDistance, Symmetric)
+{
+    lruleak::sim::Xoshiro256 rng(4);
+    for (int i = 0; i < 50; ++i) {
+        const auto x = randomBits(20 + rng.below(20), rng());
+        const auto y = randomBits(20 + rng.below(20), rng());
+        EXPECT_EQ(editDistance(x, y), editDistance(y, x));
+    }
+}
+
+TEST(EditDistance, BoundedByLongerLength)
+{
+    lruleak::sim::Xoshiro256 rng(5);
+    for (int i = 0; i < 50; ++i) {
+        const auto x = randomBits(rng.below(40), rng());
+        const auto y = randomBits(rng.below(40), rng());
+        EXPECT_LE(editDistance(x, y), std::max(x.size(), y.size()));
+        EXPECT_GE(editDistance(x, y),
+                  x.size() > y.size() ? x.size() - y.size()
+                                      : y.size() - x.size());
+    }
+}
+
+TEST(EditDistance, TriangleInequality)
+{
+    lruleak::sim::Xoshiro256 rng(6);
+    for (int i = 0; i < 30; ++i) {
+        const auto x = randomBits(15 + rng.below(10), rng());
+        const auto y = randomBits(15 + rng.below(10), rng());
+        const auto z = randomBits(15 + rng.below(10), rng());
+        EXPECT_LE(editDistance(x, z),
+                  editDistance(x, y) + editDistance(y, z));
+    }
+}
+
+TEST(EditDistance, KnownPerturbationsScoreExactly)
+{
+    // Construct a received string with exactly f flips at distinct
+    // positions; the distance must be <= f (and usually == f).
+    lruleak::sim::Xoshiro256 rng(7);
+    const auto sent = randomBits(128, 99);
+    Bits recv = sent;
+    recv[3] ^= 1;
+    recv[64] ^= 1;
+    recv[100] ^= 1;
+    EXPECT_EQ(editDistance(sent, recv), 3u);
+}
+
+TEST(ErrorRate, NormalisedBySentLength)
+{
+    const auto sent = b("11110000");
+    auto recv = sent;
+    recv[0] ^= 1;
+    recv[4] ^= 1;
+    EXPECT_DOUBLE_EQ(editErrorRate(sent, recv), 0.25);
+    EXPECT_DOUBLE_EQ(editErrorRate({}, recv), 0.0);
+}
+
+TEST(ErrorRate, TotalLossIsOne)
+{
+    const auto sent = b("1111");
+    EXPECT_DOUBLE_EQ(editErrorRate(sent, {}), 1.0);
+}

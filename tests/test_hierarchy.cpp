@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the three-level cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/hierarchy.hpp"
+
+using namespace lruleak::sim;
+
+TEST(Hierarchy, ColdAccessGoesToMemoryAndFillsAllLevels)
+{
+    CacheHierarchy h;
+    const auto ref = MemRef::load(0x1000);
+    EXPECT_EQ(h.access(ref).level, HitLevel::Memory);
+    EXPECT_TRUE(h.l1().contains(ref));
+    EXPECT_TRUE(h.l2().contains(ref));
+    EXPECT_TRUE(h.llc().contains(ref));
+    EXPECT_EQ(h.access(ref).level, HitLevel::L1);
+}
+
+TEST(Hierarchy, L1EvictionFallsBackToL2)
+{
+    CacheHierarchy h;
+    const AddressLayout &layout = h.l1().layout();
+    const auto victim = MemRef::load(lineInSet(layout, 9, 0));
+    h.access(victim);
+    // Evict it from L1 with 8 more same-set lines.
+    for (std::uint32_t i = 1; i <= 8; ++i)
+        h.access(MemRef::load(lineInSet(layout, 9, i)));
+    EXPECT_FALSE(h.inL1(victim));
+    EXPECT_EQ(h.access(victim).level, HitLevel::L2);
+}
+
+TEST(Hierarchy, FlushRemovesFromEveryLevel)
+{
+    CacheHierarchy h;
+    const auto ref = MemRef::load(0x2000);
+    h.access(ref);
+    h.flush(ref);
+    EXPECT_FALSE(h.inAnyLevel(ref));
+    EXPECT_EQ(h.access(ref).level, HitLevel::Memory);
+}
+
+TEST(Hierarchy, PeekLevelDoesNotMutate)
+{
+    CacheHierarchy h;
+    const auto ref = MemRef::load(0x3000);
+    EXPECT_EQ(h.peekLevel(ref), HitLevel::Memory);
+    EXPECT_FALSE(h.inAnyLevel(ref)); // peek must not install
+    h.access(ref);
+    EXPECT_EQ(h.peekLevel(ref), HitLevel::L1);
+    const auto l1_before = h.l1().counters().total().accesses;
+    h.peekLevel(ref);
+    EXPECT_EQ(h.l1().counters().total().accesses, l1_before);
+}
+
+TEST(Hierarchy, LowerLevelCountersTickOnlyOnMiss)
+{
+    // Matches hardware perf events: L2 accesses == L1 misses.
+    CacheHierarchy h;
+    const auto ref = MemRef::load(0x4000, 2);
+    h.access(ref); // miss everywhere
+    h.access(ref); // L1 hit
+    h.access(ref); // L1 hit
+    EXPECT_EQ(h.l1().counters().forThread(2).accesses, 3u);
+    EXPECT_EQ(h.l1().counters().forThread(2).misses, 1u);
+    EXPECT_EQ(h.l2().counters().forThread(2).accesses, 1u);
+    EXPECT_EQ(h.llc().counters().forThread(2).accesses, 1u);
+}
+
+TEST(Hierarchy, ResetCountersKeepsContents)
+{
+    CacheHierarchy h;
+    const auto ref = MemRef::load(0x5000);
+    h.access(ref);
+    h.resetCounters();
+    EXPECT_TRUE(h.inL1(ref));
+    EXPECT_EQ(h.l1().counters().total().accesses, 0u);
+}
+
+TEST(Hierarchy, WayPredictorMismatchChargesL2Latency)
+{
+    HierarchyConfig cfg;
+    cfg.l1_way_predictor = true;
+    CacheHierarchy h(cfg);
+    const Addr paddr = 0x0040;
+    h.access(MemRef{0x7000'0040, paddr, 0, false});
+    const auto res = h.access(MemRef{0x9000'0040, paddr, 1, false});
+    EXPECT_TRUE(res.l1_utag_mismatch);
+    EXPECT_EQ(res.level, HitLevel::L2);
+    // No architectural L2 access happens for a predictor mishap.
+    EXPECT_EQ(h.l2().counters().forThread(1).accesses, 0u);
+}
+
+TEST(Hierarchy, PrefetcherPullsStridedLines)
+{
+    HierarchyConfig cfg;
+    cfg.enable_prefetcher = true;
+    CacheHierarchy h(cfg);
+    // Walk a steady stride; after training, upcoming lines are in L1.
+    const Addr base = 0x10'0000;
+    for (int i = 0; i < 8; ++i)
+        h.access(MemRef::load(base + static_cast<Addr>(i) * 64));
+    EXPECT_TRUE(h.inL1(MemRef::load(base + 9 * 64)));
+}
+
+TEST(Hierarchy, NoPrefetchWhenDisabled)
+{
+    CacheHierarchy h;
+    const Addr base = 0x10'0000;
+    for (int i = 0; i < 8; ++i)
+        h.access(MemRef::load(base + static_cast<Addr>(i) * 64));
+    EXPECT_FALSE(h.inL1(MemRef::load(base + 9 * 64)));
+}
+
+TEST(Hierarchy, PlBypassDoesNotFillL1)
+{
+    HierarchyConfig cfg;
+    cfg.l1_pl_mode = PlMode::Original;
+    CacheHierarchy h(cfg);
+    const AddressLayout &layout = h.l1().layout();
+    // Lock the whole set.
+    for (std::uint32_t i = 0; i < 8; ++i)
+        h.access(MemRef::load(lineInSet(layout, 2, i)), LockReq::Lock);
+    const auto ref = MemRef::load(lineInSet(layout, 2, 20));
+    const auto res = h.access(ref);
+    EXPECT_TRUE(res.l1_bypassed);
+    EXPECT_FALSE(h.inL1(ref));
+    // The data still came from somewhere below L1.
+    EXPECT_NE(res.level, HitLevel::L1);
+    // And is served from L2 next time (still bypassing L1).
+    EXPECT_EQ(h.access(ref).level, HitLevel::L2);
+}
+
+TEST(Hierarchy, GeometryMatchesTestedCpus)
+{
+    CacheHierarchy h;
+    EXPECT_EQ(h.l1().config().size_bytes, 32u * 1024);
+    EXPECT_EQ(h.l1().config().ways, 8u);
+    EXPECT_EQ(h.l1().numSets(), 64u);
+}

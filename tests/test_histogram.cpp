@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the histogram utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/histogram.hpp"
+
+using namespace lruleak::core;
+
+TEST(Histogram, EmptyByDefault)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MeanAndExtremes)
+{
+    Histogram h;
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+}
+
+TEST(Histogram, FrequencySumsToOne)
+{
+    Histogram h;
+    for (std::uint32_t v = 0; v < 100; ++v)
+        h.add(v % 10);
+    double total = 0;
+    for (std::uint32_t v = 0; v < 10; ++v)
+        total += h.frequency(v);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NEAR(h.frequency(3), 0.1, 1e-9);
+    EXPECT_DOUBLE_EQ(h.frequency(55), 0.0);
+}
+
+TEST(Histogram, BucketWidthGroupsValues)
+{
+    Histogram h(16);
+    h.add(0);
+    h.add(15);
+    h.add(16);
+    EXPECT_NEAR(h.frequency(7), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(h.frequency(20), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h;
+    for (std::uint32_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_NEAR(h.percentile(0.5), 50u, 2u);
+    EXPECT_NEAR(h.percentile(0.9), 90u, 2u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, NormalizedSorted)
+{
+    Histogram h;
+    h.add(5);
+    h.add(3);
+    h.add(5);
+    const auto n = h.normalized();
+    ASSERT_EQ(n.size(), 2u);
+    EXPECT_EQ(n[0].first, 3u);
+    EXPECT_NEAR(n[1].second, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Overlap, IdenticalIsOne)
+{
+    Histogram a, b;
+    for (std::uint32_t v = 0; v < 50; ++v) {
+        a.add(v % 7);
+        b.add(v % 7);
+    }
+    EXPECT_NEAR(overlapCoefficient(a, b), 1.0, 1e-9);
+}
+
+TEST(Overlap, DisjointIsZero)
+{
+    Histogram a, b;
+    a.add(1);
+    a.add(2);
+    b.add(100);
+    b.add(200);
+    EXPECT_DOUBLE_EQ(overlapCoefficient(a, b), 0.0);
+}
+
+TEST(Overlap, EmptyIsZero)
+{
+    Histogram a, b;
+    a.add(1);
+    EXPECT_DOUBLE_EQ(overlapCoefficient(a, b), 0.0);
+}
+
+TEST(RenderPair, ContainsLabelsAndBars)
+{
+    Histogram a, b;
+    for (int i = 0; i < 10; ++i) {
+        a.add(35);
+        b.add(43);
+    }
+    const auto text = Histogram::renderPair(a, b, "L1 hit", "L1 miss");
+    EXPECT_NE(text.find("L1 hit"), std::string::npos);
+    EXPECT_NE(text.find("L1 miss"), std::string::npos);
+    EXPECT_NE(text.find('#'), std::string::npos);
+    EXPECT_NE(text.find("35"), std::string::npos);
+    EXPECT_NE(text.find("43"), std::string::npos);
+}
+
+TEST(RenderPair, HandlesEmpty)
+{
+    Histogram a, b;
+    EXPECT_FALSE(Histogram::renderPair(a, b, "x", "y").empty());
+}

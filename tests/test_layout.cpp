@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the channel address plan (channel/layout.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "channel/layout.hpp"
+
+using namespace lruleak;
+using namespace lruleak::channel;
+
+TEST(Layout, ReceiverLinesAllMapToTargetSet)
+{
+    const ChannelLayout layout(sim::CacheConfig::intelL1d(), 13, 63);
+    for (auto alg : {LruAlgorithm::Alg1Shared, LruAlgorithm::Alg2Disjoint}) {
+        for (std::uint32_t i = 0; i < layout.receiverLineCount(alg); ++i) {
+            const auto ref = layout.receiverLine(alg, i);
+            EXPECT_EQ(layout.layout().setIndex(ref.vaddr), 13u);
+        }
+    }
+}
+
+TEST(Layout, ReceiverLineCountMatchesAlgorithms)
+{
+    const ChannelLayout layout;
+    // Algorithm 1 uses N+1 lines, Algorithm 2 uses N.
+    EXPECT_EQ(layout.receiverLineCount(LruAlgorithm::Alg1Shared), 9u);
+    EXPECT_EQ(layout.receiverLineCount(LruAlgorithm::Alg2Disjoint), 8u);
+}
+
+TEST(Layout, ReceiverLinesHaveDistinctTags)
+{
+    const ChannelLayout layout;
+    std::set<sim::Addr> tags;
+    for (std::uint32_t i = 0;
+         i < layout.receiverLineCount(LruAlgorithm::Alg1Shared); ++i) {
+        const auto ref = layout.receiverLine(LruAlgorithm::Alg1Shared, i);
+        tags.insert(layout.layout().tag(ref.paddr));
+    }
+    EXPECT_EQ(tags.size(), 9u);
+}
+
+TEST(Layout, Alg1SharesOnePhysicalLine)
+{
+    const ChannelLayout layout;
+    const auto s = layout.senderLine(LruAlgorithm::Alg1Shared);
+    const auto r = layout.receiverLine(LruAlgorithm::Alg1Shared, 0);
+    EXPECT_EQ(s.paddr, r.paddr);
+    EXPECT_EQ(s.vaddr, r.vaddr); // same-mapping default
+    EXPECT_NE(s.thread, r.thread);
+}
+
+TEST(Layout, Alg2LinesAreFullyDisjoint)
+{
+    const ChannelLayout layout;
+    const auto s = layout.senderLine(LruAlgorithm::Alg2Disjoint);
+    EXPECT_EQ(layout.layout().setIndex(s.vaddr), layout.targetSet());
+    for (std::uint32_t i = 0;
+         i < layout.receiverLineCount(LruAlgorithm::Alg2Disjoint); ++i) {
+        const auto r = layout.receiverLine(LruAlgorithm::Alg2Disjoint, i);
+        EXPECT_NE(layout.layout().tag(s.paddr), layout.layout().tag(r.paddr));
+    }
+}
+
+TEST(Layout, CrossAddressSpaceAliasKeepsSetChangesVaddr)
+{
+    const ChannelLayout layout(sim::CacheConfig::intelL1d(), 7, 63,
+                               /*shared_same_vaddr=*/false);
+    const auto s = layout.sharedLine(kSenderThread);
+    const auto r = layout.sharedLine(kReceiverThread);
+    EXPECT_EQ(s.paddr, r.paddr) << "one physical line";
+    EXPECT_NE(s.vaddr, r.vaddr) << "two mappings";
+    EXPECT_EQ(layout.layout().setIndex(s.vaddr),
+              layout.layout().setIndex(r.vaddr))
+        << "VIPT: both mappings index the same set";
+}
+
+TEST(Layout, ChaseRefsLiveInChaseSet)
+{
+    const ChannelLayout layout(sim::CacheConfig::intelL1d(), 7, 62);
+    const auto chase = layout.chaseRefs();
+    EXPECT_EQ(chase.size(), 7u);
+    std::set<sim::Addr> tags;
+    for (const auto &ref : chase) {
+        EXPECT_EQ(layout.layout().setIndex(ref.vaddr), 62u);
+        tags.insert(layout.layout().tag(ref.paddr));
+    }
+    EXPECT_EQ(tags.size(), 7u);
+}
+
+TEST(Layout, ChaseSetDisjointFromTargetSet)
+{
+    const ChannelLayout layout;
+    EXPECT_NE(layout.targetSet(), layout.chaseSet());
+}
+
+TEST(Layout, PartiesUseDifferentAddressSpaces)
+{
+    const ChannelLayout layout;
+    const auto s = layout.senderLine(LruAlgorithm::Alg2Disjoint);
+    const auto r = layout.receiverLine(LruAlgorithm::Alg2Disjoint, 0);
+    // Tags far apart: distinct bases.
+    EXPECT_NE(s.paddr >> 40, r.paddr >> 40);
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the measurement primitives (Section IV-D, Appendix A):
+ * the pointer chase separates L1 hits from misses, a bare rdtscp pair
+ * does not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "core/histogram.hpp"
+#include "timing/pointer_chase.hpp"
+
+using namespace lruleak;
+using namespace lruleak::timing;
+
+TEST(PointerChase, HitBelowThresholdMissAbove)
+{
+    const auto u = Uarch::intelXeonE52690();
+    const MeasurementModel model(u);
+    sim::Xoshiro256 rng(1);
+    const auto threshold = model.chaseThreshold();
+    int hit_ok = 0, miss_ok = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        hit_ok += model.chaseAllL1(7, sim::HitLevel::L1, rng) <= threshold;
+        miss_ok += model.chaseAllL1(7, sim::HitLevel::L2, rng) > threshold;
+    }
+    EXPECT_GT(hit_ok, n * 98 / 100);
+    EXPECT_GT(miss_ok, n * 98 / 100);
+}
+
+TEST(PointerChase, MeansMatchFig3Calibration)
+{
+    // Fig. 3 left (E5-2690): hits ~ 35 cycles, misses ~ 43.
+    const auto u = Uarch::intelXeonE52690();
+    const MeasurementModel model(u);
+    sim::Xoshiro256 rng(2);
+    double hit_sum = 0, miss_sum = 0;
+    for (int i = 0; i < 5000; ++i) {
+        hit_sum += model.chaseAllL1(7, sim::HitLevel::L1, rng);
+        miss_sum += model.chaseAllL1(7, sim::HitLevel::L2, rng);
+    }
+    EXPECT_NEAR(hit_sum / 5000, 35.0, 1.5);
+    EXPECT_NEAR(miss_sum / 5000, 43.0, 1.5);
+}
+
+TEST(SingleAccess, CannotSeparateL1FromL2)
+{
+    // Appendix A: the serialization floor hides the L1/L2 difference.
+    const auto u = Uarch::intelXeonE52690();
+    const MeasurementModel model(u);
+    sim::Xoshiro256 rng(3);
+    double hit_sum = 0, miss_sum = 0;
+    for (int i = 0; i < 5000; ++i) {
+        hit_sum += model.single(sim::HitLevel::L1, rng);
+        miss_sum += model.single(sim::HitLevel::L2, rng);
+    }
+    EXPECT_NEAR(hit_sum / 5000, miss_sum / 5000, 0.5);
+}
+
+TEST(SingleAccess, StillSeparatesMemoryMisses)
+{
+    // Flush+Reload (mem) survives rdtscp because a memory miss towers
+    // over the serialization floor.
+    const auto u = Uarch::intelXeonE52690();
+    const MeasurementModel model(u);
+    sim::Xoshiro256 rng(4);
+    double l1 = 0, mem = 0;
+    for (int i = 0; i < 1000; ++i) {
+        l1 += model.single(sim::HitLevel::L1, rng);
+        mem += model.single(sim::HitLevel::Memory, rng);
+    }
+    EXPECT_GT(mem / 1000, l1 / 1000 + 100);
+}
+
+TEST(Quantization, AmdReadoutIsCoarse)
+{
+    const auto u = Uarch::amdEpyc7571();
+    const MeasurementModel model(u);
+    sim::Xoshiro256 rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const auto v = model.chaseAllL1(7, sim::HitLevel::L1, rng);
+        EXPECT_EQ(v % u.tsc_granularity, 0u)
+            << "readout must be a multiple of the TSC granularity";
+    }
+}
+
+TEST(Quantization, AmdDistributionsOverlapButDiffer)
+{
+    // Fig. 3 right: AMD hit/miss overlap substantially (hence the paper
+    // needs averaging) yet are distinguishable in distribution.
+    const auto u = Uarch::amdEpyc7571();
+    const auto h = core::pointerChaseHistograms(u, 20000, 6);
+    const double overlap = core::overlapCoefficient(h.hit, h.miss);
+    EXPECT_GT(overlap, 0.10);
+    EXPECT_LT(overlap, 0.95);
+    EXPECT_LT(h.hit.mean(), h.miss.mean());
+}
+
+TEST(Quantization, IntelDistributionsSeparate)
+{
+    const auto u = Uarch::intelXeonE52690();
+    const auto h = core::pointerChaseHistograms(u, 20000, 6);
+    EXPECT_LT(core::overlapCoefficient(h.hit, h.miss), 0.05);
+}
+
+TEST(Fig13, SingleAccessDistributionsOverlapCompletely)
+{
+    const auto u = Uarch::intelXeonE52690();
+    const auto h = core::singleAccessHistograms(u, 20000, 6);
+    EXPECT_GT(core::overlapCoefficient(h.hit, h.miss), 0.85);
+}
+
+TEST(Threshold, BetweenHitAndMissMeans)
+{
+    for (const auto &u : {Uarch::intelXeonE52690(),
+                          Uarch::intelXeonE31245v5(),
+                          Uarch::amdEpyc7571()}) {
+        const MeasurementModel model(u);
+        sim::Xoshiro256 rng(7);
+        double hit = 0, miss = 0;
+        for (int i = 0; i < 2000; ++i) {
+            hit += model.chaseAllL1(7, sim::HitLevel::L1, rng);
+            miss += model.chaseAllL1(7, sim::HitLevel::L2, rng);
+        }
+        EXPECT_GT(model.chaseThreshold(), hit / 2000);
+        EXPECT_LT(model.chaseThreshold(), miss / 2000);
+    }
+}
+
+TEST(ChainLength, LongerChainsAmortizeNothingExtra)
+{
+    // The chain's purpose is serialization; the measured delta between
+    // hit and miss must be the L2-L1 gap regardless of chain length.
+    const auto u = Uarch::intelXeonE52690();
+    const MeasurementModel model(u);
+    sim::Xoshiro256 rng(8);
+    for (std::uint32_t len : {3u, 7u, 15u}) {
+        double hit = 0, miss = 0;
+        for (int i = 0; i < 2000; ++i) {
+            hit += model.chaseAllL1(len, sim::HitLevel::L1, rng);
+            miss += model.chaseAllL1(len, sim::HitLevel::L2, rng);
+        }
+        EXPECT_NEAR((miss - hit) / 2000, u.l2_latency - u.l1_latency, 0.5);
+    }
+}
+
+TEST(MeasurementModel, ChaseUsesReportedChainLevels)
+{
+    // A polluted chain (elements demoted to L2) inflates the readout —
+    // the reason the paper keeps the chain in its own set.
+    const auto u = Uarch::intelXeonE52690();
+    const MeasurementModel model(u);
+    sim::Xoshiro256 rng(9);
+    const std::vector<sim::HitLevel> clean(7, sim::HitLevel::L1);
+    std::vector<sim::HitLevel> polluted(7, sim::HitLevel::L2);
+    double c = 0, p = 0;
+    for (int i = 0; i < 1000; ++i) {
+        c += model.chase(clean, sim::HitLevel::L1, rng);
+        p += model.chase(polluted, sim::HitLevel::L1, rng);
+    }
+    EXPECT_GT(p / 1000, c / 1000 + 7 * (u.l2_latency - u.l1_latency) - 1);
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the prefetcher models (Appendix C noise source).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/prefetcher.hpp"
+#include "sim/random.hpp"
+
+using namespace lruleak::sim;
+
+TEST(NextLine, PrefetchesOnMissOnly)
+{
+    NextLinePrefetcher pf(64);
+    const auto on_hit = pf.observe(MemRef::load(0x1000), true);
+    EXPECT_TRUE(on_hit.empty());
+    const auto on_miss = pf.observe(MemRef::load(0x1000), false);
+    ASSERT_EQ(on_miss.size(), 1u);
+    EXPECT_EQ(on_miss[0], 0x1040u);
+}
+
+TEST(NextLine, AlignsToLineBase)
+{
+    NextLinePrefetcher pf(64);
+    const auto out = pf.observe(MemRef::load(0x1037), false);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x1040u);
+}
+
+TEST(Stride, NeedsTwoConfirmations)
+{
+    StridePrefetcher pf(64, 2);
+    EXPECT_TRUE(pf.observe(MemRef::load(0x0000), false).empty());
+    EXPECT_TRUE(pf.observe(MemRef::load(0x0040), false).empty());
+    EXPECT_TRUE(pf.observe(MemRef::load(0x0080), false).empty());
+    const auto out = pf.observe(MemRef::load(0x00c0), false);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0x0100u);
+    EXPECT_EQ(out[1], 0x0140u);
+}
+
+TEST(Stride, DetectsNegativeStride)
+{
+    StridePrefetcher pf(64, 1);
+    pf.observe(MemRef::load(0x1000), false);
+    pf.observe(MemRef::load(0x0fc0), false);
+    pf.observe(MemRef::load(0x0f80), false);
+    const auto out = pf.observe(MemRef::load(0x0f40), false);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x0f00u);
+}
+
+TEST(Stride, RandomPatternStaysQuiet)
+{
+    StridePrefetcher pf(64, 2);
+    Xoshiro256 rng(8);
+    std::size_t prefetches = 0;
+    for (int i = 0; i < 200; ++i)
+        prefetches += pf.observe(
+            MemRef::load(rng.below(1 << 20) * 64), false).size();
+    // Occasional accidental stride pairs are fine; a flood is not.
+    EXPECT_LT(prefetches, 20u);
+}
+
+TEST(Stride, StreamsArePerThread)
+{
+    StridePrefetcher pf(64, 1);
+    // Thread 0 walks evenly; thread 1 interleaves randomly.
+    pf.observe(MemRef::load(0x0000, 0), false);
+    pf.observe(MemRef::load(0x9000, 1), false);
+    pf.observe(MemRef::load(0x0040, 0), false);
+    pf.observe(MemRef::load(0x5000, 1), false);
+    pf.observe(MemRef::load(0x0080, 0), false);
+    const auto out = pf.observe(MemRef::load(0x00c0, 0), false);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(Stride, ResetForgetsTraining)
+{
+    StridePrefetcher pf(64, 1);
+    pf.observe(MemRef::load(0x0000), false);
+    pf.observe(MemRef::load(0x0040), false);
+    pf.observe(MemRef::load(0x0080), false);
+    pf.reset();
+    EXPECT_TRUE(pf.observe(MemRef::load(0x00c0), false).empty());
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the deterministic RNG (sim/random.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/random.hpp"
+
+using lruleak::sim::Xoshiro256;
+
+TEST(Random, SameSeedSameStream)
+{
+    Xoshiro256 a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Random, BelowZeroBoundYieldsZero)
+{
+    Xoshiro256 rng(7);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Random, BelowCoversAllValues)
+{
+    Xoshiro256 rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Xoshiro256 rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, UniformIsInUnitInterval)
+{
+    Xoshiro256 rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, ChanceRespectsProbability)
+{
+    Xoshiro256 rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Random, GaussianMoments)
+{
+    Xoshiro256 rng(17);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Random, GaussianBounded)
+{
+    // Irwin-Hall sum of 12 uniforms is bounded by +-6 sigma.
+    Xoshiro256 rng(19);
+    for (int i = 0; i < 10000; ++i) {
+        const double g = rng.gaussian();
+        ASSERT_GE(g, -6.0);
+        ASSERT_LE(g, 6.0);
+    }
+}
+
+TEST(Random, ForkProducesIndependentStream)
+{
+    Xoshiro256 a(21);
+    Xoshiro256 b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, UsableWithStdShuffleConcepts)
+{
+    // min/max bounds declared correctly for UniformRandomBitGenerator.
+    EXPECT_EQ(Xoshiro256::min(), 0u);
+    EXPECT_EQ(Xoshiro256::max(), ~0ULL);
+}

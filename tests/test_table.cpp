@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the table/chart rendering helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/table.hpp"
+
+using namespace lruleak::core;
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"Channel", "Rate", "Error"});
+    t.addRow({"Alg.1", "630 Kbps", "0.0%"});
+    t.addRow({"Alg.2", "630 Kbps", "1.2%"});
+    std::ostringstream os;
+    t.print(os);
+    const auto text = os.str();
+    EXPECT_NE(text.find("Channel"), std::string::npos);
+    EXPECT_NE(text.find("Alg.2"), std::string::npos);
+    EXPECT_NE(text.find("630 Kbps"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"only"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"x", "yyyyyy"});
+    t.addRow({"longvalue", "1"});
+    std::ostringstream os;
+    t.print(os);
+    // Header line must be padded to at least the row width.
+    const auto text = os.str();
+    const auto first_nl = text.find('\n');
+    const auto second_nl = text.find('\n', first_nl + 1);
+    const auto third_nl = text.find('\n', second_nl + 1);
+    const auto header_len = first_nl;
+    const auto row_len = third_nl - second_nl - 1;
+    EXPECT_EQ(header_len, row_len);
+}
+
+TEST(Fmt, Double)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+TEST(Fmt, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.123, 1), "12.3%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Fmt, Kbps)
+{
+    EXPECT_EQ(fmtKbps(480.0), "480.0 Kbps");
+    EXPECT_EQ(fmtKbps(0.0024), "2.40 bps");
+}
+
+TEST(Sparkline, OnePerValue)
+{
+    const auto line = sparkline({1.0, 2.0, 3.0});
+    // Three UTF-8 block glyphs, 3 bytes each.
+    EXPECT_EQ(line.size(), 9u);
+    EXPECT_TRUE(sparkline({}).empty());
+}
+
+TEST(Sparkline, FlatSeriesDoesNotCrash)
+{
+    EXPECT_FALSE(sparkline({5.0, 5.0, 5.0}).empty());
+}
+
+TEST(AsciiChart, HasRequestedHeight)
+{
+    std::vector<double> vals;
+    for (int i = 0; i < 50; ++i)
+        vals.push_back(i % 10);
+    const auto chart = asciiChart(vals, 6, 40);
+    std::size_t lines = 0;
+    for (char c : chart)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 6u);
+    EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyInput)
+{
+    EXPECT_TRUE(asciiChart({}, 5, 10).empty());
+}

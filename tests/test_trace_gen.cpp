@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the synthetic workload suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/trace_gen.hpp"
+
+using namespace lruleak;
+using namespace lruleak::workload;
+
+TEST(Workloads, SuiteHasTenDistinctWorkloads)
+{
+    const auto names = workloadNames();
+    EXPECT_EQ(names.size(), 10u);
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Workloads, FactoryByName)
+{
+    for (const auto &name : workloadNames()) {
+        auto w = makeWorkload(name);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->name(), name);
+    }
+    EXPECT_THROW(makeWorkload("nope"), std::invalid_argument);
+}
+
+TEST(Workloads, MemFractionsAreSane)
+{
+    for (const auto &w : makeWorkloadSuite()) {
+        EXPECT_GT(w->memFraction(), 0.1) << w->name();
+        EXPECT_LT(w->memFraction(), 0.6) << w->name();
+    }
+}
+
+TEST(Workloads, StreamIsSequential)
+{
+    auto w = makeWorkload("stream");
+    sim::Xoshiro256 rng(1);
+    const auto a = w->next(rng);
+    const auto b = w->next(rng);
+    EXPECT_EQ(b, a + 8);
+}
+
+TEST(Workloads, ResetRestartsDeterministicStreams)
+{
+    auto w = makeWorkload("stream");
+    sim::Xoshiro256 rng(1);
+    const auto first = w->next(rng);
+    w->next(rng);
+    w->reset();
+    EXPECT_EQ(w->next(rng), first);
+}
+
+TEST(Workloads, HotLoopConcentratesAccesses)
+{
+    auto w = makeWorkload("hotloop");
+    sim::Xoshiro256 rng(2);
+    std::set<sim::Addr> lines;
+    for (int i = 0; i < 5000; ++i)
+        lines.insert(w->next(rng) / 64);
+    // Mostly a 256-line hot set plus a cold tail.
+    EXPECT_LT(lines.size(), 1200u);
+}
+
+TEST(Workloads, PointerChaseSpreadsAccesses)
+{
+    auto w = makeWorkload("ptrchase");
+    sim::Xoshiro256 rng(3);
+    std::set<sim::Addr> lines;
+    for (int i = 0; i < 5000; ++i)
+        lines.insert(w->next(rng) / 64);
+    EXPECT_GT(lines.size(), 4500u);
+}
+
+TEST(Workloads, SameSeedSameTrace)
+{
+    for (const auto &name : workloadNames()) {
+        auto w1 = makeWorkload(name);
+        auto w2 = makeWorkload(name);
+        sim::Xoshiro256 r1(7), r2(7);
+        for (int i = 0; i < 200; ++i)
+            ASSERT_EQ(w1->next(r1), w2->next(r2)) << name;
+    }
+}
+
+TEST(Workloads, AddressesStayInHeapRange)
+{
+    for (const auto &w : makeWorkloadSuite()) {
+        sim::Xoshiro256 rng(11);
+        for (int i = 0; i < 1000; ++i) {
+            const auto a = w->next(rng);
+            EXPECT_GE(a, 0x0900'0000'0000ULL) << w->name();
+            EXPECT_LT(a, 0x0a00'0000'0000ULL) << w->name();
+        }
+    }
+}

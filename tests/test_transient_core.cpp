@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the transient-execution model: misprediction gating, the
+ * speculation window, and the cache side effects that survive squash.
+ */
+
+#include <gtest/gtest.h>
+
+#include "spectre/transient_core.hpp"
+
+using namespace lruleak;
+using namespace lruleak::spectre;
+
+namespace {
+
+struct Rig
+{
+    sim::CacheHierarchy hierarchy;
+    SpectreVictim victim{"Z"};
+    TransientCore core;
+
+    explicit Rig(std::uint64_t window = 700)
+        : core(hierarchy, timing::Uarch::intelXeonE52690(),
+               SpeculationConfig{window, 2})
+    {}
+
+    void
+    train(int calls = 6)
+    {
+        for (int i = 0; i < calls; ++i)
+            core.callVictim(victim, 0, GadgetPart::LowSixBits);
+    }
+
+    void
+    warmSecret()
+    {
+        const sim::Addr s = SpectreVictim::kArray1 +
+            SpectreVictim::kSecretOffset;
+        hierarchy.access(sim::MemRef{s, s, kVictimThread, false});
+    }
+};
+
+} // namespace
+
+TEST(TransientCore, ArchitecturalCallAlwaysExecutesGadget)
+{
+    Rig rig;
+    const auto res = rig.core.callVictim(rig.victim, 3,
+                                         GadgetPart::LowSixBits);
+    EXPECT_TRUE(res.architectural);
+    EXPECT_TRUE(res.load1_landed);
+    EXPECT_TRUE(res.load2_landed);
+    EXPECT_EQ(res.loaded_byte, 3);
+}
+
+TEST(TransientCore, UntrainedOutOfBoundsDoesNothing)
+{
+    Rig rig;
+    const auto res = rig.core.callVictim(
+        rig.victim, SpectreVictim::maliciousX(0), GadgetPart::LowSixBits);
+    EXPECT_FALSE(res.architectural);
+    EXPECT_FALSE(res.predicted_taken);
+    EXPECT_FALSE(res.load1_landed);
+    EXPECT_FALSE(res.load2_landed);
+}
+
+TEST(TransientCore, TrainedOutOfBoundsLeaksIntoCache)
+{
+    Rig rig;
+    rig.train();
+    rig.warmSecret();
+    const auto res = rig.core.callVictim(
+        rig.victim, SpectreVictim::maliciousX(0), GadgetPart::LowSixBits);
+    EXPECT_TRUE(res.predicted_taken);
+    EXPECT_FALSE(res.architectural);
+    EXPECT_TRUE(res.load2_landed);
+    EXPECT_EQ(res.loaded_byte, 'Z');
+    EXPECT_EQ(res.encoded_index, 'Z' & 0x3f);
+    // The encode line is now cached: that is the whole leak.
+    const sim::Addr a2 = SpectreVictim::array2Line('Z' & 0x3f);
+    EXPECT_TRUE(rig.hierarchy.inL1(sim::MemRef::load(a2)));
+}
+
+TEST(TransientCore, TinyWindowBlocksColdLoad1)
+{
+    Rig rig(/*window=*/10);
+    rig.train();
+    // Secret NOT warmed: load1 needs a memory access > 10 cycles.
+    const auto res = rig.core.callVictim(
+        rig.victim, SpectreVictim::maliciousX(0), GadgetPart::LowSixBits);
+    EXPECT_TRUE(res.predicted_taken);
+    EXPECT_FALSE(res.load1_landed);
+    EXPECT_FALSE(res.load2_landed);
+}
+
+TEST(TransientCore, SmallWindowFitsWarmLoads)
+{
+    Rig rig(/*window=*/30);
+    rig.train();
+    rig.warmSecret();
+    // Warm the encode target too (the LRU channel's Algorithm 1 state).
+    const sim::Addr a2 = SpectreVictim::array2Line('Z' & 0x3f);
+    rig.hierarchy.access(sim::MemRef::load(a2));
+
+    const auto res = rig.core.callVictim(
+        rig.victim, SpectreVictim::maliciousX(0), GadgetPart::LowSixBits);
+    EXPECT_TRUE(res.load1_landed);
+    EXPECT_TRUE(res.load2_landed);
+}
+
+TEST(TransientCore, MediumWindowBlocksMemoryEncode)
+{
+    // The paper's key claim (Section VIII): F+R needs its flushed encode
+    // line to come from memory, which needs a much larger window than an
+    // L1-hit encode.
+    Rig rig(/*window=*/60);
+    rig.train();
+    rig.warmSecret();
+    rig.hierarchy.flush(sim::MemRef::load(
+        SpectreVictim::array2Line('Z' & 0x3f)));
+
+    const auto res = rig.core.callVictim(
+        rig.victim, SpectreVictim::maliciousX(0), GadgetPart::LowSixBits);
+    EXPECT_TRUE(res.load1_landed);
+    EXPECT_FALSE(res.load2_landed) << "memory-latency encode cannot "
+                                      "complete in a 60-cycle window";
+}
+
+TEST(TransientCore, ArchitecturalOutcomeUpdatesPredictor)
+{
+    Rig rig;
+    rig.train();
+    // Repeated out-of-bounds calls eventually retrain to not-taken.
+    for (int i = 0; i < 6; ++i)
+        rig.core.callVictim(rig.victim, SpectreVictim::maliciousX(0),
+                            GadgetPart::LowSixBits);
+    const auto res = rig.core.callVictim(
+        rig.victim, SpectreVictim::maliciousX(0), GadgetPart::LowSixBits);
+    EXPECT_FALSE(res.predicted_taken);
+}
+
+TEST(TransientCore, HighPartEncodesUpperBits)
+{
+    Rig rig;
+    rig.train(6);
+    rig.warmSecret();
+    const auto res = rig.core.callVictim(
+        rig.victim, SpectreVictim::maliciousX(0), GadgetPart::HighTwoBits);
+    EXPECT_EQ(res.encoded_index, 'Z' >> 6);
+}
+
+TEST(TransientCore, WindowSetterWorks)
+{
+    Rig rig;
+    rig.core.setWindow(123);
+    EXPECT_EQ(rig.core.config().window, 123u);
+}

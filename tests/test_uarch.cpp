@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the microarchitecture presets (Tables II and III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/uarch.hpp"
+
+using namespace lruleak;
+using timing::Uarch;
+
+TEST(Uarch, TableIILatencies)
+{
+    // Paper Table II: L1D 4-5 cycles on all three; L2 12 on Intel,
+    // 17 on AMD Zen.
+    const auto snb = Uarch::intelXeonE52690();
+    const auto skl = Uarch::intelXeonE31245v5();
+    const auto zen = Uarch::amdEpyc7571();
+
+    for (const auto *u : {&snb, &skl, &zen}) {
+        EXPECT_GE(u->l1_latency, 4u);
+        EXPECT_LE(u->l1_latency, 5u);
+    }
+    EXPECT_EQ(snb.l2_latency, 12u);
+    EXPECT_EQ(skl.l2_latency, 12u);
+    EXPECT_EQ(zen.l2_latency, 17u);
+}
+
+TEST(Uarch, TableIIIFrequencies)
+{
+    EXPECT_DOUBLE_EQ(Uarch::intelXeonE52690().ghz, 3.8);
+    EXPECT_DOUBLE_EQ(Uarch::intelXeonE31245v5().ghz, 3.9);
+    EXPECT_DOUBLE_EQ(Uarch::amdEpyc7571().ghz, 2.5);
+}
+
+TEST(Uarch, OnlyAmdHasWayPredictor)
+{
+    EXPECT_FALSE(Uarch::intelXeonE52690().way_predictor);
+    EXPECT_FALSE(Uarch::intelXeonE31245v5().way_predictor);
+    EXPECT_TRUE(Uarch::amdEpyc7571().way_predictor);
+}
+
+TEST(Uarch, AmdTimestampIsCoarse)
+{
+    // Section VI-A: the AMD readout granularity is much coarser.
+    EXPECT_EQ(Uarch::intelXeonE52690().tsc_granularity, 1u);
+    EXPECT_GE(Uarch::amdEpyc7571().tsc_granularity, 8u);
+}
+
+TEST(Uarch, LatencyMapping)
+{
+    const auto u = Uarch::intelXeonE52690();
+    EXPECT_EQ(u.latency(sim::HitLevel::L1), u.l1_latency);
+    EXPECT_EQ(u.latency(sim::HitLevel::L2), u.l2_latency);
+    EXPECT_EQ(u.latency(sim::HitLevel::LLC), u.llc_latency);
+    EXPECT_EQ(u.latency(sim::HitLevel::Memory), u.mem_latency);
+    EXPECT_LT(u.l1_latency, u.l2_latency);
+    EXPECT_LT(u.l2_latency, u.llc_latency);
+    EXPECT_LT(u.llc_latency, u.mem_latency);
+}
+
+TEST(Uarch, CyclesToSeconds)
+{
+    const auto u = Uarch::intelXeonE52690();
+    EXPECT_DOUBLE_EQ(u.cyclesToSeconds(3'800'000'000ULL), 1.0);
+}
+
+TEST(Uarch, KbpsMath)
+{
+    const auto u = Uarch::intelXeonE52690();
+    // 3800 bits in 1 second = 3.8 kbit/s.
+    EXPECT_NEAR(u.kbps(3800, 3'800'000'000ULL), 3.8, 1e-9);
+    EXPECT_DOUBLE_EQ(u.kbps(100, 0), 0.0);
+}
+
+TEST(Uarch, PaperHeadlineRateIsRepresentable)
+{
+    // Ts = 6000 cycles/bit at 3.8 GHz ~ 633 kbit/s theoretical ceiling;
+    // the paper reports 480-580 kbit/s effective.
+    const auto u = Uarch::intelXeonE52690();
+    const double ceiling = u.kbps(1, 6000);
+    EXPECT_NEAR(ceiling, 633.3, 1.0);
+}
+
+TEST(Uarch, HierarchyConfigCarriesWayPredictor)
+{
+    EXPECT_TRUE(Uarch::amdEpyc7571().hierarchyConfig().l1_way_predictor);
+    EXPECT_FALSE(
+        Uarch::intelXeonE52690().hierarchyConfig().l1_way_predictor);
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the AMD utag hash (sim/way_predictor.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/random.hpp"
+#include "sim/way_predictor.hpp"
+
+using namespace lruleak::sim;
+
+TEST(Utag, DeterministicPerLine)
+{
+    for (Addr a : {0x0ULL, 0x40ULL, 0x12345040ULL})
+        EXPECT_EQ(WayPredictor::utag(a), WayPredictor::utag(a));
+}
+
+TEST(Utag, OffsetWithinLineIgnored)
+{
+    const Addr line = 0x7777'7000;
+    for (Addr off = 0; off < 64; ++off)
+        EXPECT_EQ(WayPredictor::utag(line + off), WayPredictor::utag(line));
+}
+
+TEST(Utag, AdjacentLinesDiffer)
+{
+    // Not a strict requirement of the hash, but the attack model needs
+    // different lines to mostly have different utags.
+    int same = 0;
+    for (int i = 0; i < 256; ++i) {
+        const Addr a = 0x4000'0000 + static_cast<Addr>(i) * 64;
+        same += WayPredictor::utag(a) == WayPredictor::utag(a + 64) ? 1 : 0;
+    }
+    EXPECT_LT(same, 8);
+}
+
+TEST(Utag, WellDistributed)
+{
+    // Chi-square-lite: bucket counts of 4096 hashed lines over the
+    // 256 possible utags should be roughly uniform.
+    std::map<std::uint16_t, int> counts;
+    for (int i = 0; i < 4096; ++i)
+        ++counts[WayPredictor::utag(0x1000'0000 +
+                                    static_cast<Addr>(i) * 64)];
+    int max_bucket = 0;
+    for (const auto &[utag, count] : counts)
+        max_bucket = std::max(max_bucket, count);
+    // Mean 16 per bucket; a pathological hash would concentrate.
+    EXPECT_LT(max_bucket, 48);
+    EXPECT_GT(static_cast<int>(counts.size()), 200);
+}
+
+TEST(Utag, PageAlignedRemapChangesUtag)
+{
+    // The cross-address-space condition of Section VI-B: two mappings of
+    // one physical page have different linear addresses, hence
+    // (almost always) different utags.
+    int diffs = 0;
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const Addr va = rng.below(1ULL << 36) * 0x1000;
+        const Addr alias = va + (1 + rng.below(1ULL << 20)) * 0x1000;
+        diffs += WayPredictor::utag(va) != WayPredictor::utag(alias) ? 1 : 0;
+    }
+    EXPECT_GT(diffs, 90);
+}
