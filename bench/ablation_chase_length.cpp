@@ -1,65 +1,14 @@
 /**
  * @file
- * Ablation: why a 7-element chase chain?  (Paper footnote 3: short
- * chains are dominated by the timer overhead/noise, long chains add
- * their own noise.)  Sweeps the chain length and reports hit/miss
- * distribution overlap plus the end-to-end channel error.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "ablation_chase_length" experiment with default parameters.
+ * Prefer `lruleak run ablation_chase_length` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/histogram.hpp"
-#include "core/table.hpp"
-#include "timing/pointer_chase.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Ablation: pointer-chase chain length (paper "
-                 "footnote 3) ===\n\n";
-
-    const auto u = timing::Uarch::amdEpyc7571();
-    const timing::MeasurementModel model(u);
-
-    Table table({"Chain len", "AMD overlap", "Intel overlap",
-                 "Intel err (Alg.1)"});
-    for (std::uint32_t len : {1u, 3u, 5u, 7u, 11u, 15u}) {
-        // Distribution overlap on the noisy AMD timer: the longer chain
-        // amortizes the noise relative to the L2-L1 delta.
-        sim::Xoshiro256 rng(5);
-        Histogram amd_hit(16), amd_miss(16);
-        for (int i = 0; i < 20000; ++i) {
-            amd_hit.add(model.chaseAllL1(len, sim::HitLevel::L1, rng));
-            amd_miss.add(model.chaseAllL1(len, sim::HitLevel::L2, rng));
-        }
-
-        const auto iu = timing::Uarch::intelXeonE52690();
-        const timing::MeasurementModel imodel(iu);
-        Histogram i_hit(1), i_miss(1);
-        for (int i = 0; i < 20000; ++i) {
-            i_hit.add(imodel.chaseAllL1(len, sim::HitLevel::L1, rng));
-            i_miss.add(imodel.chaseAllL1(len, sim::HitLevel::L2, rng));
-        }
-
-        channel::CovertConfig cfg;
-        cfg.message = channel::randomBits(96, 5);
-        const auto res = channel::runCovertChannel(cfg);
-
-        table.addRow({std::to_string(len),
-                      fmtPercent(overlapCoefficient(amd_hit, amd_miss)),
-                      fmtPercent(overlapCoefficient(i_hit, i_miss)),
-                      fmtPercent(res.error_rate)});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nTakeaway: on Intel even short chains separate; on the "
-                 "coarse AMD timer the\nhit/miss overlap shrinks as the "
-                 "chain grows — 7 elements is already in the\n"
-                 "diminishing-returns regime, matching the paper's "
-                 "choice.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("ablation_chase_length");
 }

@@ -1,90 +1,14 @@
 /**
  * @file
- * Ablation: the three defenses of Section IX side by side — random
- * replacement, FIFO replacement, and the fixed PL cache — scored by
- * channel error rate, sender stealth, and the performance cost from
- * Fig. 9.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "ablation_defense_efficacy" experiment with default parameters.
+ * Prefer `lruleak run ablation_defense_efficacy` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/experiments.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
-
-namespace {
-
-double
-meanCpiRatio(sim::ReplPolicyKind policy)
-{
-    const auto rows = core::replacementPerformance(
-        {sim::ReplPolicyKind::TreePlru, policy}, 200'000, 9);
-    double ratio_sum = 0.0;
-    std::size_t n = 0;
-    for (std::size_t w = 0; w * 2 < rows.size(); ++w) {
-        ratio_sum += rows[w * 2 + 1].cpi / rows[w * 2].cpi;
-        ++n;
-    }
-    return ratio_sum / static_cast<double>(n);
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Ablation: defense efficacy vs cost (Section IX) "
-                 "===\n\n";
-
-    core::Table table({"Defense", "Alg.1 error", "Alg.2 error",
-                       "Mean CPI vs PLRU"});
-
-    // Baseline: no defense.
-    {
-        CovertConfig cfg;
-        cfg.message = randomBits(96, 77);
-        const auto a1 = runCovertChannel(cfg);
-        cfg.alg = LruAlgorithm::Alg2Disjoint;
-        cfg.d = 5;
-        const auto a2 = runCovertChannel(cfg);
-        table.addRow({"none (Tree-PLRU)", core::fmtPercent(a1.error_rate),
-                      core::fmtPercent(a2.error_rate), "1.000"});
-    }
-
-    for (auto policy : {sim::ReplPolicyKind::Random,
-                        sim::ReplPolicyKind::Fifo}) {
-        CovertConfig cfg;
-        cfg.l1_policy = policy;
-        cfg.message = randomBits(96, 77);
-        const auto a1 = runCovertChannel(cfg);
-        cfg.alg = LruAlgorithm::Alg2Disjoint;
-        cfg.d = 5;
-        const auto a2 = runCovertChannel(cfg);
-        table.addRow({std::string(sim::replPolicyName(policy)) +
-                          " replacement",
-                      core::fmtPercent(a1.error_rate),
-                      core::fmtPercent(a2.error_rate),
-                      core::fmtDouble(meanCpiRatio(policy), 3)});
-    }
-
-    // Fixed PL cache (locked line + locked LRU state).
-    {
-        const auto fixed = core::plCacheAttack(sim::PlMode::FixedLruLock);
-        table.addRow({"PL cache + LRU lock (fixed)", "n/a (Alg.1 dies "
-                                                     "when line locked)",
-                      fixed.constant ? "no signal (constant)"
-                                     : core::fmtPercent(fixed.error_rate),
-                      "~1.000 (lock-scoped)"});
-    }
-
-    table.print(std::cout);
-
-    std::cout << "\nTakeaway: random replacement closes both channels for "
-                 "< a few % CPI; FIFO closes\nthe hit-based channel "
-                 "(remaining leak requires detectable misses); the fixed "
-                 "PL\ncache protects locked lines completely.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("ablation_defense_efficacy");
 }

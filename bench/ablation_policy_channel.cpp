@@ -1,57 +1,14 @@
 /**
  * @file
- * Ablation: how the channel behaves under every replacement policy the
- * simulator implements — including the defenses (FIFO, Random) and the
- * policies the paper did not evaluate end-to-end (true LRU, Bit-PLRU,
- * SRRIP).
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "ablation_policy_channel" experiment with default parameters.
+ * Prefer `lruleak run ablation_policy_channel` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Ablation: channel error under each L1D replacement "
-                 "policy ===\n"
-              << "(hyper-threaded, Intel E5-2690, Ts=6000, Tr=600, random "
-                 "96-bit message)\n\n";
-
-    core::Table table({"Policy", "Alg.1 d=8 err", "Alg.2 d=5 err",
-                       "Sender L1D miss"});
-    for (auto policy : {sim::ReplPolicyKind::TrueLru,
-                        sim::ReplPolicyKind::TreePlru,
-                        sim::ReplPolicyKind::BitPlru,
-                        sim::ReplPolicyKind::Srrip,
-                        sim::ReplPolicyKind::Fifo,
-                        sim::ReplPolicyKind::Random}) {
-        CovertConfig cfg;
-        cfg.l1_policy = policy;
-        cfg.message = randomBits(96, 4242);
-        cfg.seed = 11;
-        const auto a1 = runCovertChannel(cfg);
-
-        cfg.alg = LruAlgorithm::Alg2Disjoint;
-        cfg.d = 5;
-        const auto a2 = runCovertChannel(cfg);
-
-        table.addRow({std::string(sim::replPolicyName(policy)),
-                      core::fmtPercent(a1.error_rate),
-                      core::fmtPercent(a2.error_rate),
-                      core::fmtPercent(a1.sender_l1.missRate(), 3)});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nTakeaways: the hit-encoding channel works under true "
-                 "LRU and Tree-PLRU; Bit-PLRU\ndefeats the d=8 protocol "
-                 "(the receiver's own measurement pins line 0's MRU "
-                 "bit);\nRandom destroys it outright; FIFO leaves only a "
-                 "miss-based residual (note the\nsender's miss rate — "
-                 "stealth is gone).\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("ablation_policy_channel");
 }

@@ -1,103 +1,14 @@
 /**
  * @file
- * Ablation: the other secure caches of Section IX-B — DAWG-style way
- * partitioning (partitions the Tree-PLRU state: channel dead) versus
- * the Random Fill cache (hits still update the LRU state: channel
- * alive), measured at the protocol level.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "ablation_secure_caches" experiment with default parameters.
+ * Prefer `lruleak run ablation_secure_caches` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/table.hpp"
-#include "sim/secure_caches.hpp"
-
-using namespace lruleak;
-using namespace lruleak::sim;
-
-namespace {
-
-constexpr Addr kSenderBase = 0x1000'0000'0000ULL;
-constexpr Addr kReceiverBase = 0x2000'0000'0000ULL;
-
-MemRef
-mkLine(const AddressLayout &layout, std::uint32_t set, std::uint32_t i,
-       Addr base)
-{
-    const Addr a = lineInSet(layout, set, i, base);
-    return MemRef{a, a, 0, false};
-}
-
-/**
- * One Algorithm 2 style probe against a DAWG cache: returns whether the
- * receiver's line 0 survived its decode phase.
- */
-bool
-dawgProbe(bool sender_touches)
-{
-    DawgCache cache;
-    const AddressLayout &layout = cache.layout();
-    const auto sender_line = mkLine(layout, 7, 0, kSenderBase);
-    cache.access(sender_line, 0);
-    for (std::uint32_t i = 0; i < 4; ++i)
-        cache.access(mkLine(layout, 7, i, kReceiverBase), 1);
-    if (sender_touches)
-        cache.access(sender_line, 0);
-    for (std::uint32_t i = 4; i < 8; ++i)
-        cache.access(mkLine(layout, 7, i, kReceiverBase), 1);
-    return cache.contains(mkLine(layout, 7, 0, kReceiverBase), 1);
-}
-
-/** Same probe against the Random Fill cache's replacement state. */
-bool
-randomFillStateDiffers()
-{
-    auto state = [](bool sender_touches) {
-        RandomFillCache cache(CacheConfig::intelL1d(), 64, 11);
-        const AddressLayout layout(64, 64);
-        // Seed lines 0..7 of set 13 via neighbour fills.
-        for (std::uint32_t i = 0; i < 8; ++i) {
-            const auto want = mkLine(layout, 13, i, kSenderBase);
-            for (int tries = 0; tries < 4096 && !cache.contains(want);
-                 ++tries)
-                cache.access(MemRef::load(want.vaddr +
-                                          64 * ((tries % 16) + 1)));
-        }
-        for (std::uint32_t i = 0; i < 8; ++i)
-            cache.access(mkLine(layout, 13, i, kSenderBase));
-        if (sender_touches)
-            cache.access(mkLine(layout, 13, 0, kSenderBase));
-        return cache.replacementState(13);
-    };
-    return state(true) != state(false);
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Ablation: secure caches of Section IX-B vs the LRU "
-                 "channel ===\n\n";
-
-    core::Table table({"Design", "Sender's hit observable?", "Verdict"});
-
-    const bool dawg_leaks = dawgProbe(true) != dawgProbe(false);
-    table.addRow({"DAWG (ways + PLRU state partitioned)",
-                  dawg_leaks ? "YES" : "no",
-                  dawg_leaks ? "LEAKS" : "protected"});
-
-    const bool rf_leaks = randomFillStateDiffers();
-    table.addRow({"Random Fill cache (random miss fills)",
-                  rf_leaks ? "YES (hits update LRU state)" : "no",
-                  rf_leaks ? "LEAKS (paper Section IX-B)" : "protected"});
-
-    table.print(std::cout);
-
-    std::cout << "\nPaper reference: \"In DAWG ... partition the cache "
-                 "ways and the Tree-PLRU states ...\nWe are unaware of "
-                 "any other designs that partition the LRU states.\"  "
-                 "And for Random\nFill: \"on a cache hit, the "
-                 "replacement state will be updated, and the LRU "
-                 "channel\ncould still work.\"\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("ablation_secure_caches");
 }

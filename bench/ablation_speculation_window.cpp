@@ -1,46 +1,14 @@
 /**
  * @file
- * Ablation: the minimum speculation window each disclosure primitive
- * needs (Section VIII's claim that the LRU channel's cache-hit encode
- * makes the Spectre attack work with a much smaller window than
- * Flush+Reload's memory-miss encode).
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "ablation_speculation_window" experiment with default parameters.
+ * Prefer `lruleak run ablation_speculation_window` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/table.hpp"
-#include "spectre/attack.hpp"
-
-using namespace lruleak;
-using namespace lruleak::spectre;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Ablation: minimum working speculation window per "
-                 "disclosure primitive ===\n"
-              << "(binary search over the window at which a 1-byte secret "
-                 "is still recovered)\n\n";
-
-    core::Table table({"Disclosure", "Min window (cycles)", "Encode is"});
-    const char *encode[] = {"memory miss", "L2 hit", "L1 hit", "L1/L2 hit"};
-    int i = 0;
-    for (auto d : {Disclosure::FlushReloadMem, Disclosure::FlushReloadL1,
-                   Disclosure::LruAlg1, Disclosure::LruAlg2}) {
-        SpectreAttackConfig cfg;
-        cfg.disclosure = d;
-        cfg.rounds = 3;
-        cfg.seed = 2024;
-        const auto window = minimumWorkingWindow(cfg, 4, 2048);
-        table.addRow({disclosureName(d),
-                      window ? std::to_string(window) : "never in range",
-                      encode[i++]});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nTakeaway: the LRU disclosure works with a speculation "
-                 "window an order of magnitude\nsmaller than F+R (mem) — "
-                 "more gadgets qualify, making the attack harder to "
-                 "defend\n(Section VIII).\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("ablation_speculation_window");
 }

@@ -1,51 +1,14 @@
 /**
  * @file
- * Reproduces Appendix C: hardware-prefetcher noise during the Spectre
- * attack's set scans, and the paper's mitigation — scan the probe sets
- * in a fresh random order every round so prefetch pollution averages
- * out.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "appc_prefetcher_noise" experiment with default parameters.
+ * Prefer `lruleak run appc_prefetcher_noise` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/table.hpp"
-#include "spectre/attack.hpp"
-
-using namespace lruleak;
-using namespace lruleak::spectre;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Appendix C: prefetcher noise vs random-order "
-                 "scanning (Spectre + LRU Alg.1) ===\n\n";
-    const std::string secret = "Sensitive";
-
-    core::Table table({"Prefetcher", "Probe order", "Recovered",
-                       "Byte accuracy"});
-    for (bool prefetcher : {false, true}) {
-        for (bool random_order : {false, true}) {
-            SpectreAttackConfig cfg;
-            cfg.disclosure = Disclosure::LruAlg1;
-            cfg.enable_prefetcher = prefetcher;
-            cfg.random_probe_order = random_order;
-            cfg.rounds = 2; // few rounds: noise has less room to average
-            cfg.seed = 99;
-            const auto res = runSpectreAttack(cfg, secret);
-            std::string shown;
-            for (char c : res.recovered)
-                shown += (c >= 32 && c < 127) ? c : '?';
-            table.addRow({prefetcher ? "stride (on)" : "off",
-                          random_order ? "random/round" : "sequential",
-                          shown, core::fmtPercent(res.byte_accuracy)});
-        }
-    }
-    table.print(std::cout);
-
-    std::cout << "\nPaper reference: sequential scans let the stride "
-                 "prefetcher drag neighbouring\nlines into L1 and corrupt "
-                 "the LRU states; randomising the order each round\n"
-                 "decorrelates the pollution and the averaged scores "
-                 "recover the secret.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("appc_prefetcher_noise");
 }

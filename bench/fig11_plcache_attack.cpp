@@ -1,62 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 11: LRU attack (Algorithm 2, sender's line locked)
- * against the PL secure cache — the original design leaks through the
- * LRU state; the fixed design (lock the replacement state with the
- * line, Fig. 10 blue boxes) flattens the receiver's trace.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig11_plcache_attack" experiment with default parameters.
+ * Prefer `lruleak run fig11_plcache_attack` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/decoder.hpp"
-#include "core/experiments.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
-
-namespace {
-
-void
-show(sim::PlMode mode, const char *title)
-{
-    const auto trace = plCacheAttack(mode);
-    std::cout << "\n--- " << title << " ---\n";
-    std::vector<double> lat;
-    for (const auto &s : trace.samples)
-        lat.push_back(s.latency);
-    std::cout << core::asciiChart(lat, 7, 100);
-    const auto bits = channel::thresholdSamples(trace.samples,
-                                                trace.threshold,
-                                                /*invert=*/true);
-    std::cout << "per-sample reads: " << channel::bitsToString(bits)
-              << "\n";
-    std::cout << "sent bits:        " << channel::bitsToString(trace.sent)
-              << "\n";
-    std::cout << "decode error " << fmtPercent(trace.error_rate)
-              << (trace.constant
-                      ? "  [receiver observations CONSTANT -> no leak]"
-                      : "  [receiver observations vary with the secret]")
-              << "\n";
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 11: LRU attack Algorithm 2 against the PL "
-                 "cache (sender's line locked) ===\n"
-              << "(sender transmits alternating 0/1; y: receiver's timed "
-                 "access to line 0)\n";
-
-    show(sim::PlMode::Original, "Original PL cache design (Fig. 10 "
-                                "white boxes)");
-    show(sim::PlMode::FixedLruLock, "Fixed design: LRU state locked too "
-                                    "(Fig. 10 blue boxes)");
-
-    std::cout << "\nPaper reference: the original design still transfers "
-                 "the secret; with the fix the\nreceiver always observes "
-                 "the same latency and the channel is closed.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig11_plcache_attack");
 }

@@ -1,38 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 13 (Appendix A): a single access timed with a bare
- * rdtscp pair cannot distinguish an L1 hit from an L1 miss — the
- * histograms coincide, which is why the paper needs pointer chasing.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig13_rdtscp_hist" experiment with default parameters.
+ * Prefer `lruleak run fig13_rdtscp_hist` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/experiments.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 13 (Appendix A): single-access rdtscp "
-                 "measurement ===\n";
-
-    for (const auto &u : {timing::Uarch::intelXeonE52690(),
-                          timing::Uarch::amdEpyc7571()}) {
-        const auto h = singleAccessHistograms(u, 20'000, 3);
-        std::cout << "\n--- " << u.name << " ---\n";
-        std::cout << Histogram::renderPair(h.hit, h.miss, "L1 hit",
-                                           "L1 miss (L2 hit)");
-        std::cout << "mean hit " << fmtDouble(h.hit.mean(), 1)
-                  << "  mean miss " << fmtDouble(h.miss.mean(), 1)
-                  << "  overlap "
-                  << fmtPercent(overlapCoefficient(h.hit, h.miss)) << "\n";
-    }
-
-    std::cout << "\nPaper reference: the two distributions completely "
-                 "overlap on both CPUs — the\nrdtscp serialization floor "
-                 "hides the L1/L2 difference.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig13_rdtscp_hist");
 }

@@ -1,57 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 14 (Appendix B): the Fig. 5 traces repeated on Intel
- * Xeon E3-1245 v5 (Skylake) — the attack transfers across Intel
- * generations.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig14_skylake_traces" experiment with default parameters.
+ * Prefer `lruleak run fig14_skylake_traces` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
-
-namespace {
-
-void
-trace(LruAlgorithm alg, std::uint32_t d)
-{
-    CovertConfig cfg;
-    cfg.uarch = timing::Uarch::intelXeonE31245v5();
-    cfg.alg = alg;
-    cfg.d = d;
-    cfg.tr = 600;
-    cfg.ts = 6000;
-    cfg.message = alternatingBits(20);
-    cfg.seed = 14;
-    const auto res = runCovertChannel(cfg);
-
-    std::vector<double> lat;
-    for (std::size_t i = 0; i < res.samples.size() && i < 200; ++i)
-        lat.push_back(res.samples[i].latency);
-
-    std::cout << "\n"
-              << (alg == LruAlgorithm::Alg1Shared ? "Algorithm 1"
-                                                  : "Algorithm 2")
-              << ", Tr=600, Ts=6000, d=" << d << "  (threshold "
-              << res.threshold << ", rate " << core::fmtKbps(res.kbps)
-              << ", error " << core::fmtPercent(res.error_rate) << ")\n"
-              << core::asciiChart(lat, 8, 100);
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 14 (Appendix B): receiver traces on Intel "
-                 "Xeon E3-1245 v5 (Skylake) ===\n";
-    trace(LruAlgorithm::Alg1Shared, 8);
-    trace(LruAlgorithm::Alg2Disjoint, 5);
-    std::cout << "\nPaper reference: same behaviour as the E5-2690 with "
-                 "a ~580 Kbps effective rate\n(3.9 GHz vs 3.8 GHz) and "
-                 "slightly different absolute latencies.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig14_skylake_traces");
 }

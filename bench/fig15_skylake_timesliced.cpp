@@ -1,50 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 15 (Appendix B): the time-sliced percentage-of-1s
- * experiment on Intel Xeon E3-1245 v5 (Skylake).
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig15_skylake_timesliced" experiment with default parameters.
+ * Prefer `lruleak run fig15_skylake_timesliced` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 15 (Appendix B): time-sliced % of 1s, Intel "
-                 "Xeon E3-1245 v5, Algorithm 1 ===\n"
-              << "(100 measurements per point)\n";
-
-    const std::uint64_t trs[] = {25'000'000, 100'000'000, 200'000'000,
-                                 400'000'000};
-    for (std::uint8_t bit : {0, 1}) {
-        std::cout << "\n--- Sender constantly sending " << int(bit)
-                  << " ---\n";
-        core::Table table({"Tr (x1e6)", "d=2", "d=4", "d=6", "d=8"});
-        for (std::uint64_t tr : trs) {
-            std::vector<std::string> row{std::to_string(tr / 1'000'000)};
-            for (std::uint32_t d : {2u, 4u, 6u, 8u}) {
-                CovertConfig cfg;
-                cfg.uarch = timing::Uarch::intelXeonE31245v5();
-                cfg.mode = SharingMode::TimeSliced;
-                cfg.d = d;
-                cfg.tr = tr;
-                cfg.encode_gap = 20'000;
-                cfg.max_samples = 100;
-                cfg.seed = 61 + d;
-                row.push_back(core::fmtPercent(runPercentOnes(cfg, bit)));
-            }
-            table.addRow(row);
-        }
-        table.print(std::cout);
-    }
-
-    std::cout << "\nPaper reference: same shape as the E5-2690 (Fig. 6): "
-                 "sending 0 near 0%, sending 1\nclearly above it for "
-                 "d = 7-8 around Tr = 1e8.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig15_skylake_timesliced");
 }

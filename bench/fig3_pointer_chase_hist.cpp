@@ -1,39 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 3: histograms of the pointer-chase readout when the
- * timed 8th element is an L1 hit versus an L1 miss, on Intel Xeon
- * E5-2690 and AMD EPYC 7571.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig3_pointer_chase_hist" experiment with default parameters.
+ * Prefer `lruleak run fig3_pointer_chase_hist` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/experiments.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 3: pointer-chase latency, 7 L1 hits + timed "
-                 "8th access ===\n";
-
-    for (const auto &u : {timing::Uarch::intelXeonE52690(),
-                          timing::Uarch::amdEpyc7571()}) {
-        const auto h = pointerChaseHistograms(u, 20'000, 3);
-        std::cout << "\n--- " << u.name << " ---\n";
-        std::cout << Histogram::renderPair(h.hit, h.miss, "L1 hit",
-                                           "L1 miss");
-        std::cout << "mean hit " << fmtDouble(h.hit.mean(), 1)
-                  << "  mean miss " << fmtDouble(h.miss.mean(), 1)
-                  << "  overlap "
-                  << fmtPercent(overlapCoefficient(h.hit, h.miss)) << "\n";
-    }
-
-    std::cout << "\nPaper reference: Intel cleanly separable (~35 vs ~43 "
-                 "cycles); AMD distributions overlap\nbut differ, so the "
-                 "receiver must average repeated measurements "
-                 "(Section VI-A).\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig3_pointer_chase_hist");
 }

@@ -1,74 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 4: transmission error rate (edit distance) versus
- * transmission rate for the hyper-threaded LRU channels on Intel Xeon
- * E5-2690 — Algorithms 1 and 2, Tr in {600, 1000, 3000}, d in 1..8,
- * Ts in {4500, 6000, 12000, 30000}.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig4_error_rate" experiment with default parameters.
+ * Prefer `lruleak run fig4_error_rate` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
-
-namespace {
-
-void
-sweep(LruAlgorithm alg, const char *title)
-{
-    std::cout << "\n--- " << title << " ---\n";
-    // The paper sends a random 128-bit string repeatedly; 4 repeats keep
-    // this bench quick while exercising the same decoder path.
-    const Bits message = randomBits(128, 20200128);
-
-    for (std::uint64_t tr : {600ULL, 1000ULL, 3000ULL}) {
-        core::Table table({"Ts (cyc)", "Rate", "d=1", "d=2", "d=3", "d=4",
-                           "d=5", "d=6", "d=7", "d=8"});
-        for (std::uint64_t ts : {4500ULL, 6000ULL, 12000ULL, 30000ULL}) {
-            std::vector<std::string> row;
-            double kbps = 0.0;
-            for (std::uint32_t d = 1; d <= 8; ++d) {
-                CovertConfig cfg;
-                cfg.alg = alg;
-                cfg.d = d;
-                cfg.tr = tr;
-                cfg.ts = ts;
-                cfg.message = message;
-                cfg.repeats = 4;
-                cfg.seed = 7 + d;
-                const auto res = runCovertChannel(cfg);
-                row.push_back(core::fmtPercent(res.error_rate));
-                kbps = res.kbps;
-            }
-            std::vector<std::string> full{std::to_string(ts),
-                                          core::fmtKbps(kbps)};
-            full.insert(full.end(), row.begin(), row.end());
-            table.addRow(full);
-        }
-        std::cout << "\nTr = " << tr << " cycles\n";
-        table.print(std::cout);
-    }
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 4: error rate vs transmission rate, "
-                 "hyper-threaded, Intel Xeon E5-2690 ===\n"
-              << "(random 128-bit string x4; error = Wagner-Fischer edit "
-                 "distance / bits sent)\n";
-
-    sweep(LruAlgorithm::Alg1Shared, "Algorithm 1 (shared memory)");
-    sweep(LruAlgorithm::Alg2Disjoint, "Algorithm 2 (no shared memory)");
-
-    std::cout << "\nPaper reference: error grows with rate; Algorithm 2 "
-                 "is noisier with the even-d\nTree-PLRU pathology "
-                 "(d = 2,4,6 bad); Tr = 3000 is the worst sampling "
-                 "period.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig4_error_rate");
 }

@@ -1,69 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 5: the receiver's raw latency trace while the sender
- * transmits alternating 0/1 on Intel Xeon E5-2690, hyper-threaded,
- * for Algorithm 1 (d = 8) and Algorithm 2.
- *
- * Rendering note: the paper's Fig. 5 bottom uses d = 4; on Tree-PLRU
- * the even-d pathology (their own Fig. 4) makes that trace noisy, so we
- * additionally show d = 5 where the alternation is clean.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig5_traces" experiment with default parameters.
+ * Prefer `lruleak run fig5_traces` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
-
-namespace {
-
-void
-trace(LruAlgorithm alg, std::uint32_t d, const timing::Uarch &uarch)
-{
-    CovertConfig cfg;
-    cfg.uarch = uarch;
-    cfg.alg = alg;
-    cfg.d = d;
-    cfg.tr = 600;
-    cfg.ts = 6000;
-    cfg.message = alternatingBits(20);
-    cfg.seed = 5;
-    const auto res = runCovertChannel(cfg);
-
-    std::vector<double> lat;
-    for (std::size_t i = 0; i < res.samples.size() && i < 200; ++i)
-        lat.push_back(res.samples[i].latency);
-
-    std::cout << "\n"
-              << (alg == LruAlgorithm::Alg1Shared ? "Algorithm 1"
-                                                  : "Algorithm 2")
-              << ", Tr=600, Ts=6000, d=" << d << "  (threshold "
-              << res.threshold << " cycles, rate "
-              << core::fmtKbps(res.kbps) << ", error "
-              << core::fmtPercent(res.error_rate) << ")\n";
-    std::cout << core::asciiChart(lat, 8, 100);
-    std::cout << "decoded: " << bitsToString(res.received) << "\n";
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    const auto u = timing::Uarch::intelXeonE52690();
-    std::cout << "=== Fig. 5: receiver observations, sender alternating "
-                 "0/1, Intel Xeon E5-2690 ===\n"
-              << "(y: pointer-chase latency in cycles; x: observation "
-                 "sequence)\n";
-
-    trace(LruAlgorithm::Alg1Shared, 8, u);
-    trace(LruAlgorithm::Alg2Disjoint, 4, u);
-    trace(LruAlgorithm::Alg2Disjoint, 5, u);
-
-    std::cout << "\nPaper reference: Algorithm 1 shows low latency on 1 "
-                 "bits (line 0 hits); Algorithm 2\ninverts the polarity "
-                 "(1 bit = line 0 evicted = high latency).\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig5_traces");
 }

@@ -1,54 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 6: time-sliced sharing on Intel Xeon E5-2690 — the
- * percentage of 1s the receiver observes versus its sampling period Tr
- * (x 1e6 cycles) when the sender constantly sends 0 or 1, Algorithm 1.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig6_timesliced" experiment with default parameters.
+ * Prefer `lruleak run fig6_timesliced` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
+#include "core/experiment.hpp"
 
 int
-main(int argc, char **)
+main()
 {
-    (void)argc;
-    std::cout << "=== Fig. 6: time-sliced sharing, % of 1s received, "
-                 "Intel Xeon E5-2690, Algorithm 1 ===\n"
-              << "(100 measurements per point)\n";
-
-    const std::uint64_t trs[] = {25'000'000, 50'000'000, 100'000'000,
-                                 200'000'000, 400'000'000};
-
-    for (std::uint8_t bit : {0, 1}) {
-        std::cout << "\n--- Sender constantly sending " << int(bit)
-                  << " ---\n";
-        core::Table table({"Tr (x1e6)", "d=1", "d=2", "d=3", "d=4", "d=5",
-                           "d=6", "d=7", "d=8"});
-        for (std::uint64_t tr : trs) {
-            std::vector<std::string> row{std::to_string(tr / 1'000'000)};
-            for (std::uint32_t d = 1; d <= 8; ++d) {
-                CovertConfig cfg;
-                cfg.mode = SharingMode::TimeSliced;
-                cfg.d = d;
-                cfg.tr = tr;
-                cfg.encode_gap = 20'000;
-                cfg.max_samples = 100;
-                cfg.seed = 31 + d;
-                row.push_back(core::fmtPercent(runPercentOnes(cfg, bit)));
-            }
-            table.addRow(row);
-        }
-        table.print(std::cout);
-    }
-
-    std::cout << "\nPaper reference: sending 0 -> ~0% of 1s for d = 8; "
-                 "sending 1 -> ~30% of 1s around\nTr = 1e8 with d = 7-8 "
-                 "strongest (only the first measurement after a sender "
-                 "slice\nreflects the sender).  ~2.4 bps effective.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig6_timesliced");
 }

@@ -1,77 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 7: AMD EPYC 7571 hyper-threaded traces with the
- * coarse timestamp counter — raw samples are noisy, the moving average
- * shows the wave, and the best-fit period recovers the bit length.
- *
- * Algorithm 1 runs between two threads of one address space (the utag
- * way predictor kills the cross-process variant, Section VI-B);
- * Algorithm 2 runs across separate processes.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig7_amd_traces" experiment with default parameters.
+ * Prefer `lruleak run fig7_amd_traces` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
-
-namespace {
-
-void
-amdTrace(LruAlgorithm alg, std::uint32_t d, bool same_vaddr)
-{
-    CovertConfig cfg;
-    cfg.uarch = timing::Uarch::amdEpyc7571();
-    cfg.alg = alg;
-    cfg.d = d;
-    cfg.tr = 1000;
-    cfg.ts = 100'000;
-    cfg.message = alternatingBits(15);
-    cfg.shared_same_vaddr = same_vaddr;
-    cfg.seed = 77;
-    const auto res = runCovertChannel(cfg);
-
-    const auto lat = latencies(res.samples);
-    const auto smooth = movingAverage(lat, 97);
-    const auto period = bestAlternatingPeriod(lat, 60, 140);
-
-    std::cout << "\n"
-              << (alg == LruAlgorithm::Alg1Shared
-                      ? "Algorithm 1 (threads, same address space)"
-                      : "Algorithm 2 (separate processes)")
-              << ", Tr=1000, Ts=1e5, d=" << d << "\n";
-    std::cout << "raw trace (first 400 samples):\n"
-              << core::asciiChart(std::vector<double>(
-                     lat.begin(),
-                     lat.begin() + std::min<std::size_t>(400, lat.size())),
-                     6, 100);
-    std::cout << "moving average (window 97):\n"
-              << core::asciiChart(std::vector<double>(
-                     smooth.begin(),
-                     smooth.begin() +
-                         std::min<std::size_t>(1400, smooth.size())),
-                     6, 100);
-    std::cout << "best-fit samples/bit: " << period << "   error "
-              << core::fmtPercent(res.error_rate) << "   effective rate "
-              << core::fmtKbps(res.kbps) << "\n";
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 7: AMD EPYC 7571 hyper-threaded traces, "
-                 "sender alternating 0/1 ===\n";
-
-    amdTrace(LruAlgorithm::Alg1Shared, 8, /*same_vaddr=*/true);
-    amdTrace(LruAlgorithm::Alg2Disjoint, 4, /*same_vaddr=*/true);
-
-    std::cout << "\nPaper reference: raw samples too coarse to threshold "
-                 "directly; the moving average\nshows the wave at ~97 "
-                 "samples/bit (Alg 1) / ~85 (Alg 2); effective rates "
-                 "22-25 Kbps.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig7_amd_traces");
 }

@@ -1,56 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 8: AMD EPYC 7571 time-sliced sharing — percentage of
- * 1s received versus Tr when the sender constantly sends 0 or 1
- * (Algorithm 1 between threads of one address space).
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig8_amd_timesliced" experiment with default parameters.
+ * Prefer `lruleak run fig8_amd_timesliced` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 8: AMD EPYC 7571, time-sliced, % of 1s "
-                 "received, Algorithm 1 ===\n"
-              << "(100 measurements per point; threads share one address "
-                 "space)\n";
-
-    const std::uint64_t trs[] = {25'000'000, 100'000'000, 200'000'000,
-                                 400'000'000};
-
-    for (std::uint8_t bit : {0, 1}) {
-        std::cout << "\n--- Sender constantly sending " << int(bit)
-                  << " ---\n";
-        core::Table table({"Tr (x1e6)", "d=2", "d=4", "d=6", "d=8"});
-        for (std::uint64_t tr : trs) {
-            std::vector<std::string> row{std::to_string(tr / 1'000'000)};
-            for (std::uint32_t d : {2u, 4u, 6u, 8u}) {
-                CovertConfig cfg;
-                cfg.uarch = timing::Uarch::amdEpyc7571();
-                cfg.mode = SharingMode::TimeSliced;
-                cfg.d = d;
-                cfg.tr = tr;
-                cfg.encode_gap = 20'000;
-                cfg.max_samples = 100;
-                cfg.seed = 51 + d;
-                row.push_back(core::fmtPercent(runPercentOnes(cfg, bit)));
-            }
-            table.addRow(row);
-        }
-        table.print(std::cout);
-    }
-
-    std::cout << "\nPaper reference: ~70% of 1s when sending 0 vs ~77% "
-                 "when sending 1 at Tr = 1e8 on\nAMD (the coarse TSC "
-                 "biases the threshold); the gap widens with Tr; "
-                 "~0.2 bps.\nOur model's absolute percentages differ (the "
-                 "threshold bias is calibrated, not\nfitted) but the "
-                 "sending-0/sending-1 gap is reproduced.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig8_amd_timesliced");
 }

@@ -1,68 +1,14 @@
 /**
  * @file
- * Reproduces Fig. 9: L1D miss rate and normalized CPI when the L1D
- * replacement policy is switched from Tree-PLRU to FIFO or Random — the
- * paper's defense costs < 2% CPI on GEM5+SPEC2006; we run the synthetic
- * suite on the in-order CPI model (see DESIGN.md for the substitution).
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "fig9_replacement_performance" experiment with default parameters.
+ * Prefer `lruleak run fig9_replacement_performance` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/experiments.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Fig. 9: L1D replacement-policy defense cost "
-                 "(Tree-PLRU vs FIFO vs Random) ===\n\n";
-
-    const std::vector<sim::ReplPolicyKind> policies{
-        sim::ReplPolicyKind::TreePlru, sim::ReplPolicyKind::Fifo,
-        sim::ReplPolicyKind::Random};
-    const auto rows = replacementPerformance(policies, 400'000, 9);
-
-    Table miss({"Workload", "PLRU miss", "FIFO miss", "Random miss",
-                "FIFO/PLRU", "Rand/PLRU"});
-    Table cpi({"Workload", "PLRU CPI", "FIFO CPI", "Random CPI",
-               "FIFO norm", "Rand norm"});
-
-    double worst_cpi_delta = 0.0;
-    for (std::size_t w = 0; w * 3 < rows.size(); ++w) {
-        const auto &plru = rows[w * 3 + 0];
-        const auto &fifo = rows[w * 3 + 1];
-        const auto &rnd = rows[w * 3 + 2];
-        auto ratio = [](double a, double b) {
-            return b > 0 ? a / b : 1.0;
-        };
-        miss.addRow({plru.workload,
-                     fmtPercent(plru.l1d_miss_rate),
-                     fmtPercent(fifo.l1d_miss_rate),
-                     fmtPercent(rnd.l1d_miss_rate),
-                     fmtDouble(ratio(fifo.l1d_miss_rate,
-                                     plru.l1d_miss_rate), 2),
-                     fmtDouble(ratio(rnd.l1d_miss_rate,
-                                     plru.l1d_miss_rate), 2)});
-        cpi.addRow({plru.workload, fmtDouble(plru.cpi, 3),
-                    fmtDouble(fifo.cpi, 3), fmtDouble(rnd.cpi, 3),
-                    fmtDouble(fifo.cpi / plru.cpi, 3),
-                    fmtDouble(rnd.cpi / plru.cpi, 3)});
-        worst_cpi_delta = std::max(
-            {worst_cpi_delta, std::abs(fifo.cpi / plru.cpi - 1.0),
-             std::abs(rnd.cpi / plru.cpi - 1.0)});
-    }
-
-    std::cout << "(top) L1D miss rate per policy\n";
-    miss.print(std::cout);
-    std::cout << "\n(bottom) CPI and CPI normalized to Tree-PLRU\n";
-    cpi.print(std::cout);
-    std::cout << "\nWorst-case CPI delta vs Tree-PLRU: "
-              << fmtPercent(worst_cpi_delta)
-              << "\nPaper reference: small L1D miss-rate changes either "
-                 "way; overall CPI within 2%\n(an L1 miss usually still "
-                 "hits L2), so the replacement-policy defense is cheap.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("fig9_replacement_performance");
 }

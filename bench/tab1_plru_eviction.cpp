@@ -1,65 +1,14 @@
 /**
  * @file
- * Reproduces Table I: probability of line 0 being evicted under LRU,
- * Tree-PLRU and Bit-PLRU for the two access sequences and two initial
- * conditions of Section IV-C.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "tab1_plru_eviction" experiment with default parameters.
+ * Prefer `lruleak run tab1_plru_eviction` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/experiments.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Table I: Probability of line 0 being evicted with "
-                 "PLRU ===\n"
-              << "(10,000 trials per cell; paper Section IV-C)\n\n";
-
-    EvictionStudyConfig cfg;
-
-    Table table({"Init.Cond.", "Iter.", "LRU Seq.1&2", "Tree Seq.1",
-                 "Tree Seq.2", "Bit Seq.1", "Bit Seq.2"});
-
-    const struct
-    {
-        InitCondition init;
-        const char *label;
-    } inits[] = {{InitCondition::Random, "Random"},
-                 {InitCondition::Sequential, "Sequential"}};
-
-    for (const auto &[init, label] : inits) {
-        const auto lru1 = evictionProbabilities(
-            sim::ReplPolicyKind::TrueLru, init, AccessSequence::Seq1, cfg);
-        const auto tree1 = evictionProbabilities(
-            sim::ReplPolicyKind::TreePlru, init, AccessSequence::Seq1, cfg);
-        const auto tree2 = evictionProbabilities(
-            sim::ReplPolicyKind::TreePlru, init, AccessSequence::Seq2, cfg);
-        const auto bit1 = evictionProbabilities(
-            sim::ReplPolicyKind::BitPlru, init, AccessSequence::Seq1, cfg);
-        const auto bit2 = evictionProbabilities(
-            sim::ReplPolicyKind::BitPlru, init, AccessSequence::Seq2, cfg);
-
-        for (std::size_t iter : {0u, 1u, 2u, 7u}) {
-            table.addRow({label,
-                          iter == 7 ? ">=8" : std::to_string(iter + 1),
-                          fmtPercent(lru1[iter]),
-                          fmtPercent(tree1[iter]),
-                          fmtPercent(tree2[iter]),
-                          fmtPercent(bit1[iter]),
-                          fmtPercent(bit2[iter])});
-        }
-    }
-
-    table.print(std::cout);
-    std::cout << "\nPaper reference (Random, iter 1): LRU 100%, "
-                 "Tree Seq.1 50.4%, Tree Seq.2 62.7%\n"
-                 "Takeaway: only sequential initialisation makes PLRU "
-                 "eviction reliable, so the receiver\n"
-                 "must access lines 1-7 in order (Section IV-C).\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("tab1_plru_eviction");
 }

@@ -1,58 +1,14 @@
 /**
  * @file
- * Reproduces Table II: L1D / L2 access latencies of the modeled CPUs,
- * measured through the simulator rather than read from the config (the
- * hierarchy must actually serve hits at those levels).
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "tab2_cache_latency" experiment with default parameters.
+ * Prefer `lruleak run tab2_cache_latency` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/table.hpp"
-#include "sim/hierarchy.hpp"
-#include "timing/uarch.hpp"
-
-using namespace lruleak;
-
-namespace {
-
-/** Measure by constructing the hit level architecturally. */
-std::pair<std::uint32_t, std::uint32_t>
-measuredLatencies(const timing::Uarch &uarch)
-{
-    sim::HierarchyConfig cfg;
-    sim::CacheHierarchy h(cfg);
-    const auto ref = sim::MemRef::load(0x4000);
-
-    h.access(ref); // fill everything
-    const auto l1 = h.access(ref);
-    const std::uint32_t l1_lat = uarch.latency(l1.level);
-
-    // Evict from L1 only, then re-access: L2 hit.
-    const auto &layout = h.l1().layout();
-    const auto set = layout.setIndex(ref.vaddr);
-    for (std::uint32_t i = 0; i < 16; ++i)
-        h.access(sim::MemRef::load(sim::lineInSet(layout, set, i + 1)));
-    const auto l2 = h.access(ref);
-    const std::uint32_t l2_lat = uarch.latency(l2.level);
-    return {l1_lat, l2_lat};
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Table II: Latency of cache access (cycles) ===\n\n";
-    core::Table table({"Microarchitecture", "L1D", "L2"});
-    for (const auto &u : {timing::Uarch::intelXeonE52690(),
-                          timing::Uarch::intelXeonE31245v5(),
-                          timing::Uarch::amdEpyc7571()}) {
-        const auto [l1, l2] = measuredLatencies(u);
-        table.addRow({u.microarch + " (" + u.name + ")",
-                      std::to_string(l1), std::to_string(l2)});
-    }
-    table.print(std::cout);
-    std::cout << "\nPaper reference: Sandy Bridge 4-5/12, Skylake 4-5/12, "
-                 "Zen 4-5/17.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("tab2_cache_latency");
 }

@@ -1,85 +1,14 @@
 /**
  * @file
- * Reproduces Table IV: transmission rates of the evaluated LRU
- * channels (Intel vs AMD, hyper-threaded vs time-sliced, Alg 1 vs 2).
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "tab4_transmission_rates" experiment with default parameters.
+ * Prefer `lruleak run tab4_transmission_rates` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "channel/covert_channel.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::channel;
-
-namespace {
-
-double
-hyperThreadedKbps(const timing::Uarch &uarch, LruAlgorithm alg)
-{
-    CovertConfig cfg;
-    cfg.uarch = uarch;
-    cfg.alg = alg;
-    cfg.d = alg == LruAlgorithm::Alg1Shared ? 8 : 5;
-    const bool amd = uarch.way_predictor;
-    cfg.ts = amd ? 100'000 : 6000;
-    cfg.tr = amd ? 1000 : 600;
-    cfg.message = randomBits(96, 17);
-    cfg.seed = 3;
-    return runCovertChannel(cfg).kbps;
-}
-
-double
-timeSlicedBps(const timing::Uarch &uarch)
-{
-    // Paper methodology: with Tr = 1e8 and ~10 measurements needed to
-    // tell ~30% of 1s from < 5%, the rate is measurements/10 per second.
-    CovertConfig cfg;
-    cfg.uarch = uarch;
-    cfg.mode = SharingMode::TimeSliced;
-    cfg.d = 8;
-    cfg.tr = 100'000'000;
-    cfg.encode_gap = 20'000;
-    cfg.max_samples = 60;
-    cfg.seed = 3;
-    const double p1 = runPercentOnes(cfg, 1);
-    const double p0 = runPercentOnes(cfg, 0);
-    if (p1 < p0 + 0.05)
-        return 0.0; // indistinguishable
-    const double meas_per_sec = uarch.ghz * 1e9 / double(cfg.tr);
-    return meas_per_sec / 10.0;
-}
-
-} // namespace
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    const auto intel = timing::Uarch::intelXeonE52690();
-    const auto amd = timing::Uarch::amdEpyc7571();
-
-    std::cout << "=== Table IV: transmission rate of the evaluated LRU "
-                 "channels ===\n\n";
-    core::Table table({"Sharing", "Algorithm", "Intel", "AMD"});
-    table.addRow({"Hyper-Threaded", "Algorithm 1",
-                  core::fmtKbps(hyperThreadedKbps(
-                      intel, LruAlgorithm::Alg1Shared)),
-                  core::fmtKbps(hyperThreadedKbps(
-                      amd, LruAlgorithm::Alg1Shared))});
-    table.addRow({"Hyper-Threaded", "Algorithm 2",
-                  core::fmtKbps(hyperThreadedKbps(
-                      intel, LruAlgorithm::Alg2Disjoint)),
-                  core::fmtKbps(hyperThreadedKbps(
-                      amd, LruAlgorithm::Alg2Disjoint))});
-    table.addRow({"Time-Sliced", "Algorithm 1",
-                  core::fmtDouble(timeSlicedBps(intel), 1) + " bps",
-                  core::fmtDouble(timeSlicedBps(amd), 2) + " bps"});
-    table.addRow({"Time-Sliced", "Algorithm 2", "- (no signal)",
-                  "- (no signal)"});
-    table.print(std::cout);
-
-    std::cout << "\nPaper reference: ~500 Kbps / ~20 Kbps hyper-threaded, "
-                 "~2 bps / ~0.2 bps time-sliced,\nno Algorithm 2 signal "
-                 "in time-sliced sharing on either CPU.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("tab4_transmission_rates");
 }

@@ -1,40 +1,14 @@
 /**
  * @file
- * Reproduces Table V: the sender's encoding latency per channel — the
- * LRU channels encode with an L1 hit, Flush+Reload with an L2 hit or a
- * full memory miss.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "tab5_encoding_latency" experiment with default parameters.
+ * Prefer `lruleak run tab5_encoding_latency` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/experiments.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Table V: latency of encoding (cycles) ===\n\n";
-
-    Table table({"Model", "F+R (mem)", "F+R (L1)", "L1 LRU (Alg.1&2)"});
-    for (const auto &u : {timing::Uarch::intelXeonE52690(),
-                          timing::Uarch::intelXeonE31245v5(),
-                          timing::Uarch::amdEpyc7571()}) {
-        const double fr_mem = meanEncodeLatency(u, ChannelKind::FrMem);
-        const double fr_l1 = meanEncodeLatency(u, ChannelKind::FrL1);
-        const double lru = (meanEncodeLatency(u, ChannelKind::LruAlg1) +
-                            meanEncodeLatency(u, ChannelKind::LruAlg2)) /
-                           2.0;
-        table.addRow({u.name, fmtDouble(fr_mem, 0), fmtDouble(fr_l1, 0),
-                      fmtDouble(lru, 0)});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nPaper reference: E5-2690 336/35/31, E3-1245v5 "
-                 "288/40/35, EPYC 7571 232/56/52.\nThe LRU channel's "
-                 "short (cache-hit) encode is what shrinks the Spectre "
-                 "speculation\nwindow requirement (Section VIII).\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("tab5_encoding_latency");
 }

@@ -1,48 +1,14 @@
 /**
  * @file
- * Reproduces Table VI: the sender process's cache miss rates under each
- * channel, plus the "sender & gcc" and "sender only" baselines — the
- * stealth argument of Section VII (an LRU-channel sender looks like
- * benign co-tenancy to performance-counter monitoring).
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "tab6_sender_miss_rates" experiment with default parameters.
+ * Prefer `lruleak run tab6_sender_miss_rates` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/experiments.hpp"
-#include "core/table.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Table VI: cache miss rate of the sender process "
-                 "===\n";
-
-    for (const auto &u : {timing::Uarch::intelXeonE52690(),
-                          timing::Uarch::intelXeonE31245v5()}) {
-        std::cout << "\n--- " << u.name << " ---\n";
-        Table table({"Scenario", "L1D miss", "L2 miss", "LLC miss",
-                     "L1D acc", "L2 acc", "LLC acc"});
-        for (const auto &row : senderMissRates(u)) {
-            table.addRow({row.scenario,
-                          fmtPercent(row.l1.missRate(), 3),
-                          fmtPercent(row.l2.missRate()),
-                          fmtPercent(row.llc.missRate()),
-                          std::to_string(row.l1.accesses),
-                          std::to_string(row.l2.accesses),
-                          std::to_string(row.llc.accesses)});
-        }
-        table.print(std::cout);
-    }
-
-    std::cout << "\nPaper reference (E5-2690 L1D): F+R(mem) 0.07%, "
-                 "F+R(L1) 0.04%, LRU Alg.1/2 0.03%,\nsender&gcc 0.03%, "
-                 "sender only 0.01%.  Shape: the LRU sender's L1D miss "
-                 "rate is\nindistinguishable from benign sharing; "
-                 "F+R(mem) stands out.  (Our senders are\nbare loops, so "
-                 "absolute rates run higher than a full process's; see "
-                 "EXPERIMENTS.md.)\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("tab6_sender_miss_rates");
 }

@@ -1,56 +1,14 @@
 /**
  * @file
- * Reproduces Table VII: cache behaviour during a Spectre v1 attack with
- * each disclosure primitive (victim + attacker combined), and confirms
- * every primitive actually recovers the secret.
+ * Thin wrapper kept for existing invocation paths: runs the registered
+ * "tab7_spectre_miss_rates" experiment with default parameters.
+ * Prefer `lruleak run tab7_spectre_miss_rates` (see `lruleak list`).
  */
 
-#include <iostream>
-
-#include "core/table.hpp"
-#include "spectre/attack.hpp"
-
-using namespace lruleak;
-using namespace lruleak::core;
-using namespace lruleak::spectre;
+#include "core/experiment.hpp"
 
 int
 main()
 {
-    std::cout << "=== Table VII: cache miss rates during a Spectre V1 "
-                 "attack ===\n";
-    const std::string secret = "The Magic Words are ...";
-
-    for (const auto &u : {timing::Uarch::intelXeonE52690(),
-                          timing::Uarch::intelXeonE31245v5()}) {
-        std::cout << "\n--- " << u.name << " ---\n";
-        Table table({"Disclosure", "Recovered", "L1D miss", "L2 miss",
-                     "LLC miss", "LLC misses(abs)"});
-        for (auto d : {Disclosure::FlushReloadMem, Disclosure::FlushReloadL1,
-                       Disclosure::LruAlg1, Disclosure::LruAlg2}) {
-            SpectreAttackConfig cfg;
-            cfg.uarch = u;
-            cfg.disclosure = d;
-            cfg.rounds = 3;
-            cfg.seed = 1234;
-            const auto res = runSpectreAttack(cfg, secret);
-            table.addRow({disclosureName(d),
-                          res.byte_accuracy == 1.0 ? "yes (100%)"
-                                                   : fmtPercent(
-                                                         res.byte_accuracy),
-                          fmtPercent(res.l1.missRate()),
-                          fmtPercent(res.l2.missRate()),
-                          fmtPercent(res.llc.missRate()),
-                          std::to_string(res.llc.misses)});
-        }
-        table.print(std::cout);
-    }
-
-    std::cout << "\nPaper reference (E5-2690): L1D ~3-5% for all; LLC "
-                 "98% for F+R(mem) vs < 1% for the\nLRU channels.  Our "
-                 "LLC *rates* are cold-miss dominated (bare-loop "
-                 "attacker); the\nabsolute LLC miss column shows the "
-                 "paper's contrast: F+R(mem) keeps going back to\nDRAM, "
-                 "the LRU attacks do not.\n";
-    return 0;
+    return lruleak::core::runRegisteredExperimentMain("tab7_spectre_miss_rates");
 }

@@ -9,6 +9,10 @@
  * happens — that is the paper's stealth headline.
  *
  *   $ ./quickstart [message]
+ *
+ * This example drives the library API directly; the paper's tables and
+ * figures are registered experiments behind the `lruleak` CLI
+ * (`lruleak list` / `lruleak run <name>`).
  */
 
 #include <iostream>

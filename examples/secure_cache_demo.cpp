@@ -9,6 +9,10 @@
  * design (lock the replacement state along with the line) closes it.
  *
  *   $ ./secure_cache_demo
+ *
+ * The registered `fig11_plcache_attack` experiment
+ * (`lruleak run fig11_plcache_attack`) reproduces the same study with
+ * parameterized bits/seed and machine-readable output.
  */
 
 #include <iostream>

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Channel name table and pair construction.
+ */
+
+#include "channel/channel_factory.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace lruleak::channel {
+
+std::string_view
+channelIdToken(ChannelId id)
+{
+    switch (id) {
+      case ChannelId::FrMem:      return "fr-mem";
+      case ChannelId::FrL1:       return "fr-l1";
+      case ChannelId::LruAlg1:    return "lru-alg1";
+      case ChannelId::LruAlg2:    return "lru-alg2";
+      case ChannelId::PrimeProbe: return "prime-probe";
+    }
+    return "unknown";
+}
+
+std::string
+channelDisplayName(ChannelId id)
+{
+    switch (id) {
+      case ChannelId::FrMem:      return "F+R (mem)";
+      case ChannelId::FrL1:       return "F+R (L1)";
+      case ChannelId::LruAlg1:    return "L1 LRU Alg.1";
+      case ChannelId::LruAlg2:    return "L1 LRU Alg.2";
+      case ChannelId::PrimeProbe: return "Prime+Probe";
+    }
+    return "unknown";
+}
+
+ChannelId
+channelIdFromName(std::string_view name)
+{
+    const std::string n = util::normalizeToken(name);
+    for (ChannelId id : allChannelIds()) {
+        if (n == channelIdToken(id))
+            return id;
+    }
+    if (n == "flush-reload-mem" || n == "flush-reload")
+        return ChannelId::FrMem;
+    if (n == "flush-reload-l1")
+        return ChannelId::FrL1;
+    if (n == "alg1" || n == "lru1")
+        return ChannelId::LruAlg1;
+    if (n == "alg2" || n == "lru2")
+        return ChannelId::LruAlg2;
+    if (n == "pp" || n == "primeprobe")
+        return ChannelId::PrimeProbe;
+
+    std::ostringstream os;
+    os << "unknown channel '" << name << "'; valid channels:";
+    for (ChannelId id : allChannelIds())
+        os << " " << channelIdToken(id);
+    throw std::invalid_argument(os.str());
+}
+
+const std::vector<ChannelId> &
+allChannelIds()
+{
+    static const std::vector<ChannelId> ids{
+        ChannelId::FrMem, ChannelId::FrL1, ChannelId::LruAlg1,
+        ChannelId::LruAlg2, ChannelId::PrimeProbe};
+    return ids;
+}
+
+LruAlgorithm
+senderAlgorithmFor(ChannelId id)
+{
+    switch (id) {
+      case ChannelId::LruAlg2:
+      case ChannelId::PrimeProbe:
+        return LruAlgorithm::Alg2Disjoint;
+      case ChannelId::FrMem:
+      case ChannelId::FrL1:
+      case ChannelId::LruAlg1:
+        break;
+    }
+    return LruAlgorithm::Alg1Shared;
+}
+
+ChannelPair::ChannelPair(ChannelId id, const ChannelLayout &layout,
+                         const ChannelPairConfig &config)
+    : id_(id)
+{
+    const LruAlgorithm alg = senderAlgorithmFor(id);
+
+    SenderConfig sc;
+    sc.alg = alg;
+    sc.message = config.message;
+    sc.repeats = config.repeats;
+    sc.ts = config.ts;
+    sc.encode_gap = config.encode_gap;
+    sender_ = std::make_unique<LruSender>(layout, sc);
+
+    switch (id) {
+      case ChannelId::FrMem:
+      case ChannelId::FrL1: {
+        FrReceiverConfig rc;
+        rc.kind = id == ChannelId::FrMem ? FlushKind::ToMemory
+                                         : FlushKind::FromL1;
+        rc.tr = config.tr;
+        rc.max_samples = config.max_samples;
+        rc.chain_len = config.chain_len;
+        auto receiver = std::make_unique<FrReceiver>(layout, rc);
+        samples_ = &receiver->samples();
+        receiver_ = std::move(receiver);
+        break;
+      }
+      case ChannelId::LruAlg1:
+      case ChannelId::LruAlg2: {
+        ReceiverConfig rc;
+        rc.alg = alg;
+        rc.d = config.d ? config.d
+                        : (alg == LruAlgorithm::Alg1Shared ? 8 : 4);
+        rc.tr = config.tr;
+        rc.max_samples = config.max_samples;
+        rc.chain_len = config.chain_len;
+        auto receiver = std::make_unique<LruReceiver>(layout, rc);
+        samples_ = &receiver->samples();
+        receiver_ = std::move(receiver);
+        break;
+      }
+      case ChannelId::PrimeProbe: {
+        PpReceiverConfig rc;
+        rc.tr = config.tr;
+        rc.max_samples = config.max_samples;
+        auto receiver = std::make_unique<PpReceiver>(layout, rc);
+        samples_ = &receiver->samples();
+        receiver_ = std::move(receiver);
+        break;
+      }
+    }
+}
+
+} // namespace lruleak::channel

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Name-addressable channel construction.
+ *
+ * The paper compares five receiver designs over the same sender model:
+ * the two LRU channels (Algorithms 1 and 2), the two Flush+Reload
+ * baselines and Prime+Probe.  ChannelId enumerates them once for the
+ * whole codebase; channelIdFromName() makes them selectable from CLI
+ * parameters ("lru-alg1", "fr-mem", "prime-probe", ...); ChannelPair
+ * instantiates the matching sender/receiver ThreadPrograms over one
+ * ChannelLayout so experiment code never dispatches on the kind again.
+ *
+ * core::ChannelKind (Tables V-VII) is an alias of ChannelId.
+ */
+
+#ifndef LRULEAK_CHANNEL_CHANNEL_FACTORY_HPP
+#define LRULEAK_CHANNEL_CHANNEL_FACTORY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/flush_reload.hpp"
+#include "channel/lru_channel.hpp"
+#include "channel/prime_probe.hpp"
+
+namespace lruleak::channel {
+
+/** Every channel design the repo can drive end to end. */
+enum class ChannelId
+{
+    FrMem,      //!< Flush+Reload, line flushed to memory
+    FrL1,       //!< Flush+Reload within L1 (evict to L2)
+    LruAlg1,    //!< LRU channel, shared memory (paper Algorithm 1)
+    LruAlg2,    //!< LRU channel, no shared memory (paper Algorithm 2)
+    PrimeProbe, //!< Prime+Probe baseline (Osvik et al.)
+};
+
+/** Stable CLI token: "fr-mem", "fr-l1", "lru-alg1", ... */
+std::string_view channelIdToken(ChannelId id);
+
+/** Paper-style display name: "F+R (mem)", "L1 LRU Alg.1", ... */
+std::string channelDisplayName(ChannelId id);
+
+/**
+ * Parse a channel name (case-insensitive; accepts the token, common
+ * aliases like "flush-reload-mem" / "pp", and '_' for '-').  Throws
+ * std::invalid_argument listing the valid tokens.
+ */
+ChannelId channelIdFromName(std::string_view name);
+
+/** All ids, in ChannelId declaration order. */
+const std::vector<ChannelId> &allChannelIds();
+
+/** The sender algorithm a channel pairs with (Alg 2 when no sharing). */
+LruAlgorithm senderAlgorithmFor(ChannelId id);
+
+/** Common knobs for a factory-built sender/receiver pair. */
+struct ChannelPairConfig
+{
+    Bits message;                  //!< bits the sender transmits
+    std::uint32_t repeats = 1;
+    std::uint64_t ts = 6000;       //!< sender per-bit period (cycles)
+    std::uint64_t tr = 600;        //!< receiver sampling period (cycles)
+    std::uint32_t d = 0;           //!< LRU init depth; 0 = per-alg default
+    std::uint64_t max_samples = 1000;
+    std::uint32_t chain_len = 7;
+    std::uint32_t encode_gap = 40;
+};
+
+/**
+ * One constructed sender/receiver pair, ready for a scheduler.  Owns
+ * both programs; samples() reaches through to whichever receiver type
+ * was built.
+ */
+class ChannelPair
+{
+  public:
+    ChannelPair(ChannelId id, const ChannelLayout &layout,
+                const ChannelPairConfig &config);
+
+    ChannelId id() const { return id_; }
+    LruSender &sender() { return *sender_; }
+    exec::ThreadProgram &receiver() { return *receiver_; }
+    const std::vector<Sample> &samples() const { return *samples_; }
+
+  private:
+    ChannelId id_;
+    std::unique_ptr<LruSender> sender_;
+    std::unique_ptr<exec::ThreadProgram> receiver_;
+    const std::vector<Sample> *samples_ = nullptr;
+};
+
+} // namespace lruleak::channel
+
+#endif // LRULEAK_CHANNEL_CHANNEL_FACTORY_HPP

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * `lruleak` — the single driver binary over the experiment registry.
+ *
+ *   lruleak list                          all registered experiments
+ *   lruleak describe <name>               description + parameters
+ *   lruleak run <name> [--param=value...] one experiment
+ *               [--format=table|json|csv] [--seed=N]
+ *   lruleak run-all [--format=...]        every experiment, defaults
+ *
+ * Any `--x=y` pair (or `--x y`) is an override of the experiment's
+ * declared parameter `x` — `--seed=N` is simply the conventional RNG
+ * parameter most experiments declare.  Unknown parameters, type errors
+ * and bad choice values are rejected before the experiment starts,
+ * with a message listing the valid options.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace lruleak;
+using core::Experiment;
+using core::Registry;
+
+int
+usage(std::ostream &os, int code)
+{
+    os << "usage:\n"
+          "  lruleak list\n"
+          "  lruleak describe <experiment>\n"
+          "  lruleak run <experiment> [--format=table|json|csv] "
+          "[--<param>=<value> ...]\n"
+          "  lruleak run-all [--format=table|json|csv]\n"
+          "\n"
+          "`lruleak list` shows every registered experiment; "
+          "`lruleak describe <name>`\nshows its parameters and their "
+          "defaults.\n";
+    return code;
+}
+
+int
+cmdList()
+{
+    const auto all = Registry::instance().all();
+    std::size_t width = 0;
+    for (const Experiment *e : all)
+        width = std::max(width, e->name().size());
+    for (const Experiment *e : all) {
+        std::cout << "  " << e->name();
+        for (std::size_t p = e->name().size(); p < width + 2; ++p)
+            std::cout << ' ';
+        std::cout << e->description() << "\n";
+    }
+    std::cout << "\n" << all.size()
+              << " experiments registered; `lruleak describe <name>` "
+                 "shows parameters.\n";
+    return 0;
+}
+
+int
+cmdDescribe(const std::string &name)
+{
+    const Experiment *e = Registry::instance().find(name);
+    if (!e) {
+        std::cerr << "unknown experiment '" << name
+                  << "'; see `lruleak list`\n";
+        return 2;
+    }
+    std::cout << e->name() << "\n  " << e->description() << "\n";
+    const auto specs = e->params();
+    if (specs.empty()) {
+        std::cout << "\n  (no parameters)\n";
+        return 0;
+    }
+    std::cout << "\n  parameters:\n";
+    for (const auto &spec : specs) {
+        std::cout << "    --" << spec.name << "=<"
+                  << core::paramTypeName(spec.type) << ">  default "
+                  << (spec.default_value.empty() ? "\"\""
+                                                 : spec.default_value)
+                  << "\n        " << spec.description << "\n";
+        if (!spec.choices.empty()) {
+            std::cout << "        choices:";
+            for (const auto &c : spec.choices)
+                std::cout << " " << c;
+            std::cout << "\n";
+        }
+    }
+    return 0;
+}
+
+/** Split `--name=value` / `--name value` style args after the command. */
+bool
+parseOverrides(const std::vector<std::string> &args,
+               std::map<std::string, std::string> &overrides,
+               std::string &format)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            std::cerr << "unexpected argument '" << arg
+                      << "' (parameters look like --name=value)\n";
+            return false;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (i + 1 < args.size()) {
+            value = args[++i];
+        } else {
+            std::cerr << "parameter '--" << name << "' needs a value\n";
+            return false;
+        }
+        if (name == "format")
+            format = value;
+        else
+            overrides[name] = value;
+    }
+    return true;
+}
+
+/**
+ * Run one experiment into a buffer and return the rendered output.
+ * Buffering keeps the machine-readable formats well-formed: a failure
+ * mid-run throws before anything (e.g. an unclosed JSON document)
+ * reaches stdout.
+ */
+std::string
+renderOne(const Experiment &experiment,
+          const std::map<std::string, std::string> &overrides,
+          core::OutputFormat format)
+{
+    std::ostringstream os;
+    const auto sink = core::makeSink(format, os);
+    core::runExperiment(experiment, overrides, *sink);
+    return os.str();
+}
+
+int
+cmdRun(const std::string &name, const std::vector<std::string> &args)
+{
+    const Experiment *e = Registry::instance().find(name);
+    if (!e) {
+        std::cerr << "unknown experiment '" << name
+                  << "'; see `lruleak list`\n";
+        return 2;
+    }
+    std::map<std::string, std::string> overrides;
+    std::string format = "table";
+    if (!parseOverrides(args, overrides, format))
+        return 2;
+    std::cout << renderOne(*e, overrides,
+                           core::outputFormatFromName(format));
+    return 0;
+}
+
+int
+cmdRunAll(const std::vector<std::string> &args)
+{
+    std::map<std::string, std::string> overrides;
+    std::string format = "table";
+    if (!parseOverrides(args, overrides, format))
+        return 2;
+    if (!overrides.empty()) {
+        std::cerr << "run-all only accepts --format (experiments have "
+                     "different parameters)\n";
+        return 2;
+    }
+    const auto fmt = core::outputFormatFromName(format);
+    int failures = 0;
+    bool first = true;
+    if (fmt == core::OutputFormat::Json)
+        std::cout << "[\n";
+    for (const Experiment *e : Registry::instance().all()) {
+        std::string rendered;
+        try {
+            rendered = renderOne(*e, {}, fmt);
+        } catch (const std::exception &ex) {
+            std::cerr << e->name() << " FAILED: " << ex.what() << "\n";
+            ++failures;
+            continue;
+        }
+        switch (fmt) {
+          case core::OutputFormat::Table:
+            std::cout << "\n##### " << e->name() << " #####\n\n"
+                      << rendered;
+            break;
+          case core::OutputFormat::Json:
+            // Each experiment renders one object; join into an array.
+            std::cout << (first ? "" : ",\n") << rendered;
+            break;
+          case core::OutputFormat::Csv:
+            std::cout << (first ? "" : "\n") << rendered;
+            break;
+        }
+        first = false;
+    }
+    if (fmt == core::OutputFormat::Json)
+        std::cout << "]\n";
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(std::cerr, 2);
+
+    const std::string cmd = args[0];
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "describe") {
+            if (args.size() != 2)
+                return usage(std::cerr, 2);
+            return cmdDescribe(args[1]);
+        }
+        if (cmd == "run") {
+            if (args.size() < 2)
+                return usage(std::cerr, 2);
+            return cmdRun(args[1], {args.begin() + 2, args.end()});
+        }
+        if (cmd == "run-all")
+            return cmdRunAll({args.begin() + 1, args.end()});
+        if (cmd == "help" || cmd == "--help" || cmd == "-h")
+            return usage(std::cout, 0);
+    } catch (const core::ParamError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+}

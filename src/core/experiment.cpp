@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment registry and runner plumbing.
+ */
+
+#include "core/experiment.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace lruleak::core {
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(std::unique_ptr<Experiment> experiment)
+{
+    const std::string name = experiment->name();
+    if (!experiments_.emplace(name, std::move(experiment)).second)
+        throw std::logic_error("experiment '" + name +
+                               "' registered twice");
+}
+
+const Experiment *
+Registry::find(const std::string &name) const
+{
+    const auto it = experiments_.find(name);
+    return it == experiments_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Experiment *>
+Registry::all() const
+{
+    std::vector<const Experiment *> out;
+    out.reserve(experiments_.size());
+    for (const auto &[name, experiment] : experiments_)
+        out.push_back(experiment.get());
+    return out; // std::map iteration order is already name-sorted
+}
+
+Registrar::Registrar(std::unique_ptr<Experiment> experiment)
+{
+    Registry::instance().add(std::move(experiment));
+}
+
+void
+runExperiment(const Experiment &experiment,
+              const std::map<std::string, std::string> &overrides,
+              ResultSink &sink)
+{
+    const ParamMap params = resolveParams(experiment.params(), overrides);
+    sink.begin(experiment.name(), experiment.description(), params);
+    experiment.run(params, sink);
+    sink.end();
+}
+
+int
+runRegisteredExperimentMain(const std::string &name)
+{
+    const Experiment *experiment = Registry::instance().find(name);
+    if (!experiment) {
+        std::cerr << "experiment '" << name
+                  << "' is not registered (this wrapper is stale; see "
+                     "`lruleak list`)\n";
+        return 2;
+    }
+    try {
+        TableSink sink(std::cout);
+        runExperiment(*experiment, {}, sink);
+    } catch (const std::exception &e) {
+        std::cerr << name << ": " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace lruleak::core

@@ -142,13 +142,7 @@ singleAccessHistograms(const timing::Uarch &uarch, std::uint32_t samples,
 std::string
 channelKindName(ChannelKind kind)
 {
-    switch (kind) {
-      case ChannelKind::FrMem:   return "F+R (mem)";
-      case ChannelKind::FrL1:    return "F+R (L1)";
-      case ChannelKind::LruAlg1: return "L1 LRU Alg.1";
-      case ChannelKind::LruAlg2: return "L1 LRU Alg.2";
-    }
-    return "unknown";
+    return channel::channelDisplayName(kind);
 }
 
 namespace {
@@ -164,47 +158,24 @@ ChannelRun
 runChannelKind(const timing::Uarch &uarch, ChannelKind kind,
                std::uint64_t seed)
 {
-    using channel::LruAlgorithm;
-
     sim::HierarchyConfig h;
     h.l1_way_predictor = uarch.way_predictor;
     sim::CacheHierarchy hierarchy(h);
 
-    const LruAlgorithm alg = kind == ChannelKind::LruAlg2
-                                 ? LruAlgorithm::Alg2Disjoint
-                                 : LruAlgorithm::Alg1Shared;
     channel::ChannelLayout layout(sim::CacheConfig::intelL1d(), 7, 63);
 
-    channel::SenderConfig sc;
-    sc.alg = alg;
-    sc.message = channel::randomBits(64, seed);
-    sc.repeats = 4;
-    sc.ts = 6000;
-
-    channel::LruSender sender(layout, sc);
+    channel::ChannelPairConfig pc;
+    pc.message = channel::randomBits(64, seed);
+    pc.repeats = 4;
+    pc.ts = 6000;
+    pc.tr = 600;
+    pc.max_samples = 2000;
+    channel::ChannelPair pair(kind, layout, pc);
 
     exec::SmtConfig smt;
     smt.seed = seed;
     exec::SmtScheduler sched(hierarchy, uarch, smt);
-
-    if (kind == ChannelKind::FrMem || kind == ChannelKind::FrL1) {
-        channel::FrReceiverConfig rc;
-        rc.kind = kind == ChannelKind::FrMem
-                      ? channel::FlushKind::ToMemory
-                      : channel::FlushKind::FromL1;
-        rc.tr = 600;
-        rc.max_samples = 2000;
-        channel::FrReceiver receiver(layout, rc);
-        sched.run(sender, receiver, 1);
-    } else {
-        channel::ReceiverConfig rc;
-        rc.alg = alg;
-        rc.d = alg == LruAlgorithm::Alg1Shared ? 8 : 4;
-        rc.tr = 600;
-        rc.max_samples = 2000;
-        channel::LruReceiver receiver(layout, rc);
-        sched.run(sender, receiver, 1);
-    }
+    sched.run(pair.sender(), pair.receiver(), 1);
 
     ChannelRun out;
     out.sender_l1 =
@@ -213,7 +184,7 @@ runChannelKind(const timing::Uarch &uarch, ChannelKind kind,
         hierarchy.l2().counters().forThread(channel::kSenderThread);
     out.sender_llc =
         hierarchy.llc().counters().forThread(channel::kSenderThread);
-    out.encode_levels = sender.encodeLevels();
+    out.encode_levels = pair.sender().encodeLevels();
     return out;
 }
 
@@ -230,9 +201,7 @@ meanEncodeLatency(const timing::Uarch &uarch, ChannelKind kind,
     h.l1_way_predictor = uarch.way_predictor;
     sim::CacheHierarchy hierarchy(h);
 
-    const auto alg = kind == ChannelKind::LruAlg2
-                         ? channel::LruAlgorithm::Alg2Disjoint
-                         : channel::LruAlgorithm::Alg1Shared;
+    const auto alg = channel::senderAlgorithmFor(kind);
     channel::ChannelLayout layout(sim::CacheConfig::intelL1d(), 7, 63);
     const sim::MemRef line = layout.senderLine(alg);
 
@@ -254,7 +223,9 @@ meanEncodeLatency(const timing::Uarch &uarch, ChannelKind kind,
             break;
           case ChannelKind::LruAlg1:
           case ChannelKind::LruAlg2:
-            // LRU channels leave the line wherever it is — typically L1.
+          case ChannelKind::PrimeProbe:
+            // LRU-state and Prime+Probe senders leave the line wherever
+            // it is — typically L1.
             break;
         }
         const auto res = hierarchy.access(line);
@@ -268,10 +239,20 @@ meanEncodeLatency(const timing::Uarch &uarch, ChannelKind kind,
 std::vector<MissRateRow>
 senderMissRates(const timing::Uarch &uarch, std::uint64_t seed)
 {
+    return senderMissRates(uarch,
+                           {ChannelKind::FrMem, ChannelKind::FrL1,
+                            ChannelKind::LruAlg1, ChannelKind::LruAlg2},
+                           seed);
+}
+
+std::vector<MissRateRow>
+senderMissRates(const timing::Uarch &uarch,
+                const std::vector<ChannelKind> &channels,
+                std::uint64_t seed)
+{
     std::vector<MissRateRow> rows;
 
-    for (ChannelKind kind : {ChannelKind::FrMem, ChannelKind::FrL1,
-                             ChannelKind::LruAlg1, ChannelKind::LruAlg2}) {
+    for (ChannelKind kind : channels) {
         const ChannelRun run = runChannelKind(uarch, kind, seed);
         rows.push_back(MissRateRow{channelKindName(kind), run.sender_l1,
                                    run.sender_l2, run.sender_llc});

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/channel_factory.hpp"
 #include "channel/covert_channel.hpp"
 #include "core/histogram.hpp"
 #include "sim/replacement.hpp"
@@ -79,14 +80,12 @@ LatencyHistograms singleAccessHistograms(const timing::Uarch &uarch,
 
 // ------------------------------------------------------------- Table V
 
-/** The channels compared in Tables V and VI. */
-enum class ChannelKind
-{
-    FrMem,   //!< Flush+Reload to memory
-    FrL1,    //!< Flush+Reload within L1 (evict to L2)
-    LruAlg1, //!< LRU channel, shared memory
-    LruAlg2, //!< LRU channel, no shared memory
-};
+/**
+ * The channels compared in Tables V and VI — now the library-wide
+ * channel::ChannelId (see channel/channel_factory.hpp), so experiment
+ * code and the CLI select channels through one name table.
+ */
+using ChannelKind = channel::ChannelId;
 
 std::string channelKindName(ChannelKind kind);
 
@@ -115,6 +114,12 @@ struct MissRateRow
  */
 std::vector<MissRateRow> senderMissRates(const timing::Uarch &uarch,
                                          std::uint64_t seed = 6);
+
+/** Same, over an explicit channel list (CLI --channels path). */
+std::vector<MissRateRow>
+senderMissRates(const timing::Uarch &uarch,
+                const std::vector<ChannelKind> &channels,
+                std::uint64_t seed);
 
 // -------------------------------------------------------------- Fig. 9
 

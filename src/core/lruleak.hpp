@@ -48,6 +48,7 @@
 
 // channel
 #include "channel/bitstring.hpp"
+#include "channel/channel_factory.hpp"
 #include "channel/covert_channel.hpp"
 #include "channel/decoder.hpp"
 #include "channel/edit_distance.hpp"
@@ -67,8 +68,11 @@
 #include "workload/trace_gen.hpp"
 
 // core
+#include "core/experiment.hpp"
 #include "core/experiments.hpp"
 #include "core/histogram.hpp"
+#include "core/param.hpp"
+#include "core/result_sink.hpp"
 #include "core/table.hpp"
 
 /** Library version. */

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * ResultSink emitter implementations.
+ */
+
+#include "core/result_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace lruleak::core {
+
+namespace {
+
+/** Shortest round-trippable rendering of a double for JSON/CSV. */
+std::string
+numberToString(double v)
+{
+    if (std::isnan(v))
+        return "null";
+    if (std::isinf(v))
+        return v > 0 ? "1e308" : "-1e308";
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[64];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+        double parsed = 0.0;
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == v)
+            return shorter;
+    }
+    return buf;
+}
+
+std::string
+csvQuote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------------------ TableSink
+
+void
+TableSink::begin(const std::string &, const std::string &,
+                 const ParamMap &)
+{
+    // The experiments print their own headers through note(), matching
+    // the seed bench binaries' output byte-for-byte where possible.
+}
+
+void
+TableSink::note(const std::string &text)
+{
+    os_ << text << "\n";
+}
+
+void
+TableSink::table(const std::string &title, const Table &table)
+{
+    if (!title.empty())
+        os_ << "\n" << title << "\n";
+    table.print(os_);
+}
+
+void
+TableSink::scalar(const std::string &name, double value)
+{
+    os_ << name << " = " << numberToString(value) << "\n";
+}
+
+void
+TableSink::series(const std::string &title,
+                  const std::vector<double> &values,
+                  std::size_t chart_height)
+{
+    if (!title.empty())
+        os_ << title << "\n";
+    os_ << asciiChart(values, chart_height, 100);
+}
+
+void
+TableSink::text(const std::string &title, const std::string &body)
+{
+    if (!title.empty())
+        os_ << title << "\n";
+    os_ << body;
+    if (!body.empty() && body.back() != '\n')
+        os_ << "\n";
+}
+
+void
+TableSink::end()
+{
+}
+
+// ------------------------------------------------------------- JsonSink
+
+void
+JsonSink::begin(const std::string &experiment,
+                const std::string &description, const ParamMap &params)
+{
+    first_result_ = true; // the sink may be reused for another run
+    os_ << "{\n  \"experiment\": \"" << jsonEscape(experiment) << "\",\n"
+        << "  \"description\": \"" << jsonEscape(description) << "\",\n"
+        << "  \"params\": {";
+    bool first = true;
+    for (const auto &[name, value] : params.values()) {
+        os_ << (first ? "" : ", ") << "\"" << jsonEscape(name) << "\": \""
+            << jsonEscape(value) << "\"";
+        first = false;
+    }
+    os_ << "},\n  \"results\": [";
+}
+
+void
+JsonSink::beginResult()
+{
+    os_ << (first_result_ ? "" : ",") << "\n    ";
+    first_result_ = false;
+}
+
+void
+JsonSink::note(const std::string &text)
+{
+    beginResult();
+    os_ << "{\"kind\": \"note\", \"text\": \"" << jsonEscape(text)
+        << "\"}";
+}
+
+void
+JsonSink::table(const std::string &title, const Table &table)
+{
+    beginResult();
+    os_ << "{\"kind\": \"table\", \"title\": \"" << jsonEscape(title)
+        << "\", \"header\": [";
+    bool first = true;
+    for (const auto &cell : table.headerCells()) {
+        os_ << (first ? "" : ", ") << "\"" << jsonEscape(cell) << "\"";
+        first = false;
+    }
+    os_ << "], \"rows\": [";
+    bool first_row = true;
+    for (const auto &row : table.rowCells()) {
+        os_ << (first_row ? "" : ",") << "\n      [";
+        bool first_cell = true;
+        for (const auto &cell : row) {
+            os_ << (first_cell ? "" : ", ") << "\"" << jsonEscape(cell)
+                << "\"";
+            first_cell = false;
+        }
+        os_ << "]";
+        first_row = false;
+    }
+    if (!table.rowCells().empty())
+        os_ << "\n    ";
+    os_ << "]}";
+}
+
+void
+JsonSink::scalar(const std::string &name, double value)
+{
+    beginResult();
+    os_ << "{\"kind\": \"scalar\", \"name\": \"" << jsonEscape(name)
+        << "\", \"value\": " << numberToString(value) << "}";
+}
+
+void
+JsonSink::series(const std::string &title,
+                 const std::vector<double> &values, std::size_t)
+{
+    beginResult();
+    os_ << "{\"kind\": \"series\", \"title\": \"" << jsonEscape(title)
+        << "\", \"values\": [";
+    bool first = true;
+    for (double v : values) {
+        os_ << (first ? "" : ", ") << numberToString(v);
+        first = false;
+    }
+    os_ << "]}";
+}
+
+void
+JsonSink::text(const std::string &title, const std::string &body)
+{
+    beginResult();
+    os_ << "{\"kind\": \"text\", \"title\": \"" << jsonEscape(title)
+        << "\", \"body\": \"" << jsonEscape(body) << "\"}";
+}
+
+void
+JsonSink::end()
+{
+    os_ << "\n  ]\n}\n";
+}
+
+// -------------------------------------------------------------- CsvSink
+
+void
+CsvSink::begin(const std::string &experiment, const std::string &,
+               const ParamMap &params)
+{
+    os_ << "# experiment: " << experiment << "\n";
+    for (const auto &[name, value] : params.values())
+        os_ << "# param: " << name << "=" << value << "\n";
+}
+
+void
+CsvSink::note(const std::string &text)
+{
+    std::string line = "# ";
+    for (char c : text) {
+        if (c == '\n') {
+            os_ << line << "\n";
+            line = "# ";
+        } else {
+            line += c;
+        }
+    }
+    os_ << line << "\n";
+}
+
+void
+CsvSink::table(const std::string &title, const Table &table)
+{
+    os_ << "# table: " << (title.empty() ? "(untitled)" : title) << "\n";
+    bool first = true;
+    for (const auto &cell : table.headerCells()) {
+        os_ << (first ? "" : ",") << csvQuote(cell);
+        first = false;
+    }
+    os_ << "\n";
+    for (const auto &row : table.rowCells()) {
+        first = true;
+        for (const auto &cell : row) {
+            os_ << (first ? "" : ",") << csvQuote(cell);
+            first = false;
+        }
+        os_ << "\n";
+    }
+}
+
+void
+CsvSink::scalar(const std::string &name, double value)
+{
+    scalars_.emplace_back(name, value);
+}
+
+void
+CsvSink::series(const std::string &title,
+                const std::vector<double> &values, std::size_t)
+{
+    os_ << "# series: " << title << "\nindex,value\n";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        os_ << i << "," << numberToString(values[i]) << "\n";
+}
+
+void
+CsvSink::text(const std::string &title, const std::string &)
+{
+    os_ << "# text block omitted: "
+        << (title.empty() ? "(untitled)" : title) << "\n";
+}
+
+void
+CsvSink::end()
+{
+    if (scalars_.empty())
+        return;
+    os_ << "# scalars\nname,value\n";
+    for (const auto &[name, value] : scalars_)
+        os_ << csvQuote(name) << "," << numberToString(value) << "\n";
+}
+
+// -------------------------------------------------------------- factory
+
+OutputFormat
+outputFormatFromName(std::string_view name)
+{
+    if (name == "table")
+        return OutputFormat::Table;
+    if (name == "json")
+        return OutputFormat::Json;
+    if (name == "csv")
+        return OutputFormat::Csv;
+    throw std::invalid_argument("unknown output format '" +
+                                std::string(name) +
+                                "' (expected table, json or csv)");
+}
+
+std::unique_ptr<ResultSink>
+makeSink(OutputFormat format, std::ostream &os)
+{
+    switch (format) {
+      case OutputFormat::Table: return std::make_unique<TableSink>(os);
+      case OutputFormat::Json:  return std::make_unique<JsonSink>(os);
+      case OutputFormat::Csv:   return std::make_unique<CsvSink>(os);
+    }
+    throw std::invalid_argument("bad OutputFormat");
+}
+
+} // namespace lruleak::core

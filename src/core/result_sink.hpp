@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Structured experiment output.
+ *
+ * Experiments never print: they emit notes, tables, scalar metrics,
+ * numeric series (figure traces) and preformatted text blocks into a
+ * ResultSink.  Three emitters ship with the library:
+ *
+ *   TableSink - the human-readable ASCII rendering the seed bench
+ *               binaries printed (tables via Table::print, series via
+ *               asciiChart);
+ *   JsonSink  - one JSON object per run, results in emission order;
+ *   CsvSink   - tables/series/scalars as CSV blocks, notes as comments.
+ *
+ * makeSink() picks an emitter from a format name ("table", "json",
+ * "csv"), which is how the CLI's --format flag is wired through.
+ */
+
+#ifndef LRULEAK_CORE_RESULT_SINK_HPP
+#define LRULEAK_CORE_RESULT_SINK_HPP
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/param.hpp"
+#include "core/table.hpp"
+
+namespace lruleak::core {
+
+/** Receiver of one experiment run's structured output. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Called once before any result, with the resolved parameters. */
+    virtual void begin(const std::string &experiment,
+                       const std::string &description,
+                       const ParamMap &params) = 0;
+
+    /** Prose: headers, takeaways, paper references. */
+    virtual void note(const std::string &text) = 0;
+
+    /** A finished table; @p title may be empty. */
+    virtual void table(const std::string &title, const Table &table) = 0;
+
+    /** One named numeric result. */
+    virtual void scalar(const std::string &name, double value) = 0;
+
+    /**
+     * A numeric series (latency trace, moving average, ...).
+     * @p chart_height is a rendering hint for the ASCII emitter.
+     */
+    virtual void series(const std::string &title,
+                        const std::vector<double> &values,
+                        std::size_t chart_height = 8) = 0;
+
+    /** Preformatted block (histogram renderings, decoded bit strings). */
+    virtual void text(const std::string &title,
+                      const std::string &body) = 0;
+
+    /** Called once after the last result. */
+    virtual void end() = 0;
+};
+
+/** ASCII emitter reproducing the seed benches' terminal output. */
+class TableSink : public ResultSink
+{
+  public:
+    explicit TableSink(std::ostream &os)
+        : os_(os)
+    {}
+
+    void begin(const std::string &experiment,
+               const std::string &description,
+               const ParamMap &params) override;
+    void note(const std::string &text) override;
+    void table(const std::string &title, const Table &table) override;
+    void scalar(const std::string &name, double value) override;
+    void series(const std::string &title,
+                const std::vector<double> &values,
+                std::size_t chart_height) override;
+    void text(const std::string &title, const std::string &body) override;
+    void end() override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** Machine-readable JSON emitter. */
+class JsonSink : public ResultSink
+{
+  public:
+    explicit JsonSink(std::ostream &os)
+        : os_(os)
+    {}
+
+    void begin(const std::string &experiment,
+               const std::string &description,
+               const ParamMap &params) override;
+    void note(const std::string &text) override;
+    void table(const std::string &title, const Table &table) override;
+    void scalar(const std::string &name, double value) override;
+    void series(const std::string &title,
+                const std::vector<double> &values,
+                std::size_t chart_height) override;
+    void text(const std::string &title, const std::string &body) override;
+    void end() override;
+
+  private:
+    void beginResult();
+
+    std::ostream &os_;
+    bool first_result_ = true;
+};
+
+/** CSV emitter: one block per table/series, scalars collected at end. */
+class CsvSink : public ResultSink
+{
+  public:
+    explicit CsvSink(std::ostream &os)
+        : os_(os)
+    {}
+
+    void begin(const std::string &experiment,
+               const std::string &description,
+               const ParamMap &params) override;
+    void note(const std::string &text) override;
+    void table(const std::string &title, const Table &table) override;
+    void scalar(const std::string &name, double value) override;
+    void series(const std::string &title,
+                const std::vector<double> &values,
+                std::size_t chart_height) override;
+    void text(const std::string &title, const std::string &body) override;
+    void end() override;
+
+  private:
+    std::ostream &os_;
+    std::vector<std::pair<std::string, double>> scalars_;
+};
+
+/** Output formats the CLI exposes. */
+enum class OutputFormat
+{
+    Table,
+    Json,
+    Csv,
+};
+
+/** Parse "table" / "json" / "csv"; throws std::invalid_argument. */
+OutputFormat outputFormatFromName(std::string_view name);
+
+/** Construct the emitter for @p format writing to @p os. */
+std::unique_ptr<ResultSink> makeSink(OutputFormat format, std::ostream &os);
+
+/** JSON string escaping (shared with tests). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace lruleak::core
+
+#endif // LRULEAK_CORE_RESULT_SINK_HPP

@@ -31,6 +31,13 @@ class Table
 
     std::size_t rows() const { return rows_.size(); }
 
+    /** Structured access for the machine-readable ResultSink emitters. */
+    const std::vector<std::string> &headerCells() const { return header_; }
+    const std::vector<std::vector<std::string>> &rowCells() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation as a registered experiment: how the channel behaves under
+ * every replacement policy the simulator implements — including the
+ * defenses (FIFO, Random) and the policies the paper did not evaluate
+ * end-to-end (true LRU, Bit-PLRU, SRRIP).
+ */
+
+#include "channel/covert_channel.hpp"
+#include "experiments/common.hpp"
+
+namespace lruleak::experiments {
+
+namespace {
+
+using namespace lruleak::core;
+using namespace lruleak::channel;
+
+class AblationPolicyChannel final : public Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "ablation_policy_channel";
+    }
+
+    std::string
+    description() const override
+    {
+        return "Ablation: channel error under each L1D replacement "
+               "policy (incl. SRRIP, Bit-PLRU)";
+    }
+
+    std::vector<ParamSpec>
+    params() const override
+    {
+        return {
+            ParamSpec::integer("bits", 96, "random message length"),
+            seedParam(11),
+        };
+    }
+
+    void
+    run(const ParamMap &params, ResultSink &sink) const override
+    {
+        const auto bits =
+            static_cast<std::size_t>(params.getUint("bits"));
+
+        sink.note("=== Ablation: channel error under each L1D "
+                  "replacement policy ===\n(hyper-threaded, Intel "
+                  "E5-2690, Ts=6000, Tr=600, random " +
+                  std::to_string(bits) + "-bit message)\n");
+
+        Table table({"Policy", "Alg.1 d=8 err", "Alg.2 d=5 err",
+                     "Sender L1D miss"});
+        for (auto policy : {sim::ReplPolicyKind::TrueLru,
+                            sim::ReplPolicyKind::TreePlru,
+                            sim::ReplPolicyKind::BitPlru,
+                            sim::ReplPolicyKind::Srrip,
+                            sim::ReplPolicyKind::Fifo,
+                            sim::ReplPolicyKind::Random}) {
+            CovertConfig cfg;
+            cfg.l1_policy = policy;
+            cfg.message = randomBits(bits, 4242);
+            cfg.seed = params.getUint("seed");
+            const auto a1 = runCovertChannel(cfg);
+
+            cfg.alg = LruAlgorithm::Alg2Disjoint;
+            cfg.d = 5;
+            const auto a2 = runCovertChannel(cfg);
+
+            table.addRow({std::string(sim::replPolicyName(policy)),
+                          fmtPercent(a1.error_rate),
+                          fmtPercent(a2.error_rate),
+                          fmtPercent(a1.sender_l1.missRate(), 3)});
+        }
+        sink.table("", table);
+
+        sink.note("\nTakeaways: the hit-encoding channel works under "
+                  "true LRU and Tree-PLRU; Bit-PLRU\ndefeats the d=8 "
+                  "protocol (the receiver's own measurement pins line "
+                  "0's MRU bit);\nRandom destroys it outright; FIFO "
+                  "leaves only a miss-based residual (note the\n"
+                  "sender's miss rate — stealth is gone).");
+    }
+};
+
+LRULEAK_REGISTER_EXPERIMENT(AblationPolicyChannel)
+
+} // namespace
+
+} // namespace lruleak::experiments

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation as a registered experiment: the minimum speculation window
+ * each disclosure primitive needs (Section VIII's claim that the LRU
+ * channel's cache-hit encode makes the Spectre attack work with a much
+ * smaller window than Flush+Reload's memory-miss encode).
+ */
+
+#include "experiments/common.hpp"
+#include "spectre/attack.hpp"
+
+namespace lruleak::experiments {
+
+namespace {
+
+using namespace lruleak::core;
+using namespace lruleak::spectre;
+
+class AblationSpeculationWindow final : public Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "ablation_speculation_window";
+    }
+
+    std::string
+    description() const override
+    {
+        return "Ablation: minimum Spectre speculation window per "
+               "disclosure primitive (Section VIII)";
+    }
+
+    std::vector<ParamSpec>
+    params() const override
+    {
+        return {
+            ParamSpec::integer("rounds", 3, "scoring rounds per byte"),
+            ParamSpec::integer("max_window", 2048,
+                               "upper bound of the window search"),
+            seedParam(2024),
+        };
+    }
+
+    void
+    run(const ParamMap &params, ResultSink &sink) const override
+    {
+        sink.note("=== Ablation: minimum working speculation window "
+                  "per disclosure primitive ===\n(binary search over "
+                  "the window at which a 1-byte secret is still "
+                  "recovered)\n");
+
+        Table table({"Disclosure", "Min window (cycles)", "Encode is"});
+        const char *encode[] = {"memory miss", "L2 hit", "L1 hit",
+                                "L1/L2 hit"};
+        int i = 0;
+        for (auto d : {Disclosure::FlushReloadMem,
+                       Disclosure::FlushReloadL1, Disclosure::LruAlg1,
+                       Disclosure::LruAlg2}) {
+            SpectreAttackConfig cfg;
+            cfg.disclosure = d;
+            cfg.rounds = params.getUint32("rounds");
+            cfg.seed = params.getUint("seed");
+            const auto window = minimumWorkingWindow(
+                cfg, 4, params.getUint("max_window"));
+            table.addRow({disclosureName(d),
+                          window ? std::to_string(window)
+                                 : "never in range",
+                          encode[i++]});
+        }
+        sink.table("", table);
+
+        sink.note("\nTakeaway: the LRU disclosure works with a "
+                  "speculation window an order of magnitude\nsmaller "
+                  "than F+R (mem) — more gadgets qualify, making the "
+                  "attack harder to defend\n(Section VIII).");
+    }
+};
+
+LRULEAK_REGISTER_EXPERIMENT(AblationSpeculationWindow)
+
+} // namespace
+
+} // namespace lruleak::experiments

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Appendix C as a registered experiment: hardware-prefetcher noise
+ * during the Spectre attack's set scans, and the paper's mitigation —
+ * scan the probe sets in a fresh random order every round so prefetch
+ * pollution averages out.
+ */
+
+#include "experiments/common.hpp"
+#include "spectre/attack.hpp"
+
+namespace lruleak::experiments {
+
+namespace {
+
+using namespace lruleak::core;
+using namespace lruleak::spectre;
+
+class AppcPrefetcherNoise final : public Experiment
+{
+  public:
+    std::string name() const override { return "appc_prefetcher_noise"; }
+
+    std::string
+    description() const override
+    {
+        return "Appendix C: prefetcher noise vs random-order probe "
+               "scanning (Spectre + LRU Alg.1)";
+    }
+
+    std::vector<ParamSpec>
+    params() const override
+    {
+        return {
+            ParamSpec::str("secret", "Sensitive",
+                           "secret the victim holds"),
+            ParamSpec::integer("rounds", 2,
+                               "scoring rounds per byte (few rounds: "
+                               "noise has less room to average)"),
+            seedParam(99),
+        };
+    }
+
+    void
+    run(const ParamMap &params, ResultSink &sink) const override
+    {
+        const std::string secret = params.getStr("secret");
+
+        sink.note("=== Appendix C: prefetcher noise vs random-order "
+                  "scanning (Spectre + LRU Alg.1) ===\n");
+
+        Table table({"Prefetcher", "Probe order", "Recovered",
+                     "Byte accuracy"});
+        for (bool prefetcher : {false, true}) {
+            for (bool random_order : {false, true}) {
+                SpectreAttackConfig cfg;
+                cfg.disclosure = Disclosure::LruAlg1;
+                cfg.enable_prefetcher = prefetcher;
+                cfg.random_probe_order = random_order;
+                cfg.rounds = params.getUint32("rounds");
+                cfg.seed = params.getUint("seed");
+                const auto res = runSpectreAttack(cfg, secret);
+                std::string shown;
+                for (char c : res.recovered)
+                    shown += (c >= 32 && c < 127) ? c : '?';
+                table.addRow({prefetcher ? "stride (on)" : "off",
+                              random_order ? "random/round"
+                                           : "sequential",
+                              shown, fmtPercent(res.byte_accuracy)});
+            }
+        }
+        sink.table("", table);
+
+        sink.note("\nPaper reference: sequential scans let the stride "
+                  "prefetcher drag neighbouring\nlines into L1 and "
+                  "corrupt the LRU states; randomising the order each "
+                  "round\ndecorrelates the pollution and the averaged "
+                  "scores recover the secret.");
+    }
+};
+
+LRULEAK_REGISTER_EXPERIMENT(AppcPrefetcherNoise)
+
+} // namespace
+
+} // namespace lruleak::experiments

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 3 as a registered experiment: histograms of the pointer-chase
+ * readout when the timed 8th element is an L1 hit versus an L1 miss, on
+ * Intel Xeon E5-2690 and AMD EPYC 7571.
+ */
+
+#include "core/experiments.hpp"
+#include "experiments/common.hpp"
+
+namespace lruleak::experiments {
+
+namespace {
+
+using namespace lruleak::core;
+
+class Fig3PointerChaseHist final : public Experiment
+{
+  public:
+    std::string name() const override { return "fig3_pointer_chase_hist"; }
+
+    std::string
+    description() const override
+    {
+        return "Fig. 3: pointer-chase latency histograms, L1 hit vs L1 "
+               "miss, Intel and AMD";
+    }
+
+    std::vector<ParamSpec>
+    params() const override
+    {
+        return {
+            ParamSpec::integer("samples", 20'000,
+                               "measurements per histogram"),
+            seedParam(3),
+        };
+    }
+
+    void
+    run(const ParamMap &params, ResultSink &sink) const override
+    {
+        const auto samples = params.getUint32("samples");
+        const auto seed = params.getUint("seed");
+
+        sink.note("=== Fig. 3: pointer-chase latency, 7 L1 hits + timed "
+                  "8th access ===");
+
+        for (const auto &u : {timing::Uarch::intelXeonE52690(),
+                              timing::Uarch::amdEpyc7571()}) {
+            const auto h = pointerChaseHistograms(u, samples, seed);
+            sink.text("\n--- " + u.name + " ---",
+                      Histogram::renderPair(h.hit, h.miss, "L1 hit",
+                                            "L1 miss"));
+            sink.scalar(u.name + " mean hit (cycles)", h.hit.mean());
+            sink.scalar(u.name + " mean miss (cycles)", h.miss.mean());
+            sink.scalar(u.name + " overlap",
+                        overlapCoefficient(h.hit, h.miss));
+        }
+
+        sink.note("\nPaper reference: Intel cleanly separable (~35 vs "
+                  "~43 cycles); AMD distributions overlap\nbut differ, "
+                  "so the receiver must average repeated measurements "
+                  "(Section VI-A).");
+    }
+};
+
+LRULEAK_REGISTER_EXPERIMENT(Fig3PointerChaseHist)
+
+} // namespace
+
+} // namespace lruleak::experiments

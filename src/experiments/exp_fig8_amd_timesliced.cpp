@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 8 as a registered experiment: AMD EPYC 7571 time-sliced sharing —
+ * percentage of 1s received versus Tr when the sender constantly sends
+ * 0 or 1 (Algorithm 1 between threads of one address space).
+ */
+
+#include "channel/covert_channel.hpp"
+#include "experiments/common.hpp"
+
+namespace lruleak::experiments {
+
+namespace {
+
+using namespace lruleak::core;
+using namespace lruleak::channel;
+
+class Fig8AmdTimesliced final : public Experiment
+{
+  public:
+    std::string name() const override { return "fig8_amd_timesliced"; }
+
+    std::string
+    description() const override
+    {
+        return "Fig. 8: AMD time-sliced sharing — % of 1s received vs "
+               "Tr, Algorithm 1";
+    }
+
+    std::vector<ParamSpec>
+    params() const override
+    {
+        return {
+            ParamSpec::integer("measurements", 100,
+                               "receiver samples per point"),
+            seedParam(51),
+        };
+    }
+
+    void
+    run(const ParamMap &params, ResultSink &sink) const override
+    {
+        const auto max_samples = params.getUint("measurements");
+        const auto seed = params.getUint("seed");
+
+        sink.note("=== Fig. 8: AMD EPYC 7571, time-sliced, % of 1s "
+                  "received, Algorithm 1 ===\n(" +
+                  std::to_string(max_samples) +
+                  " measurements per point; threads share one address "
+                  "space)");
+
+        const std::uint64_t trs[] = {25'000'000, 100'000'000,
+                                     200'000'000, 400'000'000};
+
+        for (std::uint8_t bit : {0, 1}) {
+            Table table({"Tr (x1e6)", "d=2", "d=4", "d=6", "d=8"});
+            for (std::uint64_t tr : trs) {
+                std::vector<std::string> row{
+                    std::to_string(tr / 1'000'000)};
+                for (std::uint32_t d : {2u, 4u, 6u, 8u}) {
+                    CovertConfig cfg;
+                    cfg.uarch = timing::Uarch::amdEpyc7571();
+                    cfg.mode = SharingMode::TimeSliced;
+                    cfg.d = d;
+                    cfg.tr = tr;
+                    cfg.encode_gap = 20'000;
+                    cfg.max_samples = max_samples;
+                    cfg.seed = seed + d;
+                    row.push_back(fmtPercent(runPercentOnes(cfg, bit)));
+                }
+                table.addRow(row);
+            }
+            sink.table("--- Sender constantly sending " +
+                           std::to_string(int(bit)) + " ---",
+                       table);
+        }
+
+        sink.note("\nPaper reference: ~70% of 1s when sending 0 vs ~77% "
+                  "when sending 1 at Tr = 1e8 on\nAMD (the coarse TSC "
+                  "biases the threshold); the gap widens with Tr; "
+                  "~0.2 bps.\nOur model's absolute percentages differ "
+                  "(the threshold bias is calibrated, not\nfitted) but "
+                  "the sending-0/sending-1 gap is reproduced.");
+    }
+};
+
+LRULEAK_REGISTER_EXPERIMENT(Fig8AmdTimesliced)
+
+} // namespace
+
+} // namespace lruleak::experiments

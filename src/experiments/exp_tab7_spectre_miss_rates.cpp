@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table VII as a registered experiment: cache behaviour during a Spectre
+ * v1 attack with each disclosure primitive (victim + attacker combined),
+ * confirming every primitive actually recovers the secret.
+ */
+
+#include "experiments/common.hpp"
+#include "spectre/attack.hpp"
+
+namespace lruleak::experiments {
+
+namespace {
+
+using namespace lruleak::core;
+using namespace lruleak::spectre;
+
+class Tab7SpectreMissRates final : public Experiment
+{
+  public:
+    std::string name() const override { return "tab7_spectre_miss_rates"; }
+
+    std::string
+    description() const override
+    {
+        return "Table VII: cache miss rates during Spectre v1 per "
+               "disclosure primitive";
+    }
+
+    std::vector<ParamSpec>
+    params() const override
+    {
+        return {
+            ParamSpec::str("secret", "The Magic Words are ...",
+                           "secret the victim holds"),
+            ParamSpec::integer("rounds", 3, "scoring rounds per byte"),
+            seedParam(1234),
+        };
+    }
+
+    void
+    run(const ParamMap &params, ResultSink &sink) const override
+    {
+        const std::string secret = params.getStr("secret");
+
+        sink.note("=== Table VII: cache miss rates during a Spectre V1 "
+                  "attack ===");
+
+        for (const auto &u : {timing::Uarch::intelXeonE52690(),
+                              timing::Uarch::intelXeonE31245v5()}) {
+            Table table({"Disclosure", "Recovered", "L1D miss", "L2 miss",
+                         "LLC miss", "LLC misses(abs)"});
+            for (auto d : {Disclosure::FlushReloadMem,
+                           Disclosure::FlushReloadL1, Disclosure::LruAlg1,
+                           Disclosure::LruAlg2}) {
+                SpectreAttackConfig cfg;
+                cfg.uarch = u;
+                cfg.disclosure = d;
+                cfg.rounds = params.getUint32("rounds");
+                cfg.seed = params.getUint("seed");
+                const auto res = runSpectreAttack(cfg, secret);
+                table.addRow({disclosureName(d),
+                              res.byte_accuracy == 1.0
+                                  ? "yes (100%)"
+                                  : fmtPercent(res.byte_accuracy),
+                              fmtPercent(res.l1.missRate()),
+                              fmtPercent(res.l2.missRate()),
+                              fmtPercent(res.llc.missRate()),
+                              std::to_string(res.llc.misses)});
+            }
+            sink.table("--- " + u.name + " ---", table);
+        }
+
+        sink.note("\nPaper reference (E5-2690): L1D ~3-5% for all; LLC "
+                  "98% for F+R(mem) vs < 1% for the\nLRU channels.  Our "
+                  "LLC *rates* are cold-miss dominated (bare-loop "
+                  "attacker); the\nabsolute LLC miss column shows the "
+                  "paper's contrast: F+R(mem) keeps going back "
+                  "to\nDRAM, the LRU attacks do not.");
+    }
+};
+
+LRULEAK_REGISTER_EXPERIMENT(Tab7SpectreMissRates)
+
+} // namespace
+
+} // namespace lruleak::experiments

@@ -6,6 +6,10 @@
 
 #include "timing/uarch.hpp"
 
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
 namespace lruleak::timing {
 
 Uarch
@@ -73,6 +77,35 @@ Uarch::amdEpyc7571()
     u.way_predictor = true;
     u.encode_addr_calc = 38; // Table V: LRU encode = 38 + 10 + 4 = 52
     return u;
+}
+
+const std::vector<std::string> &
+uarchTokens()
+{
+    static const std::vector<std::string> tokens{"e5-2690", "e3-1245v5",
+                                                 "epyc-7571"};
+    return tokens;
+}
+
+Uarch
+uarchFromName(std::string_view name)
+{
+    const std::string n = util::normalizeToken(name);
+
+    if (n == "e5-2690" || n == "intel-xeon-e5-2690" || n == "sandy-bridge")
+        return Uarch::intelXeonE52690();
+    if (n == "e3-1245v5" || n == "e3-1245-v5" ||
+        n == "intel-xeon-e3-1245-v5" || n == "skylake")
+        return Uarch::intelXeonE31245v5();
+    if (n == "epyc-7571" || n == "amd-epyc-7571" || n == "zen" ||
+        n == "amd")
+        return Uarch::amdEpyc7571();
+
+    std::string msg = "unknown CPU model '" + std::string(name) +
+                      "'; valid models:";
+    for (const auto &t : uarchTokens())
+        msg += " " + t;
+    throw std::invalid_argument(msg);
 }
 
 } // namespace lruleak::timing

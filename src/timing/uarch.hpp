@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "sim/hierarchy.hpp"
 
@@ -104,6 +106,17 @@ struct Uarch
     /** AMD EPYC 7571, Zen, 2.5 GHz (AWS EC2 part). */
     static Uarch amdEpyc7571();
 };
+
+/** CLI tokens of the modeled CPUs, in Table III order. */
+const std::vector<std::string> &uarchTokens();
+
+/**
+ * Look a CPU model up by CLI token ("e5-2690", "e3-1245v5",
+ * "epyc-7571"; microarch aliases "sandy-bridge", "skylake", "zen" also
+ * accepted, case-insensitive).  Throws std::invalid_argument listing
+ * the valid tokens.
+ */
+Uarch uarchFromName(std::string_view name);
 
 } // namespace lruleak::timing
 

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Small string helpers shared by the name tables (channels, CPU
+ * models).  Header-only and dependency-free: usable from every layer.
+ */
+
+#ifndef LRULEAK_UTIL_STRINGS_HPP
+#define LRULEAK_UTIL_STRINGS_HPP
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace lruleak::util {
+
+/** Lower-case a token and fold '_' to '-', for CLI-name matching. */
+inline std::string
+normalizeToken(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name)
+        out += c == '_' ? '-'
+                        : static_cast<char>(
+                              std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace lruleak::util
+
+#endif // LRULEAK_UTIL_STRINGS_HPP

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the experiment registry: catalog completeness (every seed
+ * bench binary's name resolves), metadata sanity, the channel/uarch
+ * name tables, and end-to-end runs through runExperiment().
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "channel/channel_factory.hpp"
+#include "core/experiment.hpp"
+#include "timing/uarch.hpp"
+
+using namespace lruleak;
+using namespace lruleak::core;
+
+namespace {
+
+/** The 23 bench binaries the seed repo shipped, one experiment each. */
+const std::vector<std::string> kSeedBenchNames = {
+    "ablation_chase_length",
+    "ablation_defense_efficacy",
+    "ablation_policy_channel",
+    "ablation_secure_caches",
+    "ablation_speculation_window",
+    "appc_prefetcher_noise",
+    "fig11_plcache_attack",
+    "fig13_rdtscp_hist",
+    "fig14_skylake_traces",
+    "fig15_skylake_timesliced",
+    "fig3_pointer_chase_hist",
+    "fig4_error_rate",
+    "fig5_traces",
+    "fig6_timesliced",
+    "fig7_amd_traces",
+    "fig8_amd_timesliced",
+    "fig9_replacement_performance",
+    "tab1_plru_eviction",
+    "tab2_cache_latency",
+    "tab4_transmission_rates",
+    "tab5_encoding_latency",
+    "tab6_sender_miss_rates",
+    "tab7_spectre_miss_rates",
+};
+
+/** Sink that records which callbacks fired. */
+class RecordingSink : public ResultSink
+{
+  public:
+    void
+    begin(const std::string &experiment, const std::string &,
+          const ParamMap &params) override
+    {
+        begun = experiment;
+        begin_params = params.values();
+    }
+    void note(const std::string &) override { ++notes; }
+    void
+    table(const std::string &, const Table &t) override
+    {
+        ++tables;
+        rows += t.rows();
+    }
+    void scalar(const std::string &, double) override { ++scalars; }
+    void
+    series(const std::string &, const std::vector<double> &,
+           std::size_t) override
+    {
+        ++series_count;
+    }
+    void text(const std::string &, const std::string &) override {}
+    void end() override { ended = true; }
+
+    std::string begun;
+    std::map<std::string, std::string> begin_params;
+    int notes = 0, tables = 0, scalars = 0, series_count = 0;
+    std::size_t rows = 0;
+    bool ended = false;
+};
+
+} // namespace
+
+TEST(Registry, EverySeedBenchNameResolves)
+{
+    for (const auto &name : kSeedBenchNames) {
+        const Experiment *e = Registry::instance().find(name);
+        ASSERT_NE(e, nullptr) << name;
+        EXPECT_EQ(e->name(), name);
+        EXPECT_FALSE(e->description().empty()) << name;
+    }
+}
+
+TEST(Registry, AtLeastTwentyExperiments)
+{
+    EXPECT_GE(Registry::instance().size(), 20u);
+}
+
+TEST(Registry, AllIsSortedAndMatchesSize)
+{
+    const auto all = Registry::instance().all();
+    EXPECT_EQ(all.size(), Registry::instance().size());
+    EXPECT_TRUE(std::is_sorted(all.begin(), all.end(),
+                               [](const Experiment *a,
+                                  const Experiment *b) {
+                                   return a->name() < b->name();
+                               }));
+}
+
+TEST(Registry, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(Registry::instance().find("no_such_experiment"), nullptr);
+}
+
+TEST(Registry, ParamSpecsValidateCleanly)
+{
+    // Every declared default must survive its own validation.
+    for (const Experiment *e : Registry::instance().all())
+        EXPECT_NO_THROW(resolveParams(e->params(), {})) << e->name();
+}
+
+TEST(Registry, RunTab1EmitsTableThroughSink)
+{
+    const Experiment *e =
+        Registry::instance().find("tab1_plru_eviction");
+    ASSERT_NE(e, nullptr);
+
+    RecordingSink sink;
+    runExperiment(*e, {{"trials", "200"}}, sink);
+
+    EXPECT_EQ(sink.begun, "tab1_plru_eviction");
+    EXPECT_EQ(sink.begin_params.at("trials"), "200");
+    EXPECT_EQ(sink.begin_params.at("seed"), "2020");
+    EXPECT_TRUE(sink.ended);
+    EXPECT_EQ(sink.tables, 1);
+    EXPECT_EQ(sink.rows, 8u); // 2 init conditions x 4 iteration rows
+    EXPECT_GE(sink.notes, 2);
+}
+
+TEST(Registry, RunRejectsUnknownOverride)
+{
+    const Experiment *e =
+        Registry::instance().find("tab1_plru_eviction");
+    ASSERT_NE(e, nullptr);
+    RecordingSink sink;
+    EXPECT_THROW(runExperiment(*e, {{"nope", "1"}}, sink), ParamError);
+}
+
+TEST(Registry, UarchParamAcceptsAliasesAndRejectsUnknown)
+{
+    const Experiment *e = Registry::instance().find("fig5_traces");
+    ASSERT_NE(e, nullptr);
+    const auto specs = e->params();
+    EXPECT_TRUE(std::any_of(specs.begin(), specs.end(),
+                            [](const ParamSpec &s) {
+                                return s.name == "uarch";
+                            }));
+    RecordingSink sink;
+    EXPECT_THROW(runExperiment(*e, {{"uarch", "vax"}}, sink),
+                 ParamError);
+}
+
+TEST(ChannelFactory, TokensRoundTrip)
+{
+    for (auto id : channel::allChannelIds())
+        EXPECT_EQ(channel::channelIdFromName(channel::channelIdToken(id)),
+                  id);
+}
+
+TEST(ChannelFactory, AliasesAndCaseInsensitivity)
+{
+    using channel::ChannelId;
+    EXPECT_EQ(channel::channelIdFromName("LRU_ALG1"), ChannelId::LruAlg1);
+    EXPECT_EQ(channel::channelIdFromName("flush-reload-mem"),
+              ChannelId::FrMem);
+    EXPECT_EQ(channel::channelIdFromName("pp"), ChannelId::PrimeProbe);
+    EXPECT_THROW(channel::channelIdFromName("carrier-pigeon"),
+                 std::invalid_argument);
+}
+
+TEST(ChannelFactory, DisplayNamesMatchPaperTables)
+{
+    using channel::ChannelId;
+    EXPECT_EQ(channel::channelDisplayName(ChannelId::FrMem), "F+R (mem)");
+    EXPECT_EQ(channel::channelDisplayName(ChannelId::LruAlg2),
+              "L1 LRU Alg.2");
+    EXPECT_EQ(channel::channelDisplayName(ChannelId::PrimeProbe),
+              "Prime+Probe");
+}
+
+TEST(ChannelFactory, SenderAlgorithmPairing)
+{
+    using channel::ChannelId;
+    using channel::LruAlgorithm;
+    EXPECT_EQ(channel::senderAlgorithmFor(ChannelId::LruAlg1),
+              LruAlgorithm::Alg1Shared);
+    EXPECT_EQ(channel::senderAlgorithmFor(ChannelId::FrMem),
+              LruAlgorithm::Alg1Shared);
+    EXPECT_EQ(channel::senderAlgorithmFor(ChannelId::LruAlg2),
+              LruAlgorithm::Alg2Disjoint);
+    EXPECT_EQ(channel::senderAlgorithmFor(ChannelId::PrimeProbe),
+              LruAlgorithm::Alg2Disjoint);
+}
+
+TEST(ChannelFactory, PairBuildsEveryReceiver)
+{
+    const channel::ChannelLayout layout;
+    for (auto id : channel::allChannelIds()) {
+        channel::ChannelPairConfig cfg;
+        cfg.message = channel::Bits{1, 0, 1};
+        channel::ChannelPair pair(id, layout, cfg);
+        EXPECT_EQ(pair.id(), id);
+        EXPECT_TRUE(pair.samples().empty()); // nothing run yet
+    }
+}
+
+TEST(UarchNames, TokensResolve)
+{
+    for (const auto &token : timing::uarchTokens())
+        EXPECT_NO_THROW(timing::uarchFromName(token)) << token;
+    EXPECT_EQ(timing::uarchFromName("skylake").microarch, "Skylake");
+    EXPECT_EQ(timing::uarchFromName("AMD").name, "AMD EPYC 7571");
+    EXPECT_THROW(timing::uarchFromName("m68k"), std::invalid_argument);
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the ResultSink emitters, including a JSON golden test for
+ * the cheap Table I experiment: stable structure, stable numbers for a
+ * fixed seed, and run-to-run determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/result_sink.hpp"
+
+using namespace lruleak::core;
+
+namespace {
+
+std::string
+runToString(const std::string &experiment, OutputFormat format,
+            const std::map<std::string, std::string> &overrides)
+{
+    const Experiment *e = Registry::instance().find(experiment);
+    EXPECT_NE(e, nullptr) << experiment;
+    std::ostringstream os;
+    const auto sink = makeSink(format, os);
+    runExperiment(*e, overrides, *sink);
+    return os.str();
+}
+
+/** Minimal structural JSON check: balanced braces/brackets outside
+ *  strings, and the whole document is one object. */
+bool
+jsonBalanced(const std::string &s)
+{
+    int brace = 0, bracket = 0;
+    bool in_string = false, escaped = false;
+    for (char c : s) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (in_string) {
+            if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"': in_string = true; break;
+          case '{': ++brace; break;
+          case '}': --brace; break;
+          case '[': ++bracket; break;
+          case ']': --bracket; break;
+          default: break;
+        }
+        if (brace < 0 || bracket < 0)
+            return false;
+    }
+    return brace == 0 && bracket == 0 && !in_string;
+}
+
+} // namespace
+
+TEST(JsonEscape, ControlAndQuoteHandling)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(OutputFormats, ParseAndReject)
+{
+    EXPECT_EQ(outputFormatFromName("table"), OutputFormat::Table);
+    EXPECT_EQ(outputFormatFromName("json"), OutputFormat::Json);
+    EXPECT_EQ(outputFormatFromName("csv"), OutputFormat::Csv);
+    EXPECT_THROW(outputFormatFromName("yaml"), std::invalid_argument);
+}
+
+TEST(TableSinkOutput, RendersTableAndNotes)
+{
+    const auto out = runToString("tab1_plru_eviction",
+                                 OutputFormat::Table,
+                                 {{"trials", "300"}});
+    EXPECT_NE(out.find("Table I"), std::string::npos);
+    EXPECT_NE(out.find("Init.Cond."), std::string::npos);
+    // True LRU always evicts line 0 once the set wraps.
+    EXPECT_NE(out.find("100.0%"), std::string::npos);
+}
+
+TEST(JsonGolden, Tab1StructureAndNumbers)
+{
+    const auto out = runToString("tab1_plru_eviction", OutputFormat::Json,
+                                 {{"trials", "300"}});
+
+    EXPECT_TRUE(jsonBalanced(out)) << out;
+    EXPECT_EQ(out.find("{"), 0u);
+
+    // Header block.
+    EXPECT_NE(out.find("\"experiment\": \"tab1_plru_eviction\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"trials\": \"300\""), std::string::npos);
+    EXPECT_NE(out.find("\"seed\": \"2020\""), std::string::npos);
+
+    // One table with the paper's column set.
+    EXPECT_NE(out.find("\"kind\": \"table\""), std::string::npos);
+    EXPECT_NE(out.find("\"LRU Seq.1&2\""), std::string::npos);
+    EXPECT_NE(out.find("\"Tree Seq.2\""), std::string::npos);
+
+    // Golden numbers: the True-LRU column is exactly 100% in every row
+    // (Sequence 1 accesses 9 distinct lines into an 8-way set), and the
+    // row labels are the paper's iteration milestones.
+    EXPECT_NE(out.find("\"100.0%\""), std::string::npos);
+    EXPECT_NE(out.find("[\"Random\", \"1\", \"100.0%\""),
+              std::string::npos);
+    EXPECT_NE(out.find("[\"Sequential\", \">=8\", \"100.0%\""),
+              std::string::npos);
+}
+
+TEST(JsonGolden, DeterministicAcrossRuns)
+{
+    const std::map<std::string, std::string> overrides{
+        {"trials", "300"}};
+    const auto a = runToString("tab1_plru_eviction", OutputFormat::Json,
+                               overrides);
+    const auto b = runToString("tab1_plru_eviction", OutputFormat::Json,
+                               overrides);
+    EXPECT_EQ(a, b);
+}
+
+TEST(JsonGolden, SeedChangesMonteCarloCells)
+{
+    // Different seed -> different Tree-PLRU sample proportions (the
+    // deterministic LRU column stays at 100%).
+    const auto a = runToString("tab1_plru_eviction", OutputFormat::Json,
+                               {{"trials", "300"}, {"seed", "1"}});
+    const auto b = runToString("tab1_plru_eviction", OutputFormat::Json,
+                               {{"trials", "300"}, {"seed", "2"}});
+    EXPECT_NE(a, b);
+}
+
+TEST(CsvOutput, TableBecomesCommaRows)
+{
+    const auto out = runToString("tab1_plru_eviction", OutputFormat::Csv,
+                                 {{"trials", "300"}});
+    EXPECT_NE(out.find("# experiment: tab1_plru_eviction"),
+              std::string::npos);
+    EXPECT_NE(out.find("Init.Cond.,Iter.,LRU Seq.1&2"),
+              std::string::npos);
+    EXPECT_NE(out.find("Random,1,100.0%"), std::string::npos);
+}
+
+TEST(Sinks, ScalarAndSeriesRendering)
+{
+    std::ostringstream table_os, json_os, csv_os;
+    const ParamMap params = resolveParams({}, {});
+
+    TableSink ts(table_os);
+    ts.begin("demo", "demo", params);
+    ts.scalar("answer", 42.0);
+    ts.series("trace", {1.0, 2.0, 3.0}, 2);
+    ts.end();
+    EXPECT_NE(table_os.str().find("answer = 42"), std::string::npos);
+
+    JsonSink js(json_os);
+    js.begin("demo", "demo", params);
+    js.scalar("answer", 42.5);
+    js.series("trace", {1.0, 2.5}, 2);
+    js.end();
+    EXPECT_TRUE(jsonBalanced(json_os.str()));
+    EXPECT_NE(json_os.str().find("\"value\": 42.5"), std::string::npos);
+    EXPECT_NE(json_os.str().find("[1, 2.5]"), std::string::npos);
+
+    CsvSink cs(csv_os);
+    cs.begin("demo", "demo", params);
+    cs.series("trace", {1.0, 2.0}, 2);
+    cs.scalar("answer", 7.0);
+    cs.end();
+    EXPECT_NE(csv_os.str().find("index,value"), std::string::npos);
+    EXPECT_NE(csv_os.str().find("answer,7"), std::string::npos);
+}
