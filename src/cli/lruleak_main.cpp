@@ -15,13 +15,17 @@
  * with a message listing the valid options.
  */
 
+#include <algorithm>
 #include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/bench.hpp"
 #include "core/experiment.hpp"
 
 namespace {
@@ -39,10 +43,15 @@ usage(std::ostream &os, int code)
           "  lruleak run <experiment> [--format=table|json|csv] "
           "[--<param>=<value> ...]\n"
           "  lruleak run-all [--format=table|json|csv]\n"
+          "  lruleak bench [--accesses=N] [--policies=a,b,...] "
+          "[--out=FILE] [--smoke]\n"
           "\n"
           "`lruleak list` shows every registered experiment; "
           "`lruleak describe <name>`\nshows its parameters and their "
-          "defaults.\n";
+          "defaults.  `lruleak bench` times the batched\nvalue-semantic "
+          "simulator path against the legacy virtual per-access path\n"
+          "(accesses/sec per replacement policy) and writes "
+          "BENCH_sim.json.\n";
     return code;
 }
 
@@ -211,6 +220,115 @@ cmdRunAll(const std::vector<std::string> &args)
     return failures == 0 ? 0 : 1;
 }
 
+int
+cmdBench(const std::vector<std::string> &args)
+{
+    core::SimBenchConfig cfg;
+    std::string out_path = "BENCH_sim.json";
+
+    std::map<std::string, std::string> overrides;
+    std::string format = "table";
+    // --smoke has no value; expand it before the generic parser.
+    std::vector<std::string> expanded;
+    bool smoke = false;
+    for (const auto &arg : args) {
+        if (arg == "--smoke")
+            smoke = true;
+        else
+            expanded.push_back(arg);
+    }
+    if (!parseOverrides(expanded, overrides, format))
+        return 2;
+    if (format != "table") {
+        std::cerr << "bench does not take --format (it prints a table "
+                     "and writes JSON to --out)\n";
+        return 2;
+    }
+
+    // Positive integer option parser: stoull accepts "-1" (wrapping to
+    // 2^64-1, i.e. a run that never ends) and garbage input throws an
+    // opaque std::invalid_argument, so validate here with the option
+    // name in the message.
+    auto parseCount = [](const std::string &name, const std::string &value,
+                         std::uint64_t &out, bool min_one = true) {
+        std::size_t used = 0;
+        std::uint64_t parsed = 0;
+        try {
+            parsed = std::stoull(value, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != value.size() || value.empty() || value[0] == '-' ||
+            (min_one && parsed == 0)) {
+            std::cerr << "--" << name << " needs a "
+                      << (min_one ? "positive" : "non-negative")
+                      << " integer, got '" << value << "'\n";
+            return false;
+        }
+        out = parsed;
+        return true;
+    };
+
+    for (const auto &[name, value] : overrides) {
+        if (name == "accesses") {
+            if (!parseCount(name, value, cfg.accesses))
+                return 2;
+        } else if (name == "batch") {
+            std::uint64_t batch = 0;
+            if (!parseCount(name, value, batch))
+                return 2;
+            cfg.batch = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(batch, 1u << 20));
+        } else if (name == "seed") {
+            if (!parseCount(name, value, cfg.seed, /*min_one=*/false))
+                return 2;
+        } else if (name == "out") {
+            out_path = value;
+        } else if (name == "policies") {
+            std::stringstream ss(value);
+            std::string token;
+            while (std::getline(ss, token, ','))
+                cfg.policies.push_back(sim::replPolicyFromName(token));
+        } else {
+            std::cerr << "unknown bench option '--" << name
+                      << "' (valid: --accesses --batch --seed "
+                         "--policies --out --smoke)\n";
+            return 2;
+        }
+    }
+    if (smoke)
+        cfg.accesses = std::min<std::uint64_t>(cfg.accesses, 200'000);
+
+    const auto rows = core::runSimBench(cfg);
+
+    std::cout << "sim access throughput (" << cfg.accesses
+              << " accesses/lane, " << cfg.ways << "-way set)\n\n"
+              << std::left << std::setw(11) << "workload" << std::setw(10)
+              << "policy" << std::right << std::setw(14) << "legacy (a/s)"
+              << std::setw(14) << "value (a/s)" << std::setw(14)
+              << "batch (a/s)" << std::setw(14) << "replay (a/s)"
+              << std::setw(14) << "replay/legacy" << "\n";
+    for (const auto &row : rows) {
+        std::cout << std::left << std::setw(11)
+                  << core::benchWorkloadName(row.workload) << std::setw(10)
+                  << sim::replPolicyName(row.policy) << std::right
+                  << std::fixed << std::setprecision(0) << std::setw(14)
+                  << row.legacy_aps << std::setw(14) << row.value_aps
+                  << std::setw(14) << row.batch_aps << std::setw(14)
+                  << row.replay_aps << std::setprecision(2)
+                  << std::setw(13) << row.replayOverLegacy() << "x\n";
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    core::writeSimBenchJson(cfg, rows, out);
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -236,6 +354,8 @@ main(int argc, char **argv)
         }
         if (cmd == "run-all")
             return cmdRunAll({args.begin() + 1, args.end()});
+        if (cmd == "bench")
+            return cmdBench({args.begin() + 1, args.end()});
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return usage(std::cout, 0);
     } catch (const core::ParamError &e) {

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The `lruleak bench` harness: accesses/sec of the simulator hot path.
+ *
+ * Four lanes replay the same tag trace through one cache set per
+ * policy:
+ *
+ *   legacy  - a faithful copy of the seed CacheSet: per-access calls
+ *             into a heap-allocated virtual ReplacementPolicy;
+ *   value   - CacheSet::access on the inline ReplState (per-access
+ *             std::visit dispatch);
+ *   batch   - CacheSet::accessBatch (dispatch hoisted out of the loop,
+ *             inner loop specialised per concrete state, one
+ *             SetAccessResult written per access);
+ *   replay  - CacheSet::replayBatch (same loop, aggregate stats only —
+ *             what Monte-Carlo experiments replaying a sequence for its
+ *             state effect use).
+ *
+ * Two workloads: "seq1_walk", the paper's Sequence 1 (lines 0..N walked
+ * in order — the access pattern of the channel protocols and Table I),
+ * and "hot_mix", a random hot/cold tag mix.  Results feed
+ * BENCH_sim.json, the repo's perf trajectory seed; the headline number
+ * is replay-over-legacy on TreePLRU under seq1_walk (the Intel L1D
+ * policy and access pattern every channel experiment exercises).
+ */
+
+#ifndef LRULEAK_CORE_BENCH_HPP
+#define LRULEAK_CORE_BENCH_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/repl_state.hpp"
+
+namespace lruleak::core {
+
+/** Knobs of one bench run. */
+struct SimBenchConfig
+{
+    std::uint64_t accesses = 8'000'000; //!< per lane, per policy
+    std::uint32_t ways = 8;             //!< set associativity
+    std::uint32_t hot_tags = 8;         //!< working set that mostly hits
+    std::uint32_t cold_tags = 24;       //!< conflict tags that miss
+    double hot_fraction = 0.75;         //!< P(access draws a hot tag)
+    std::uint32_t batch = 4096;         //!< accessBatch chunk size
+    std::uint64_t seed = 1;
+    std::vector<sim::ReplPolicyKind> policies; //!< empty = all six
+};
+
+/** The trace shapes the bench drives. */
+enum class BenchWorkload
+{
+    Seq1Walk, //!< paper Sequence 1: lines 0..ways walked in order
+    HotMix,   //!< random hot-working-set / cold-conflict mix
+};
+
+std::string_view benchWorkloadName(BenchWorkload w);
+
+/** Throughput of the four lanes for one (workload, policy) cell. */
+struct SimBenchRow
+{
+    BenchWorkload workload = BenchWorkload::Seq1Walk;
+    sim::ReplPolicyKind policy = sim::ReplPolicyKind::TreePlru;
+    double legacy_aps = 0.0; //!< accesses/sec, virtual per-access path
+    double value_aps = 0.0;  //!< accesses/sec, ReplState per-access path
+    double batch_aps = 0.0;  //!< accesses/sec, accessBatch (results)
+    double replay_aps = 0.0; //!< accesses/sec, replayBatch (stats only)
+
+    double
+    batchOverLegacy() const
+    {
+        return legacy_aps > 0.0 ? batch_aps / legacy_aps : 0.0;
+    }
+
+    double
+    replayOverLegacy() const
+    {
+        return legacy_aps > 0.0 ? replay_aps / legacy_aps : 0.0;
+    }
+};
+
+/** Run the bench for every configured policy. */
+std::vector<SimBenchRow> runSimBench(const SimBenchConfig &config);
+
+/** Emit the BENCH_sim.json document. */
+void writeSimBenchJson(const SimBenchConfig &config,
+                       const std::vector<SimBenchRow> &rows,
+                       std::ostream &os);
+
+} // namespace lruleak::core
+
+#endif // LRULEAK_CORE_BENCH_HPP

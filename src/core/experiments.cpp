@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "channel/flush_reload.hpp"
+#include "core/trial_runner.hpp"
 #include "sim/cache_set.hpp"
 #include "timing/pointer_chase.hpp"
 
@@ -17,41 +18,26 @@ namespace lruleak::core {
 
 namespace {
 
-/** Fresh 8-way set with the given policy. */
-sim::CacheSet
-makeSet(sim::ReplPolicyKind policy, std::uint32_t ways, std::uint64_t seed)
-{
-    return sim::CacheSet(ways,
-                         sim::makeReplacementPolicy(policy, ways, seed));
-}
-
-/** Access helper: plain load of tag @p t. */
-void
-touchTag(sim::CacheSet &set, std::uint64_t t)
-{
-    set.access(t, 0, false, sim::LockReq::None, 0);
-}
-
 constexpr std::uint64_t kLineX = 100; //!< the paper's "line x"
 
 /**
- * One pass of the paper's Sequence 2: 0 (x) 1 (x) ... 7, inserting line
- * x with the configured probability.  The paper "assume[s] line x will
- * be accessed at least once", so the last insertion point fires
- * unconditionally if no earlier one did.
+ * Materialise one pass of the paper's Sequence 2 into @p tags:
+ * 0 (x) 1 (x) ... 7, inserting line x with the configured probability.
+ * The paper "assume[s] line x will be accessed at least once", so the
+ * last insertion point fires unconditionally if no earlier one did.
  */
 void
-seq2Pass(sim::CacheSet &set, sim::Xoshiro256 &rng,
-         const EvictionStudyConfig &config)
+appendSeq2(std::vector<sim::Addr> &tags, sim::Xoshiro256 &rng,
+           const EvictionStudyConfig &config)
 {
     bool x_accessed = false;
     for (std::uint32_t line = 0; line < config.ways; ++line) {
-        touchTag(set, line);
+        tags.push_back(line);
         if (line + 1 < config.ways) {
             const bool last_gap = line + 2 == config.ways;
             if (rng.chance(config.x_probability) ||
                 (last_gap && !x_accessed)) {
-                touchTag(set, kLineX);
+                tags.push_back(kLineX);
                 x_accessed = true;
             }
         }
@@ -64,41 +50,60 @@ std::vector<double>
 evictionProbabilities(sim::ReplPolicyKind policy, InitCondition init,
                       AccessSequence seq, const EvictionStudyConfig &config)
 {
-    sim::Xoshiro256 rng(config.seed);
-    std::vector<std::uint64_t> evictions(config.loop_iterations, 0);
-
-    for (std::uint32_t trial = 0; trial < config.trials; ++trial) {
-        sim::CacheSet set = makeSet(policy, config.ways,
-                                    config.seed + trial);
+    // One trial = one value-semantic CacheSet; every access sequence is
+    // materialised and replayed through the batch API.  Trials fan out
+    // over core::runTrials with per-trial RNG streams, so the result is
+    // identical for any worker count.
+    const auto trial_fn = [&](std::uint32_t trial, sim::Xoshiro256 &rng) {
+        sim::CacheSet set(
+            config.ways,
+            sim::ReplState::make(policy, config.ways,
+                                 config.seed + trial));
+        std::vector<sim::Addr> tags;
+        tags.reserve(4 * config.ways);
 
         // ----- Warm-up: establish the initial condition.
         if (init == InitCondition::Random) {
             // Lines 0..7 and a few others in random order.
             for (std::uint32_t i = 0; i < 4 * config.ways; ++i) {
                 const std::uint64_t t = rng.below(config.ways + 3);
-                touchTag(set, t < config.ways ? t : kLineX + t);
+                tags.push_back(t < config.ways ? t : kLineX + t);
             }
         } else {
             // "Previous access to the set is accessed in order with
             // random insertion like Sequence 2": two passes leave the
             // set in Sequence 2's steady regime.
-            seq2Pass(set, rng, config);
-            seq2Pass(set, rng, config);
+            appendSeq2(tags, rng, config);
+            appendSeq2(tags, rng, config);
         }
+        set.replayBatch(tags);
 
         // ----- Measured loop.
+        std::vector<std::uint8_t> evicted(config.loop_iterations, 0);
         for (std::uint32_t iter = 0; iter < config.loop_iterations;
              ++iter) {
+            tags.clear();
             if (seq == AccessSequence::Seq1) {
                 for (std::uint32_t line = 0; line <= config.ways; ++line)
-                    touchTag(set, line); // 0..7 then line 8
+                    tags.push_back(line); // 0..7 then line 8
             } else {
-                seq2Pass(set, rng, config);
+                appendSeq2(tags, rng, config);
             }
-            if (!set.probe(0).has_value())
-                ++evictions[iter];
+            set.replayBatch(tags);
+            evicted[iter] = set.probe(0).has_value() ? 0 : 1;
         }
-    }
+        return evicted;
+    };
+
+    std::vector<std::uint64_t> evictions(config.loop_iterations, 0);
+    evictions = runTrialsReduce(
+        config.trials, config.seed, trial_fn, std::move(evictions),
+        [&](std::vector<std::uint64_t> acc,
+            std::vector<std::uint8_t> evicted) {
+            for (std::uint32_t i = 0; i < config.loop_iterations; ++i)
+                acc[i] += evicted[i];
+            return acc;
+        });
 
     std::vector<double> probs(config.loop_iterations);
     for (std::uint32_t i = 0; i < config.loop_iterations; ++i)
@@ -323,17 +328,31 @@ std::vector<workload::CpuRunResult>
 replacementPerformance(const std::vector<sim::ReplPolicyKind> &policies,
                        std::uint64_t instructions, std::uint64_t seed)
 {
-    std::vector<workload::CpuRunResult> results;
-    for (const auto &gen : workload::makeWorkloadSuite()) {
-        for (auto policy : policies) {
+    // One trial per (workload, policy) cell, fanned out over
+    // core::runTrials.  Each trial builds its own generator so nothing
+    // is shared across workers; the flattened trial order reproduces
+    // the original row order (grouped by workload, one row per policy).
+    const std::uint32_t npolicies =
+        static_cast<std::uint32_t>(policies.size());
+    if (npolicies == 0)
+        return {};
+    const std::vector<std::string> names = workload::workloadNames();
+    const std::uint32_t nworkloads =
+        static_cast<std::uint32_t>(names.size());
+
+    return runTrials(
+        nworkloads * npolicies, seed,
+        [&](std::uint32_t trial, sim::Xoshiro256 &) {
+            const auto gen =
+                workload::makeWorkload(names[trial / npolicies]);
             workload::CpuModelConfig cfg;
             cfg.instructions = instructions;
             cfg.warmup_instructions = instructions / 10;
             cfg.seed = seed;
-            results.push_back(workload::runCpuModel(*gen, policy, cfg));
-        }
-    }
-    return results;
+            return workload::runCpuModel(*gen,
+                                         policies[trial % npolicies],
+                                         cfg);
+        });
 }
 
 // ------------------------------------------------------------- Fig. 11

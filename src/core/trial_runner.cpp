@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Trial runner worker-count policy.
+ */
+
+#include "core/trial_runner.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace lruleak::core {
+
+unsigned
+defaultTrialThreads()
+{
+    if (const char *env = std::getenv("LRULEAK_THREADS")) {
+        try {
+            const long n = std::stol(env);
+            if (n >= 1)
+                return static_cast<unsigned>(n);
+        } catch (...) {
+            // fall through to hardware concurrency
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace lruleak::core

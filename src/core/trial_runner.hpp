@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Trial-parallel Monte-Carlo runner with deterministic results.
+ *
+ * Every experiment in the repro is a loop of independent trials (or
+ * independent sweep cells) hammering the simulator.  runTrials() fans
+ * those out over a thread pool while keeping the output bit-identical
+ * for ANY thread count:
+ *
+ *  - each trial draws from its own counter-seeded RNG stream
+ *    (trialStream(seed, trial)), never from a shared generator;
+ *  - results land in a vector indexed by trial, so reductions fold in
+ *    trial order no matter which thread finished first.
+ *
+ * The trial function must be self-contained: it may only touch its own
+ * locals, the per-trial RNG it is handed, and read-only captures.
+ */
+
+#ifndef LRULEAK_CORE_TRIAL_RUNNER_HPP
+#define LRULEAK_CORE_TRIAL_RUNNER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace lruleak::core {
+
+/**
+ * Deterministic per-trial RNG stream: a SplitMix64-whitened function of
+ * (seed, trial) only, so trial t sees the same stream regardless of how
+ * trials are scheduled across threads.
+ */
+inline sim::Xoshiro256
+trialStream(std::uint64_t seed, std::uint64_t trial)
+{
+    std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1));
+    const std::uint64_t whitened = sim::splitMix64(s);
+    return sim::Xoshiro256(whitened);
+}
+
+/**
+ * Worker count used when runTrials is called with threads = 0: the
+ * LRULEAK_THREADS environment variable if set, else the hardware
+ * concurrency (min 1).
+ */
+unsigned defaultTrialThreads();
+
+/**
+ * Run @p trials independent trials of @p fn, returning the per-trial
+ * results in trial order.
+ *
+ * @param fn invoked as fn(trial_index, rng) where rng is the trial's
+ *        private counter-seeded stream; its return value must be
+ *        default-constructible and movable.
+ * @param threads worker count; 0 = defaultTrialThreads(), 1 = inline.
+ *
+ * The first exception thrown by any trial is rethrown on the caller's
+ * thread after all workers have stopped.
+ */
+template <typename Fn>
+auto
+runTrials(std::uint32_t trials, std::uint64_t seed, Fn &&fn,
+          unsigned threads = 0)
+    -> std::vector<std::invoke_result_t<Fn &, std::uint32_t,
+                                        sim::Xoshiro256 &>>
+{
+    using Result =
+        std::invoke_result_t<Fn &, std::uint32_t, sim::Xoshiro256 &>;
+    static_assert(!std::is_void_v<Result>,
+                  "trial functions must return their result");
+    // Workers write results[t] concurrently, which is only safe when
+    // elements occupy distinct memory — std::vector<bool> packs 64
+    // elements per word and would race.
+    static_assert(!std::is_same_v<Result, bool>,
+                  "bool results share packed storage in the results "
+                  "vector; return std::uint8_t instead");
+
+    std::vector<Result> results(trials);
+    if (trials == 0)
+        return results;
+
+    if (threads == 0)
+        threads = defaultTrialThreads();
+    if (threads > trials)
+        threads = trials;
+
+    if (threads <= 1) {
+        for (std::uint32_t t = 0; t < trials; ++t) {
+            sim::Xoshiro256 rng = trialStream(seed, t);
+            results[t] = fn(t, rng);
+        }
+        return results;
+    }
+
+    std::atomic<std::uint32_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::uint32_t t =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (t >= trials || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                sim::Xoshiro256 rng = trialStream(seed, t);
+                results[t] = fn(t, rng);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+/**
+ * runTrials followed by an in-order fold: acc = combine(acc, result_t)
+ * for t = 0..trials-1.  Deterministic for any thread count.
+ */
+template <typename Acc, typename Fn, typename Combine>
+Acc
+runTrialsReduce(std::uint32_t trials, std::uint64_t seed, Fn &&fn,
+                Acc acc, Combine &&combine, unsigned threads = 0)
+{
+    auto results =
+        runTrials(trials, seed, static_cast<Fn &&>(fn), threads);
+    for (auto &r : results)
+        acc = combine(std::move(acc), std::move(r));
+    return acc;
+}
+
+} // namespace lruleak::core
+
+#endif // LRULEAK_CORE_TRIAL_RUNNER_HPP

@@ -75,14 +75,18 @@ TimeSliceScheduler::kernelBurst(std::uint64_t mean_lines)
     if (mean_lines == 0)
         return;
     // The kernel touches a variable number of lines from its working
-    // set; the mean is mean_lines.
+    // set; the mean is mean_lines.  The whole burst is one batched
+    // replay — only the summed latency matters.
     const std::uint64_t count = mean_lines / 2 + rng_.below(mean_lines + 1);
+    burst_refs_.resize(count);
+    burst_levels_.resize(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         const sim::Addr line = kKernelBase + rng_.below(kKernelLines) * 64;
-        sim::MemRef ref{line, line, kKernelThread, false};
-        const auto res = hierarchy_.access(ref);
-        now_ += uarch_.latency(res.level);
+        burst_refs_[i] = sim::MemRef{line, line, kKernelThread, false};
     }
+    hierarchy_.accessBatch(burst_refs_, burst_levels_);
+    for (std::uint64_t i = 0; i < count; ++i)
+        now_ += uarch_.latency(burst_levels_[i]);
 }
 
 void

@@ -15,6 +15,7 @@
 #define LRULEAK_EXEC_TIMESLICE_SCHEDULER_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "exec/op.hpp"
 #include "sim/random.hpp"
@@ -97,6 +98,8 @@ class TimeSliceScheduler
     sim::Xoshiro256 rng_;
     std::uint64_t now_ = 0;
     std::uint64_t next_tick_ = 0;
+    std::vector<sim::MemRef> burst_refs_;     //!< reused burst buffer
+    std::vector<sim::HitLevel> burst_levels_; //!< reused burst buffer
 };
 
 } // namespace lruleak::exec

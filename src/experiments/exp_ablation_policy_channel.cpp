@@ -7,6 +7,7 @@
  */
 
 #include "channel/covert_channel.hpp"
+#include "core/trial_runner.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -54,27 +55,42 @@ class AblationPolicyChannel final : public Experiment
 
         Table table({"Policy", "Alg.1 d=8 err", "Alg.2 d=5 err",
                      "Sender L1D miss"});
-        for (auto policy : {sim::ReplPolicyKind::TrueLru,
-                            sim::ReplPolicyKind::TreePlru,
-                            sim::ReplPolicyKind::BitPlru,
-                            sim::ReplPolicyKind::Srrip,
-                            sim::ReplPolicyKind::Fifo,
-                            sim::ReplPolicyKind::Random}) {
-            CovertConfig cfg;
-            cfg.l1_policy = policy;
-            cfg.message = randomBits(bits, 4242);
-            cfg.seed = params.getUint("seed");
-            const auto a1 = runCovertChannel(cfg);
+        const std::vector<sim::ReplPolicyKind> policies{
+            sim::ReplPolicyKind::TrueLru,  sim::ReplPolicyKind::TreePlru,
+            sim::ReplPolicyKind::BitPlru,  sim::ReplPolicyKind::Srrip,
+            sim::ReplPolicyKind::Fifo,     sim::ReplPolicyKind::Random};
 
-            cfg.alg = LruAlgorithm::Alg2Disjoint;
-            cfg.d = 5;
-            const auto a2 = runCovertChannel(cfg);
+        // One trial per policy (two full channel runs each), fanned out
+        // over core::runTrials; the run seeds are unchanged, so the
+        // table matches the sequential sweep for any worker count.
+        struct Row
+        {
+            double a1_error = 0.0;
+            double a2_error = 0.0;
+            double a1_miss = 0.0;
+        };
+        const auto rows = core::runTrials(
+            static_cast<std::uint32_t>(policies.size()),
+            params.getUint("seed"),
+            [&](std::uint32_t idx, sim::Xoshiro256 &) {
+                CovertConfig cfg;
+                cfg.l1_policy = policies[idx];
+                cfg.message = randomBits(bits, 4242);
+                cfg.seed = params.getUint("seed");
+                const auto a1 = runCovertChannel(cfg);
 
-            table.addRow({std::string(sim::replPolicyName(policy)),
-                          fmtPercent(a1.error_rate),
-                          fmtPercent(a2.error_rate),
-                          fmtPercent(a1.sender_l1.missRate(), 3)});
-        }
+                cfg.alg = LruAlgorithm::Alg2Disjoint;
+                cfg.d = 5;
+                const auto a2 = runCovertChannel(cfg);
+                return Row{a1.error_rate, a2.error_rate,
+                           a1.sender_l1.missRate()};
+            });
+
+        for (std::size_t i = 0; i < policies.size(); ++i)
+            table.addRow({std::string(sim::replPolicyName(policies[i])),
+                          fmtPercent(rows[i].a1_error),
+                          fmtPercent(rows[i].a2_error),
+                          fmtPercent(rows[i].a1_miss, 3)});
         sink.table("", table);
 
         sink.note("\nTakeaways: the hit-encoding channel works under "

@@ -7,6 +7,7 @@
  */
 
 #include "channel/covert_channel.hpp"
+#include "core/trial_runner.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -77,24 +78,31 @@ class Fig4ErrorRate final : public Experiment
                          "d=5", "d=6", "d=7", "d=8"});
             for (std::uint64_t ts :
                  {4500ULL, 6000ULL, 12000ULL, 30000ULL}) {
-                std::vector<std::string> row;
-                double kbps = 0.0;
-                for (std::uint32_t d = 1; d <= 8; ++d) {
-                    CovertConfig cfg;
-                    cfg.alg = alg;
-                    cfg.d = d;
-                    cfg.tr = tr;
-                    cfg.ts = ts;
-                    cfg.message = message;
-                    cfg.repeats = repeats;
-                    cfg.seed = seed + d;
-                    const auto res = runCovertChannel(cfg);
-                    row.push_back(fmtPercent(res.error_rate));
-                    kbps = res.kbps;
-                }
+                // The eight d-cells of a row are independent channel
+                // runs: fan them out trial-parallel.  Seeds stay the
+                // sequential ones (seed + d), so the table is identical
+                // for any worker count.
+                const auto cells = core::runTrials(
+                    8, seed,
+                    [&](std::uint32_t idx, sim::Xoshiro256 &) {
+                        const std::uint32_t d = idx + 1;
+                        CovertConfig cfg;
+                        cfg.alg = alg;
+                        cfg.d = d;
+                        cfg.tr = tr;
+                        cfg.ts = ts;
+                        cfg.message = message;
+                        cfg.repeats = repeats;
+                        cfg.seed = seed + d;
+                        const auto res = runCovertChannel(cfg);
+                        return std::pair<double, double>(res.error_rate,
+                                                         res.kbps);
+                    });
+
                 std::vector<std::string> full{std::to_string(ts),
-                                              fmtKbps(kbps)};
-                full.insert(full.end(), row.begin(), row.end());
+                                              fmtKbps(cells.back().second)};
+                for (const auto &[error_rate, _] : cells)
+                    full.push_back(fmtPercent(error_rate));
                 table.addRow(full);
             }
             sink.table("Tr = " + std::to_string(tr) + " cycles", table);

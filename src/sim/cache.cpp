@@ -19,9 +19,8 @@ Cache::Cache(const CacheConfig &config, PlMode pl_mode, bool way_predictor)
         // Give each Random-policy set its own derived seed so sets do not
         // evict in lockstep.
         sets_.emplace_back(config_.ways,
-                           makeReplacementPolicy(config_.policy,
-                                                 config_.ways,
-                                                 config_.seed + s),
+                           ReplState::make(config_.policy, config_.ways,
+                                           config_.seed + s),
                            pl_mode);
     }
 }
@@ -44,11 +43,55 @@ Cache::access(const MemRef &ref, LockReq lock_req)
     res.filled = sr.filled;
     res.bypassed = sr.bypassed;
     res.utag_mismatch = sr.utag_mismatch;
-    if (sr.evicted_tag)
-        res.evicted_line = layout_.compose(*sr.evicted_tag, set);
+    if (sr.evicted)
+        res.evicted_line = layout_.compose(sr.evicted_tag, set);
 
     counters_.record(ref.thread, sr.hit);
     return res;
+}
+
+void
+Cache::accessBatch(std::span<const MemRef> refs,
+                   std::span<CacheAccessResult> results)
+{
+    // Per-thread counter tallies are flushed once per thread run instead
+    // of per access (batches are almost always single-thread).
+    ThreadId run_thread = refs.empty() ? 0 : refs[0].thread;
+    std::uint64_t run_hits = 0;
+    std::uint64_t run_accesses = 0;
+
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        const MemRef &ref = refs[i];
+        const std::uint32_t set = layout_.setIndex(ref.vaddr);
+        const Addr tag = layout_.tag(ref.paddr);
+        const std::uint16_t utag =
+            way_predictor_ ? WayPredictor::utag(ref.vaddr) : 0;
+
+        SetAccessResult sr = sets_[set].access(tag, utag, way_predictor_,
+                                               LockReq::None, ref.thread);
+
+        CacheAccessResult &res = results[i];
+        res = CacheAccessResult{};
+        res.hit = sr.hit;
+        res.set = set;
+        res.way = sr.way;
+        res.filled = sr.filled;
+        res.bypassed = sr.bypassed;
+        res.utag_mismatch = sr.utag_mismatch;
+        if (sr.evicted)
+            res.evicted_line = layout_.compose(sr.evicted_tag, set);
+
+        if (ref.thread != run_thread) {
+            counters_.recordMany(run_thread, run_hits, run_accesses);
+            run_thread = ref.thread;
+            run_hits = 0;
+            run_accesses = 0;
+        }
+        ++run_accesses;
+        run_hits += sr.hit ? 1 : 0;
+    }
+    if (run_accesses > 0)
+        counters_.recordMany(run_thread, run_hits, run_accesses);
 }
 
 CacheAccessResult
@@ -66,8 +109,8 @@ Cache::prefetch(const MemRef &ref)
     res.set = set;
     res.way = sr.way;
     res.filled = sr.filled;
-    if (sr.evicted_tag)
-        res.evicted_line = layout_.compose(*sr.evicted_tag, set);
+    if (sr.evicted)
+        res.evicted_line = layout_.compose(sr.evicted_tag, set);
     return res;
 }
 

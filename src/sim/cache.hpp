@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/address.hpp"
@@ -44,6 +45,17 @@ class Cache
     /** Demand access (load/store), with optional PL lock request. */
     CacheAccessResult access(const MemRef &ref,
                              LockReq lock_req = LockReq::None);
+
+    /**
+     * Replay a whole access sequence (plain demand loads, no lock
+     * requests), writing one result per reference into @p results.
+     * Perf counters are tallied in bulk per thread run, so the per-
+     * access map lookup disappears from the hot loop.
+     *
+     * @pre results.size() >= refs.size()
+     */
+    void accessBatch(std::span<const MemRef> refs,
+                     std::span<CacheAccessResult> results);
 
     /** Prefetch fill: installs the line, updates LRU, no perf counters. */
     CacheAccessResult prefetch(const MemRef &ref);

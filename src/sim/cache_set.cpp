@@ -5,38 +5,45 @@
 
 #include "sim/cache_set.hpp"
 
+#include <bit>
+
 namespace lruleak::sim {
 
-CacheSet::CacheSet(std::uint32_t ways,
-                   std::unique_ptr<ReplacementPolicy> policy, PlMode pl_mode)
-    : ways_(ways), pl_mode_(pl_mode), lines_(ways),
-      policy_(std::move(policy))
+CacheSet::CacheSet(std::uint32_t ways, ReplState state, PlMode pl_mode)
+    : ways_(ways), pl_mode_(pl_mode), tags_(ways, 0), utags_(ways, 0),
+      filled_by_(ways, 0), repl_(std::move(state))
 {
 }
 
-CacheSet::CacheSet(const CacheSet &other)
-    : ways_(other.ways_), pl_mode_(other.pl_mode_), lines_(other.lines_),
-      policy_(other.policy_->clone())
+CacheSet::CacheSet(std::uint32_t ways,
+                   std::unique_ptr<ReplacementPolicy> policy, PlMode pl_mode)
+    : CacheSet(ways, policy->state(), pl_mode)
 {
 }
 
 std::optional<std::uint32_t>
 CacheSet::probe(Addr tag) const
 {
+    const Addr *tags = tags_.data();
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (lines_[w].valid && lines_[w].tag == tag)
+        if (((valid_mask_ >> w) & 1u) && tags[w] == tag)
             return w;
     }
     return std::nullopt;
 }
 
-std::vector<bool>
-CacheSet::lockedMask() const
+void
+CacheSet::fill(std::uint32_t way, Addr tag, bool lock, std::uint16_t utag,
+               ThreadId thread)
 {
-    std::vector<bool> mask(ways_);
-    for (std::uint32_t w = 0; w < ways_; ++w)
-        mask[w] = lines_[w].valid && lines_[w].locked;
-    return mask;
+    tags_[way] = tag;
+    valid_mask_ |= 1u << way;
+    if (lock)
+        locked_mask_ |= 1u << way;
+    else
+        locked_mask_ &= ~(1u << way);
+    utags_[way] = utag;
+    filled_by_[way] = thread;
 }
 
 SetAccessResult
@@ -47,86 +54,72 @@ CacheSet::access(Addr tag, std::uint16_t utag, bool check_utag,
 
     if (auto way = probe(tag)) {
         // ----- Cache hit path of Fig. 10.
+        const std::uint32_t w = *way;
         res.hit = true;
-        res.way = *way;
-        LineState &line = lines_[*way];
+        res.way = w;
 
-        if (check_utag && line.utag != utag) {
+        if (check_utag && utags_[w] != utag) {
             // AMD way predictor: the load matched the physical tag but the
             // stored linear-address utag disagrees, so the hardware first
             // misses in the predicted way and retrains the utag.  The
             // caller charges miss-like latency for this access.
             res.utag_mismatch = true;
-            line.utag = utag;
+            utags_[w] = utag;
         }
 
-        const bool locked_hit = line.locked;
+        const bool locked_hit = ((locked_mask_ >> w) & 1u) != 0;
         if (pl_mode_ == PlMode::FixedLruLock && locked_hit) {
             // Blue box: "Normal hit; Do not update replacement state".
         } else {
-            policy_->touch(*way);
+            repl_.touch(w);
         }
 
         if (lock_req == LockReq::Lock && pl_mode_ != PlMode::Disabled)
-            line.locked = true;
+            locked_mask_ |= 1u << w;
         else if (lock_req == LockReq::Unlock)
-            line.locked = false;
+            locked_mask_ &= ~(1u << w);
         return res;
     }
 
     // ----- Cache miss path of Fig. 10: choose a victim.
     // Invalid ways are filled first (lowest index), as in real caches;
     // the replacement policy only arbitrates between valid lines.
-    std::uint32_t victim_way = ReplacementPolicy::kNoVictim;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (!lines_[w].valid) {
-            victim_way = w;
-            break;
-        }
-    }
-    if (victim_way != ReplacementPolicy::kNoVictim) {
-        LineState &line = lines_[victim_way];
-        line.tag = tag;
-        line.valid = true;
-        line.locked =
-            (lock_req == LockReq::Lock && pl_mode_ != PlMode::Disabled);
-        line.utag = utag;
-        line.filled_by = thread;
-        policy_->onFill(victim_way);
+    const bool lock =
+        lock_req == LockReq::Lock && pl_mode_ != PlMode::Disabled;
+    const std::uint32_t first_invalid =
+        std::countr_one(valid_mask_); // index of the lowest clear bit
+    if (first_invalid < ways_) {
+        fill(first_invalid, tag, lock, utag, thread);
+        repl_.onFill(first_invalid);
         res.hit = false;
-        res.way = victim_way;
+        res.way = first_invalid;
         res.filled = true;
         return res;
     }
 
+    std::uint32_t victim_way;
     if (pl_mode_ == PlMode::FixedLruLock) {
         // Blue behaviour: locked ways are excluded from victim selection
         // so the replacement decision is independent of locked lines.
-        victim_way = policy_->victimUnlocked(lockedMask());
-        if (victim_way == ReplacementPolicy::kNoVictim) {
+        victim_way = repl_.selectVictimUnlocked(locked_mask_);
+        if (victim_way == kNoWay) {
             res.bypassed = true; // whole set locked: handle uncached
             return res;
         }
     } else {
-        victim_way = policy_->victim();
-        if (pl_mode_ == PlMode::Original && lines_[victim_way].valid &&
-            lines_[victim_way].locked) {
+        victim_way = repl_.selectVictim();
+        if (pl_mode_ == PlMode::Original &&
+            ((locked_mask_ >> victim_way) & 1u)) {
             // White box: "victim locked? -> ld/st without replacement".
             res.bypassed = true;
             return res;
         }
     }
 
-    LineState &line = lines_[victim_way];
-    if (line.valid)
-        res.evicted_tag = line.tag;
-    line.tag = tag;
-    line.valid = true;
-    line.locked = (lock_req == LockReq::Lock && pl_mode_ != PlMode::Disabled);
-    line.utag = utag;
-    line.filled_by = thread;
-
-    policy_->onFill(victim_way);
+    res.evicted = true;
+    res.evicted_tag = tags_[victim_way];
+    fill(victim_way, tag, lock, utag, thread);
+    repl_.onFill(victim_way);
 
     res.hit = false;
     res.way = victim_way;
@@ -134,11 +127,176 @@ CacheSet::access(Addr tag, std::uint16_t utag, bool check_utag,
     return res;
 }
 
+namespace {
+
+/**
+ * The specialised batch inner loop, shared by the results-collecting
+ * accessBatch and the stats-only replayBatch (@p kCollect selects at
+ * compile time).  @p kWays = 0 keeps the way count a runtime value; a
+ * non-zero kWays makes it a compile-time constant so the probe loop
+ * fully unrolls.
+ */
+template <std::uint32_t kWays, bool kCollect, typename St>
+inline SetBatchStats
+runBatchLoop(St &st, Addr *const set_tags, std::uint16_t *const utags,
+             ThreadId *const filled_by, std::uint32_t &valid_ref,
+             std::uint32_t runtime_ways, std::uint32_t full,
+             std::span<const Addr> tags, SetAccessResult *const results,
+             ThreadId thread)
+{
+    const std::uint32_t ways = kWays != 0 ? kWays : runtime_ways;
+    // Work on register-resident copies: the POD state and the masks stay
+    // out of memory for the whole batch (the tag stores in the loop
+    // could otherwise alias them and force reloads).
+    St local = st;
+    std::uint32_t valid = valid_ref;
+    SetBatchStats stats;
+    stats.accesses = tags.size();
+    const std::size_t n = tags.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr tag = tags[i];
+        SetAccessResult res;
+
+        std::uint32_t way = kNoWay;
+        if (valid == full) {
+            // Steady state: every way valid, skip the per-way bit test.
+            for (std::uint32_t w = 0; w < ways; ++w) {
+                if (set_tags[w] == tag) {
+                    way = w;
+                    break;
+                }
+            }
+        } else {
+            for (std::uint32_t w = 0; w < ways; ++w) {
+                if (((valid >> w) & 1u) && set_tags[w] == tag) {
+                    way = w;
+                    break;
+                }
+            }
+        }
+
+        if (way != kNoWay) {
+            local.touch(way);
+            if constexpr (kCollect) {
+                res.hit = true;
+                res.way = way;
+            } else {
+                ++stats.hits;
+            }
+        } else {
+            std::uint32_t victim;
+            if (valid != full) {
+                victim = static_cast<std::uint32_t>(
+                    std::countr_one(valid)); // lowest invalid way
+                valid |= 1u << victim;
+            } else {
+                if constexpr (kCollect) {
+                    victim = local.selectVictim();
+                    res.evicted = true;
+                    res.evicted_tag = set_tags[victim];
+                } else {
+                    victim = local.selectVictim();
+                    ++stats.evictions;
+                }
+            }
+            set_tags[victim] = tag;
+            utags[victim] = 0;
+            filled_by[victim] = thread;
+            local.onFill(victim);
+            if constexpr (kCollect) {
+                res.way = victim;
+                res.filled = true;
+            } else {
+                ++stats.fills;
+            }
+        }
+        if constexpr (kCollect)
+            results[i] = res;
+    }
+    st = local;
+    valid_ref = valid;
+    return stats;
+}
+
+/** Dispatch the batch loop over (state alternative, common way count). */
+template <bool kCollect>
+inline SetBatchStats
+dispatchBatch(ReplState &repl, Addr *set_tags, std::uint16_t *utags,
+              ThreadId *filled_by, std::uint32_t &valid_ref,
+              std::uint32_t ways, std::uint32_t full,
+              std::span<const Addr> tags, SetAccessResult *results,
+              ThreadId thread)
+{
+    return repl.visitState([&](auto &st) {
+        switch (ways) {
+          case 8:
+            return runBatchLoop<8, kCollect>(st, set_tags, utags,
+                                             filled_by, valid_ref, ways,
+                                             full, tags, results, thread);
+          case 16:
+            return runBatchLoop<16, kCollect>(st, set_tags, utags,
+                                              filled_by, valid_ref, ways,
+                                              full, tags, results, thread);
+          default:
+            return runBatchLoop<0, kCollect>(st, set_tags, utags,
+                                             filled_by, valid_ref, ways,
+                                             full, tags, results, thread);
+        }
+    });
+}
+
+} // namespace
+
+void
+CacheSet::accessBatch(std::span<const Addr> tags,
+                      std::span<SetAccessResult> results, ThreadId thread)
+{
+    if (pl_mode_ != PlMode::Disabled) {
+        // Lock bits in play: take the general per-access path.
+        for (std::size_t i = 0; i < tags.size(); ++i)
+            results[i] = access(tags[i], 0, false, LockReq::None, thread);
+        return;
+    }
+
+    // One dispatch for the whole batch: the loop is instantiated per
+    // concrete replacement state (and per common way count), so
+    // touch/onFill/selectVictim are direct, inlinable calls on a
+    // register-resident state machine.
+    dispatchBatch<true>(repl_, tags_.data(), utags_.data(),
+                        filled_by_.data(), valid_mask_, ways_, fullMask(),
+                        tags, results.data(), thread);
+}
+
+SetBatchStats
+CacheSet::replayBatch(std::span<const Addr> tags, ThreadId thread)
+{
+    if (pl_mode_ != PlMode::Disabled) {
+        SetBatchStats stats;
+        stats.accesses = tags.size();
+        for (const Addr tag : tags) {
+            const auto res =
+                access(tag, 0, false, LockReq::None, thread);
+            stats.hits += res.hit ? 1 : 0;
+            stats.fills += res.filled ? 1 : 0;
+            stats.evictions += res.evicted ? 1 : 0;
+        }
+        return stats;
+    }
+    return dispatchBatch<false>(repl_, tags_.data(), utags_.data(),
+                                filled_by_.data(), valid_mask_, ways_,
+                                fullMask(), tags, nullptr, thread);
+}
+
 bool
 CacheSet::invalidate(Addr tag)
 {
     if (auto way = probe(tag)) {
-        lines_[*way] = LineState{};
+        const std::uint32_t bit = 1u << *way;
+        valid_mask_ &= ~bit;
+        locked_mask_ &= ~bit;
+        tags_[*way] = 0;
+        utags_[*way] = 0;
+        filled_by_[*way] = 0;
         return true;
     }
     return false;
@@ -152,7 +310,7 @@ CacheSet::prefetchFill(Addr tag, std::uint16_t utag, ThreadId thread)
         // Already present: hardware prefetchers still promote the line.
         res.hit = true;
         res.way = *way;
-        policy_->touch(*way);
+        repl_.touch(*way);
         return res;
     }
     return access(tag, utag, false, LockReq::None, thread);
@@ -161,18 +319,20 @@ CacheSet::prefetchFill(Addr tag, std::uint16_t utag, ThreadId thread)
 std::uint32_t
 CacheSet::occupancy() const
 {
-    std::uint32_t n = 0;
-    for (const auto &line : lines_)
-        n += line.valid ? 1 : 0;
-    return n;
+    return static_cast<std::uint32_t>(std::popcount(valid_mask_));
 }
 
 void
 CacheSet::reset()
 {
-    for (auto &line : lines_)
-        line = LineState{};
-    policy_->reset();
+    valid_mask_ = 0;
+    locked_mask_ = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        tags_[w] = 0;
+        utags_[w] = 0;
+        filled_by_[w] = 0;
+    }
+    repl_.reset();
 }
 
 } // namespace lruleak::sim

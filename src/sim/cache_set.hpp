@@ -2,6 +2,19 @@
  * @file
  * One set of a set-associative cache: tags, valid/lock bits, utags, and
  * the per-set replacement state machine.
+ *
+ * Value-semantic redesign: the replacement state is a `ReplState` stored
+ * inline (no heap policy object) and the per-way metadata is kept as
+ * structure-of-arrays — the tag array is contiguous (one cache line for
+ * an 8-way set) and the valid/lock bits are bitmasks, so the probe loop
+ * in the hot path touches a fraction of the memory the old
+ * array-of-LineState layout did.  CacheSet is cheaply copyable and
+ * copy-assignable.
+ *
+ * Besides the per-access entry point, `accessBatch` replays a whole tag
+ * sequence with the policy dispatch hoisted out of the loop — the hot
+ * path Monte-Carlo experiments and `lruleak bench` replay sequences
+ * through.
  */
 
 #ifndef LRULEAK_SIM_CACHE_SET_HPP
@@ -10,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/address.hpp"
@@ -35,7 +49,7 @@ enum class PlMode
                   //!< state nor participate in victim selection
 };
 
-/** Per-way metadata. */
+/** Per-way metadata view (assembled from the SoA storage on demand). */
 struct LineState
 {
     Addr tag = 0;               //!< physical tag
@@ -45,30 +59,60 @@ struct LineState
     ThreadId filled_by = 0;     //!< thread that installed the line
 };
 
-/** Outcome of a set access. */
+/**
+ * Outcome of a set access.  A compact 16-byte POD: the flags share one
+ * byte and the displaced tag is a plain field guarded by @c evicted —
+ * batch loops write one of these per access, so the layout is part of
+ * the hot path.
+ */
 struct SetAccessResult
 {
-    bool hit = false;
-    std::uint32_t way = ReplacementPolicy::kNoVictim;
-    bool filled = false;          //!< a new line was installed
-    bool bypassed = false;        //!< miss on a fully/victim-locked set,
+    std::uint32_t way = kNoWay;
+    bool hit : 1 = false;
+    bool filled : 1 = false;      //!< a new line was installed
+    bool bypassed : 1 = false;    //!< miss on a fully/victim-locked set,
                                   //!< handled uncached (PL cache)
-    bool utag_mismatch = false;   //!< hit whose utag did not match (AMD)
-    std::optional<Addr> evicted_tag; //!< tag displaced by the fill
+    bool utag_mismatch : 1 = false; //!< hit whose utag did not match (AMD)
+    bool evicted : 1 = false;     //!< @c evicted_tag holds a displaced tag
+    Addr evicted_tag = 0;         //!< tag displaced by the fill (iff
+                                  //!< @c evicted)
+
+    /** Convenience view of the displaced tag. */
+    std::optional<Addr>
+    evictedTag() const
+    {
+        return evicted ? std::optional<Addr>(evicted_tag) : std::nullopt;
+    }
+};
+
+/** Aggregate outcome of a stats-only batch replay. */
+struct SetBatchStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fills = 0;     //!< misses that installed a line
+    std::uint64_t evictions = 0; //!< fills that displaced a valid line
 };
 
 /**
  * A single cache set.  The cache decomposes addresses; the set works in
- * tag space only.
+ * tag space only.  Value type: copy, assign and move freely.
  */
 class CacheSet
 {
   public:
+    CacheSet(std::uint32_t ways, ReplState state,
+             PlMode pl_mode = PlMode::Disabled);
+
+    /**
+     * Legacy-compatible constructor: snapshots the virtual policy's
+     * state into the value core.  Prefer the ReplState overload.
+     */
     CacheSet(std::uint32_t ways, std::unique_ptr<ReplacementPolicy> policy,
              PlMode pl_mode = PlMode::Disabled);
 
-    CacheSet(const CacheSet &other);
-    CacheSet &operator=(const CacheSet &other) = delete;
+    CacheSet(const CacheSet &) = default;
+    CacheSet &operator=(const CacheSet &) = default;
     CacheSet(CacheSet &&) noexcept = default;
     CacheSet &operator=(CacheSet &&) noexcept = default;
 
@@ -90,6 +134,28 @@ class CacheSet
     SetAccessResult access(Addr tag, std::uint16_t utag, bool check_utag,
                            LockReq lock_req, ThreadId thread);
 
+    /**
+     * Replay a whole tag sequence (plain loads: no utag checking, no
+     * lock requests), writing one result per tag into @p results.  The
+     * policy dispatch happens once for the whole batch, so the inner
+     * loop is specialised per concrete replacement state — the fast
+     * path Monte-Carlo experiments replay sequences through.
+     *
+     * @pre results.size() >= tags.size()
+     */
+    void accessBatch(std::span<const Addr> tags,
+                     std::span<SetAccessResult> results,
+                     ThreadId thread = 0);
+
+    /**
+     * Stats-only flavour of accessBatch for callers that replay a
+     * sequence purely for its state effect (Monte-Carlo warm-ups and
+     * measured loops, channel init/decode walks): no per-access results
+     * are materialised, only the aggregate tallies.
+     */
+    SetBatchStats replayBatch(std::span<const Addr> tags,
+                              ThreadId thread = 0);
+
     /** Invalidate the line holding @p tag (clflush). @return true if hit */
     bool invalidate(Addr tag);
 
@@ -100,9 +166,20 @@ class CacheSet
     SetAccessResult prefetchFill(Addr tag, std::uint16_t utag,
                                  ThreadId thread);
 
-    const LineState &line(std::uint32_t way) const { return lines_[way]; }
-    const ReplacementPolicy &policy() const { return *policy_; }
-    ReplacementPolicy &policy() { return *policy_; }
+    /** Metadata of one way (assembled view). */
+    LineState
+    line(std::uint32_t way) const
+    {
+        return LineState{tags_[way],
+                         ((valid_mask_ >> way) & 1u) != 0,
+                         ((locked_mask_ >> way) & 1u) != 0,
+                         utags_[way], filled_by_[way]};
+    }
+
+    /** The value-semantic replacement state of this set. */
+    const ReplState &repl() const { return repl_; }
+    ReplState &repl() { return repl_; }
+
     std::uint32_t ways() const { return ways_; }
     PlMode plMode() const { return pl_mode_; }
     void setPlMode(PlMode mode) { pl_mode_ = mode; }
@@ -114,12 +191,24 @@ class CacheSet
     void reset();
 
   private:
-    std::vector<bool> lockedMask() const;
+    /** Bitmask with one bit per way. */
+    std::uint32_t
+    fullMask() const
+    {
+        return ways_ >= 32 ? ~0u : (1u << ways_) - 1;
+    }
+
+    void fill(std::uint32_t way, Addr tag, bool lock,
+              std::uint16_t utag, ThreadId thread);
 
     std::uint32_t ways_;
     PlMode pl_mode_;
-    std::vector<LineState> lines_;
-    std::unique_ptr<ReplacementPolicy> policy_;
+    std::uint32_t valid_mask_ = 0;
+    std::uint32_t locked_mask_ = 0;   //!< subset of valid_mask_
+    std::vector<Addr> tags_;
+    std::vector<std::uint16_t> utags_;
+    std::vector<ThreadId> filled_by_;
+    ReplState repl_;
 };
 
 } // namespace lruleak::sim

@@ -65,6 +65,21 @@ CacheHierarchy::access(const MemRef &ref, LockReq lock_req)
 }
 
 void
+CacheHierarchy::accessBatch(std::span<const MemRef> refs)
+{
+    for (const MemRef &ref : refs)
+        access(ref);
+}
+
+void
+CacheHierarchy::accessBatch(std::span<const MemRef> refs,
+                            std::span<HitLevel> levels)
+{
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        levels[i] = access(refs[i]).level;
+}
+
+void
 CacheHierarchy::flush(const MemRef &ref)
 {
     l1_->flush(ref);

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/cache.hpp"
@@ -65,6 +66,22 @@ class CacheHierarchy
      */
     HierarchyAccessResult access(const MemRef &ref,
                                  LockReq lock_req = LockReq::None);
+
+    /**
+     * Replay a whole access sequence (plain demand loads) whose
+     * individual outcomes the caller does not need — the prime/init
+     * loops of the channels and the Spectre harness.  Semantically one
+     * access() per reference.
+     */
+    void accessBatch(std::span<const MemRef> refs);
+
+    /**
+     * Same, but records the level each access was served from into
+     * @p levels (for callers that charge per-access latency, like the
+     * schedulers' kernel-noise bursts).  @pre levels.size() >= refs.size()
+     */
+    void accessBatch(std::span<const MemRef> refs,
+                     std::span<HitLevel> levels);
 
     /** clflush: remove the line from every level. */
     void flush(const MemRef &ref);

@@ -117,6 +117,9 @@ class Xoshiro256
         return Xoshiro256((*this)() ^ 0x9e3779b97f4a7c15ULL);
     }
 
+    /** Streams compare equal iff their next outputs are identical. */
+    constexpr bool operator==(const Xoshiro256 &) const = default;
+
   private:
     static constexpr std::uint64_t
     rotl(std::uint64_t x, int k)

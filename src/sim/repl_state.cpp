@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Cold paths of the value-semantic replacement core: construction, name
+ * tables and the stateBits dumps (the hot per-access updates live inline
+ * in repl_state.hpp).
+ */
+
+#include "sim/repl_state.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace lruleak::sim {
+
+std::string_view
+replPolicyName(ReplPolicyKind kind)
+{
+    switch (kind) {
+      case ReplPolicyKind::TrueLru:  return "LRU";
+      case ReplPolicyKind::TreePlru: return "TreePLRU";
+      case ReplPolicyKind::BitPlru:  return "BitPLRU";
+      case ReplPolicyKind::Fifo:     return "FIFO";
+      case ReplPolicyKind::Random:   return "Random";
+      case ReplPolicyKind::Srrip:    return "SRRIP";
+    }
+    return "unknown";
+}
+
+ReplPolicyKind
+replPolicyFromName(std::string_view name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (lower == "lru" || lower == "truelru")
+        return ReplPolicyKind::TrueLru;
+    if (lower == "treeplru" || lower == "plru" || lower == "tree-plru")
+        return ReplPolicyKind::TreePlru;
+    if (lower == "bitplru" || lower == "mru" || lower == "bit-plru")
+        return ReplPolicyKind::BitPlru;
+    if (lower == "fifo" || lower == "roundrobin")
+        return ReplPolicyKind::Fifo;
+    if (lower == "random" || lower == "rand")
+        return ReplPolicyKind::Random;
+    if (lower == "srrip" || lower == "rrip")
+        return ReplPolicyKind::Srrip;
+    throw std::invalid_argument("unknown replacement policy: " +
+                                std::string(name));
+}
+
+const std::vector<ReplPolicyKind> &
+allReplPolicyKinds()
+{
+    static const std::vector<ReplPolicyKind> kinds{
+        ReplPolicyKind::TrueLru, ReplPolicyKind::TreePlru,
+        ReplPolicyKind::BitPlru, ReplPolicyKind::Fifo,
+        ReplPolicyKind::Random,  ReplPolicyKind::Srrip,
+    };
+    return kinds;
+}
+
+void
+checkWays(std::uint32_t ways)
+{
+    if (ways == 0 || ways > kMaxWays)
+        throw std::invalid_argument(
+            "replacement state supports 1.." + std::to_string(kMaxWays) +
+            " ways, got " + std::to_string(ways));
+}
+
+// ---------------------------------------------------------------- TrueLru
+
+TrueLruState::TrueLruState(std::uint32_t ways) : ways(ways)
+{
+    checkWays(ways);
+    reset();
+}
+
+void
+TrueLruState::reset()
+{
+    // Power-on order: way 0 is MRU, way N-1 is LRU.
+    for (std::uint32_t w = 0; w < ways; ++w)
+        age[w] = static_cast<std::uint8_t>(w);
+}
+
+std::vector<std::uint8_t>
+TrueLruState::stateBits() const
+{
+    std::vector<std::uint8_t> out(ways);
+    for (std::uint32_t w = 0; w < ways; ++w)
+        out[age[w]] = static_cast<std::uint8_t>(w);
+    return out;
+}
+
+// --------------------------------------------------------------- TreePlru
+
+namespace {
+
+/** Integer log2 for powers of two. */
+std::uint32_t
+log2u(std::uint32_t value)
+{
+    std::uint32_t bits = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+TreePlruState::TreePlruState(std::uint32_t ways)
+    : ways(ways), levels(log2u(ways))
+{
+    checkWays(ways);
+    if (ways < 2 || (ways & (ways - 1)) != 0)
+        throw std::invalid_argument(
+            "TreePlruState requires power-of-two ways");
+}
+
+std::vector<std::uint8_t>
+TreePlruState::stateBits() const
+{
+    std::vector<std::uint8_t> out(ways - 1);
+    for (std::uint32_t i = 0; i < ways - 1; ++i)
+        out[i] = static_cast<std::uint8_t>((bits >> i) & 1u);
+    return out;
+}
+
+// ---------------------------------------------------------------- BitPlru
+
+BitPlruState::BitPlruState(std::uint32_t ways) : ways(ways)
+{
+    checkWays(ways);
+}
+
+std::vector<std::uint8_t>
+BitPlruState::stateBits() const
+{
+    std::vector<std::uint8_t> out(ways);
+    for (std::uint32_t w = 0; w < ways; ++w)
+        out[w] = static_cast<std::uint8_t>((mru >> w) & 1u);
+    return out;
+}
+
+// ------------------------------------------------------------------- Fifo
+
+FifoState::FifoState(std::uint32_t ways) : ways(ways)
+{
+    checkWays(ways);
+    reset();
+}
+
+void
+FifoState::reset()
+{
+    for (std::uint32_t w = 0; w < ways; ++w)
+        order[w] = static_cast<std::uint8_t>(w);
+}
+
+std::vector<std::uint8_t>
+FifoState::stateBits() const
+{
+    return std::vector<std::uint8_t>(order.begin(),
+                                     order.begin() + ways);
+}
+
+// ------------------------------------------------------------------ Srrip
+
+SrripState::SrripState(std::uint32_t ways) : ways(ways)
+{
+    checkWays(ways);
+    reset();
+}
+
+void
+SrripState::reset()
+{
+    for (std::uint32_t w = 0; w < ways; ++w)
+        rrpv[w] = kMaxRrpv;
+}
+
+std::vector<std::uint8_t>
+SrripState::stateBits() const
+{
+    return std::vector<std::uint8_t>(rrpv.begin(), rrpv.begin() + ways);
+}
+
+// -------------------------------------------------------------- ReplState
+
+ReplState
+ReplState::make(ReplPolicyKind kind, std::uint32_t ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplPolicyKind::TrueLru:  return ReplState(TrueLruState(ways));
+      case ReplPolicyKind::TreePlru: return ReplState(TreePlruState(ways));
+      case ReplPolicyKind::BitPlru:  return ReplState(BitPlruState(ways));
+      case ReplPolicyKind::Fifo:     return ReplState(FifoState(ways));
+      case ReplPolicyKind::Random:
+        return ReplState(RandomState(ways, seed));
+      case ReplPolicyKind::Srrip:    return ReplState(SrripState(ways));
+    }
+    throw std::invalid_argument("bad ReplPolicyKind");
+}
+
+} // namespace lruleak::sim

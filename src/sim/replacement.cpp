@@ -1,59 +1,21 @@
 /**
  * @file
- * Implementation of the replacement-policy state machines.
+ * Reference implementations of the legacy replacement-policy classes
+ * (the oracle the ReplState equivalence tests compare against).
  */
 
 #include "sim/replacement.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <numeric>
 #include <stdexcept>
 
 namespace lruleak::sim {
 
-std::string_view
-replPolicyName(ReplPolicyKind kind)
-{
-    switch (kind) {
-      case ReplPolicyKind::TrueLru:  return "LRU";
-      case ReplPolicyKind::TreePlru: return "TreePLRU";
-      case ReplPolicyKind::BitPlru:  return "BitPLRU";
-      case ReplPolicyKind::Fifo:     return "FIFO";
-      case ReplPolicyKind::Random:   return "Random";
-      case ReplPolicyKind::Srrip:    return "SRRIP";
-    }
-    return "unknown";
-}
-
-ReplPolicyKind
-replPolicyFromName(std::string_view name)
-{
-    std::string lower;
-    lower.reserve(name.size());
-    for (char c : name)
-        lower.push_back(static_cast<char>(
-            std::tolower(static_cast<unsigned char>(c))));
-    if (lower == "lru" || lower == "truelru")
-        return ReplPolicyKind::TrueLru;
-    if (lower == "treeplru" || lower == "plru" || lower == "tree-plru")
-        return ReplPolicyKind::TreePlru;
-    if (lower == "bitplru" || lower == "mru" || lower == "bit-plru")
-        return ReplPolicyKind::BitPlru;
-    if (lower == "fifo" || lower == "roundrobin")
-        return ReplPolicyKind::Fifo;
-    if (lower == "random" || lower == "rand")
-        return ReplPolicyKind::Random;
-    if (lower == "srrip" || lower == "rrip")
-        return ReplPolicyKind::Srrip;
-    throw std::invalid_argument("unknown replacement policy: " +
-                                std::string(name));
-}
-
 std::uint32_t
 ReplacementPolicy::victimUnlocked(const std::vector<bool> &locked)
 {
-    const std::uint32_t preferred = victim();
+    const std::uint32_t preferred = selectVictim();
     if (preferred < locked.size() && !locked[preferred])
         return preferred;
     if (preferred < locked.size()) {
@@ -116,7 +78,7 @@ TrueLru::touch(std::uint32_t way)
 }
 
 std::uint32_t
-TrueLru::victim()
+TrueLru::victim() const
 {
     return order_.back();
 }
@@ -142,6 +104,15 @@ std::unique_ptr<ReplacementPolicy>
 TrueLru::clone() const
 {
     return std::make_unique<TrueLru>(*this);
+}
+
+ReplState
+TrueLru::state() const
+{
+    TrueLruState s(ways_);
+    for (std::uint32_t pos = 0; pos < ways_; ++pos)
+        s.age[order_[pos]] = static_cast<std::uint8_t>(pos);
+    return ReplState(s);
 }
 
 // --------------------------------------------------------------- TreePlru
@@ -193,7 +164,7 @@ TreePlru::touch(std::uint32_t way)
 }
 
 std::uint32_t
-TreePlru::victim()
+TreePlru::victim() const
 {
     std::uint32_t node = 0;
     std::uint32_t way = 0;
@@ -219,6 +190,15 @@ std::unique_ptr<ReplacementPolicy>
 TreePlru::clone() const
 {
     return std::make_unique<TreePlru>(*this);
+}
+
+ReplState
+TreePlru::state() const
+{
+    TreePlruState s(ways_);
+    for (std::uint32_t i = 0; i < ways_ - 1; ++i)
+        s.setNodeBit(i, bits_[i]);
+    return ReplState(s);
 }
 
 // ---------------------------------------------------------------- BitPlru
@@ -251,7 +231,7 @@ BitPlru::onFill(std::uint32_t)
 }
 
 std::uint32_t
-BitPlru::victim()
+BitPlru::victim() const
 {
     for (std::uint32_t w = 0; w < ways_; ++w) {
         if (!mru_[w])
@@ -274,6 +254,17 @@ std::unique_ptr<ReplacementPolicy>
 BitPlru::clone() const
 {
     return std::make_unique<BitPlru>(*this);
+}
+
+ReplState
+BitPlru::state() const
+{
+    BitPlruState s(ways_);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (mru_[w])
+            s.mru |= std::uint64_t{1} << w;
+    }
+    return ReplState(s);
 }
 
 // ------------------------------------------------------------------- Fifo
@@ -307,7 +298,7 @@ Fifo::onFill(std::uint32_t way)
 }
 
 std::uint32_t
-Fifo::victim()
+Fifo::victim() const
 {
     return fifo_.front();
 }
@@ -328,6 +319,15 @@ Fifo::clone() const
     return std::make_unique<Fifo>(*this);
 }
 
+ReplState
+Fifo::state() const
+{
+    FifoState s(ways_);
+    for (std::uint32_t i = 0; i < ways_; ++i)
+        s.order[i] = static_cast<std::uint8_t>(fifo_[i]);
+    return ReplState(s);
+}
+
 // ------------------------------------------------------------- RandomRepl
 
 RandomRepl::RandomRepl(std::uint32_t ways, std::uint64_t seed)
@@ -342,7 +342,14 @@ RandomRepl::touch(std::uint32_t)
 }
 
 std::uint32_t
-RandomRepl::victim()
+RandomRepl::victim() const
+{
+    Xoshiro256 peek = rng_;
+    return static_cast<std::uint32_t>(peek.below(ways_));
+}
+
+std::uint32_t
+RandomRepl::selectVictim()
 {
     return static_cast<std::uint32_t>(rng_.below(ways_));
 }
@@ -363,6 +370,14 @@ std::unique_ptr<ReplacementPolicy>
 RandomRepl::clone() const
 {
     return std::make_unique<RandomRepl>(*this);
+}
+
+ReplState
+RandomRepl::state() const
+{
+    RandomState s(ways_, seed_);
+    s.rng = rng_; // preserve the mid-stream position
+    return ReplState(s);
 }
 
 // ------------------------------------------------------------------ Srrip
@@ -391,7 +406,23 @@ Srrip::onFill(std::uint32_t way)
 }
 
 std::uint32_t
-Srrip::victim()
+Srrip::victim() const
+{
+    // Preview of the aging loop: uniform aging saturates the way already
+    // holding the maximum RRPV first (lowest index on ties).
+    std::uint8_t max = 0;
+    std::uint32_t first = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (rrpv_[w] > max) {
+            max = rrpv_[w];
+            first = w;
+        }
+    }
+    return first;
+}
+
+std::uint32_t
+Srrip::selectVictim()
 {
     // Age until some way reaches the max RRPV; pick the lowest index.
     while (true) {
@@ -414,6 +445,15 @@ std::unique_ptr<ReplacementPolicy>
 Srrip::clone() const
 {
     return std::make_unique<Srrip>(*this);
+}
+
+ReplState
+Srrip::state() const
+{
+    SrripState s(ways_);
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        s.rrpv[w] = rrpv_[w];
+    return ReplState(s);
 }
 
 } // namespace lruleak::sim

@@ -1,20 +1,38 @@
 /**
  * @file
- * Cache replacement policies and their per-set state machines.
+ * Legacy virtual replacement-policy interface (DEPRECATED for hot paths).
  *
- * These are the objects the paper attacks: the LRU/PLRU state of a set is
- * updated on *every* access (hit or miss), so a sender that only ever hits
- * in the cache still modulates the state a receiver can later observe
- * through a timed eviction.
+ * The simulator's hot path now runs on the value-semantic `ReplState`
+ * core (sim/repl_state.hpp): POD state machines stored inline per set,
+ * dispatched non-virtually.  This header keeps the original
+ * heap-allocated virtual hierarchy for three jobs:
  *
- * Implemented policies:
- *  - TrueLru    : exact recency order, log2(N) bits/way equivalent
- *  - TreePlru   : binary-tree PLRU, N-1 bits/set (Intel L1 style)
- *  - BitPlru    : MRU-bit PLRU, N bits/set
- *  - Fifo       : insertion order only; state changes on fills, not hits
- *  - RandomRepl : stateless random victim
- *  - Srrip      : 2-bit re-reference interval prediction (LLC-style
- *                 extension; the paper cites RRIP [34] for LLCs)
+ *  1. **Reference implementations.**  The six concrete classes keep the
+ *     seed's independent vector-based implementations, so the
+ *     randomized equivalence tests (tests/test_repl_state.cpp) prove
+ *     ReplState bit-for-bit against genuinely separate code — not
+ *     against itself.
+ *  2. **White-box tests.**  The per-policy accessors (TrueLru::age,
+ *     TreePlru::nodeBit, BitPlru::mruBit, Srrip::rrpv) remain available
+ *     to the hand-computed transition tests.
+ *  3. **Migration adapter.**  `ReplacementPolicy::state()` snapshots any
+ *     policy into the equivalent ReplState, and `ReplStatePolicy` wraps
+ *     a ReplState behind the virtual interface, so code still written
+ *     against this interface keeps working while it migrates.
+ *
+ * Deprecation path: new code should construct `ReplState` directly (or
+ * a `CacheSet`, which owns one).  Once nothing but the tests and the
+ * `lruleak bench` legacy lane consume this interface, it moves into the
+ * test/bench support code.
+ *
+ * The victim query contract (fixed from the seed, which claimed
+ * "does not modify state" while RandomRepl advanced its RNG and Srrip
+ * aged its RRPVs):
+ *
+ *   victim() const  - pure preview; never modifies state.
+ *   selectVictim()  - commits the choice on the miss path; MAY mutate.
+ *                     RandomRepl advances its stream and Srrip ages all
+ *                     RRPVs here; every other policy is pure.
  */
 
 #ifndef LRULEAK_SIM_REPLACEMENT_HPP
@@ -27,39 +45,18 @@
 #include <vector>
 
 #include "sim/random.hpp"
+#include "sim/repl_state.hpp"
 
 namespace lruleak::sim {
 
-/** Which replacement algorithm a cache uses. */
-enum class ReplPolicyKind
-{
-    TrueLru,
-    TreePlru,
-    BitPlru,
-    Fifo,
-    Random,
-    Srrip,
-};
-
-/** Human-readable policy name ("TreePLRU", "FIFO", ...). */
-std::string_view replPolicyName(ReplPolicyKind kind);
-
-/** Parse a policy name (case-insensitive); throws std::invalid_argument. */
-ReplPolicyKind replPolicyFromName(std::string_view name);
-
 /**
- * Per-set replacement state machine.
+ * Per-set replacement state machine behind a virtual interface.
  *
  * One instance exists per cache set.  The cache calls @c touch on every
- * hit, @c onFill when a line is installed, and @c victim when it needs a
- * way to evict.  @c stateBits exposes the raw state so unit tests can
- * check exact transitions against hand-computed vectors and so
- * experiments can dump the state.
- *
- * Lock support (for the PL-cache fix): ways marked locked via
- * @c setLocked are never returned by @c victimUnlocked, and when
- * @c lru_lock mode is enabled (the "blue boxes" of the paper's Fig. 10),
- * touches to locked ways do not update the state.
+ * hit, @c onFill when a line is installed, and @c selectVictim when it
+ * needs a way to evict.  @c stateBits exposes the raw state so unit
+ * tests can check exact transitions against hand-computed vectors and
+ * so experiments can dump the state.
  */
 class ReplacementPolicy
 {
@@ -72,8 +69,19 @@ class ReplacementPolicy
     /** Record that a new line was installed into @p way. */
     virtual void onFill(std::uint32_t way) { touch(way); }
 
-    /** Choose the way to evict.  Does not modify state. */
-    virtual std::uint32_t victim() = 0;
+    /**
+     * Pure preview of the way that would be evicted.  Never modifies
+     * state: RandomRepl peeks a copy of its stream, Srrip simulates the
+     * aging.
+     */
+    virtual std::uint32_t victim() const = 0;
+
+    /**
+     * Choose the way to evict, committing any side effects (RandomRepl
+     * advances its RNG stream; Srrip ages every RRPV).  The default
+     * forwards to victim() for the policies whose choice is pure.
+     */
+    virtual std::uint32_t selectVictim() { return victim(); }
 
     /** Reset to the power-on state. */
     virtual void reset() = 0;
@@ -84,18 +92,25 @@ class ReplacementPolicy
     virtual ReplPolicyKind kind() const = 0;
     virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
 
+    /**
+     * Snapshot this policy's current state as the equivalent
+     * value-semantic ReplState — the bridge old call sites use to feed
+     * the new core.
+     */
+    virtual ReplState state() const = 0;
+
     std::string_view name() const { return replPolicyName(kind()); }
     std::uint32_t numWays() const { return ways_; }
 
     /**
-     * Choose a victim, skipping locked ways.  Falls back to a linear scan
-     * of the policy's preference order; returns @c kNoVictim when every
-     * way is locked.
+     * Choose a victim, skipping locked ways (committing side effects
+     * like selectVictim).  Falls back to a linear scan of the policy's
+     * preference order; returns @c kNoVictim when every way is locked.
      */
     std::uint32_t victimUnlocked(const std::vector<bool> &locked);
 
     /** Sentinel returned when no evictable way exists. */
-    static constexpr std::uint32_t kNoVictim = ~0u;
+    static constexpr std::uint32_t kNoVictim = kNoWay;
 
   protected:
     explicit ReplacementPolicy(std::uint32_t ways) : ways_(ways) {}
@@ -109,6 +124,40 @@ makeReplacementPolicy(ReplPolicyKind kind, std::uint32_t ways,
                       std::uint64_t seed = 0);
 
 /**
+ * Generic adapter: any ReplState behind the virtual interface, for code
+ * that still wants runtime polymorphism over the value-semantic core.
+ */
+class ReplStatePolicy : public ReplacementPolicy
+{
+  public:
+    explicit ReplStatePolicy(ReplState state)
+        : ReplacementPolicy(state.ways()), state_(std::move(state))
+    {}
+
+    void touch(std::uint32_t way) override { state_.touch(way); }
+    void onFill(std::uint32_t way) override { state_.onFill(way); }
+    std::uint32_t victim() const override { return state_.victim(); }
+    std::uint32_t selectVictim() override
+    {
+        return state_.selectVictim();
+    }
+    void reset() override { state_.reset(); }
+    std::vector<std::uint8_t> stateBits() const override
+    {
+        return state_.stateBits();
+    }
+    ReplPolicyKind kind() const override { return state_.kind(); }
+    std::unique_ptr<ReplacementPolicy> clone() const override
+    {
+        return std::make_unique<ReplStatePolicy>(*this);
+    }
+    ReplState state() const override { return state_; }
+
+  private:
+    ReplState state_;
+};
+
+/**
  * Exact LRU: maintains the full recency order of all ways.
  * Victim = least recently used way.
  */
@@ -118,11 +167,12 @@ class TrueLru : public ReplacementPolicy
     explicit TrueLru(std::uint32_t ways);
 
     void touch(std::uint32_t way) override;
-    std::uint32_t victim() override;
+    std::uint32_t victim() const override;
     void reset() override;
     std::vector<std::uint8_t> stateBits() const override;
     ReplPolicyKind kind() const override { return ReplPolicyKind::TrueLru; }
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplState state() const override;
 
     /** Age of a way: 0 = MRU, ways-1 = LRU (exposed for tests). */
     std::uint32_t age(std::uint32_t way) const;
@@ -148,11 +198,12 @@ class TreePlru : public ReplacementPolicy
     explicit TreePlru(std::uint32_t ways);
 
     void touch(std::uint32_t way) override;
-    std::uint32_t victim() override;
+    std::uint32_t victim() const override;
     void reset() override;
     std::vector<std::uint8_t> stateBits() const override;
     ReplPolicyKind kind() const override { return ReplPolicyKind::TreePlru; }
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplState state() const override;
 
     /** Direct node access for white-box tests. */
     bool nodeBit(std::uint32_t node) const { return bits_[node]; }
@@ -180,11 +231,12 @@ class BitPlru : public ReplacementPolicy
 
     void touch(std::uint32_t way) override;
     void onFill(std::uint32_t way) override;
-    std::uint32_t victim() override;
+    std::uint32_t victim() const override;
     void reset() override;
     std::vector<std::uint8_t> stateBits() const override;
     ReplPolicyKind kind() const override { return ReplPolicyKind::BitPlru; }
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplState state() const override;
 
     bool mruBit(std::uint32_t way) const { return mru_[way]; }
 
@@ -204,11 +256,12 @@ class Fifo : public ReplacementPolicy
 
     void touch(std::uint32_t way) override;
     void onFill(std::uint32_t way) override;
-    std::uint32_t victim() override;
+    std::uint32_t victim() const override;
     void reset() override;
     std::vector<std::uint8_t> stateBits() const override;
     ReplPolicyKind kind() const override { return ReplPolicyKind::Fifo; }
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplState state() const override;
 
   private:
     /** fifo_[0] is the oldest fill (next victim). */
@@ -216,8 +269,9 @@ class Fifo : public ReplacementPolicy
 };
 
 /**
- * Random replacement: no state at all; the other defense evaluated by the
- * paper.  Uses a private deterministic stream so experiments reproduce.
+ * Random replacement: no state beyond a private deterministic stream so
+ * experiments reproduce.  victim() peeks the stream; selectVictim()
+ * advances it (this policy's documented mutation).
  */
 class RandomRepl : public ReplacementPolicy
 {
@@ -225,11 +279,13 @@ class RandomRepl : public ReplacementPolicy
     RandomRepl(std::uint32_t ways, std::uint64_t seed);
 
     void touch(std::uint32_t way) override;
-    std::uint32_t victim() override;
+    std::uint32_t victim() const override;
+    std::uint32_t selectVictim() override;
     void reset() override;
     std::vector<std::uint8_t> stateBits() const override;
     ReplPolicyKind kind() const override { return ReplPolicyKind::Random; }
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplState state() const override;
 
   private:
     std::uint64_t seed_;
@@ -238,8 +294,10 @@ class RandomRepl : public ReplacementPolicy
 
 /**
  * SRRIP-HP (static re-reference interval prediction, hit priority) with
- * 2-bit RRPVs.  Insert at RRPV=2 ("long"), promote to 0 on hit, victim is
- * the first way at RRPV=3 (aging all ways until one reaches 3).
+ * 2-bit RRPVs.  Insert at RRPV=2 ("long"), promote to 0 on hit; victim
+ * is the first way at RRPV=3.  selectVictim() performs the aging (all
+ * RRPVs rise until one saturates — this policy's documented mutation);
+ * victim() only previews the outcome.
  */
 class Srrip : public ReplacementPolicy
 {
@@ -248,16 +306,18 @@ class Srrip : public ReplacementPolicy
 
     void touch(std::uint32_t way) override;
     void onFill(std::uint32_t way) override;
-    std::uint32_t victim() override;
+    std::uint32_t victim() const override;
+    std::uint32_t selectVictim() override;
     void reset() override;
     std::vector<std::uint8_t> stateBits() const override;
     ReplPolicyKind kind() const override { return ReplPolicyKind::Srrip; }
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplState state() const override;
 
     std::uint8_t rrpv(std::uint32_t way) const { return rrpv_[way]; }
 
-    static constexpr std::uint8_t kMaxRrpv = 3;
-    static constexpr std::uint8_t kInsertRrpv = 2;
+    static constexpr std::uint8_t kMaxRrpv = SrripState::kMaxRrpv;
+    static constexpr std::uint8_t kInsertRrpv = SrripState::kInsertRrpv;
 
   private:
     std::vector<std::uint8_t> rrpv_;

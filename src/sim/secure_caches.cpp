@@ -22,12 +22,13 @@ DawgCache::DawgCache(const CacheConfig &config, std::uint32_t domains)
             "DawgCache: domains must evenly split the ways into "
             "power-of-two partitions");
 
-    sets_.resize(static_cast<std::size_t>(layout_.numSets()) * domains_);
-    for (auto &ds : sets_) {
-        ds.ways.resize(ways_per_domain_);
-        ds.policy = makeReplacementPolicy(config.policy, ways_per_domain_,
-                                          config.seed);
-    }
+    const std::size_t n =
+        static_cast<std::size_t>(layout_.numSets()) * domains_;
+    sets_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sets_.push_back(DomainSet{
+            std::vector<Way>(ways_per_domain_),
+            ReplState::make(config.policy, ways_per_domain_, config.seed)});
 }
 
 DawgCache::DomainSet &
@@ -53,27 +54,27 @@ DawgCache::access(const MemRef &ref, DomainId domain)
     for (std::uint32_t w = 0; w < ways_per_domain_; ++w) {
         if (ds.ways[w].valid && ds.ways[w].tag == tag) {
             // Hit inside the domain: only this domain's state moves.
-            ds.policy->touch(w);
+            ds.repl.touch(w);
             res.hit = true;
             return res;
         }
     }
 
     // Miss: fill within the domain's partition only.
-    std::uint32_t victim = ReplacementPolicy::kNoVictim;
+    std::uint32_t victim = kNoWay;
     for (std::uint32_t w = 0; w < ways_per_domain_; ++w) {
         if (!ds.ways[w].valid) {
             victim = w;
             break;
         }
     }
-    if (victim == ReplacementPolicy::kNoVictim)
-        victim = ds.policy->victim();
+    if (victim == kNoWay)
+        victim = ds.repl.selectVictim();
     if (ds.ways[victim].valid)
         res.evicted_line = layout_.compose(ds.ways[victim].tag, set);
     ds.ways[victim].tag = tag;
     ds.ways[victim].valid = true;
-    ds.policy->onFill(victim);
+    ds.repl.onFill(victim);
     res.filled = true;
     return res;
 }
@@ -94,7 +95,7 @@ DawgCache::contains(const MemRef &ref, DomainId domain) const
 std::vector<std::uint8_t>
 DawgCache::replacementState(std::uint32_t set, DomainId domain) const
 {
-    return domainSet(set, domain % domains_).policy->stateBits();
+    return domainSet(set, domain % domains_).repl.stateBits();
 }
 
 // --------------------------------------------------------- Random Fill
@@ -107,12 +108,11 @@ RandomFillCache::RandomFillCache(const CacheConfig &config,
       rng_(seed)
 {
     config_.validate();
-    sets_.resize(layout_.numSets());
-    for (auto &set : sets_) {
-        set.ways.resize(config.ways);
-        set.policy = makeReplacementPolicy(config.policy, config.ways,
-                                           config.seed);
-    }
+    sets_.reserve(layout_.numSets());
+    for (std::uint32_t s = 0; s < layout_.numSets(); ++s)
+        sets_.push_back(Set{
+            std::vector<Way>(config.ways),
+            ReplState::make(config.policy, config.ways, config.seed)});
 }
 
 SecureAccessResult
@@ -128,7 +128,7 @@ RandomFillCache::access(const MemRef &ref)
             // The paper's observation: a HIT still updates the
             // replacement state, so the LRU channel survives this
             // defense.
-            set.policy->touch(w);
+            set.repl.touch(w);
             res.hit = true;
             return res;
         }
@@ -153,21 +153,21 @@ RandomFillCache::access(const MemRef &ref)
     for (std::uint32_t w = 0; w < config_.ways; ++w)
         present |= target.ways[w].valid && target.ways[w].tag == fill_tag;
     if (!present) {
-        std::uint32_t victim = ReplacementPolicy::kNoVictim;
+        std::uint32_t victim = kNoWay;
         for (std::uint32_t w = 0; w < config_.ways; ++w) {
             if (!target.ways[w].valid) {
                 victim = w;
                 break;
             }
         }
-        if (victim == ReplacementPolicy::kNoVictim)
-            victim = target.policy->victim();
+        if (victim == kNoWay)
+            victim = target.repl.selectVictim();
         if (target.ways[victim].valid)
             res.evicted_line =
                 layout_.compose(target.ways[victim].tag, fill_set);
         target.ways[victim].tag = fill_tag;
         target.ways[victim].valid = true;
-        target.policy->onFill(victim);
+        target.repl.onFill(victim);
         res.filled = true;
     }
     return res;
@@ -188,7 +188,7 @@ RandomFillCache::contains(const MemRef &ref) const
 std::vector<std::uint8_t>
 RandomFillCache::replacementState(std::uint32_t set) const
 {
-    return sets_[set].policy->stateBits();
+    return sets_[set].repl.stateBits();
 }
 
 } // namespace lruleak::sim

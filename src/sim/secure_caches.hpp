@@ -20,14 +20,13 @@
 #define LRULEAK_SIM_SECURE_CACHES_HPP
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <vector>
 
 #include "sim/address.hpp"
 #include "sim/cache_config.hpp"
 #include "sim/random.hpp"
-#include "sim/replacement.hpp"
+#include "sim/repl_state.hpp"
 
 namespace lruleak::sim {
 
@@ -80,7 +79,7 @@ class DawgCache
     struct DomainSet
     {
         std::vector<Way> ways;
-        std::unique_ptr<ReplacementPolicy> policy;
+        ReplState repl;
     };
 
     /** sets_[set * domains + domain] */
@@ -127,7 +126,7 @@ class RandomFillCache
     struct Set
     {
         std::vector<Way> ways;
-        std::unique_ptr<ReplacementPolicy> policy;
+        ReplState repl;
     };
 
     CacheConfig config_;

@@ -66,6 +66,19 @@ class PerfCounters
         per_thread_[thread].record(hit);
     }
 
+    /** Bulk tally for batched accesses: one map lookup per batch run. */
+    void
+    recordMany(ThreadId thread, std::uint64_t hits, std::uint64_t accesses)
+    {
+        total_.accesses += accesses;
+        total_.hits += hits;
+        total_.misses += accesses - hits;
+        LevelStats &s = per_thread_[thread];
+        s.accesses += accesses;
+        s.hits += hits;
+        s.misses += accesses - hits;
+    }
+
     const LevelStats &total() const { return total_; }
 
     /** Stats for one thread (zero-initialised if it never accessed). */

@@ -73,8 +73,7 @@ class AttackContext
     std::uint32_t
     measure(const sim::MemRef &ref)
     {
-        for (const auto &c : chase_)
-            hierarchy_.access(c);
+        hierarchy_.accessBatch(chase_);
         const auto res = hierarchy_.access(ref);
         return model_.chase(
             std::vector<sim::HitLevel>(chase_.size(), sim::HitLevel::L1),
@@ -152,23 +151,26 @@ class AttackContext
     initSet(std::uint8_t v)
     {
         const std::uint32_t set = symbolSet(layout_, v);
+        // The init walks are straight-line access sequences: build the
+        // whole walk and replay it through the hierarchy batch API.
+        batch_.clear();
         switch (config_.disclosure) {
           case Disclosure::FlushReloadMem:
             hierarchy_.flush(symbolLine(v));
-            break;
+            return;
           case Disclosure::FlushReloadL1:
             // Evict the symbol line from L1 with 8 attacker lines.
             for (std::uint32_t i = 1; i <= layout_ways(); ++i)
-                hierarchy_.access(attackerLine(layout_, set, i));
+                batch_.push_back(attackerLine(layout_, set, i));
             break;
           case Disclosure::LruAlg1:
             // Algorithm 1 init: line 0 (shared array2 line) then the
             // attacker's lines 1..d-1.
             for (std::uint32_t i = 0; i < config_.d; ++i) {
                 if (i == 0)
-                    hierarchy_.access(symbolLine(v));
+                    batch_.push_back(symbolLine(v));
                 else
-                    hierarchy_.access(attackerLine(layout_, set, i));
+                    batch_.push_back(attackerLine(layout_, set, i));
             }
             break;
           case Disclosure::LruAlg2:
@@ -176,11 +178,12 @@ class AttackContext
             // init phase ("line 8 (hit, if line 8 is in cache...)"), so
             // the transient encode is a hit — warm it, then init with
             // the attacker's lines 0..d-1 (tags 1..d).
-            hierarchy_.access(symbolLine(v));
+            batch_.push_back(symbolLine(v));
             for (std::uint32_t i = 0; i < config_.d; ++i)
-                hierarchy_.access(attackerLine(layout_, set, i + 1));
+                batch_.push_back(attackerLine(layout_, set, i + 1));
             break;
         }
+        hierarchy_.accessBatch(batch_);
     }
 
     /** @return true when the set shows "the victim touched this set". */
@@ -199,14 +202,18 @@ class AttackContext
           }
           case Disclosure::LruAlg1: {
             // Decode: attacker lines d..N, then time line 0.
+            batch_.clear();
             for (std::uint32_t i = config_.d; i <= layout_ways(); ++i)
-                hierarchy_.access(attackerLine(layout_, set, i));
+                batch_.push_back(attackerLine(layout_, set, i));
+            hierarchy_.accessBatch(batch_);
             const std::uint32_t lat = measure(symbolLine(v));
             return lat <= model_.chaseThreshold(); // hit => touched
           }
           case Disclosure::LruAlg2: {
+            batch_.clear();
             for (std::uint32_t i = config_.d; i < layout_ways(); ++i)
-                hierarchy_.access(attackerLine(layout_, set, i + 1));
+                batch_.push_back(attackerLine(layout_, set, i + 1));
+            hierarchy_.accessBatch(batch_);
             const std::uint32_t lat =
                 measure(attackerLine(layout_, set, 1));
             return lat > model_.chaseThreshold(); // miss => touched
@@ -237,6 +244,7 @@ class AttackContext
     timing::MeasurementModel model_;
     sim::AddressLayout layout_;
     std::vector<sim::MemRef> chase_;
+    std::vector<sim::MemRef> batch_; //!< reused init/decode walk buffer
     std::uint64_t victim_calls_ = 0;
 };
 

@@ -45,7 +45,7 @@ TEST(CacheSet, FillsInvalidWaysFirstInOrder)
         const auto res = access(set, 100 + t);
         EXPECT_FALSE(res.hit);
         EXPECT_EQ(res.way, t) << "cold fills must use invalid ways 0..7";
-        EXPECT_FALSE(res.evicted_tag.has_value());
+        EXPECT_FALSE(res.evicted);
     }
     EXPECT_EQ(set.occupancy(), 8u);
 }
@@ -57,9 +57,9 @@ TEST(CacheSet, EvictionReportsVictimTag)
         access(set, t);
     const auto res = access(set, 99);
     EXPECT_FALSE(res.hit);
-    ASSERT_TRUE(res.evicted_tag.has_value());
+    ASSERT_TRUE(res.evicted);
     // Sequential fill + TreePLRU: victim is way 0 holding tag 0.
-    EXPECT_EQ(*res.evicted_tag, 0u);
+    EXPECT_EQ(res.evicted_tag, 0u);
     EXPECT_FALSE(set.probe(0).has_value());
 }
 
@@ -68,10 +68,10 @@ TEST(CacheSet, ProbeDoesNotTouchState)
     auto set = makeSet();
     for (Addr t = 0; t < 8; ++t)
         access(set, t);
-    const auto before = set.policy().stateBits();
+    const auto before = set.repl().stateBits();
     set.probe(3);
     set.probe(999);
-    EXPECT_EQ(set.policy().stateBits(), before);
+    EXPECT_EQ(set.repl().stateBits(), before);
 }
 
 TEST(CacheSet, InvalidateRemovesLine)
@@ -173,14 +173,14 @@ TEST(PlCacheSet, OriginalUpdatesLruOnLockedHit)
     for (Addr t = 0; t < 8; ++t)
         access(set, t);
     access(set, 0, LockReq::Lock);
-    const auto before = set.policy().stateBits();
+    const auto before = set.repl().stateBits();
     access(set, 0); // locked hit
     // Touching way 0 right after touching it is idempotent; touch way 1
     // then the locked way and expect a state change.
     access(set, 1);
-    const auto mid = set.policy().stateBits();
+    const auto mid = set.repl().stateBits();
     access(set, 0);
-    EXPECT_NE(set.policy().stateBits(), mid);
+    EXPECT_NE(set.repl().stateBits(), mid);
     (void)before;
 }
 
@@ -192,9 +192,9 @@ TEST(PlCacheSet, FixedDoesNotUpdateLruOnLockedHit)
         access(set, t);
     access(set, 0, LockReq::Lock);
     access(set, 1);
-    const auto mid = set.policy().stateBits();
+    const auto mid = set.repl().stateBits();
     access(set, 0); // locked hit: must NOT change the replacement state
-    EXPECT_EQ(set.policy().stateBits(), mid);
+    EXPECT_EQ(set.repl().stateBits(), mid);
 }
 
 TEST(PlCacheSet, FixedExcludesLockedWaysFromVictimSelection)

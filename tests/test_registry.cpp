@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
+
+#include "sim/repl_state.hpp"
 
 #include "channel/channel_factory.hpp"
 #include "core/experiment.hpp"
@@ -223,4 +226,80 @@ TEST(UarchNames, TokensResolve)
     EXPECT_EQ(timing::uarchFromName("skylake").microarch, "Skylake");
     EXPECT_EQ(timing::uarchFromName("AMD").name, "AMD EPYC 7571");
     EXPECT_THROW(timing::uarchFromName("m68k"), std::invalid_argument);
+}
+
+// ------------------------------- name-table error paths (CLI surface)
+
+TEST(ChannelFactory, EveryTokenParsesCaseInsensitively)
+{
+    for (auto id : channel::allChannelIds()) {
+        std::string upper(channel::channelIdToken(id));
+        for (auto &c : upper)
+            c = static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        EXPECT_EQ(channel::channelIdFromName(upper), id) << upper;
+    }
+}
+
+TEST(ChannelFactory, UnknownNameErrorListsValidTokens)
+{
+    try {
+        channel::channelIdFromName("quantum-telepathy");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("quantum-telepathy"), std::string::npos)
+            << "message must echo the bad name: " << msg;
+        EXPECT_NE(msg.find("lru-alg1"), std::string::npos)
+            << "message must list the valid tokens: " << msg;
+    }
+}
+
+TEST(ChannelFactory, EmptyAndWhitespaceNamesRejected)
+{
+    EXPECT_THROW(channel::channelIdFromName(""), std::invalid_argument);
+    EXPECT_THROW(channel::channelIdFromName("  "), std::invalid_argument);
+}
+
+TEST(UarchNames, EveryTokenParsesCaseInsensitively)
+{
+    for (const auto &token : timing::uarchTokens()) {
+        std::string upper = token;
+        for (auto &c : upper)
+            c = static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        EXPECT_NO_THROW(timing::uarchFromName(upper)) << upper;
+        EXPECT_EQ(timing::uarchFromName(upper).name,
+                  timing::uarchFromName(token).name);
+    }
+}
+
+TEST(UarchNames, UnknownNameErrorListsValidTokens)
+{
+    try {
+        timing::uarchFromName("pentium-pro");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("pentium-pro"), std::string::npos)
+            << "message must echo the bad name: " << msg;
+        EXPECT_NE(msg.find("e5-2690"), std::string::npos)
+            << "message must list the valid tokens: " << msg;
+    }
+}
+
+TEST(UarchNames, EmptyNameRejected)
+{
+    EXPECT_THROW(timing::uarchFromName(""), std::invalid_argument);
+}
+
+TEST(ReplPolicyNames, TokensAndErrorPath)
+{
+    using lruleak::sim::ReplPolicyKind;
+    EXPECT_EQ(lruleak::sim::replPolicyFromName("TREEPLRU"),
+              ReplPolicyKind::TreePlru);
+    EXPECT_EQ(lruleak::sim::replPolicyFromName("tree-plru"),
+              ReplPolicyKind::TreePlru);
+    EXPECT_THROW(lruleak::sim::replPolicyFromName("clock"),
+                 std::invalid_argument);
 }

@@ -230,7 +230,7 @@ TEST(RandomRepl, DeterministicForSeed)
 {
     RandomRepl a(8, 5), b(8, 5);
     for (int i = 0; i < 100; ++i)
-        ASSERT_EQ(a.victim(), b.victim());
+        ASSERT_EQ(a.selectVictim(), b.selectVictim());
 }
 
 TEST(RandomRepl, ResetReplaysStream)
@@ -238,10 +238,10 @@ TEST(RandomRepl, ResetReplaysStream)
     RandomRepl r(8, 5);
     std::vector<std::uint32_t> first;
     for (int i = 0; i < 10; ++i)
-        first.push_back(r.victim());
+        first.push_back(r.selectVictim());
     r.reset();
     for (int i = 0; i < 10; ++i)
-        ASSERT_EQ(r.victim(), first[static_cast<std::size_t>(i)]);
+        ASSERT_EQ(r.selectVictim(), first[static_cast<std::size_t>(i)]);
 }
 
 TEST(RandomRepl, CoversAllWays)
@@ -249,8 +249,36 @@ TEST(RandomRepl, CoversAllWays)
     RandomRepl r(8, 5);
     std::set<std::uint32_t> seen;
     for (int i = 0; i < 500; ++i)
-        seen.insert(r.victim());
+        seen.insert(r.selectVictim());
     EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomRepl, VictimIsAPureSelectVictimPreview)
+{
+    // The fixed contract: victim() never advances the stream, and always
+    // previews exactly what the next selectVictim() will commit.
+    RandomRepl r(8, 5);
+    for (int i = 0; i < 50; ++i) {
+        const auto preview = r.victim();
+        ASSERT_EQ(r.victim(), preview) << "victim() must not mutate";
+        ASSERT_EQ(r.selectVictim(), preview);
+    }
+}
+
+TEST(Srrip, VictimPreviewDoesNotAge)
+{
+    // The fixed contract for SRRIP: victim() previews the aging outcome
+    // without modifying the RRPVs; selectVictim() commits the aging.
+    Srrip s(4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        s.onFill(w); // all at RRPV=2: victim selection must age
+    s.touch(0);
+    const auto before = s.stateBits();
+    const auto preview = s.victim();
+    EXPECT_EQ(s.stateBits(), before) << "victim() must not mutate";
+    EXPECT_EQ(s.selectVictim(), preview);
+    EXPECT_NE(s.stateBits(), before) << "selectVictim() ages the RRPVs";
+    EXPECT_EQ(s.rrpv(preview), Srrip::kMaxRrpv);
 }
 
 // ---------------------------------------------------- factory and names
