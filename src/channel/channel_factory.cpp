@@ -21,6 +21,7 @@ channelIdToken(ChannelId id)
       case ChannelId::LruAlg1:    return "lru-alg1";
       case ChannelId::LruAlg2:    return "lru-alg2";
       case ChannelId::PrimeProbe: return "prime-probe";
+      case ChannelId::XCoreLruAlg2: return "xcore-lru-alg2";
     }
     return "unknown";
 }
@@ -34,6 +35,7 @@ channelDisplayName(ChannelId id)
       case ChannelId::LruAlg1:    return "L1 LRU Alg.1";
       case ChannelId::LruAlg2:    return "L1 LRU Alg.2";
       case ChannelId::PrimeProbe: return "Prime+Probe";
+      case ChannelId::XCoreLruAlg2: return "LLC LRU Alg.2 (x-core)";
     }
     return "unknown";
 }
@@ -56,6 +58,8 @@ channelIdFromName(std::string_view name)
         return ChannelId::LruAlg2;
     if (n == "pp" || n == "primeprobe")
         return ChannelId::PrimeProbe;
+    if (n == "xcore" || n == "xcore-alg2" || n == "llc-alg2")
+        return ChannelId::XCoreLruAlg2;
 
     std::ostringstream os;
     os << "unknown channel '" << name << "'; valid channels:";
@@ -69,7 +73,8 @@ allChannelIds()
 {
     static const std::vector<ChannelId> ids{
         ChannelId::FrMem, ChannelId::FrL1, ChannelId::LruAlg1,
-        ChannelId::LruAlg2, ChannelId::PrimeProbe};
+        ChannelId::LruAlg2, ChannelId::PrimeProbe,
+        ChannelId::XCoreLruAlg2};
     return ids;
 }
 
@@ -79,6 +84,7 @@ senderAlgorithmFor(ChannelId id)
     switch (id) {
       case ChannelId::LruAlg2:
       case ChannelId::PrimeProbe:
+      case ChannelId::XCoreLruAlg2:
         return LruAlgorithm::Alg2Disjoint;
       case ChannelId::FrMem:
       case ChannelId::FrL1:
@@ -116,6 +122,16 @@ ChannelPair::ChannelPair(ChannelId id, const ChannelLayout &layout,
         receiver_ = std::move(receiver);
         break;
       }
+      case ChannelId::XCoreLruAlg2:
+        // The cross-core channel needs the multi-core topology (shared
+        // inclusive LLC + back-invalidation); building it over a
+        // single-core layout would silently mislabel L1-channel numbers
+        // as cross-core ones.
+        throw std::invalid_argument(
+            "channel 'xcore-lru-alg2' runs on the multi-core topology; "
+            "drive it through channel::runXCoreChannel (CLI: `lruleak "
+            "run xcore-traces` / `lruleak run xcore-error-rate`), not "
+            "a single-core channel list");
       case ChannelId::LruAlg1:
       case ChannelId::LruAlg2: {
         ReceiverConfig rc;

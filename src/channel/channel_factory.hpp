@@ -34,6 +34,8 @@ enum class ChannelId
     LruAlg1,    //!< LRU channel, shared memory (paper Algorithm 1)
     LruAlg2,    //!< LRU channel, no shared memory (paper Algorithm 2)
     PrimeProbe, //!< Prime+Probe baseline (Osvik et al.)
+    XCoreLruAlg2, //!< Algorithm 2 over the shared inclusive LLC
+                  //!< (cross-core; see channel/xcore_channel.hpp)
 };
 
 /** Stable CLI token: "fr-mem", "fr-l1", "lru-alg1", ... */
@@ -69,9 +71,11 @@ struct ChannelPairConfig
 };
 
 /**
- * One constructed sender/receiver pair, ready for a scheduler.  Owns
- * both programs; samples() reaches through to whichever receiver type
- * was built.
+ * One constructed sender/receiver pair, ready for a single-core
+ * scheduler.  Owns both programs; samples() reaches through to
+ * whichever receiver type was built.  ChannelId::XCoreLruAlg2 is
+ * rejected here (throws std::invalid_argument): the cross-core channel
+ * needs the multi-core topology — see channel::runXCoreChannel.
  */
 class ChannelPair
 {

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Cross-core channel run orchestration.
+ */
+
+#include "channel/xcore_channel.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "timing/pointer_chase.hpp"
+
+namespace lruleak::channel {
+
+sim::MultiCoreConfig
+multiCoreConfigFor(const XCoreConfig &config)
+{
+    sim::MultiCoreConfig mc;
+    mc.cores = 2 + config.noise_cores;
+    mc.llc.policy = config.llc_policy;
+    mc.seed = config.seed;
+    return mc;
+}
+
+ChannelLayout
+xcoreLayoutFor(const XCoreConfig &config)
+{
+    // The address plan is built from the *LLC* geometry: lines 0..N-1
+    // share one LLC set (and, since LLC-set bits contain the private-
+    // cache set bits, one private set per core too).
+    sim::CacheConfig llc = sim::CacheConfig::intelLlc();
+    llc.policy = config.llc_policy;
+    return ChannelLayout(llc, config.target_set, config.chase_set,
+                         /*shared_same_vaddr=*/true);
+}
+
+XCoreResult
+runXCoreChannel(const XCoreConfig &config)
+{
+    const std::size_t nbits = config.message.size() * config.repeats;
+
+    SenderConfig sc;
+    sc.alg = LruAlgorithm::Alg2Disjoint;
+    sc.message = config.message;
+    sc.repeats = config.repeats;
+    sc.ts = config.ts;
+    sc.encode_gap = config.encode_gap;
+
+    ReceiverConfig rc;
+    rc.alg = LruAlgorithm::Alg2Disjoint;
+    rc.d = config.d;
+    rc.tr = config.tr;
+    // Sample slightly past the end of the message so the last bit gets
+    // its full window even with scheduling skew.
+    rc.max_samples = config.max_samples
+        ? config.max_samples
+        : (nbits * config.ts) / std::max<std::uint64_t>(config.tr, 1) + 8;
+
+    sim::MultiCoreHierarchy hierarchy(multiCoreConfigFor(config));
+    const ChannelLayout layout = xcoreLayoutFor(config);
+    LruSender sender(layout, sc);
+    LruReceiver receiver(layout, rc);
+
+    std::vector<std::unique_ptr<exec::NoiseProgram>> noise;
+    std::vector<exec::ThreadProgram *> programs{&sender, &receiver};
+    noise.reserve(config.noise_cores);
+    for (std::uint32_t i = 0; i < config.noise_cores; ++i) {
+        exec::NoiseConfig nc = config.noise;
+        nc.seed = config.seed + 0x6e01'0000ULL + i;
+        nc.base = config.noise.base + i * 0x0100'0000'0000ULL;
+        noise.push_back(std::make_unique<exec::NoiseProgram>(nc));
+        programs.push_back(noise.back().get());
+    }
+
+    exec::MultiCoreSchedulerConfig sched_cfg = config.sched;
+    sched_cfg.seed = config.seed;
+    exec::MultiCoreScheduler sched(hierarchy, config.uarch, sched_cfg);
+    const std::uint64_t end = sched.run(programs, /*primary=*/1);
+
+    const timing::MeasurementModel model(config.uarch);
+
+    XCoreResult res;
+    res.samples = receiver.samples();
+    res.sent = sender.sentBits();
+    // The timed line-0 access resolves in the LLC when the line
+    // survived and in memory when it was evicted, so the decision
+    // threshold sits between those two levels (not L1/L2).
+    res.threshold = model.chaseThresholdBetween(sim::HitLevel::LLC,
+                                                sim::HitLevel::Memory);
+    res.sender_start = sender.startTsc();
+    res.cores = hierarchy.cores();
+
+    // Algorithm 2 polarity: a 1 evicts line 0, so high latency = 1.
+    res.received = windowDecode(res.samples, res.threshold,
+                                /*invert=*/true, res.sender_start,
+                                config.ts, nbits);
+    res.error_rate = editErrorRate(res.sent, res.received);
+
+    res.elapsed_cycles = end > res.sender_start ? end - res.sender_start
+                                                : 0;
+    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
+    res.back_invalidations = hierarchy.backInvalidations();
+
+    res.sender_l1 = hierarchy.l1(0).counters().forThread(kSenderThread);
+    res.sender_llc = hierarchy.llc().counters().forThread(kSenderThread);
+    res.receiver_llc =
+        hierarchy.llc().counters().forThread(kReceiverThread);
+    return res;
+}
+
+} // namespace lruleak::channel

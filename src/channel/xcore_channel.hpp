@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The cross-core LRU channel: Algorithm 2 carried by the shared
+ * inclusive LLC instead of a shared L1.
+ *
+ * Sender and receiver run on different cores and share no memory; they
+ * agree only on an LLC set index.  The protocol is the paper's
+ * Algorithm 2 verbatim, just instantiated over the LLC geometry
+ * (16 ways instead of 8) — the same LruSender/LruReceiver programs run
+ * unchanged over a ChannelLayout built from the LLC config:
+ *
+ *  - the receiver's lines 0..N-1 all map to one LLC set *and*, because
+ *    lines in one LLC set share address bits 6..16, to one private L1/L2
+ *    set as well, so walking them always spills past the 8-way private
+ *    caches into the LLC.  The timed line-0 access therefore reads
+ *    "LLC hit" vs "memory miss" — a far larger margin than L1 vs L2;
+ *  - the sender encodes a 1 by touching its own line N in the set.  The
+ *    fill both updates the LLC replacement state and displaces one
+ *    receiver line; the receiver's next walk re-fills the set and, with
+ *    the perturbed LRU state, evicts line 0 with the Table-I
+ *    probabilities the single-core channel relies on;
+ *  - **back-invalidation closes the loop in both directions**: the
+ *    receiver's walk evicts the sender's line from the LLC, which
+ *    invalidates it in the sender's private L1 — so the sender's next
+ *    encode access misses privately and reaches the shared LLC again
+ *    instead of being absorbed by its own L1.  Without inclusive
+ *    back-invalidation the channel dies after one bit.
+ *
+ * Noise cores (exec::NoiseProgram) can be added to model co-scheduled
+ * background processes contending for the same LLC.
+ */
+
+#ifndef LRULEAK_CHANNEL_XCORE_CHANNEL_HPP
+#define LRULEAK_CHANNEL_XCORE_CHANNEL_HPP
+
+#include <cstdint>
+
+#include "channel/decoder.hpp"
+#include "channel/edit_distance.hpp"
+#include "channel/lru_channel.hpp"
+#include "exec/multicore_scheduler.hpp"
+#include "sim/multicore_hierarchy.hpp"
+#include "timing/uarch.hpp"
+
+namespace lruleak::channel {
+
+/** Full configuration of one cross-core channel run. */
+struct XCoreConfig
+{
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+    sim::ReplPolicyKind llc_policy = sim::ReplPolicyKind::TreePlru;
+    std::uint32_t noise_cores = 0;  //!< background cores beyond the pair
+
+    std::uint32_t d = 12;           //!< receiver init depth (<= LLC ways)
+    std::uint64_t tr = 3000;        //!< receiver sampling period (cycles)
+    std::uint64_t ts = 30000;       //!< sender per-bit period (cycles)
+    Bits message;                   //!< bits to transmit
+    std::uint32_t repeats = 1;
+
+    std::uint32_t target_set = 7;   //!< LLC set carrying the channel
+    std::uint32_t chase_set = 63;   //!< LLC set of the receiver's chain
+    std::uint32_t encode_gap = 40;
+    std::uint64_t max_samples = 0;  //!< 0: derived from bits, Ts and Tr
+
+    exec::NoiseConfig noise{};      //!< per-noise-core knobs (seed varies)
+    exec::MultiCoreSchedulerConfig sched{};
+    std::uint64_t seed = 1;
+};
+
+/** Everything a figure/table needs from one cross-core run. */
+struct XCoreResult
+{
+    std::vector<Sample> samples;   //!< receiver's raw trace
+    Bits sent;                     //!< ground-truth transmitted bits
+    Bits received;                 //!< decoded bits
+    double error_rate = 0.0;       //!< edit distance / sent length
+    double kbps = 0.0;             //!< effective rate during the send
+    std::uint64_t elapsed_cycles = 0;
+    std::uint32_t threshold = 0;   //!< LLC-hit/memory-miss decision point
+    std::uint64_t sender_start = 0;
+    std::uint64_t back_invalidations = 0; //!< topology-wide count
+    std::uint32_t cores = 2;       //!< total cores simulated
+
+    // Per-party cache behaviour at the private and shared levels.
+    sim::LevelStats sender_l1;
+    sim::LevelStats sender_llc;
+    sim::LevelStats receiver_llc;
+};
+
+/** Derive the multi-core topology a config implies (2 + noise cores). */
+sim::MultiCoreConfig multiCoreConfigFor(const XCoreConfig &config);
+
+/** The LLC-geometry address plan the cross-core parties agree on. */
+ChannelLayout xcoreLayoutFor(const XCoreConfig &config);
+
+/** Run a full cross-core transmission and decode it. */
+XCoreResult runXCoreChannel(const XCoreConfig &config);
+
+} // namespace lruleak::channel
+
+#endif // LRULEAK_CHANNEL_XCORE_CHANNEL_HPP

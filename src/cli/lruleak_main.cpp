@@ -41,11 +41,14 @@ usage(std::ostream &os, int code)
           "  lruleak list\n"
           "  lruleak describe <experiment>\n"
           "  lruleak run <experiment> [--format=table|json|csv] "
-          "[--<param>=<value> ...]\n"
-          "  lruleak run-all [--format=table|json|csv]\n"
+          "[--smoke] [--<param>=<value> ...]\n"
+          "  lruleak run-all [--format=table|json|csv] [--smoke]\n"
           "  lruleak bench [--accesses=N] [--policies=a,b,...] "
           "[--out=FILE] [--smoke]\n"
           "\n"
+          "`--smoke` applies the experiment's reduced-scale parameter "
+          "set (the same one\nthe CI golden-snapshot suite runs); "
+          "explicit --param overrides still win.\n"
           "`lruleak list` shows every registered experiment; "
           "`lruleak describe <name>`\nshows its parameters and their "
           "defaults.  `lruleak bench` times the batched\nvalue-semantic "
@@ -106,14 +109,22 @@ cmdDescribe(const std::string &name)
     return 0;
 }
 
-/** Split `--name=value` / `--name value` style args after the command. */
+/**
+ * Split `--name=value` / `--name value` style args after the command.
+ * The valueless `--smoke` flag is consumed here so every subcommand
+ * shares one spelling.
+ */
 bool
 parseOverrides(const std::vector<std::string> &args,
                std::map<std::string, std::string> &overrides,
-               std::string &format)
+               std::string &format, bool *smoke = nullptr)
 {
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
+        if (smoke && arg == "--smoke") {
+            *smoke = true;
+            continue;
+        }
         if (arg.rfind("--", 0) != 0) {
             std::cerr << "unexpected argument '" << arg
                       << "' (parameters look like --name=value)\n";
@@ -167,8 +178,16 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
     }
     std::map<std::string, std::string> overrides;
     std::string format = "table";
-    if (!parseOverrides(args, overrides, format))
+    bool smoke = false;
+    if (!parseOverrides(args, overrides, format, &smoke))
         return 2;
+    if (smoke) {
+        // Smoke scale first, explicit --param overrides on top.
+        auto merged = e->smokeParams();
+        for (const auto &[k, v] : overrides)
+            merged[k] = v;
+        overrides = std::move(merged);
+    }
     std::cout << renderOne(*e, overrides,
                            core::outputFormatFromName(format));
     return 0;
@@ -179,11 +198,12 @@ cmdRunAll(const std::vector<std::string> &args)
 {
     std::map<std::string, std::string> overrides;
     std::string format = "table";
-    if (!parseOverrides(args, overrides, format))
+    bool smoke = false;
+    if (!parseOverrides(args, overrides, format, &smoke))
         return 2;
     if (!overrides.empty()) {
-        std::cerr << "run-all only accepts --format (experiments have "
-                     "different parameters)\n";
+        std::cerr << "run-all only accepts --format and --smoke "
+                     "(experiments have different parameters)\n";
         return 2;
     }
     const auto fmt = core::outputFormatFromName(format);
@@ -194,7 +214,10 @@ cmdRunAll(const std::vector<std::string> &args)
     for (const Experiment *e : Registry::instance().all()) {
         std::string rendered;
         try {
-            rendered = renderOne(*e, {}, fmt);
+            rendered = renderOne(*e, smoke ? e->smokeParams()
+                                           : std::map<std::string,
+                                                      std::string>{},
+                                 fmt);
         } catch (const std::exception &ex) {
             std::cerr << e->name() << " FAILED: " << ex.what() << "\n";
             ++failures;

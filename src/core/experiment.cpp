@@ -5,10 +5,36 @@
 
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <stdexcept>
 
 namespace lruleak::core {
+
+std::map<std::string, std::string>
+Experiment::smokeParams() const
+{
+    // Conventional scale knobs and their CI-sized ceilings.  Only knobs
+    // the experiment actually declares are clamped, and only downward:
+    // a default below the ceiling stays put.
+    static const std::map<std::string, std::int64_t> kCeilings = {
+        {"trials", 500},        {"bits", 16},
+        {"repeats", 1},         {"samples", 2000},
+        {"measurements", 40},   {"rounds", 2},
+        {"instructions", 30000},
+    };
+    std::map<std::string, std::string> overrides;
+    for (const ParamSpec &spec : params()) {
+        const auto it = kCeilings.find(spec.name);
+        if (it == kCeilings.end() || spec.type != ParamType::Int)
+            continue;
+        const std::int64_t def = parseInt(spec.name, spec.default_value);
+        if (def > it->second)
+            overrides[spec.name] = std::to_string(it->second);
+    }
+    return overrides;
+}
 
 Registry &
 Registry::instance()
@@ -29,7 +55,12 @@ Registry::add(std::unique_ptr<Experiment> experiment)
 const Experiment *
 Registry::find(const std::string &name) const
 {
-    const auto it = experiments_.find(name);
+    auto it = experiments_.find(name);
+    if (it == experiments_.end()) {
+        std::string underscored = name;
+        std::replace(underscored.begin(), underscored.end(), '-', '_');
+        it = experiments_.find(underscored);
+    }
     return it == experiments_.end() ? nullptr : it->second.get();
 }
 

@@ -47,6 +47,16 @@ class Experiment
      * (see runExperiment).
      */
     virtual void run(const ParamMap &params, ResultSink &sink) const = 0;
+
+    /**
+     * Parameter overrides for a reduced-scale run (CI smoke tests and
+     * the golden-snapshot suite; the CLI's `run --smoke`).  The default
+     * clamps the conventionally named scale knobs (trials, bits,
+     * repeats, samples, measurements, rounds, instructions) toward CI
+     * size; experiments with unusual cost drivers override this.  The
+     * result must leave the run deterministic and seconds-fast.
+     */
+    virtual std::map<std::string, std::string> smokeParams() const;
 };
 
 /** Name -> Experiment catalog. */
@@ -58,7 +68,11 @@ class Registry
     /** Throws std::logic_error on duplicate names. */
     void add(std::unique_ptr<Experiment> experiment);
 
-    /** nullptr when @p name is not registered. */
+    /**
+     * nullptr when @p name is not registered.  Accepts '-' for '_'
+     * (`lruleak run xcore-error-rate` resolves `xcore_error_rate`), so
+     * CLI spellings match the hyphenated channel/uarch token style.
+     */
     const Experiment *find(const std::string &name) const;
 
     /** All experiments, sorted by name. */

@@ -66,6 +66,19 @@ class Cache
     /** clflush semantics for this level. @return true if the line hit. */
     bool flush(const MemRef &ref);
 
+    /**
+     * Back-invalidation hook for an inclusive outer level: remove the
+     * line with base address @p line_base, no counter activity.  Indexes
+     * by the physical line base — exact under the identity VA==PA
+     * mappings the multi-core scenarios use (and for any L1, whose set
+     * bits sit inside the page offset).  @return true if present.
+     */
+    bool
+    invalidateLine(Addr line_base)
+    {
+        return flush(MemRef::load(line_base));
+    }
+
     /** Clear all contents, replacement state and counters. */
     void reset();
 

@@ -181,6 +181,14 @@ class CacheSet
     ReplState &repl() { return repl_; }
 
     std::uint32_t ways() const { return ways_; }
+
+    /**
+     * Valid bits as a mask (bit w = way w holds a line).  Lets audit
+     * walks (the multi-core inclusion checker) skip invalid ways without
+     * assembling a LineState per way.
+     */
+    std::uint32_t validMask() const { return valid_mask_; }
+
     PlMode plMode() const { return pl_mode_; }
     void setPlMode(PlMode mode) { pl_mode_ = mode; }
 

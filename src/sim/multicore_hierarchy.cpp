@@ -1,0 +1,168 @@
+/**
+ * @file
+ * MultiCoreHierarchy implementation.
+ */
+
+#include "sim/multicore_hierarchy.hpp"
+
+#include <sstream>
+
+namespace lruleak::sim {
+
+namespace {
+
+/** Derive a per-core cache seed so Random-policy sets never run in
+ *  lockstep across cores. */
+std::uint64_t
+coreSeed(std::uint64_t base, std::uint32_t core, std::uint32_t level)
+{
+    return base + 0x9e3779b97f4a7c15ULL * (core * 4ULL + level + 1);
+}
+
+} // namespace
+
+MultiCoreHierarchy::MultiCoreHierarchy(const MultiCoreConfig &config)
+    : config_(config)
+{
+    if (config.cores == 0)
+        throw std::invalid_argument(
+            "MultiCoreHierarchy needs at least one core");
+    l1_.reserve(config.cores);
+    l2_.reserve(config.cores);
+    for (std::uint32_t c = 0; c < config.cores; ++c) {
+        CacheConfig l1 = config.l1;
+        l1.seed = coreSeed(config.seed, c, 0);
+        CacheConfig l2 = config.l2;
+        l2.seed = coreSeed(config.seed, c, 1);
+        l1_.push_back(std::make_unique<Cache>(l1));
+        l2_.push_back(std::make_unique<Cache>(l2));
+    }
+    CacheConfig llc = config.llc;
+    llc.seed = config.seed + 0x51ed2700'51ed2700ULL;
+    llc_ = std::make_unique<Cache>(llc);
+}
+
+MultiCoreAccessResult
+MultiCoreHierarchy::access(std::uint32_t core, const MemRef &ref)
+{
+    MultiCoreAccessResult res;
+
+    const auto l1_res = l1_[core]->access(ref);
+    if (l1_res.hit) {
+        // Inclusion invariant: a private hit implies LLC presence, so
+        // the shared level is not referenced at all (no LRU update —
+        // the paper's cross-core receiver depends on private hits being
+        // invisible to the LLC state).
+        res.level = HitLevel::L1;
+        return res;
+    }
+
+    const auto l2_res = l2_[core]->access(ref);
+    if (l2_res.hit) {
+        res.level = HitLevel::L2;
+        return res;
+    }
+
+    // Private miss: the shared LLC is referenced (hit updates its
+    // replacement state; miss installs the line).  The private fills
+    // already happened above; inclusion is restored by the LLC fill on
+    // the same access, and any LLC victim is back-invalidated out of
+    // every core before the access completes.
+    const auto llc_res = llc_->access(ref);
+    res.level = llc_res.hit ? HitLevel::LLC : HitLevel::Memory;
+    res.llc_filled = llc_res.filled;
+    if (llc_res.evicted_line) {
+        const std::uint64_t before = back_invalidations_;
+        backInvalidate(*llc_res.evicted_line);
+        res.back_invalidated =
+            static_cast<std::uint32_t>(back_invalidations_ - before);
+    }
+    return res;
+}
+
+void
+MultiCoreHierarchy::backInvalidate(Addr line_base)
+{
+    for (std::uint32_t c = 0; c < cores(); ++c) {
+        if (l1_[c]->invalidateLine(line_base))
+            ++back_invalidations_;
+        if (l2_[c]->invalidateLine(line_base))
+            ++back_invalidations_;
+    }
+}
+
+void
+MultiCoreHierarchy::flush(const MemRef &ref)
+{
+    for (std::uint32_t c = 0; c < cores(); ++c) {
+        l1_[c]->flush(ref);
+        l2_[c]->flush(ref);
+    }
+    llc_->flush(ref);
+}
+
+HitLevel
+MultiCoreHierarchy::peekLevel(std::uint32_t core, const MemRef &ref) const
+{
+    if (l1_[core]->contains(ref))
+        return HitLevel::L1;
+    if (l2_[core]->contains(ref))
+        return HitLevel::L2;
+    if (llc_->contains(ref))
+        return HitLevel::LLC;
+    return HitLevel::Memory;
+}
+
+std::optional<std::string>
+MultiCoreHierarchy::auditInclusion() const
+{
+    for (std::uint32_t c = 0; c < cores(); ++c) {
+        const Cache *levels[2] = {l1_[c].get(), l2_[c].get()};
+        for (int lvl = 0; lvl < 2; ++lvl) {
+            const Cache &cache = *levels[lvl];
+            for (std::uint32_t s = 0; s < cache.numSets(); ++s) {
+                const CacheSet &set = cache.cacheSet(s);
+                const std::uint32_t valid = set.validMask();
+                for (std::uint32_t w = 0; w < set.ways(); ++w) {
+                    if (!((valid >> w) & 1u))
+                        continue;
+                    const Addr base =
+                        cache.layout().compose(set.line(w).tag, s);
+                    if (!llc_->contains(MemRef::load(base))) {
+                        std::ostringstream os;
+                        os << "inclusion violation: line 0x" << std::hex
+                           << base << std::dec << " valid in core " << c
+                           << " " << (lvl == 0 ? "L1" : "L2") << " set "
+                           << s << " way " << w
+                           << " but absent from the LLC";
+                        return os.str();
+                    }
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+void
+MultiCoreHierarchy::reset()
+{
+    for (std::uint32_t c = 0; c < cores(); ++c) {
+        l1_[c]->reset();
+        l2_[c]->reset();
+    }
+    llc_->reset();
+    back_invalidations_ = 0;
+}
+
+void
+MultiCoreHierarchy::resetCounters()
+{
+    for (std::uint32_t c = 0; c < cores(); ++c) {
+        l1_[c]->counters().reset();
+        l2_[c]->counters().reset();
+    }
+    llc_->counters().reset();
+}
+
+} // namespace lruleak::sim

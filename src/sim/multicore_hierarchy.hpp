@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Multi-core cache topology: N cores with private L1D/L2 stacks behind
+ * one shared *inclusive* LLC.
+ *
+ * The single-core CacheHierarchy models the paper's hyper-threaded and
+ * time-sliced settings, where sender and receiver share a physical core
+ * and its L1.  The cross-core scenario family instead communicates
+ * through the shared LLC, and its channel relies on one specific piece
+ * of coherence machinery: **back-invalidation**.  An inclusive LLC
+ * guarantees that every line valid in any private cache is also present
+ * in the LLC; to keep that invariant, an LLC eviction must invalidate
+ * the victim line in every core's private caches.  That is exactly how
+ * a receiver's LLC-set walk reaches across cores and kicks the sender's
+ * line out of the sender's own L1 — and how the sender's fills, in
+ * turn, disturb the LLC replacement state the receiver decodes.
+ *
+ * Address-space note: the multi-core scenarios run with identity VA==PA
+ * mappings (as all the Algorithm-2 layouts do), so back-invalidation
+ * and the inclusion audit index private caches with the physical line
+ * base reconstructed from the LLC's (tag, set).  The single-core-only
+ * features (PL locking, the AMD way predictor, the stride prefetcher)
+ * are not modelled here.
+ */
+
+#ifndef LRULEAK_SIM_MULTICORE_HIERARCHY_HPP
+#define LRULEAK_SIM_MULTICORE_HIERARCHY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/hierarchy.hpp"
+
+namespace lruleak::sim {
+
+/** Configuration of the whole multi-core topology. */
+struct MultiCoreConfig
+{
+    std::uint32_t cores = 2;               //!< number of cores (>= 1)
+    CacheConfig l1 = CacheConfig::intelL1d();  //!< per-core private L1D
+    CacheConfig l2 = CacheConfig::intelL2();   //!< per-core private L2
+    CacheConfig llc = CacheConfig::intelLlc(); //!< shared inclusive LLC
+    std::uint64_t seed = 0; //!< base seed (per-core caches derive theirs)
+};
+
+/** Outcome of one multi-core access. */
+struct MultiCoreAccessResult
+{
+    HitLevel level = HitLevel::Memory; //!< level that served the data
+    bool llc_filled = false;           //!< the access installed an LLC line
+    std::uint32_t back_invalidated = 0; //!< private copies removed by the
+                                        //!< LLC eviction this fill caused
+};
+
+/**
+ * N private L1D/L2 stacks sharing one inclusive LLC.
+ *
+ * Inclusion invariant: every line valid in any private cache is present
+ * in the LLC.  Maintained by (a) installing every demand miss into the
+ * LLC on the same access that fills the private caches and (b) back-
+ * invalidating LLC eviction victims out of every private cache.
+ * auditInclusion() walks the full topology and reports the first
+ * violation — the debug-only safety net the multi-core scheduler runs.
+ */
+class MultiCoreHierarchy
+{
+  public:
+    explicit MultiCoreHierarchy(const MultiCoreConfig &config = {});
+
+    /**
+     * Demand access issued by @p core.  Fills every missed level; an LLC
+     * fill that displaces a valid victim back-invalidates that line in
+     * all cores' private caches.
+     */
+    MultiCoreAccessResult access(std::uint32_t core, const MemRef &ref);
+
+    /** clflush: remove the line from every cache of every core. */
+    void flush(const MemRef &ref);
+
+    /** Level a demand access by @p core would hit (no state change). */
+    HitLevel peekLevel(std::uint32_t core, const MemRef &ref) const;
+
+    /** Present in the shared LLC? (no state change) */
+    bool inLlc(const MemRef &ref) const { return llc_->contains(ref); }
+
+    Cache &l1(std::uint32_t core) { return *l1_[core]; }
+    Cache &l2(std::uint32_t core) { return *l2_[core]; }
+    Cache &llc() { return *llc_; }
+    const Cache &l1(std::uint32_t core) const { return *l1_[core]; }
+    const Cache &l2(std::uint32_t core) const { return *l2_[core]; }
+    const Cache &llc() const { return *llc_; }
+
+    std::uint32_t cores() const
+    {
+        return static_cast<std::uint32_t>(l1_.size());
+    }
+
+    const MultiCoreConfig &config() const { return config_; }
+
+    /** Total private-cache lines removed by back-invalidation so far. */
+    std::uint64_t backInvalidations() const { return back_invalidations_; }
+
+    /**
+     * Inclusion audit: walk every valid private-cache line and probe the
+     * LLC for it.  Returns a description of the first violating line, or
+     * nullopt when the invariant holds.  Read-only; cost is proportional
+     * to the private-cache capacity, so callers sample it (see the
+     * multi-core scheduler's audit_every knob).
+     */
+    std::optional<std::string> auditInclusion() const;
+
+    /** Reset contents, replacement state and counters of every cache. */
+    void reset();
+
+    /** Reset only the performance counters (start of a measured region). */
+    void resetCounters();
+
+  private:
+    /** Remove @p line_base from every core's private caches. */
+    void backInvalidate(Addr line_base);
+
+    MultiCoreConfig config_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> llc_;
+    std::uint64_t back_invalidations_ = 0;
+};
+
+} // namespace lruleak::sim
+
+#endif // LRULEAK_SIM_MULTICORE_HIERARCHY_HPP

@@ -85,14 +85,28 @@ class MeasurementModel
     std::uint32_t
     chaseThreshold(std::uint32_t chain_len = kChainLength) const
     {
-        const double hit = uarch_.chase_overhead +
-            (chain_len + 1.0) * uarch_.l1_latency;
-        const double miss = uarch_.chase_overhead +
-            chain_len * uarch_.l1_latency + uarch_.l2_latency;
+        return chaseThresholdBetween(sim::HitLevel::L1, sim::HitLevel::L2,
+                                     chain_len);
+    }
+
+    /**
+     * Generalized decision threshold: separates "target served at
+     * @p fast_level" from "target served at @p slow_level" for the
+     * chase readout.  The cross-core channel decodes LLC hits against
+     * memory misses through this (fast = LLC, slow = Memory).
+     */
+    std::uint32_t
+    chaseThresholdBetween(sim::HitLevel fast_level, sim::HitLevel slow_level,
+                          std::uint32_t chain_len = kChainLength) const
+    {
+        const double chain = uarch_.chase_overhead +
+            static_cast<double>(chain_len) * uarch_.l1_latency;
+        const double fast = chain + uarch_.latency(fast_level);
+        const double slow = chain + uarch_.latency(slow_level);
         // Floor-quantization shifts readouts down by about half a
         // granule; recenter the threshold accordingly (matters on AMD).
         const double bias = (uarch_.tsc_granularity - 1) / 2.0;
-        return static_cast<std::uint32_t>((hit + miss) / 2.0 - bias);
+        return static_cast<std::uint32_t>((fast + slow) / 2.0 - bias);
     }
 
     const Uarch &uarch() const { return uarch_; }

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Randomized differential fuzz: the four ways to drive a cache set —
+ * per-access `CacheSet::access`, `accessBatch`, `replayBatch`, and a
+ * faithful seed-shape legacy set over the virtual ReplacementPolicy
+ * interface — must stay state-bit-identical on long random traces, for
+ * every policy and for way counts the targeted unit tests never
+ * exercise (including the non-power-of-two 6 and 12).
+ *
+ * Rationale: the batch paths specialise their inner loops per concrete
+ * policy and common way count, so an off-by-one in an uncommon
+ * configuration would slip past the existing 8/16-way tests while
+ * silently skewing every Monte-Carlo result built on batching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/cache_set.hpp"
+#include "sim/repl_state.hpp"
+#include "sim/replacement.hpp"
+
+using namespace lruleak::sim;
+
+namespace {
+
+/**
+ * Independent reference: the seed's array-of-structs set over the
+ * virtual policy hierarchy (the same shape `lruleak bench`'s legacy
+ * lane keeps).  Deliberately separate code from CacheSet.
+ */
+class LegacyReferenceSet
+{
+  public:
+    LegacyReferenceSet(std::uint32_t ways, ReplPolicyKind kind,
+                       std::uint64_t seed)
+        : ways_(ways), tags_(ways, 0), valid_(ways, false),
+          policy_(makeReplacementPolicy(kind, ways, seed))
+    {}
+
+    struct Result
+    {
+        bool hit = false;
+        std::uint32_t way = kNoWay;
+        bool filled = false;
+        bool evicted = false;
+        Addr evicted_tag = 0;
+    };
+
+    Result
+    access(Addr tag)
+    {
+        Result res;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (valid_[w] && tags_[w] == tag) {
+                res.hit = true;
+                res.way = w;
+                policy_->touch(w);
+                return res;
+            }
+        }
+        std::uint32_t victim = kNoWay;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (!valid_[w]) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == kNoWay) {
+            victim = policy_->selectVictim();
+            res.evicted = true;
+            res.evicted_tag = tags_[victim];
+        }
+        tags_[victim] = tag;
+        valid_[victim] = true;
+        policy_->onFill(victim);
+        res.way = victim;
+        res.filled = true;
+        return res;
+    }
+
+    std::vector<std::uint8_t> stateBits() const
+    {
+        return policy_->stateBits();
+    }
+    Addr tag(std::uint32_t w) const { return tags_[w]; }
+    bool valid(std::uint32_t w) const { return valid_[w]; }
+
+  private:
+    std::uint32_t ways_;
+    std::vector<Addr> tags_;
+    std::vector<bool> valid_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+};
+
+struct FuzzCase
+{
+    ReplPolicyKind kind;
+    std::uint32_t ways;
+};
+
+std::string
+fuzzCaseName(const ::testing::TestParamInfo<FuzzCase> &info)
+{
+    return std::string(replPolicyName(info.param.kind)) + "_" +
+           std::to_string(info.param.ways) + "way";
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzCase>
+{};
+
+/**
+ * 10k-access trace over a tag space sized to the set: enough reuse for
+ * hits, enough churn for steady eviction pressure.
+ */
+std::vector<Addr>
+fuzzTrace(std::size_t n, std::uint32_t ways, std::uint64_t seed)
+{
+    std::vector<Addr> tags(n);
+    Xoshiro256 rng(seed);
+    const std::uint64_t space = ways * 3 + 1;
+    for (auto &t : tags)
+        t = rng.below(space);
+    return tags;
+}
+
+} // namespace
+
+TEST_P(DifferentialFuzz, FourPathsStayStateBitIdentical)
+{
+    const auto [kind, ways] = GetParam();
+    constexpr std::uint64_t kSeed = 4242;
+    constexpr std::size_t kAccesses = 10'000;
+
+    CacheSet per_access(ways, ReplState::make(kind, ways, kSeed));
+    CacheSet batched(ways, ReplState::make(kind, ways, kSeed));
+    CacheSet replayed(ways, ReplState::make(kind, ways, kSeed));
+    LegacyReferenceSet legacy(ways, kind, kSeed);
+
+    const auto trace = fuzzTrace(kAccesses, ways, kSeed ^ ways);
+
+    // Per-access lane, checked against the legacy oracle continuously
+    // (a divergence is reported at the access that introduced it).
+    std::uint64_t hits = 0, fills = 0, evictions = 0;
+    std::vector<SetAccessResult> per_results(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto res =
+            per_access.access(trace[i], 0, false, LockReq::None, 0);
+        const auto ref = legacy.access(trace[i]);
+        ASSERT_EQ(res.hit, ref.hit) << "access " << i;
+        ASSERT_EQ(res.way, ref.way) << "access " << i;
+        ASSERT_EQ(res.filled, ref.filled) << "access " << i;
+        ASSERT_EQ(res.evicted, ref.evicted) << "access " << i;
+        if (ref.evicted)
+            ASSERT_EQ(res.evicted_tag, ref.evicted_tag) << "access " << i;
+        ASSERT_EQ(per_access.repl().stateBits(), legacy.stateBits())
+            << "state diverged from the legacy oracle at access " << i;
+        per_results[i] = res;
+        hits += res.hit ? 1 : 0;
+        fills += res.filled ? 1 : 0;
+        evictions += res.evicted ? 1 : 0;
+    }
+
+    // Batch lane: one accessBatch over the whole trace.
+    std::vector<SetAccessResult> batch_results(trace.size());
+    batched.accessBatch(trace, batch_results);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(batch_results[i].hit, per_results[i].hit) << i;
+        ASSERT_EQ(batch_results[i].way, per_results[i].way) << i;
+        ASSERT_EQ(batch_results[i].filled, per_results[i].filled) << i;
+        ASSERT_EQ(batch_results[i].evicted, per_results[i].evicted) << i;
+        if (per_results[i].evicted)
+            ASSERT_EQ(batch_results[i].evicted_tag,
+                      per_results[i].evicted_tag) << i;
+    }
+
+    // Replay lane: aggregate stats only.
+    const auto stats = replayed.replayBatch(trace);
+    EXPECT_EQ(stats.accesses, trace.size());
+    EXPECT_EQ(stats.hits, hits);
+    EXPECT_EQ(stats.fills, fills);
+    EXPECT_EQ(stats.evictions, evictions);
+
+    // End state: all four lanes bit-identical.
+    EXPECT_EQ(per_access.repl(), batched.repl());
+    EXPECT_EQ(per_access.repl(), replayed.repl());
+    EXPECT_EQ(per_access.repl().stateBits(), legacy.stateBits());
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        EXPECT_EQ(per_access.line(w).tag, batched.line(w).tag) << w;
+        EXPECT_EQ(per_access.line(w).valid, batched.line(w).valid) << w;
+        EXPECT_EQ(per_access.line(w).tag, replayed.line(w).tag) << w;
+        EXPECT_EQ(per_access.line(w).valid, legacy.valid(w)) << w;
+        if (legacy.valid(w))
+            EXPECT_EQ(per_access.line(w).tag, legacy.tag(w)) << w;
+    }
+}
+
+namespace {
+
+/** Way counts of the fuzz matrix, including the non-power-of-two ones
+ *  (6, 12) that Tree-PLRU alone cannot represent. */
+constexpr std::uint32_t kFuzzWays[] = {2, 4, 6, 8, 12, 16};
+
+std::vector<FuzzCase>
+fuzzMatrix()
+{
+    std::vector<FuzzCase> cases;
+    for (ReplPolicyKind kind : allReplPolicyKinds()) {
+        for (std::uint32_t ways : kFuzzWays) {
+            // Tree-PLRU is a binary tree: power-of-two ways only (its
+            // constructor rejects the rest; covered below).
+            if (kind == ReplPolicyKind::TreePlru &&
+                (ways & (ways - 1)) != 0)
+                continue;
+            cases.push_back(FuzzCase{kind, ways});
+        }
+    }
+    return cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAllWays, DifferentialFuzz,
+                         ::testing::ValuesIn(fuzzMatrix()), fuzzCaseName);
+
+TEST(DifferentialFuzz, TreePlruRejectsNonPowerOfTwoWaysEverywhere)
+{
+    // Both the value core and the legacy oracle must refuse the way
+    // counts the fuzz matrix skips, so the skip hides no behaviour.
+    for (std::uint32_t ways : {6u, 12u}) {
+        EXPECT_THROW(ReplState::make(ReplPolicyKind::TreePlru, ways),
+                     std::invalid_argument) << ways;
+        EXPECT_THROW(makeReplacementPolicy(ReplPolicyKind::TreePlru, ways),
+                     std::invalid_argument) << ways;
+    }
+}

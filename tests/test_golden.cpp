@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Golden-snapshot suite: every registered experiment, run at smoke
+ * scale (its smokeParams()) with its declared default seed, must render
+ * byte-identical `--format=json` output to the checked-in golden under
+ * tests/golden/.  Any drift in simulator behaviour, experiment logic or
+ * output formatting fails here — this is the lock on the whole stack.
+ *
+ * Updating after an intentional change (also documented in DESIGN.md):
+ *
+ *   LRULEAK_UPDATE_GOLDEN=1 build/lruleak_tests --gtest_filter='*Golden*'
+ *
+ * then review and commit the tests/golden/ diff.  On mismatch the test
+ * writes the actual output to golden_diff/<name>.json next to the test
+ * binary's working directory so CI can upload it as an artifact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment.hpp"
+
+#ifndef LRULEAK_GOLDEN_DIR
+#error "LRULEAK_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+using namespace lruleak::core;
+
+namespace {
+
+std::filesystem::path
+goldenPath(const std::string &name)
+{
+    return std::filesystem::path(LRULEAK_GOLDEN_DIR) / (name + ".json");
+}
+
+std::string
+renderSmokeJson(const Experiment &experiment)
+{
+    std::ostringstream os;
+    JsonSink sink(os);
+    runExperiment(experiment, experiment.smokeParams(), sink);
+    return os.str();
+}
+
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** First line on which two texts differ, 1-based (0 = identical). */
+std::size_t
+firstDifferingLine(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    std::size_t line = 0;
+    for (;;) {
+        ++line;
+        const bool ga = static_cast<bool>(std::getline(sa, la));
+        const bool gb = static_cast<bool>(std::getline(sb, lb));
+        if (!ga && !gb)
+            return 0;
+        if (ga != gb || la != lb)
+            return line;
+    }
+}
+
+class GoldenSnapshot : public ::testing::TestWithParam<std::string>
+{};
+
+} // namespace
+
+TEST_P(GoldenSnapshot, SmokeJsonMatchesCheckedInGolden)
+{
+    const Experiment *experiment = Registry::instance().find(GetParam());
+    ASSERT_NE(experiment, nullptr);
+
+    const std::string actual = renderSmokeJson(*experiment);
+    const auto golden = goldenPath(experiment->name());
+
+    if (std::getenv("LRULEAK_UPDATE_GOLDEN")) {
+        std::filesystem::create_directories(golden.parent_path());
+        std::ofstream out(golden, std::ios::binary);
+        out << actual;
+        ASSERT_TRUE(out.good()) << "cannot write " << golden;
+        GTEST_SKIP() << "golden updated: " << golden;
+    }
+
+    ASSERT_TRUE(std::filesystem::exists(golden))
+        << "missing golden " << golden << "; generate it with "
+        << "LRULEAK_UPDATE_GOLDEN=1 (see DESIGN.md)";
+
+    const std::string expected = readFile(golden);
+    if (actual != expected) {
+        // Leave the actual output where CI can pick it up as an
+        // artifact, then fail with a pointer at the first delta.
+        const std::filesystem::path diff_dir = "golden_diff";
+        std::filesystem::create_directories(diff_dir);
+        const auto diff_path = diff_dir / (experiment->name() + ".json");
+        std::ofstream out(diff_path, std::ios::binary);
+        out << actual;
+        FAIL() << "output drifted from " << golden << " (first delta at "
+               << "line " << firstDifferingLine(actual, expected)
+               << "); actual written to " << diff_path << " — if the "
+               << "change is intended, re-run with "
+               << "LRULEAK_UPDATE_GOLDEN=1 and commit the diff";
+    }
+}
+
+TEST(GoldenSnapshot, EveryGoldenFileHasALiveExperiment)
+{
+    // Stale goldens (renamed/removed experiments) must not linger.
+    if (!std::filesystem::exists(LRULEAK_GOLDEN_DIR))
+        GTEST_SKIP() << "no goldens yet";
+    for (const auto &entry :
+         std::filesystem::directory_iterator(LRULEAK_GOLDEN_DIR)) {
+        if (entry.path().extension() != ".json")
+            continue;
+        const std::string name = entry.path().stem().string();
+        EXPECT_NE(Registry::instance().find(name), nullptr)
+            << "golden " << entry.path()
+            << " has no registered experiment";
+    }
+}
+
+namespace {
+
+std::vector<std::string>
+registeredNames()
+{
+    std::vector<std::string> names;
+    for (const Experiment *e : Registry::instance().all())
+        names.push_back(e->name());
+    return names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllExperiments, GoldenSnapshot,
+                         ::testing::ValuesIn(registeredNames()),
+                         [](const auto &info) { return info.param; });

@@ -117,6 +117,60 @@ TEST(Registry, UnknownNameReturnsNull)
     EXPECT_EQ(Registry::instance().find("no_such_experiment"), nullptr);
 }
 
+TEST(Registry, HyphenatedSpellingsResolve)
+{
+    // The CLI token style uses hyphens; the registry accepts both.
+    const Experiment *e = Registry::instance().find("xcore-error-rate");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->name(), "xcore_error_rate");
+    EXPECT_EQ(Registry::instance().find("tab1-plru-eviction"),
+              Registry::instance().find("tab1_plru_eviction"));
+}
+
+TEST(Registry, XCoreExperimentsRegistered)
+{
+    for (const char *name : {"xcore_traces", "xcore_error_rate"}) {
+        const Experiment *e = Registry::instance().find(name);
+        ASSERT_NE(e, nullptr) << name;
+        EXPECT_FALSE(e->description().empty());
+    }
+    // The scenario params the cross-core family exposes on the CLI.
+    const auto has_param = [](const Experiment *e, const char *param) {
+        const auto specs = e->params();
+        return std::any_of(specs.begin(), specs.end(),
+                           [&](const ParamSpec &s) {
+                               return s.name == param;
+                           });
+    };
+    EXPECT_TRUE(has_param(Registry::instance().find("xcore_traces"),
+                          "cores"));
+    EXPECT_TRUE(has_param(Registry::instance().find("xcore_error_rate"),
+                          "noise-cores"));
+}
+
+TEST(Registry, SmokeParamsOnlyNameDeclaredKnobsAndValidate)
+{
+    for (const Experiment *e : Registry::instance().all()) {
+        const auto smoke = e->smokeParams();
+        // Must resolve cleanly against the declared specs...
+        EXPECT_NO_THROW(resolveParams(e->params(), smoke)) << e->name();
+        // ...and only ever shrink integer scale knobs, never grow them.
+        const auto specs = e->params();
+        for (const auto &[name, value] : smoke) {
+            const auto it = std::find_if(specs.begin(), specs.end(),
+                                         [&](const ParamSpec &s) {
+                                             return s.name == name;
+                                         });
+            ASSERT_NE(it, specs.end()) << e->name() << " " << name;
+            if (it->type == ParamType::Int) {
+                EXPECT_LE(parseInt(name, value),
+                          parseInt(name, it->default_value))
+                    << e->name() << " " << name;
+            }
+        }
+    }
+}
+
 TEST(Registry, ParamSpecsValidateCleanly)
 {
     // Every declared default must survive its own validation.
@@ -191,6 +245,8 @@ TEST(ChannelFactory, DisplayNamesMatchPaperTables)
               "L1 LRU Alg.2");
     EXPECT_EQ(channel::channelDisplayName(ChannelId::PrimeProbe),
               "Prime+Probe");
+    EXPECT_EQ(channel::channelDisplayName(ChannelId::XCoreLruAlg2),
+              "LLC LRU Alg.2 (x-core)");
 }
 
 TEST(ChannelFactory, SenderAlgorithmPairing)
@@ -207,12 +263,19 @@ TEST(ChannelFactory, SenderAlgorithmPairing)
               LruAlgorithm::Alg2Disjoint);
 }
 
-TEST(ChannelFactory, PairBuildsEveryReceiver)
+TEST(ChannelFactory, PairBuildsEverySingleCoreReceiver)
 {
     const channel::ChannelLayout layout;
     for (auto id : channel::allChannelIds()) {
         channel::ChannelPairConfig cfg;
         cfg.message = channel::Bits{1, 0, 1};
+        if (id == channel::ChannelId::XCoreLruAlg2) {
+            // The cross-core channel cannot run over a single-core
+            // layout; the factory must refuse loudly, not mislabel.
+            EXPECT_THROW(channel::ChannelPair(id, layout, cfg),
+                         std::invalid_argument);
+            continue;
+        }
         channel::ChannelPair pair(id, layout, cfg);
         EXPECT_EQ(pair.id(), id);
         EXPECT_TRUE(pair.samples().empty()); // nothing run yet
