@@ -42,19 +42,25 @@ struct RunContext
     {}
 };
 
+/** Time-sliced runs outlive the SMT safety stop by orders of magnitude
+ *  (quanta are ~1e8 cycles); keep the seed schedulers' respective caps. */
+constexpr std::uint64_t kTimeSlicedMaxCycles = 4'000'000'000'000ULL;
+
 std::uint64_t
 runScheduler(const CovertConfig &config, RunContext &ctx)
 {
+    sim::SingleCorePort port(ctx.hierarchy);
+    exec::EngineConfig ec;
+    ec.seed = config.seed;
     if (config.mode == SharingMode::HyperThreaded) {
-        exec::SmtConfig smt = config.smt;
-        smt.seed = config.seed;
-        exec::SmtScheduler sched(ctx.hierarchy, config.uarch, smt);
-        return sched.run(ctx.sender, ctx.receiver, /*primary=*/1);
+        exec::RoundRobinSmt policy;
+        exec::Engine engine(port, config.uarch, policy, ec);
+        return engine.run(ctx.sender, ctx.receiver, /*primary=*/1);
     }
-    exec::TimeSliceConfig ts = config.tslice;
-    ts.seed = config.seed;
-    exec::TimeSliceScheduler sched(ctx.hierarchy, config.uarch, ts);
-    return sched.run(ctx.sender, ctx.receiver, /*primary=*/1);
+    ec.max_cycles = kTimeSlicedMaxCycles;
+    exec::TimeSlice policy(config.tslice);
+    exec::Engine engine(port, config.uarch, policy, ec);
+    return engine.run(ctx.sender, ctx.receiver, /*primary=*/1);
 }
 
 } // namespace

@@ -18,8 +18,7 @@
 #include "channel/decoder.hpp"
 #include "channel/edit_distance.hpp"
 #include "channel/lru_channel.hpp"
-#include "exec/smt_scheduler.hpp"
-#include "exec/timeslice_scheduler.hpp"
+#include "exec/engine.hpp"
 #include "sim/plcache.hpp"
 #include "timing/uarch.hpp"
 
@@ -55,8 +54,7 @@ struct CovertConfig
     std::uint32_t encode_gap = 40;
     std::uint64_t max_samples = 0;  //!< 0: derived from bits, Ts and Tr
 
-    exec::SmtConfig smt{};
-    exec::TimeSliceConfig tslice{};
+    exec::TimeSlicePolicyConfig tslice{}; //!< TimeSliced-mode OS knobs
     std::uint64_t seed = 1;
 };
 

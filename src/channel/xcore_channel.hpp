@@ -38,7 +38,7 @@
 #include "channel/decoder.hpp"
 #include "channel/edit_distance.hpp"
 #include "channel/lru_channel.hpp"
-#include "exec/multicore_scheduler.hpp"
+#include "exec/engine.hpp"
 #include "sim/multicore_hierarchy.hpp"
 #include "timing/uarch.hpp"
 
@@ -63,7 +63,21 @@ struct XCoreConfig
     std::uint64_t max_samples = 0;  //!< 0: derived from bits, Ts and Tr
 
     exec::NoiseConfig noise{};      //!< per-noise-core knobs (seed varies)
-    exec::MultiCoreSchedulerConfig sched{};
+    exec::EngineConfig sched{};     //!< engine knobs (seed is overridden
+                                    //!< by the top-level seed below)
+
+    /**
+     * 0: every party owns its core outright (the classic cross-core
+     * setting).  > 0: the OS time-slices *each* party core with this
+     * scheduling quantum — an exec::TimeSlice policy nests under the
+     * cross-core LowestClock arbitration, so sender and receiver lose
+     * slices to background processes and every context switch sprays
+     * kernel lines through the shared LLC.  The combined scenario behind
+     * the `xcore_timesliced` experiment.
+     */
+    std::uint64_t quantum = 0;
+    exec::TimeSlicePolicyConfig tslice{}; //!< other OS knobs (quantum and
+                                          //!< per-core ids derived)
     std::uint64_t seed = 1;
 };
 
@@ -95,6 +109,63 @@ ChannelLayout xcoreLayoutFor(const XCoreConfig &config);
 
 /** Run a full cross-core transmission and decode it. */
 XCoreResult runXCoreChannel(const XCoreConfig &config);
+
+// --------------------------------------- SMT pair on a multi-core system
+
+/**
+ * Configuration of the combined scenario behind `smt_multicore_traces`:
+ * the paper's hyper-threaded L1 channel (sender and receiver as SMT
+ * siblings on core 0, Algorithm 1/2 over the core-0 L1) running inside
+ * an N-core system whose remaining cores execute background-noise
+ * processes.  The noise cores never touch the channel's L1 directly —
+ * they reach it through the shared inclusive LLC: their fills evict
+ * LLC lines whose back-invalidation clears the pair's lines out of the
+ * core-0 private caches, injecting misses the single-core SMT setting
+ * never sees.
+ */
+struct SmtMultiCoreConfig
+{
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+    LruAlgorithm alg = LruAlgorithm::Alg1Shared;
+    sim::ReplPolicyKind l1_policy = sim::ReplPolicyKind::TreePlru;
+    std::uint32_t noise_cores = 2;  //!< cores beyond the SMT pair's core
+
+    std::uint32_t d = 8;            //!< receiver init-phase parameter
+    std::uint64_t tr = 600;         //!< receiver sampling period (cycles)
+    std::uint64_t ts = 6000;        //!< sender per-bit period (cycles)
+    Bits message;                   //!< bits to transmit
+    std::uint32_t repeats = 1;
+
+    std::uint32_t target_set = 7;   //!< core-0 L1 set carrying the channel
+    std::uint32_t chase_set = 63;   //!< L1 set of the receiver's chain
+    std::uint32_t encode_gap = 40;
+    std::uint64_t max_samples = 0;  //!< 0: derived from bits, Ts and Tr
+
+    exec::NoiseConfig noise{};      //!< per-noise-core knobs (seed varies)
+    exec::EngineConfig sched{};     //!< engine knobs (seed overridden)
+    std::uint64_t seed = 1;
+};
+
+/** Everything the traces experiment needs from one combined run. */
+struct SmtMultiCoreResult
+{
+    std::vector<Sample> samples;   //!< receiver's raw trace
+    Bits sent;                     //!< ground-truth transmitted bits
+    Bits received;                 //!< decoded bits
+    double error_rate = 0.0;       //!< edit distance / sent length
+    double kbps = 0.0;             //!< effective rate during the send
+    std::uint64_t elapsed_cycles = 0;
+    std::uint32_t threshold = 0;   //!< L1-hit/L1-miss decision latency
+    std::uint64_t sender_start = 0;
+    std::uint64_t back_invalidations = 0; //!< topology-wide count
+    std::uint32_t cores = 1;       //!< total cores simulated
+
+    sim::LevelStats sender_l1;     //!< core-0 L1, sender thread
+    sim::LevelStats receiver_l1;   //!< core-0 L1, receiver thread
+};
+
+/** Run the SMT-pair-on-core-0 scenario and decode it. */
+SmtMultiCoreResult runSmtMulticore(const SmtMultiCoreConfig &config);
 
 } // namespace lruleak::channel
 

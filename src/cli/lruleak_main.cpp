@@ -41,20 +41,27 @@ usage(std::ostream &os, int code)
           "  lruleak list\n"
           "  lruleak describe <experiment>\n"
           "  lruleak run <experiment> [--format=table|json|csv] "
-          "[--smoke] [--<param>=<value> ...]\n"
-          "  lruleak run-all [--format=table|json|csv] [--smoke]\n"
+          "[--smoke] [--seed=N]\n"
+          "              [--<param>=<value> ...]\n"
+          "  lruleak run-all [--format=table|json|csv] [--smoke] "
+          "[--seed=N]\n"
           "  lruleak bench [--accesses=N] [--policies=a,b,...] "
           "[--out=FILE] [--smoke]\n"
           "\n"
           "`--smoke` applies the experiment's reduced-scale parameter "
           "set (the same one\nthe CI golden-snapshot suite runs); "
           "explicit --param overrides still win.\n"
+          "`--seed=N` overrides the RNG seed of every experiment that "
+          "declares one (all\nbut the purely deterministic ones do; the "
+          "per-experiment defaults shown by\n`describe` keep golden "
+          "runs reproducible).  On `run-all` it applies to each\n"
+          "seed-taking experiment and is ignored by the rest.\n"
           "`lruleak list` shows every registered experiment; "
           "`lruleak describe <name>`\nshows its parameters and their "
           "defaults.  `lruleak bench` times the batched\nvalue-semantic "
           "simulator path against the legacy virtual per-access path\n"
-          "(accesses/sec per replacement policy) and writes "
-          "BENCH_sim.json.\n";
+          "(accesses/sec per replacement policy), runs the macro "
+          "subsystem lanes, and\nwrites BENCH_sim.json.\n";
     return code;
 }
 
@@ -167,6 +174,17 @@ renderOne(const Experiment &experiment,
     return os.str();
 }
 
+/** Does the experiment declare a parameter with this name? */
+bool
+declaresParam(const Experiment &experiment, const std::string &name)
+{
+    for (const auto &spec : experiment.params()) {
+        if (spec.name == name)
+            return true;
+    }
+    return false;
+}
+
 int
 cmdRun(const std::string &name, const std::vector<std::string> &args)
 {
@@ -188,6 +206,12 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
             merged[k] = v;
         overrides = std::move(merged);
     }
+    if (overrides.count("seed") && !declaresParam(*e, "seed")) {
+        std::cerr << "experiment '" << e->name()
+                  << "' is deterministic (no seed parameter); --seed "
+                     "does not apply\n";
+        return 2;
+    }
     std::cout << renderOne(*e, overrides,
                            core::outputFormatFromName(format));
     return 0;
@@ -201,9 +225,17 @@ cmdRunAll(const std::vector<std::string> &args)
     bool smoke = false;
     if (!parseOverrides(args, overrides, format, &smoke))
         return 2;
+    // --seed is first-class: it fans out to every experiment that
+    // declares the conventional seed parameter.  Anything else is
+    // experiment-specific and rejected here.
+    std::string seed;
+    if (const auto it = overrides.find("seed"); it != overrides.end()) {
+        seed = it->second;
+        overrides.erase(it);
+    }
     if (!overrides.empty()) {
-        std::cerr << "run-all only accepts --format and --smoke "
-                     "(experiments have different parameters)\n";
+        std::cerr << "run-all only accepts --format, --smoke and --seed "
+                     "(other parameters are experiment-specific)\n";
         return 2;
     }
     const auto fmt = core::outputFormatFromName(format);
@@ -214,10 +246,11 @@ cmdRunAll(const std::vector<std::string> &args)
     for (const Experiment *e : Registry::instance().all()) {
         std::string rendered;
         try {
-            rendered = renderOne(*e, smoke ? e->smokeParams()
-                                           : std::map<std::string,
-                                                      std::string>{},
-                                 fmt);
+            auto merged = smoke ? e->smokeParams()
+                                : std::map<std::string, std::string>{};
+            if (!seed.empty() && declaresParam(*e, "seed"))
+                merged["seed"] = seed;
+            rendered = renderOne(*e, merged, fmt);
         } catch (const std::exception &ex) {
             std::cerr << e->name() << " FAILED: " << ex.what() << "\n";
             ++failures;
@@ -323,6 +356,7 @@ cmdBench(const std::vector<std::string> &args)
         cfg.accesses = std::min<std::uint64_t>(cfg.accesses, 200'000);
 
     const auto rows = core::runSimBench(cfg);
+    const auto macro = core::runMacroBench(cfg);
 
     std::cout << "sim access throughput (" << cfg.accesses
               << " accesses/lane, " << cfg.ways << "-way set)\n\n"
@@ -342,12 +376,23 @@ cmdBench(const std::vector<std::string> &args)
                   << std::setw(13) << row.replayOverLegacy() << "x\n";
     }
 
+    std::cout << "\nmacro lanes (whole-subsystem hot paths)\n\n"
+              << std::left << std::setw(22) << "lane" << std::right
+              << std::setw(14) << "items" << std::setw(16) << "items/sec"
+              << "\n";
+    for (const auto &row : macro) {
+        std::cout << std::left << std::setw(22) << row.name << std::right
+                  << std::setw(14) << row.items << std::fixed
+                  << std::setprecision(0) << std::setw(16)
+                  << row.items_per_sec << "\n";
+    }
+
     std::ofstream out(out_path);
     if (!out) {
         std::cerr << "cannot write " << out_path << "\n";
         return 1;
     }
-    core::writeSimBenchJson(cfg, rows, out);
+    core::writeSimBenchJson(cfg, rows, macro, out);
     std::cout << "\nwrote " << out_path << "\n";
     return 0;
 }

@@ -11,8 +11,13 @@
 #include <optional>
 #include <ostream>
 
+#include "channel/covert_channel.hpp"
+#include "channel/xcore_channel.hpp"
 #include "sim/cache_set.hpp"
+#include "sim/hierarchy.hpp"
 #include "sim/random.hpp"
+#include "spectre/transient_core.hpp"
+#include "spectre/victim.hpp"
 
 namespace lruleak::core {
 
@@ -273,6 +278,125 @@ benchWorkloadName(BenchWorkload w)
     return "unknown";
 }
 
+std::vector<MacroBenchRow>
+runMacroBench(const SimBenchConfig &config)
+{
+    // Per-lane op counts scale with --accesses (and therefore shrink
+    // under --smoke); the expensive end-to-end lanes scale sublinearly.
+    const std::uint64_t fast_ops =
+        std::max<std::uint64_t>(config.accesses / 4, 10'000);
+    const std::uint64_t walk_ops =
+        std::max<std::uint64_t>(config.accesses / 8, 5'000);
+    const std::uint64_t channel_bits =
+        std::max<std::uint64_t>(config.accesses / 250'000, 4);
+    const std::uint64_t victim_calls =
+        std::max<std::uint64_t>(config.accesses / 2'000, 200);
+
+    std::vector<MacroBenchRow> rows;
+
+    {
+        // L1 hit path: one resident line accessed repeatedly.
+        sim::Cache cache(sim::CacheConfig::intelL1d());
+        const auto ref = sim::MemRef::load(0x40);
+        cache.access(ref);
+        std::uint64_t sink = 0;
+        const auto start = Clock::now();
+        for (std::uint64_t i = 0; i < fast_ops; ++i)
+            sink = fold(sink, cache.access(ref).way, true);
+        const auto stop = Clock::now();
+        g_bench_sink = g_bench_sink + sink;
+        rows.push_back({"cache_access_hit", fast_ops,
+                        accessesPerSecond(fast_ops, start, stop)});
+    }
+    {
+        // Streaming miss path: every access fills a new line.
+        sim::Cache cache(sim::CacheConfig::intelL1d());
+        sim::Addr addr = 0;
+        std::uint64_t sink = 0;
+        const auto start = Clock::now();
+        for (std::uint64_t i = 0; i < fast_ops; ++i) {
+            sink = fold(sink, cache.access(sim::MemRef::load(addr)).way,
+                        false);
+            addr += 64;
+        }
+        const auto stop = Clock::now();
+        g_bench_sink = g_bench_sink + sink;
+        rows.push_back({"cache_miss_stream", fast_ops,
+                        accessesPerSecond(fast_ops, start, stop)});
+    }
+    {
+        // Full three-level hierarchy walk over a large random footprint.
+        sim::CacheHierarchy h;
+        sim::Xoshiro256 rng(config.seed + 1);
+        std::uint64_t sink = 0;
+        const auto start = Clock::now();
+        for (std::uint64_t i = 0; i < walk_ops; ++i) {
+            const auto res =
+                h.access(sim::MemRef::load(rng.below(1 << 22) * 64));
+            sink += static_cast<std::uint64_t>(res.level);
+        }
+        const auto stop = Clock::now();
+        g_bench_sink = g_bench_sink + sink;
+        rows.push_back({"hierarchy_walk", walk_ops,
+                        accessesPerSecond(walk_ops, start, stop)});
+    }
+    {
+        // End-to-end covert-channel bits through the execution engine
+        // (RoundRobinSmt over the single-core hierarchy).
+        channel::CovertConfig cfg;
+        cfg.message = channel::Bits{1, 0, 1, 1};
+        cfg.repeats = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(channel_bits / 4, 1));
+        cfg.seed = config.seed + 3;
+        const std::uint64_t bits = cfg.message.size() * cfg.repeats;
+        const auto start = Clock::now();
+        const auto res = channel::runCovertChannel(cfg);
+        const auto stop = Clock::now();
+        g_bench_sink = g_bench_sink + res.received.size();
+        rows.push_back({"covert_channel_bit", bits,
+                        accessesPerSecond(bits, start, stop)});
+    }
+    {
+        // Cross-core bits: LowestClock over the multi-core hierarchy.
+        channel::XCoreConfig cfg;
+        cfg.message = channel::Bits{1, 0, 1, 1};
+        cfg.repeats = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(channel_bits / 4, 1));
+        cfg.seed = config.seed + 4;
+        const std::uint64_t bits = cfg.message.size() * cfg.repeats;
+        const auto start = Clock::now();
+        const auto res = channel::runXCoreChannel(cfg);
+        const auto stop = Clock::now();
+        g_bench_sink = g_bench_sink + res.received.size();
+        rows.push_back({"xcore_channel_bit", bits,
+                        accessesPerSecond(bits, start, stop)});
+    }
+    {
+        // Transient victim calls (the Spectre harness inner loop).
+        sim::CacheHierarchy h;
+        spectre::SpectreVictim victim("x");
+        spectre::TransientCore core(h, timing::Uarch::intelXeonE52690());
+        for (int i = 0; i < 6; ++i)
+            core.callVictim(victim, 0, spectre::GadgetPart::LowSixBits);
+        std::uint64_t sink = 0;
+        const auto start = Clock::now();
+        for (std::uint64_t i = 0; i < victim_calls; ++i) {
+            sink += core.callVictim(victim,
+                                    spectre::SpectreVictim::maliciousX(0),
+                                    spectre::GadgetPart::LowSixBits)
+                        .load2_landed
+                        ? 1
+                        : 0;
+        }
+        const auto stop = Clock::now();
+        g_bench_sink = g_bench_sink + sink;
+        rows.push_back({"spectre_victim_call", victim_calls,
+                        accessesPerSecond(victim_calls, start, stop)});
+    }
+
+    return rows;
+}
+
 std::vector<SimBenchRow>
 runSimBench(const SimBenchConfig &config)
 {
@@ -311,7 +435,8 @@ runSimBench(const SimBenchConfig &config)
 
 void
 writeSimBenchJson(const SimBenchConfig &config,
-                  const std::vector<SimBenchRow> &rows, std::ostream &os)
+                  const std::vector<SimBenchRow> &rows,
+                  const std::vector<MacroBenchRow> &macro, std::ostream &os)
 {
     os << "{\n"
        << "  \"bench\": \"sim_access\",\n"
@@ -332,6 +457,14 @@ writeSimBenchJson(const SimBenchConfig &config,
            << ", \"batch_over_legacy\": " << row.batchOverLegacy()
            << ", \"replay_over_legacy\": " << row.replayOverLegacy()
            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"macro\": [\n";
+    for (std::size_t i = 0; i < macro.size(); ++i) {
+        os << "    {\"lane\": \"" << macro[i].name
+           << "\", \"items\": " << macro[i].items
+           << ", \"items_per_second\": " << macro[i].items_per_sec << "}"
+           << (i + 1 < macro.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
 }

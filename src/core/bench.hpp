@@ -84,9 +84,27 @@ struct SimBenchRow
 /** Run the bench for every configured policy. */
 std::vector<SimBenchRow> runSimBench(const SimBenchConfig &config);
 
+/**
+ * One macro lane: a whole-subsystem hot path timed end to end.  These
+ * absorb the orphan google-benchmark binary (bench/microbench_simulator)
+ * into the `lruleak bench` flow: raw cache hits and miss streams, full
+ * hierarchy walks, covert-channel bits through the execution engine
+ * (single-core SMT and cross-core LLC), and Spectre victim calls.
+ */
+struct MacroBenchRow
+{
+    std::string name;          //!< lane identifier
+    std::uint64_t items = 0;   //!< operations executed
+    double items_per_sec = 0.0;
+};
+
+/** Run the macro lanes (scaled from config.accesses). */
+std::vector<MacroBenchRow> runMacroBench(const SimBenchConfig &config);
+
 /** Emit the BENCH_sim.json document. */
 void writeSimBenchJson(const SimBenchConfig &config,
                        const std::vector<SimBenchRow> &rows,
+                       const std::vector<MacroBenchRow> &macro,
                        std::ostream &os);
 
 } // namespace lruleak::core

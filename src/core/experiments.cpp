@@ -9,6 +9,8 @@
 
 #include "channel/flush_reload.hpp"
 #include "core/trial_runner.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 #include "sim/cache_set.hpp"
 #include "timing/pointer_chase.hpp"
 
@@ -177,10 +179,12 @@ runChannelKind(const timing::Uarch &uarch, ChannelKind kind,
     pc.max_samples = 2000;
     channel::ChannelPair pair(kind, layout, pc);
 
-    exec::SmtConfig smt;
-    smt.seed = seed;
-    exec::SmtScheduler sched(hierarchy, uarch, smt);
-    sched.run(pair.sender(), pair.receiver(), 1);
+    sim::SingleCorePort port(hierarchy);
+    exec::RoundRobinSmt policy;
+    exec::EngineConfig ec;
+    ec.seed = seed;
+    exec::Engine engine(port, uarch, policy, ec);
+    engine.run(pair.sender(), pair.receiver(), 1);
 
     ChannelRun out;
     out.sender_l1 =
@@ -280,10 +284,12 @@ senderMissRates(const timing::Uarch &uarch,
 
         workload::WorkloadProgram gcc(workload::makeWorkload("gccmix"),
                                       seed + 1, 1);
-        exec::SmtConfig smt;
-        smt.seed = seed;
-        exec::SmtScheduler sched(hierarchy, uarch, smt);
-        sched.run(sender, gcc, /*primary=*/0);
+        sim::SingleCorePort port(hierarchy);
+        exec::RoundRobinSmt policy;
+        exec::EngineConfig ec;
+        ec.seed = seed;
+        exec::Engine engine(port, uarch, policy, ec);
+        engine.run(sender, gcc, /*primary=*/0);
 
         rows.push_back(MissRateRow{
             "sender & gcc",
@@ -307,10 +313,12 @@ senderMissRates(const timing::Uarch &uarch,
         channel::LruSender sender(layout, sc);
 
         workload::IdleProgram idle;
-        exec::SmtConfig smt;
-        smt.seed = seed;
-        exec::SmtScheduler sched(hierarchy, uarch, smt);
-        sched.run(sender, idle, /*primary=*/0);
+        sim::SingleCorePort port(hierarchy);
+        exec::RoundRobinSmt policy;
+        exec::EngineConfig ec;
+        ec.seed = seed;
+        exec::Engine engine(port, uarch, policy, ec);
+        engine.run(sender, idle, /*primary=*/0);
 
         rows.push_back(MissRateRow{
             "sender only",

@@ -1,77 +1,37 @@
 /**
  * @file
- * Multi-core scheduler implementation.
+ * Deprecated MultiCoreScheduler shim implementation.
  */
 
 #include "exec/multicore_scheduler.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace lruleak::exec {
+
+namespace {
+
+EngineConfig
+engineConfigFrom(const MultiCoreSchedulerConfig &config)
+{
+    EngineConfig ec;
+    ec.max_cycles = config.max_cycles;
+    ec.op_overhead = config.op_overhead;
+    ec.jitter = config.jitter;
+    ec.seed = config.seed;
+    ec.audit_every = config.audit_every;
+    return ec;
+}
+
+} // namespace
 
 MultiCoreScheduler::MultiCoreScheduler(sim::MultiCoreHierarchy &hierarchy,
                                        const timing::Uarch &uarch,
                                        MultiCoreSchedulerConfig config)
-    : hierarchy_(hierarchy), uarch_(uarch), model_(uarch), config_(config),
-      rng_(config.seed)
+    : port_(hierarchy), engine_(port_, uarch, policy_,
+                                engineConfigFrom(config))
 {
-}
-
-void
-MultiCoreScheduler::maybeAudit()
-{
-    if (config_.audit_every == 0)
-        return;
-    if (++ops_since_audit_ < config_.audit_every)
-        return;
-    ops_since_audit_ = 0;
-    if (auto violation = hierarchy_.auditInclusion())
-        throw std::logic_error(*violation);
-}
-
-std::uint64_t
-MultiCoreScheduler::executeOp(unsigned core, ThreadProgram &prog,
-                              const Op &op, std::uint64_t start)
-{
-    const std::uint64_t jitter = config_.jitter ? rng_.below(config_.jitter)
-                                                : 0;
-    switch (op.kind) {
-      case OpKind::Access: {
-        const auto res = hierarchy_.access(core, op.ref);
-        OpResult out;
-        out.kind = OpKind::Access;
-        out.level = res.level;
-        out.tsc = start;
-        prog.onResult(out);
-        maybeAudit();
-        return uarch_.latency(res.level) + config_.op_overhead + jitter;
-      }
-      case OpKind::Measure: {
-        const auto res = hierarchy_.access(core, op.ref);
-        OpResult out;
-        out.kind = OpKind::Measure;
-        out.level = res.level;
-        out.measured = model_.chase(op.chain_levels, res.level, rng_);
-        out.tsc = start;
-        prog.onResult(out);
-        maybeAudit();
-        return uarch_.latency(res.level) + config_.op_overhead + jitter;
-      }
-      case OpKind::Flush: {
-        hierarchy_.flush(op.ref);
-        OpResult out;
-        out.kind = OpKind::Flush;
-        out.tsc = start;
-        prog.onResult(out);
-        maybeAudit();
-        return uarch_.mem_latency + config_.op_overhead + jitter;
-      }
-      case OpKind::SpinUntil:
-      case OpKind::Done:
-        return 0; // handled by the caller
-    }
-    return 0;
 }
 
 std::uint64_t
@@ -79,68 +39,17 @@ MultiCoreScheduler::run(std::span<ThreadProgram *const> programs,
                         unsigned primary)
 {
     const unsigned n = static_cast<unsigned>(programs.size());
-    if (n != hierarchy_.cores())
+    if (n != port_.cores())
         throw std::invalid_argument(
             "MultiCoreScheduler: one program per core required");
     if (primary >= n)
         throw std::invalid_argument("MultiCoreScheduler: bad primary core");
 
+    std::vector<ThreadSpec> specs;
+    specs.reserve(n);
     for (unsigned c = 0; c < n; ++c)
-        programs[c]->setThreadId(c);
-
-    std::vector<std::uint64_t> clock(n, now_);
-    std::vector<bool> done(n, false);
-
-    while (now_ < config_.max_cycles) {
-        // Step the live core furthest behind in time (ties -> lowest id).
-        unsigned idx = n;
-        for (unsigned c = 0; c < n; ++c) {
-            if (!done[c] && (idx == n || clock[c] < clock[idx]))
-                idx = c;
-        }
-        if (idx == n)
-            break; // every core finished
-
-        ThreadProgram &prog = *programs[idx];
-        const Op op = prog.next(clock[idx]);
-
-        if (op.kind == OpKind::Done) {
-            done[idx] = true;
-            if (idx == primary)
-                break;
-            continue;
-        }
-        if (op.kind == OpKind::SpinUntil) {
-            // Busy wait: consume time, no cache traffic.  Always make
-            // forward progress even for a stale deadline.
-            clock[idx] = std::max(clock[idx] + 1, op.until);
-        } else {
-            clock[idx] += executeOp(idx, prog, op, clock[idx]);
-        }
-        now_ = std::max(now_, clock[idx]);
-    }
-    return now_;
-}
-
-// ---------------------------------------------------------------- noise
-
-NoiseProgram::NoiseProgram(NoiseConfig config)
-    : config_(config), rng_(config.seed)
-{
-}
-
-Op
-NoiseProgram::next(std::uint64_t now)
-{
-    if (in_burst_ >= config_.burst) {
-        in_burst_ = 0;
-        return Op::spinUntil(now + config_.gap);
-    }
-    ++in_burst_;
-    const sim::Addr line = config_.base +
-        rng_.below(config_.footprint_sets) * 64 +
-        rng_.below(config_.lines_per_set) * config_.set_stride;
-    return Op::access(sim::MemRef::load(line, threadId()));
+        specs.push_back(ThreadSpec{programs[c], c});
+    return engine_.run(specs, primary);
 }
 
 } // namespace lruleak::exec

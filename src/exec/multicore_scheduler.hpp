@@ -1,21 +1,21 @@
 /**
  * @file
- * Multi-core execution of N thread programs over one MultiCoreHierarchy.
+ * DEPRECATED shim: MultiCoreScheduler is now a thin wrapper over
+ * exec::Engine + exec::LowestClock; NoiseProgram/NoiseConfig moved to
+ * exec/engine.hpp and are re-exported here.
  *
- * One program per core, each with a private clock; operations are
- * applied to the shared LLC in global-time order by always stepping the
- * live core whose clock is furthest behind (ties break toward the
- * lowest core id).  This is the cross-core analogue of the SMT
- * scheduler: every core makes progress at hardware speed, the
- * interleaving at the shared level is fine-grained and phase-drifting,
- * and the whole run is deterministic for a given seed.
+ * The hand-rolled lowest-private-clock loop moved into the execution
+ * engine's LowestClock arbitration policy (see exec/engine.hpp); this
+ * header survives for one release so out-of-tree callers keep
+ * compiling.  New code should build the engine directly:
  *
- * The scheduler also carries the inclusion safety net: every
- * `audit_every` executed operations it walks the hierarchy's inclusion
- * invariant (no line valid in a private cache may be absent from the
- * LLC) and throws on violation.  The walk is debug-only by default —
- * release builds ship with it off, debug builds sample it — and tests
- * pin audit_every = 1 to check the property after every step.
+ *   sim::MultiCorePort port(hierarchy);
+ *   exec::LowestClock policy;           // optionally policy.nest(...)
+ *   exec::Engine engine(port, uarch, policy, config);
+ *   engine.run(specs, primary);         // specs bind threads to cores
+ *
+ * Behaviour is bit-identical to the retired scheduler (same stepping
+ * order, same RNG draw sequence, same sampled inclusion audit).
  */
 
 #ifndef LRULEAK_EXEC_MULTICORE_SCHEDULER_HPP
@@ -23,25 +23,14 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
-#include "exec/op.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 #include "sim/multicore_hierarchy.hpp"
-#include "sim/random.hpp"
-#include "timing/pointer_chase.hpp"
-#include "timing/uarch.hpp"
 
 namespace lruleak::exec {
 
-/** Default inclusion-audit sampling period: debug builds sample, release
- *  builds skip (the walk costs a private-cache capacity scan). */
-#ifdef NDEBUG
-inline constexpr std::uint32_t kDefaultAuditEvery = 0;
-#else
-inline constexpr std::uint32_t kDefaultAuditEvery = 1024;
-#endif
-
-/** Knobs of the multi-core model. */
+/** Knobs of the multi-core model (deprecated spelling of EngineConfig). */
 struct MultiCoreSchedulerConfig
 {
     std::uint64_t max_cycles = 2'000'000'000ULL; //!< safety stop
@@ -56,6 +45,7 @@ struct MultiCoreSchedulerConfig
 };
 
 /**
+ * DEPRECATED: use exec::Engine with exec::LowestClock.
  * Runs one ThreadProgram per core over a shared MultiCoreHierarchy.
  */
 class MultiCoreScheduler
@@ -76,65 +66,12 @@ class MultiCoreScheduler
                       unsigned primary);
 
     /** TSC after the last run. */
-    std::uint64_t now() const { return now_; }
+    std::uint64_t now() const { return engine_.now(); }
 
   private:
-    /** Execute one op on @p core; returns its cycle cost. */
-    std::uint64_t executeOp(unsigned core, ThreadProgram &prog,
-                            const Op &op, std::uint64_t start);
-    void maybeAudit();
-
-    sim::MultiCoreHierarchy &hierarchy_;
-    timing::Uarch uarch_;
-    timing::MeasurementModel model_;
-    MultiCoreSchedulerConfig config_;
-    sim::Xoshiro256 rng_;
-    std::uint64_t now_ = 0;
-    std::uint64_t ops_since_audit_ = 0;
-};
-
-/** Knobs of a background-noise core. */
-struct NoiseConfig
-{
-    /**
-     * The footprint is a rectangle of cache sets x tags: accesses pick a
-     * random set within `footprint_sets` consecutive LLC sets from
-     * `base` and a random one of `lines_per_set` distinct tags mapping
-     * to it (`set_stride` apart = one full LLC wrap).  The per-set depth
-     * matters: more tags per set than the private associativity keeps
-     * the core missing privately and streaming through the shared LLC,
-     * where it contends for ways.  A flat footprint that fits the
-     * private caches goes quiet after warm-up and perturbs nothing.
-     */
-    std::uint32_t footprint_sets = 128;   //!< consecutive sets covered
-    std::uint32_t lines_per_set = 24;     //!< distinct tags per set
-    sim::Addr set_stride = 2048 * 64;     //!< bytes between same-set tags
-                                          //!< (LLC sets x line size)
-    std::uint32_t burst = 32;             //!< accesses per burst
-    std::uint64_t gap = 100;              //!< spin between bursts (cycles)
-    std::uint64_t seed = 1;
-    sim::Addr base = 0x6000'0000'0000ULL; //!< footprint base address
-};
-
-/**
- * A background process pinned to its own core: bursts of uniformly
- * random accesses over a private sets-x-tags footprint, separated by
- * short spins.  Every covered set sees contention for LLC ways, so the
- * core both ages replacement state and causes LLC evictions (hence
- * back-invalidations) at a rate set by its knobs.  Never yields Done;
- * deterministic for a given seed.
- */
-class NoiseProgram : public ThreadProgram
-{
-  public:
-    explicit NoiseProgram(NoiseConfig config);
-
-    Op next(std::uint64_t now) override;
-
-  private:
-    NoiseConfig config_;
-    sim::Xoshiro256 rng_;
-    std::uint32_t in_burst_ = 0;
+    sim::MultiCorePort port_;
+    LowestClock policy_;
+    Engine engine_;
 };
 
 } // namespace lruleak::exec

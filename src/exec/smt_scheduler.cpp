@@ -1,108 +1,39 @@
 /**
  * @file
- * SMT scheduler implementation.
+ * Deprecated SmtScheduler shim implementation.
  */
 
 #include "exec/smt_scheduler.hpp"
 
-#include <algorithm>
-
 namespace lruleak::exec {
+
+namespace {
+
+EngineConfig
+engineConfigFrom(const SmtConfig &config)
+{
+    EngineConfig ec;
+    ec.max_cycles = config.max_cycles;
+    ec.op_overhead = config.op_overhead;
+    ec.jitter = config.jitter;
+    ec.seed = config.seed;
+    return ec;
+}
+
+} // namespace
 
 SmtScheduler::SmtScheduler(sim::CacheHierarchy &hierarchy,
                            const timing::Uarch &uarch, SmtConfig config)
-    : hierarchy_(hierarchy), uarch_(uarch), model_(uarch), config_(config),
-      rng_(config.seed)
+    : port_(hierarchy), engine_(port_, uarch, policy_,
+                                engineConfigFrom(config))
 {
-}
-
-std::uint64_t
-SmtScheduler::executeOp(ThreadProgram &prog, const Op &op,
-                        std::uint64_t start)
-{
-    const std::uint64_t jitter = config_.jitter ? rng_.below(config_.jitter)
-                                                : 0;
-    switch (op.kind) {
-      case OpKind::Access: {
-        const auto res = hierarchy_.access(op.ref, op.lock_req);
-        OpResult out;
-        out.kind = OpKind::Access;
-        out.level = res.level;
-        out.tsc = start;
-        prog.onResult(out);
-        return uarch_.latency(res.level) + config_.op_overhead + jitter;
-      }
-      case OpKind::Measure: {
-        const auto res = hierarchy_.access(op.ref, op.lock_req);
-        OpResult out;
-        out.kind = OpKind::Measure;
-        out.level = res.level;
-        out.measured = model_.chase(op.chain_levels, res.level, rng_);
-        out.tsc = start;
-        prog.onResult(out);
-        return uarch_.latency(res.level) + config_.op_overhead + jitter;
-      }
-      case OpKind::Flush: {
-        hierarchy_.flush(op.ref);
-        OpResult out;
-        out.kind = OpKind::Flush;
-        out.tsc = start;
-        prog.onResult(out);
-        // clflush drains to memory: charge a memory round trip.
-        return uarch_.mem_latency + config_.op_overhead + jitter;
-      }
-      case OpKind::SpinUntil:
-      case OpKind::Done:
-        return 0; // handled by the caller
-    }
-    return 0;
 }
 
 std::uint64_t
 SmtScheduler::run(ThreadProgram &thread0, ThreadProgram &thread1,
                   unsigned primary)
 {
-    ThreadProgram *threads[2] = {&thread0, &thread1};
-    threads[0]->setThreadId(0);
-    threads[1]->setThreadId(1);
-
-    std::uint64_t clock[2] = {now_, now_};
-    bool done[2] = {false, false};
-
-    while (now_ < config_.max_cycles) {
-        // Step whichever live thread is furthest behind in time.
-        unsigned idx;
-        if (done[0] && done[1])
-            break;
-        if (done[0])
-            idx = 1;
-        else if (done[1])
-            idx = 0;
-        else
-            idx = clock[0] <= clock[1] ? 0 : 1;
-
-        ThreadProgram &prog = *threads[idx];
-        const Op op = prog.next(clock[idx]);
-
-        if (op.kind == OpKind::Done) {
-            done[idx] = true;
-            if (idx == primary)
-                break;
-            continue;
-        }
-        if (op.kind == OpKind::SpinUntil) {
-            // Busy wait: consume time, no cache traffic.  Always make
-            // forward progress even for a stale deadline.
-            clock[idx] = std::max(clock[idx] + 1, op.until);
-        } else {
-            clock[idx] += executeOp(prog, op, clock[idx]);
-        }
-        now_ = std::max(now_, clock[idx]);
-
-        if (done[primary])
-            break;
-    }
-    return now_;
+    return engine_.run(thread0, thread1, primary);
 }
 
 } // namespace lruleak::exec

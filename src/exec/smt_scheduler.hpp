@@ -1,12 +1,20 @@
 /**
  * @file
- * Hyper-threaded (SMT) execution of two thread programs.
+ * DEPRECATED shim: SmtScheduler is now a thin wrapper over
+ * exec::Engine + exec::RoundRobinSmt.
  *
- * Each hardware thread owns a private clock; operations are applied to
- * the shared L1 in global-time order by always stepping the thread whose
- * clock is behind.  This produces the fine-grained, phase-drifting
- * interleaving that real SMT co-residency gives the paper's Section V-A
- * experiments, while staying fully deterministic for a given seed.
+ * The hand-rolled SMT stepping loop moved into the execution engine
+ * (see exec/engine.hpp); this header survives for one release so
+ * out-of-tree callers keep compiling.  New code should build the engine
+ * directly:
+ *
+ *   sim::SingleCorePort port(hierarchy);
+ *   exec::RoundRobinSmt policy;
+ *   exec::Engine engine(port, uarch, policy, config);
+ *   engine.run(sender, receiver, 1);
+ *
+ * Behaviour is bit-identical to the retired scheduler (same stepping
+ * order, same RNG draw sequence).
  */
 
 #ifndef LRULEAK_EXEC_SMT_SCHEDULER_HPP
@@ -14,14 +22,12 @@
 
 #include <cstdint>
 
-#include "exec/op.hpp"
-#include "sim/random.hpp"
-#include "timing/pointer_chase.hpp"
-#include "timing/uarch.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 
 namespace lruleak::exec {
 
-/** Knobs of the SMT model. */
+/** Knobs of the SMT model (deprecated spelling of EngineConfig). */
 struct SmtConfig
 {
     std::uint64_t max_cycles = 2'000'000'000ULL; //!< safety stop
@@ -33,6 +39,7 @@ struct SmtConfig
 };
 
 /**
+ * DEPRECATED: use exec::Engine with exec::RoundRobinSmt.
  * Runs two programs as sibling hyper-threads over one shared hierarchy.
  */
 class SmtScheduler
@@ -52,19 +59,12 @@ class SmtScheduler
                       unsigned primary = 1);
 
     /** TSC after the last run. */
-    std::uint64_t now() const { return now_; }
+    std::uint64_t now() const { return engine_.now(); }
 
   private:
-    /** Execute one op for the given program; returns its cycle cost. */
-    std::uint64_t executeOp(ThreadProgram &prog, const Op &op,
-                            std::uint64_t start);
-
-    sim::CacheHierarchy &hierarchy_;
-    timing::Uarch uarch_;
-    timing::MeasurementModel model_;
-    SmtConfig config_;
-    sim::Xoshiro256 rng_;
-    std::uint64_t now_ = 0;
+    sim::SingleCorePort port_;
+    RoundRobinSmt policy_;
+    Engine engine_;
 };
 
 } // namespace lruleak::exec

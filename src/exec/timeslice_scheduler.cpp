@@ -1,188 +1,57 @@
 /**
  * @file
- * Time-sliced scheduler implementation.
+ * Deprecated TimeSliceScheduler shim implementation.
  */
 
 #include "exec/timeslice_scheduler.hpp"
-
-#include <algorithm>
 
 namespace lruleak::exec {
 
 namespace {
 
-/** Base of the simulated kernel's cache footprint. */
-constexpr sim::Addr kKernelBase = 0x7f00'0000'0000ULL;
-/** Base of the background process's footprint. */
-constexpr sim::Addr kBackgroundBase = 0x6e00'0000'0000ULL;
-/** Kernel working set in lines (spread uniformly over all sets). */
-constexpr std::uint64_t kKernelLines = 4096;
+EngineConfig
+engineConfigFrom(const TimeSliceConfig &config)
+{
+    EngineConfig ec;
+    ec.max_cycles = config.max_cycles;
+    ec.op_overhead = config.op_overhead;
+    ec.jitter = config.jitter;
+    ec.seed = config.seed;
+    return ec;
+}
+
+TimeSlicePolicyConfig
+policyConfigFrom(const TimeSliceConfig &config)
+{
+    TimeSlicePolicyConfig pc;
+    pc.quantum = config.quantum;
+    pc.quantum_jitter = config.quantum_jitter;
+    pc.switch_cost = config.switch_cost;
+    pc.kernel_noise_lines = config.kernel_noise_lines;
+    pc.background_prob = config.background_prob;
+    pc.background_lines = config.background_lines;
+    pc.tick_period = config.tick_period;
+    pc.tick_lines = config.tick_lines;
+    pc.kernel_thread = TimeSliceScheduler::kKernelThread;
+    pc.background_thread = TimeSliceScheduler::kBackgroundThread;
+    return pc;
+}
 
 } // namespace
 
 TimeSliceScheduler::TimeSliceScheduler(sim::CacheHierarchy &hierarchy,
                                        const timing::Uarch &uarch,
                                        TimeSliceConfig config)
-    : hierarchy_(hierarchy), uarch_(uarch), model_(uarch), config_(config),
-      rng_(config.seed)
+    : port_(hierarchy), policy_(policyConfigFrom(config)),
+      engine_(port_, uarch, policy_, engineConfigFrom(config))
 {
-}
-
-std::uint64_t
-TimeSliceScheduler::executeOp(ThreadProgram &prog, const Op &op,
-                              std::uint64_t start)
-{
-    const std::uint64_t jitter = config_.jitter ? rng_.below(config_.jitter)
-                                                : 0;
-    switch (op.kind) {
-      case OpKind::Access: {
-        const auto res = hierarchy_.access(op.ref, op.lock_req);
-        OpResult out;
-        out.kind = OpKind::Access;
-        out.level = res.level;
-        out.tsc = start;
-        prog.onResult(out);
-        return uarch_.latency(res.level) + config_.op_overhead + jitter;
-      }
-      case OpKind::Measure: {
-        const auto res = hierarchy_.access(op.ref, op.lock_req);
-        OpResult out;
-        out.kind = OpKind::Measure;
-        out.level = res.level;
-        out.measured = model_.chase(op.chain_levels, res.level, rng_);
-        out.tsc = start;
-        prog.onResult(out);
-        return uarch_.latency(res.level) + config_.op_overhead + jitter;
-      }
-      case OpKind::Flush: {
-        hierarchy_.flush(op.ref);
-        OpResult out;
-        out.kind = OpKind::Flush;
-        out.tsc = start;
-        prog.onResult(out);
-        return uarch_.mem_latency + config_.op_overhead + jitter;
-      }
-      case OpKind::SpinUntil:
-      case OpKind::Done:
-        return 0;
-    }
-    return 0;
-}
-
-void
-TimeSliceScheduler::kernelBurst(std::uint64_t mean_lines)
-{
-    if (mean_lines == 0)
-        return;
-    // The kernel touches a variable number of lines from its working
-    // set; the mean is mean_lines.  The whole burst is one batched
-    // replay — only the summed latency matters.
-    const std::uint64_t count = mean_lines / 2 + rng_.below(mean_lines + 1);
-    burst_refs_.resize(count);
-    burst_levels_.resize(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const sim::Addr line = kKernelBase + rng_.below(kKernelLines) * 64;
-        burst_refs_[i] = sim::MemRef{line, line, kKernelThread, false};
-    }
-    hierarchy_.accessBatch(burst_refs_, burst_levels_);
-    for (std::uint64_t i = 0; i < count; ++i)
-        now_ += uarch_.latency(burst_levels_[i]);
-}
-
-void
-TimeSliceScheduler::contextSwitchNoise()
-{
-    kernelBurst(config_.kernel_noise_lines);
-}
-
-void
-TimeSliceScheduler::serviceTicks()
-{
-    if (config_.tick_period == 0)
-        return;
-    if (next_tick_ == 0)
-        next_tick_ = now_ + config_.tick_period;
-    while (now_ >= next_tick_) {
-        kernelBurst(config_.tick_lines);
-        next_tick_ += config_.tick_period;
-    }
-}
-
-void
-TimeSliceScheduler::backgroundSlice(std::uint64_t slice_end)
-{
-    for (std::uint32_t i = 0; i < config_.background_lines; ++i) {
-        const sim::Addr line = kBackgroundBase +
-            rng_.below(config_.background_lines * 4) * 64;
-        sim::MemRef ref{line, line, kBackgroundThread, false};
-        const auto res = hierarchy_.access(ref);
-        now_ += uarch_.latency(res.level) + config_.op_overhead;
-        if (now_ >= slice_end)
-            break;
-    }
-    now_ = std::max(now_, slice_end);
 }
 
 std::uint64_t
 TimeSliceScheduler::run(ThreadProgram &thread0, ThreadProgram &thread1,
                         unsigned primary)
 {
-    ThreadProgram *threads[2] = {&thread0, &thread1};
-    threads[0]->setThreadId(0);
-    threads[1]->setThreadId(1);
-
-    bool done[2] = {false, false};
-    std::uint64_t spin_until[2] = {0, 0};
-    unsigned active = 0;
-
-    while (now_ < config_.max_cycles && !done[primary]) {
-        const std::uint64_t slice_end = now_ + config_.quantum +
-            (config_.quantum_jitter ? rng_.below(config_.quantum_jitter)
-                                    : 0);
-
-        if (rng_.chance(config_.background_prob)) {
-            // Another process won this slice.
-            backgroundSlice(slice_end);
-            now_ += config_.switch_cost;
-            contextSwitchNoise();
-            continue;
-        }
-
-        ThreadProgram &prog = *threads[active];
-        while (now_ < slice_end && !done[active]) {
-            serviceTicks();
-            if (spin_until[active] > now_) {
-                // Busy-waiting burns the slice without cache traffic;
-                // fast-forward no further than the next timer tick.
-                std::uint64_t stop = std::min(spin_until[active], slice_end);
-                if (config_.tick_period != 0)
-                    stop = std::min(stop, next_tick_);
-                now_ = std::max(now_ + 1, stop);
-                if (spin_until[active] > now_ && now_ >= slice_end)
-                    break; // still spinning when the slice expires
-                continue;
-            }
-            const Op op = prog.next(now_);
-            if (op.kind == OpKind::Done) {
-                done[active] = true;
-            } else if (op.kind == OpKind::SpinUntil) {
-                spin_until[active] = op.until;
-            } else {
-                now_ += executeOp(prog, op, now_);
-            }
-        }
-
-        if (done[primary])
-            break;
-
-        // Context switch to the sibling (or keep running if it is done).
-        now_ += config_.switch_cost;
-        contextSwitchNoise();
-        const unsigned other = active ^ 1u;
-        if (!done[other])
-            active = other;
-    }
-    return now_;
+    return engine_.run(thread0, thread1, primary);
 }
 
 } // namespace lruleak::exec

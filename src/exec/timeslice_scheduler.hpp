@@ -1,56 +1,44 @@
 /**
  * @file
- * Time-sliced (single hardware context) execution of two thread programs,
- * with OS context-switch effects (Section V-B, Figures 6 and 8).
+ * DEPRECATED shim: TimeSliceScheduler is now a thin wrapper over
+ * exec::Engine + exec::TimeSlice.
  *
- * Only one program runs at a time; the scheduler rotates them with a
- * jittered quantum.  Every context switch executes kernel scheduler code
- * whose cache footprint sprays lines across random sets — this pollution
- * is what limits the time-sliced channel in the paper (the receiver sees
- * the sender's signal only when its sleep window ends shortly after a
- * sender slice, before the kernel noise has scrubbed the target set).
+ * The hand-rolled slice loop (quantum rotation, kernel bursts, timer
+ * ticks, background slices) moved into the execution engine's TimeSlice
+ * arbitration policy (see exec/engine.hpp); this header survives for
+ * one release so out-of-tree callers keep compiling.  New code should
+ * build the engine directly:
+ *
+ *   sim::SingleCorePort port(hierarchy);
+ *   exec::TimeSlice policy(tslice_config);
+ *   exec::Engine engine(port, uarch, policy, engine_config);
+ *   engine.run(sender, receiver, 1);
+ *
+ * Behaviour is bit-identical to the retired scheduler (same slice
+ * structure, same RNG draw sequence).
  */
 
 #ifndef LRULEAK_EXEC_TIMESLICE_SCHEDULER_HPP
 #define LRULEAK_EXEC_TIMESLICE_SCHEDULER_HPP
 
 #include <cstdint>
-#include <vector>
 
-#include "exec/op.hpp"
-#include "sim/random.hpp"
-#include "timing/pointer_chase.hpp"
-#include "timing/uarch.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 
 namespace lruleak::exec {
 
-/** Knobs of the time-sliced model. */
+/** Knobs of the time-sliced model (deprecated spelling of
+ *  EngineConfig + TimeSlicePolicyConfig). */
 struct TimeSliceConfig
 {
-    /**
-     * Scheduling quantum in cycles (~40 ms at 3.8 GHz).  Two CPU-bound
-     * tasks on CFS get long slices; crucially the quantum is *larger*
-     * than the paper's Tr values (up to 4.5e8), so several receiver
-     * measurements run inside one slice and only the first one after a
-     * sender slice reflects the sender — the mechanism behind Fig. 6's
-     * ~30% ceiling.
-     */
-    std::uint64_t quantum = 150'000'000;
+    std::uint64_t quantum = 150'000'000;       //!< see TimeSlicePolicyConfig
     std::uint64_t quantum_jitter = 80'000'000; //!< uniform extra per slice
     std::uint32_t switch_cost = 3'000;     //!< direct context-switch cost
-    std::uint32_t kernel_noise_lines = 48; //!< mean kernel lines touched
-                                           //!< per switch (spread over
-                                           //!< all sets)
-    double background_prob = 0.25; //!< chance a third process takes a
-                                   //!< slice instead of sender/receiver
+    std::uint32_t kernel_noise_lines = 48; //!< mean kernel lines per switch
+    double background_prob = 0.25; //!< chance a third process takes a slice
     std::uint32_t background_lines = 1024; //!< its cache footprint
-    /**
-     * OS timer tick: every tick_period cycles the kernel interrupts the
-     * running task and touches a few lines (timer/RCU/softirq work).
-     * This is what ages the sender's imprint on the LRU state while the
-     * receiver spins — the decay that caps Fig. 6's curves.
-     */
-    std::uint64_t tick_period = 4'000'000; //!< ~1 ms at ~4 GHz
+    std::uint64_t tick_period = 4'000'000; //!< OS timer tick period
     std::uint32_t tick_lines = 24;         //!< mean lines per tick
 
     std::uint64_t max_cycles = 4'000'000'000'000ULL;
@@ -60,6 +48,7 @@ struct TimeSliceConfig
 };
 
 /**
+ * DEPRECATED: use exec::Engine with exec::TimeSlice.
  * Runs two programs time-sharing one core over one hierarchy.
  */
 class TimeSliceScheduler
@@ -76,7 +65,7 @@ class TimeSliceScheduler
     std::uint64_t run(ThreadProgram &thread0, ThreadProgram &thread1,
                       unsigned primary = 1);
 
-    std::uint64_t now() const { return now_; }
+    std::uint64_t now() const { return engine_.now(); }
 
     /** Thread id used for kernel-noise accesses in perf counters. */
     static constexpr sim::ThreadId kKernelThread = 1000;
@@ -84,22 +73,9 @@ class TimeSliceScheduler
     static constexpr sim::ThreadId kBackgroundThread = 1001;
 
   private:
-    std::uint64_t executeOp(ThreadProgram &prog, const Op &op,
-                            std::uint64_t start);
-    void contextSwitchNoise();
-    void backgroundSlice(std::uint64_t slice_end);
-    void kernelBurst(std::uint64_t mean_lines);
-    void serviceTicks();
-
-    sim::CacheHierarchy &hierarchy_;
-    timing::Uarch uarch_;
-    timing::MeasurementModel model_;
-    TimeSliceConfig config_;
-    sim::Xoshiro256 rng_;
-    std::uint64_t now_ = 0;
-    std::uint64_t next_tick_ = 0;
-    std::vector<sim::MemRef> burst_refs_;     //!< reused burst buffer
-    std::vector<sim::HitLevel> burst_levels_; //!< reused burst buffer
+    sim::SingleCorePort port_;
+    TimeSlice policy_;
+    Engine engine_;
 };
 
 } // namespace lruleak::exec

@@ -81,6 +81,23 @@ MultiCoreHierarchy::access(std::uint32_t core, const MemRef &ref)
 }
 
 void
+MultiCoreHierarchy::accessBatch(std::uint32_t core,
+                                std::span<const MemRef> refs,
+                                std::span<HitLevel> levels)
+{
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        levels[i] = access(core, refs[i]).level;
+}
+
+void
+MultiCoreHierarchy::accessBatch(std::uint32_t core,
+                                std::span<const MemRef> refs)
+{
+    for (const MemRef &ref : refs)
+        access(core, ref);
+}
+
+void
 MultiCoreHierarchy::backInvalidate(Addr line_base)
 {
     for (std::uint32_t c = 0; c < cores(); ++c) {

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,19 @@ class MultiCoreHierarchy
      * all cores' private caches.
      */
     MultiCoreAccessResult access(std::uint32_t core, const MemRef &ref);
+
+    /**
+     * Replay a whole access sequence from @p core, recording the level
+     * each access was served from (semantically one access() per ref).
+     * Used by the execution engine's kernel-noise bursts in the
+     * time-sliced-over-multicore scenarios.
+     * @pre levels.size() >= refs.size()
+     */
+    void accessBatch(std::uint32_t core, std::span<const MemRef> refs,
+                     std::span<HitLevel> levels);
+
+    /** Same, for callers that do not need the individual outcomes. */
+    void accessBatch(std::uint32_t core, std::span<const MemRef> refs);
 
     /** clflush: remove the line from every cache of every core. */
     void flush(const MemRef &ref);

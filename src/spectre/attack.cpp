@@ -9,6 +9,7 @@
 #include <array>
 
 #include "channel/layout.hpp"
+#include "sim/access_port.hpp"
 #include "sim/cache_config.hpp"
 
 namespace lruleak::spectre {
@@ -46,8 +47,8 @@ class AttackContext
   public:
     explicit AttackContext(const SpectreAttackConfig &config)
         : config_(config), rng_(config.seed),
-          hierarchy_(makeHierarchy(config)), core_(hierarchy_, config.uarch,
-                                                   config.spec),
+          hierarchy_(makeHierarchy(config)), port_(hierarchy_),
+          core_(hierarchy_, config.uarch, config.spec),
           model_(config.uarch),
           layout_(sim::CacheConfig::intelL1d().line_size,
                   sim::CacheConfig::intelL1d().numSets())
@@ -69,15 +70,18 @@ class AttackContext
         return h;
     }
 
-    /** Timed load of @p ref through the pointer-chase primitive. */
+    /** Timed load of @p ref through the pointer-chase primitive.  The
+     *  attacker's own traffic goes through the hierarchy-agnostic
+     *  AccessPort (core 0), so the disclosure walks are ready to run
+     *  over other topologies. */
     std::uint32_t
     measure(const sim::MemRef &ref)
     {
-        hierarchy_.accessBatch(chase_);
-        const auto res = hierarchy_.access(ref);
+        port_.accessBatch(0, chase_);
+        const auto level = port_.access(0, ref);
         return model_.chase(
             std::vector<sim::HitLevel>(chase_.size(), sim::HitLevel::L1),
-            res.level, rng_);
+            level, rng_);
     }
 
     /** Candidate symbols in scan order (fresh shuffle per round). */
@@ -124,7 +128,7 @@ class AttackContext
         // dereferences it — as in the Spectre v1 sample code.
         const sim::Addr s = SpectreVictim::kArray1 +
             SpectreVictim::kSecretOffset + byte_index;
-        hierarchy_.access(sim::MemRef{s, s, kVictimThread, false});
+        port_.access(0, sim::MemRef{s, s, kVictimThread, false});
 
         // ---- Initialization phase over every probed set.
         for (std::uint8_t v : order)
@@ -156,7 +160,7 @@ class AttackContext
         batch_.clear();
         switch (config_.disclosure) {
           case Disclosure::FlushReloadMem:
-            hierarchy_.flush(symbolLine(v));
+            port_.flush(symbolLine(v));
             return;
           case Disclosure::FlushReloadL1:
             // Evict the symbol line from L1 with 8 attacker lines.
@@ -183,7 +187,7 @@ class AttackContext
                 batch_.push_back(attackerLine(layout_, set, i + 1));
             break;
         }
-        hierarchy_.accessBatch(batch_);
+        port_.accessBatch(0, batch_);
     }
 
     /** @return true when the set shows "the victim touched this set". */
@@ -205,7 +209,7 @@ class AttackContext
             batch_.clear();
             for (std::uint32_t i = config_.d; i <= layout_ways(); ++i)
                 batch_.push_back(attackerLine(layout_, set, i));
-            hierarchy_.accessBatch(batch_);
+            port_.accessBatch(0, batch_);
             const std::uint32_t lat = measure(symbolLine(v));
             return lat <= model_.chaseThreshold(); // hit => touched
           }
@@ -213,7 +217,7 @@ class AttackContext
             batch_.clear();
             for (std::uint32_t i = config_.d; i < layout_ways(); ++i)
                 batch_.push_back(attackerLine(layout_, set, i + 1));
-            hierarchy_.accessBatch(batch_);
+            port_.accessBatch(0, batch_);
             const std::uint32_t lat =
                 measure(attackerLine(layout_, set, 1));
             return lat > model_.chaseThreshold(); // miss => touched
@@ -240,6 +244,7 @@ class AttackContext
     SpectreAttackConfig config_;
     sim::Xoshiro256 rng_;
     sim::CacheHierarchy hierarchy_;
+    sim::SingleCorePort port_; //!< hierarchy-agnostic view of hierarchy_
     TransientCore core_;
     timing::MeasurementModel model_;
     sim::AddressLayout layout_;
