@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Threshold derivation.
+ */
+
+#include "channel/calibration.hpp"
+
+namespace lruleak::channel {
+
+Calibration
+carrierLevels(ChannelId id, Carrier carrier)
+{
+    Calibration cal;
+    cal.invert = channelCaps(id).invert;
+
+    if (carrier == Carrier::Llc) {
+        // At LLC scale every channel decodes "line survived in the
+        // shared LLC" (~LLC hit) against "line was evicted and, under
+        // inclusion, back-invalidated" (a full memory miss).
+        cal.fast = sim::HitLevel::LLC;
+        cal.slow = sim::HitLevel::Memory;
+        return cal;
+    }
+
+    switch (id) {
+      case ChannelId::FrMem:
+        // clflush pushes the shared line all the way to memory, so the
+        // reload separates an L1 hit from a full memory miss.
+        cal.fast = sim::HitLevel::L1;
+        cal.slow = sim::HitLevel::Memory;
+        break;
+      case ChannelId::FrL1:
+      case ChannelId::LruAlg1:
+      case ChannelId::LruAlg2:
+      case ChannelId::PrimeProbe:
+      case ChannelId::XCoreLruAlg2:
+        // The L1-resident designs all separate "served from L1" from
+        // "evicted to L2" (the paper's Fig. 3/5 margin).
+        cal.fast = sim::HitLevel::L1;
+        cal.slow = sim::HitLevel::L2;
+        break;
+    }
+    return cal;
+}
+
+Calibration
+calibrationFor(const timing::Uarch &uarch, ChannelId id, Carrier carrier,
+               std::uint32_t ways, std::uint32_t chain_len)
+{
+    Calibration cal = carrierLevels(id, carrier);
+    const timing::MeasurementModel model(uarch);
+
+    if (id == ChannelId::PrimeProbe) {
+        // Prime+Probe times the whole N-access probe walk: N fast-level
+        // hits plus half the slow-fast delta.  Integer arithmetic kept
+        // exactly as PpReceiver::probeThreshold has always computed it.
+        const std::uint32_t fast = uarch.latency(cal.fast);
+        const std::uint32_t slow = uarch.latency(cal.slow);
+        cal.threshold =
+            uarch.chase_overhead + ways * fast + (slow - fast) / 2;
+        return cal;
+    }
+
+    cal.threshold = model.chaseThresholdBetween(cal.fast, cal.slow,
+                                                chain_len);
+    return cal;
+}
+
+} // namespace lruleak::channel

@@ -81,17 +81,49 @@ allChannelIds()
 LruAlgorithm
 senderAlgorithmFor(ChannelId id)
 {
+    return channelCaps(id).sender_alg;
+}
+
+const ChannelCaps &
+channelCaps(ChannelId id)
+{
+    // {sender_alg, shared_memory, uses_flush, invert, llc_geometry}
+    static const ChannelCaps kFrMem{LruAlgorithm::Alg1Shared, true, true,
+                                    false, false};
+    static const ChannelCaps kFrL1{LruAlgorithm::Alg1Shared, true, false,
+                                   false, false};
+    static const ChannelCaps kAlg1{LruAlgorithm::Alg1Shared, true, false,
+                                   false, false};
+    static const ChannelCaps kAlg2{LruAlgorithm::Alg2Disjoint, false,
+                                   false, true, false};
+    static const ChannelCaps kPp{LruAlgorithm::Alg2Disjoint, false, false,
+                                 true, false};
+    static const ChannelCaps kXCore{LruAlgorithm::Alg2Disjoint, false,
+                                    false, true, true};
     switch (id) {
-      case ChannelId::LruAlg2:
-      case ChannelId::PrimeProbe:
-      case ChannelId::XCoreLruAlg2:
-        return LruAlgorithm::Alg2Disjoint;
+      case ChannelId::FrMem:        return kFrMem;
+      case ChannelId::FrL1:         return kFrL1;
+      case ChannelId::LruAlg1:      return kAlg1;
+      case ChannelId::LruAlg2:      return kAlg2;
+      case ChannelId::PrimeProbe:   return kPp;
+      case ChannelId::XCoreLruAlg2: return kXCore;
+    }
+    return kAlg1;
+}
+
+std::uint32_t
+defaultInitDepth(ChannelId id, std::uint32_t ways)
+{
+    switch (id) {
+      case ChannelId::LruAlg1:      return ways;
+      case ChannelId::LruAlg2:      return ways / 2;
+      case ChannelId::XCoreLruAlg2: return 3 * ways / 4;
       case ChannelId::FrMem:
       case ChannelId::FrL1:
-      case ChannelId::LruAlg1:
+      case ChannelId::PrimeProbe:
         break;
     }
-    return LruAlgorithm::Alg1Shared;
+    return 0;
 }
 
 ChannelPair::ChannelPair(ChannelId id, const ChannelLayout &layout,
@@ -106,6 +138,8 @@ ChannelPair::ChannelPair(ChannelId id, const ChannelLayout &layout,
     sc.repeats = config.repeats;
     sc.ts = config.ts;
     sc.encode_gap = config.encode_gap;
+    sc.infinite = config.infinite;
+    sc.lock_line = config.lock_line;
     sender_ = std::make_unique<LruSender>(layout, sc);
 
     switch (id) {
@@ -122,22 +156,16 @@ ChannelPair::ChannelPair(ChannelId id, const ChannelLayout &layout,
         receiver_ = std::move(receiver);
         break;
       }
-      case ChannelId::XCoreLruAlg2:
-        // The cross-core channel needs the multi-core topology (shared
-        // inclusive LLC + back-invalidation); building it over a
-        // single-core layout would silently mislabel L1-channel numbers
-        // as cross-core ones.
-        throw std::invalid_argument(
-            "channel 'xcore-lru-alg2' runs on the multi-core topology; "
-            "drive it through channel::runXCoreChannel (CLI: `lruleak "
-            "run xcore-traces` / `lruleak run xcore-error-rate`), not "
-            "a single-core channel list");
       case ChannelId::LruAlg1:
-      case ChannelId::LruAlg2: {
+      case ChannelId::LruAlg2:
+      case ChannelId::XCoreLruAlg2: {
+        // XCoreLruAlg2 is Algorithm 2 run over whatever geometry the
+        // layout describes — natively the shared LLC's (16 ways, so a
+        // deeper default init), but any carrier works: the programs
+        // only ever speak in layout lines.
         ReceiverConfig rc;
         rc.alg = alg;
-        rc.d = config.d ? config.d
-                        : (alg == LruAlgorithm::Alg1Shared ? 8 : 4);
+        rc.d = config.d ? config.d : defaultInitDepth(id, layout.ways());
         rc.tr = config.tr;
         rc.max_samples = config.max_samples;
         rc.chain_len = config.chain_len;

@@ -57,6 +57,36 @@ const std::vector<ChannelId> &allChannelIds();
 /** The sender algorithm a channel pairs with (Alg 2 when no sharing). */
 LruAlgorithm senderAlgorithmFor(ChannelId id);
 
+/**
+ * What a channel design needs from — and how it behaves on — the
+ * topology it runs over.  Since the Session refactor every ChannelId
+ * constructs against any ChannelLayout and runs under any sharing mode;
+ * the capabilities record the *properties* that differ per design, so
+ * `lruleak describe <channel>` and channel::Session derive behaviour
+ * from data instead of per-channel branches.
+ */
+struct ChannelCaps
+{
+    LruAlgorithm sender_alg;  //!< protocol the sender modulates with
+    bool shared_memory;       //!< parties need one shared physical line
+    bool uses_flush;          //!< receiver issues clflush
+    bool invert;              //!< decode polarity: 1 bit = slow sample
+    bool llc_geometry;        //!< layout natively built from the LLC
+                              //!< geometry in every sharing mode
+};
+
+/** Capability record of one channel design. */
+const ChannelCaps &channelCaps(ChannelId id);
+
+/**
+ * Default receiver init depth (the paper's d) for an N-way carrier set:
+ * Algorithm 1 primes the whole set (d = N), Algorithm 2 half of it
+ * (d = N/2, the paper's d = 4 at N = 8), the cross-core Algorithm 2
+ * three quarters (d = 12 at the LLC's N = 16).  Channels without an
+ * init phase return 0.
+ */
+std::uint32_t defaultInitDepth(ChannelId id, std::uint32_t ways);
+
 /** Common knobs for a factory-built sender/receiver pair. */
 struct ChannelPairConfig
 {
@@ -64,18 +94,21 @@ struct ChannelPairConfig
     std::uint32_t repeats = 1;
     std::uint64_t ts = 6000;       //!< sender per-bit period (cycles)
     std::uint64_t tr = 600;        //!< receiver sampling period (cycles)
-    std::uint32_t d = 0;           //!< LRU init depth; 0 = per-alg default
+    std::uint32_t d = 0;           //!< LRU init depth; 0 = per-channel
+                                   //!< default (see defaultInitDepth)
     std::uint64_t max_samples = 1000;
     std::uint32_t chain_len = 7;
     std::uint32_t encode_gap = 40;
+    bool infinite = false;         //!< sender loops the message forever
+    bool lock_line = false;        //!< PL cache: lock the sender's line
 };
 
 /**
- * One constructed sender/receiver pair, ready for a single-core
- * scheduler.  Owns both programs; samples() reaches through to
- * whichever receiver type was built.  ChannelId::XCoreLruAlg2 is
- * rejected here (throws std::invalid_argument): the cross-core channel
- * needs the multi-core topology — see channel::runXCoreChannel.
+ * One constructed sender/receiver pair, ready for any execution-engine
+ * arbitration policy.  Owns both programs; samples() reaches through to
+ * whichever receiver type was built.  The layout decides the carrier
+ * geometry (L1 for the single-core channels, LLC for the cross-core
+ * ones) — channel::Session picks it; see sessionLayoutFor.
  */
 class ChannelPair
 {

@@ -1,13 +1,10 @@
 /**
  * @file
- * Covert-channel run orchestration.
+ * Deprecated covert-channel shims: CovertConfig translated onto the
+ * unified channel-session pipeline.
  */
 
 #include "channel/covert_channel.hpp"
-
-#include <algorithm>
-
-#include "timing/pointer_chase.hpp"
 
 namespace lruleak::channel {
 
@@ -22,130 +19,58 @@ hierarchyFor(const CovertConfig &config)
     return h;
 }
 
-namespace {
-
-/** Shared setup for both runners. */
-struct RunContext
+SessionConfig
+sessionConfigFor(const CovertConfig &config)
 {
-    sim::CacheHierarchy hierarchy;
-    ChannelLayout layout;
-    LruSender sender;
-    LruReceiver receiver;
-
-    RunContext(const CovertConfig &config, const SenderConfig &sc,
-               const ReceiverConfig &rc)
-        : hierarchy(hierarchyFor(config)),
-          layout(sim::CacheConfig::intelL1d(config.l1_policy),
-                 config.target_set, config.chase_set,
-                 config.shared_same_vaddr),
-          sender(layout, sc), receiver(layout, rc)
-    {}
-};
-
-/** Time-sliced runs outlive the SMT safety stop by orders of magnitude
- *  (quanta are ~1e8 cycles); keep the seed schedulers' respective caps. */
-constexpr std::uint64_t kTimeSlicedMaxCycles = 4'000'000'000'000ULL;
-
-std::uint64_t
-runScheduler(const CovertConfig &config, RunContext &ctx)
-{
-    sim::SingleCorePort port(ctx.hierarchy);
-    exec::EngineConfig ec;
-    ec.seed = config.seed;
-    if (config.mode == SharingMode::HyperThreaded) {
-        exec::RoundRobinSmt policy;
-        exec::Engine engine(port, config.uarch, policy, ec);
-        return engine.run(ctx.sender, ctx.receiver, /*primary=*/1);
-    }
-    ec.max_cycles = kTimeSlicedMaxCycles;
-    exec::TimeSlice policy(config.tslice);
-    exec::Engine engine(port, config.uarch, policy, ec);
-    return engine.run(ctx.sender, ctx.receiver, /*primary=*/1);
+    SessionConfig s;
+    s.channel = config.alg == LruAlgorithm::Alg1Shared
+                    ? ChannelId::LruAlg1
+                    : ChannelId::LruAlg2;
+    s.mode = config.mode;
+    s.uarch = config.uarch;
+    s.l1_policy = config.l1_policy;
+    s.pl_mode = config.pl_mode;
+    s.d = config.d;
+    s.tr = config.tr;
+    s.ts = config.ts;
+    s.message = config.message;
+    s.repeats = config.repeats;
+    s.target_set = config.target_set;
+    s.chase_set = config.chase_set;
+    s.shared_same_vaddr = config.shared_same_vaddr;
+    s.sender_locks_line = config.sender_locks_line;
+    s.encode_gap = config.encode_gap;
+    s.max_samples = config.max_samples;
+    s.tslice = config.tslice;
+    s.seed = config.seed;
+    return s;
 }
-
-} // namespace
 
 CovertResult
 runCovertChannel(const CovertConfig &config)
 {
-    const std::size_t nbits = config.message.size() * config.repeats;
-
-    SenderConfig sc;
-    sc.alg = config.alg;
-    sc.message = config.message;
-    sc.repeats = config.repeats;
-    sc.ts = config.ts;
-    sc.encode_gap = config.encode_gap;
-    sc.lock_line = config.sender_locks_line;
-
-    ReceiverConfig rc;
-    rc.alg = config.alg;
-    rc.d = config.d;
-    rc.tr = config.tr;
-    // Sample slightly past the end of the message so the last bit gets
-    // its full window even with scheduling skew.
-    rc.max_samples = config.max_samples
-        ? config.max_samples
-        : (nbits * config.ts) / std::max<std::uint64_t>(config.tr, 1) + 8;
-
-    RunContext ctx(config, sc, rc);
-    const std::uint64_t end = runScheduler(config, ctx);
-
-    const timing::MeasurementModel model(config.uarch);
+    const SessionResult r = runSession(sessionConfigFor(config));
 
     CovertResult res;
-    res.samples = ctx.receiver.samples();
-    res.sent = ctx.sender.sentBits();
-    res.threshold = model.chaseThreshold();
-    res.sender_start = ctx.sender.startTsc();
-
-    const bool invert = config.alg == LruAlgorithm::Alg2Disjoint;
-    res.received = windowDecode(res.samples, res.threshold, invert,
-                                res.sender_start, config.ts, nbits);
-    res.error_rate = editErrorRate(res.sent, res.received);
-
-    res.elapsed_cycles = end > res.sender_start ? end - res.sender_start
-                                                : 0;
-    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
-
-    const auto &h = ctx.hierarchy;
-    res.sender_l1 = h.l1().counters().forThread(kSenderThread);
-    res.sender_l2 = h.l2().counters().forThread(kSenderThread);
-    res.sender_llc = h.llc().counters().forThread(kSenderThread);
-    res.receiver_l1 = h.l1().counters().forThread(kReceiverThread);
+    res.samples = r.samples;
+    res.sent = r.sent;
+    res.received = r.received;
+    res.error_rate = r.error_rate;
+    res.kbps = r.kbps;
+    res.elapsed_cycles = r.elapsed_cycles;
+    res.threshold = r.threshold;
+    res.sender_start = r.sender_start;
+    res.sender_l1 = r.sender_l1;
+    res.sender_l2 = r.sender_l2;
+    res.sender_llc = r.sender_llc;
+    res.receiver_l1 = r.receiver_l1;
     return res;
 }
 
 double
 runPercentOnes(const CovertConfig &config, std::uint8_t constant_bit)
 {
-    SenderConfig sc;
-    sc.alg = config.alg;
-    sc.message = Bits{constant_bit};
-    sc.infinite = true;
-    sc.ts = config.ts;
-    // In the time-sliced setting an encode iteration per ~20k cycles is
-    // behaviourally equivalent to a tight loop (the state only changes at
-    // slice granularity) and keeps simulation tractable.
-    sc.encode_gap = config.encode_gap;
-
-    ReceiverConfig rc;
-    rc.alg = config.alg;
-    rc.d = config.d;
-    rc.tr = config.tr;
-    rc.max_samples = config.max_samples ? config.max_samples : 300;
-
-    RunContext ctx(config, sc, rc);
-    runScheduler(config, ctx);
-
-    const timing::MeasurementModel model(config.uarch);
-    const bool invert = config.alg == LruAlgorithm::Alg2Disjoint;
-    const Bits bits = thresholdSamples(ctx.receiver.samples(),
-                                       model.chaseThreshold(), invert);
-    // Skip the first few warm-up observations.
-    const std::size_t skip = std::min<std::size_t>(bits.size(), 4);
-    Bits tail(bits.begin() + static_cast<std::ptrdiff_t>(skip), bits.end());
-    return fractionOnes(tail);
+    return sessionPercentOnes(sessionConfigFor(config), constant_bit);
 }
 
 } // namespace lruleak::channel

@@ -2,12 +2,18 @@
  * @file
  * End-to-end covert-channel runs (paper Algorithm 3 + Sections V/VI).
  *
- * One call builds the hierarchy for a chosen CPU model, wires up sender
- * and receiver under the chosen sharing mode, runs the transmission, and
- * decodes the receiver's trace — returning everything the paper's
- * figures need: the raw latency trace, the decoded bits, the edit-
- * distance error rate, the effective transmission rate and the sender's
- * per-level miss rates.
+ * DEPRECATED SHIM.  The single-core LRU-channel harness that used to
+ * live here is now one instantiation of the unified channel-session
+ * pipeline (channel/session.hpp); runCovertChannel/runPercentOnes
+ * survive as thin config translators over channel::runSession so the
+ * original call sites keep compiling.  New code should build a
+ * SessionConfig directly:
+ *
+ *   channel::SessionConfig s;
+ *   s.channel = ChannelId::LruAlg1;          // cfg.alg
+ *   s.mode = SharingMode::HyperThreaded;     // cfg.mode
+ *   s.message = ...; s.d = 8;                // remaining knobs 1:1
+ *   const auto res = channel::runSession(s);
  */
 
 #ifndef LRULEAK_CHANNEL_COVERT_CHANNEL_HPP
@@ -15,21 +21,9 @@
 
 #include <cstdint>
 
-#include "channel/decoder.hpp"
-#include "channel/edit_distance.hpp"
-#include "channel/lru_channel.hpp"
-#include "exec/engine.hpp"
-#include "sim/plcache.hpp"
-#include "timing/uarch.hpp"
+#include "channel/session.hpp"
 
 namespace lruleak::channel {
-
-/** How sender and receiver share the physical core. */
-enum class SharingMode
-{
-    HyperThreaded, //!< SMT siblings (Section V-A)
-    TimeSliced,    //!< one context, OS scheduling (Section V-B)
-};
 
 /** Full configuration of one covert-channel run. */
 struct CovertConfig
@@ -78,7 +72,10 @@ struct CovertResult
     sim::LevelStats receiver_l1;
 };
 
-/** Run a full transmission and decode it. */
+/** The SessionConfig a legacy CovertConfig translates to. */
+SessionConfig sessionConfigFor(const CovertConfig &config);
+
+/** Run a full transmission and decode it (shim over runSession). */
 CovertResult runCovertChannel(const CovertConfig &config);
 
 /**

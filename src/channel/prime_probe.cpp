@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "channel/calibration.hpp"
+
 namespace lruleak::channel {
 
 PpReceiver::PpReceiver(const ChannelLayout &layout, PpReceiverConfig config)
@@ -21,9 +23,11 @@ PpReceiver::PpReceiver(const ChannelLayout &layout, PpReceiverConfig config)
 std::uint32_t
 PpReceiver::probeThreshold(const timing::Uarch &uarch, std::uint32_t ways)
 {
-    const std::uint32_t all_hits =
-        uarch.chase_overhead + ways * uarch.l1_latency;
-    return all_hits + (uarch.l2_latency - uarch.l1_latency) / 2;
+    // Derivation now lives with every other decode threshold in
+    // channel::Calibration; this wrapper keeps the historical entry
+    // point (and its exact values) alive.
+    return calibrationFor(uarch, ChannelId::PrimeProbe, Carrier::L1, ways)
+        .threshold;
 }
 
 exec::Op

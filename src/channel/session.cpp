@@ -1,0 +1,348 @@
+/**
+ * @file
+ * The unified channel-session pipeline.
+ */
+
+#include "channel/session.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/access_port.hpp"
+#include "util/strings.hpp"
+
+namespace lruleak::channel {
+
+std::string_view
+sharingModeToken(SharingMode mode)
+{
+    switch (mode) {
+      case SharingMode::HyperThreaded: return "hyperthreaded";
+      case SharingMode::TimeSliced:    return "timesliced";
+      case SharingMode::CrossCore:     return "crosscore";
+    }
+    return "unknown";
+}
+
+const std::vector<SharingMode> &
+allSharingModes()
+{
+    static const std::vector<SharingMode> modes{
+        SharingMode::HyperThreaded, SharingMode::TimeSliced,
+        SharingMode::CrossCore};
+    return modes;
+}
+
+SharingMode
+sharingModeFromName(std::string_view name)
+{
+    const std::string n = util::normalizeToken(name);
+    for (SharingMode mode : allSharingModes()) {
+        if (n == sharingModeToken(mode))
+            return mode;
+    }
+    if (n == "ht" || n == "smt" || n == "hyper-threaded")
+        return SharingMode::HyperThreaded;
+    if (n == "ts" || n == "time-sliced")
+        return SharingMode::TimeSliced;
+    if (n == "xcore" || n == "cross-core")
+        return SharingMode::CrossCore;
+
+    std::ostringstream os;
+    os << "unknown sharing mode '" << name << "'; valid modes:";
+    for (SharingMode mode : allSharingModes())
+        os << " " << sharingModeToken(mode);
+    throw std::invalid_argument(os.str());
+}
+
+Carrier
+sessionCarrier(const SessionConfig &config)
+{
+    // Cross-core parties can only meet in the shared LLC; the x-core
+    // channel speaks LLC geometry natively in every mode.
+    if (config.mode == SharingMode::CrossCore ||
+        channelCaps(config.channel).llc_geometry)
+        return Carrier::Llc;
+    return Carrier::L1;
+}
+
+bool
+sessionMultiCore(const SessionConfig &config)
+{
+    return config.mode == SharingMode::CrossCore ||
+           config.noise_cores > 0 || config.multicore;
+}
+
+ChannelLayout
+sessionLayoutFor(const SessionConfig &config)
+{
+    if (sessionCarrier(config) == Carrier::Llc) {
+        // LLC geometry: lines 0..N-1 share one LLC set *and*, because
+        // LLC-set bits contain the private-cache set bits, one private
+        // set per core too.
+        sim::CacheConfig llc = sim::CacheConfig::intelLlc();
+        if (config.llc_policy)
+            llc.policy = *config.llc_policy;
+        return ChannelLayout(llc, config.target_set, config.chase_set,
+                             config.shared_same_vaddr);
+    }
+    return ChannelLayout(sim::CacheConfig::intelL1d(config.l1_policy),
+                         config.target_set, config.chase_set,
+                         config.shared_same_vaddr);
+}
+
+namespace {
+
+/** Time-sliced runs outlive the SMT safety stop by orders of magnitude
+ *  (quanta are ~1e8 cycles); keep the seed schedulers' respective caps. */
+constexpr std::uint64_t kTimeSlicedMaxCycles = 4'000'000'000'000ULL;
+
+/**
+ * Build one NoiseProgram per noise core, with per-core seed and
+ * footprint base so the cores never run in lockstep.
+ */
+std::vector<std::unique_ptr<exec::NoiseProgram>>
+makeNoisePrograms(const exec::NoiseConfig &base_config,
+                  std::uint32_t noise_cores, std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<exec::NoiseProgram>> noise;
+    noise.reserve(noise_cores);
+    for (std::uint32_t i = 0; i < noise_cores; ++i) {
+        exec::NoiseConfig nc = base_config;
+        nc.seed = seed + 0x6e01'0000ULL + i;
+        nc.base = base_config.base + i * 0x0100'0000'0000ULL;
+        noise.push_back(std::make_unique<exec::NoiseProgram>(nc));
+    }
+    return noise;
+}
+
+/**
+ * Per-party-core OS model for the time-sliced cross-core scenario:
+ * same quantum on both cores, distinct kernel/background thread ids
+ * and background footprints (the kernel working set is shared — it is
+ * the same kernel).
+ */
+exec::TimeSlicePolicyConfig
+partyCoreTimeSlice(const SessionConfig &config, std::uint32_t core)
+{
+    exec::TimeSlicePolicyConfig tc = config.tslice;
+    tc.quantum = config.quantum;
+    tc.kernel_thread = 1000 + 2 * core;
+    tc.background_thread = 1001 + 2 * core;
+    tc.background_base += core * 0x0100'0000'0000ULL;
+    return tc;
+}
+
+/** End-of-run values that must outlive the engine. */
+struct RunOutcome
+{
+    std::uint64_t end = 0;
+    exec::ThreadStats sender_stats;
+    exec::ThreadStats receiver_stats;
+};
+
+RunOutcome
+finish(exec::Engine &engine, std::span<const exec::ThreadSpec> specs)
+{
+    RunOutcome out;
+    out.end = engine.run(specs, /*primary=*/1);
+    out.sender_stats = engine.stats(0);
+    out.receiver_stats = engine.stats(1);
+    return out;
+}
+
+/** Single-core stage: CacheHierarchy under RoundRobinSmt or TimeSlice. */
+RunOutcome
+runSingleCore(const SessionConfig &config, ChannelPair &pair,
+              sim::CacheHierarchy &hierarchy)
+{
+    sim::SingleCorePort port(hierarchy);
+    const std::vector<exec::ThreadSpec> specs{{&pair.sender(), 0},
+                                              {&pair.receiver(), 0}};
+    exec::EngineConfig ec = config.sched;
+    ec.seed = config.seed;
+    if (config.mode == SharingMode::HyperThreaded) {
+        exec::RoundRobinSmt policy;
+        exec::Engine engine(port, config.uarch, policy, ec);
+        return finish(engine, specs);
+    }
+    ec.max_cycles = kTimeSlicedMaxCycles;
+    exec::TimeSlice policy(config.tslice);
+    exec::Engine engine(port, config.uarch, policy, ec);
+    return finish(engine, specs);
+}
+
+/**
+ * Multi-core stage: MultiCoreHierarchy under LowestClock, with the
+ * sharing mode's intra-core policy nested on the party core(s) and
+ * noise programs pinned to the remaining cores.
+ */
+RunOutcome
+runMultiCore(const SessionConfig &config, ChannelPair &pair,
+             sim::MultiCoreHierarchy &hierarchy)
+{
+    const bool xcore = config.mode == SharingMode::CrossCore;
+    const std::uint32_t first_noise_core = xcore ? 2 : 1;
+
+    const auto noise =
+        makeNoisePrograms(config.noise, config.noise_cores, config.seed);
+    std::vector<exec::ThreadSpec> specs{
+        {&pair.sender(), 0}, {&pair.receiver(), xcore ? 1u : 0u}};
+    for (std::uint32_t i = 0; i < config.noise_cores; ++i)
+        specs.push_back(exec::ThreadSpec{noise[i].get(),
+                                         first_noise_core + i});
+
+    sim::MultiCorePort port(hierarchy);
+    exec::LowestClock policy;
+    exec::EngineConfig ec = config.sched;
+    ec.seed = config.seed;
+    switch (config.mode) {
+      case SharingMode::CrossCore:
+        if (config.quantum > 0) {
+            // Layer OS time-slicing on the party cores: TimeSlice nests
+            // under the cross-core LowestClock arbitration.  Noise
+            // cores stay dedicated (pinned background processes).
+            policy.nest(0, std::make_unique<exec::TimeSlice>(
+                               partyCoreTimeSlice(config, 0)));
+            policy.nest(1, std::make_unique<exec::TimeSlice>(
+                               partyCoreTimeSlice(config, 1)));
+        }
+        break;
+      case SharingMode::HyperThreaded:
+        // The hyperthread pair on core 0; noise cores get the default
+        // leaf.
+        policy.nest(0, std::make_unique<exec::RoundRobinSmt>());
+        break;
+      case SharingMode::TimeSliced:
+        policy.nest(0, std::make_unique<exec::TimeSlice>(config.tslice));
+        ec.max_cycles = kTimeSlicedMaxCycles;
+        break;
+    }
+
+    exec::Engine engine(port, config.uarch, policy, ec);
+    return finish(engine, specs);
+}
+
+} // namespace
+
+SessionResult
+runSession(const SessionConfig &config)
+{
+    const std::size_t nbits = config.message.size() * config.repeats;
+    const bool multi = sessionMultiCore(config);
+
+    // ----- stage 1: sender/receiver over the carrier-geometry layout.
+    ChannelPairConfig pc;
+    pc.message = config.message;
+    pc.repeats = config.repeats;
+    pc.ts = config.ts;
+    pc.tr = config.tr;
+    pc.d = config.d;
+    pc.chain_len = config.chain_len;
+    pc.encode_gap = config.encode_gap;
+    pc.infinite = config.infinite;
+    pc.lock_line = config.sender_locks_line;
+    // Sample slightly past the end of the message so the last bit gets
+    // its full window even with scheduling skew.
+    pc.max_samples = config.max_samples
+        ? config.max_samples
+        : (config.infinite
+               ? 300
+               : (nbits * config.ts) /
+                         std::max<std::uint64_t>(config.tr, 1) +
+                     8);
+
+    const ChannelLayout layout = sessionLayoutFor(config);
+    ChannelPair pair(config.channel, layout, pc);
+
+    // ----- stage 2: topology + arbitration policy, then the run.
+    SessionResult res;
+    RunOutcome run;
+    if (multi) {
+        sim::MultiCoreConfig mc;
+        mc.cores = (config.mode == SharingMode::CrossCore ? 2u : 1u) +
+                   config.noise_cores;
+        mc.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
+        if (config.llc_policy)
+            mc.llc.policy = *config.llc_policy;
+        mc.seed = config.seed;
+        sim::MultiCoreHierarchy hierarchy(mc);
+
+        run = runMultiCore(config, pair, hierarchy);
+
+        const std::uint32_t rcore =
+            config.mode == SharingMode::CrossCore ? 1 : 0;
+        res.cores = hierarchy.cores();
+        res.back_invalidations = hierarchy.backInvalidations();
+        res.sender_l1 = hierarchy.l1(0).counters().forThread(kSenderThread);
+        res.sender_l2 = hierarchy.l2(0).counters().forThread(kSenderThread);
+        res.sender_llc = hierarchy.llc().counters().forThread(kSenderThread);
+        res.receiver_l1 =
+            hierarchy.l1(rcore).counters().forThread(kReceiverThread);
+        res.receiver_llc =
+            hierarchy.llc().counters().forThread(kReceiverThread);
+    } else {
+        sim::HierarchyConfig h;
+        h.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
+        h.l1.seed = config.seed;
+        if (config.llc_policy)
+            h.llc.policy = *config.llc_policy;
+        h.l1_way_predictor = config.uarch.way_predictor;
+        h.l1_pl_mode = config.pl_mode;
+        sim::CacheHierarchy hierarchy(h);
+
+        run = runSingleCore(config, pair, hierarchy);
+
+        res.sender_l1 = hierarchy.l1().counters().forThread(kSenderThread);
+        res.sender_l2 = hierarchy.l2().counters().forThread(kSenderThread);
+        res.sender_llc = hierarchy.llc().counters().forThread(kSenderThread);
+        res.receiver_l1 =
+            hierarchy.l1().counters().forThread(kReceiverThread);
+        res.receiver_llc =
+            hierarchy.llc().counters().forThread(kReceiverThread);
+    }
+    res.sender_stats = run.sender_stats;
+    res.receiver_stats = run.receiver_stats;
+
+    // ----- stage 3: calibrate, decode, score.
+    const Calibration cal =
+        calibrationFor(config.uarch, config.channel,
+                       sessionCarrier(config), layout.ways(),
+                       config.chain_len);
+    res.threshold = cal.threshold;
+    res.invert = cal.invert;
+
+    res.samples = pair.samples();
+    res.sent = pair.sender().sentBits();
+    res.sender_start = pair.sender().startTsc();
+    if (!config.infinite) {
+        res.received = windowDecode(res.samples, res.threshold, res.invert,
+                                    res.sender_start, config.ts, nbits);
+        res.error_rate = editErrorRate(res.sent, res.received);
+    }
+
+    res.elapsed_cycles =
+        run.end > res.sender_start ? run.end - res.sender_start : 0;
+    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
+    return res;
+}
+
+double
+sessionPercentOnes(SessionConfig config, std::uint8_t constant_bit)
+{
+    config.message = Bits{constant_bit};
+    config.repeats = 1;
+    config.infinite = true;
+    const SessionResult r = runSession(config);
+
+    const Bits bits = thresholdSamples(r.samples, r.threshold, r.invert);
+    // Skip the first few warm-up observations.
+    const std::size_t skip = std::min<std::size_t>(bits.size(), 4);
+    Bits tail(bits.begin() + static_cast<std::ptrdiff_t>(skip), bits.end());
+    return fractionOnes(tail);
+}
+
+} // namespace lruleak::channel

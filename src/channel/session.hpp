@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The unified transmission pipeline: ONE path from a channel-session
+ * configuration to a decoded, scored transmission, for any channel
+ * design on any topology under any arbitration policy.
+ *
+ * Before this module the repo carried three parallel end-to-end
+ * harnesses — channel::runCovertChannel (single-core, LRU algorithms
+ * only), channel::runXCoreChannel (cross-core, Algorithm 2 only) and
+ * the ad-hoc ChannelPair loops in core/experiments.cpp — each
+ * re-implementing hierarchy construction, engine wiring, calibration,
+ * decode and error scoring.  Session factors the pipeline once:
+ *
+ *   SessionConfig
+ *     -> build the topology (CacheHierarchy or MultiCoreHierarchy
+ *        behind a sim::AccessPort)
+ *     -> build the carrier-geometry ChannelLayout (L1 or shared LLC)
+ *     -> instantiate sender/receiver via the channel factory
+ *        (any of the six ChannelIds)
+ *     -> run under the sharing mode's ArbitrationPolicy (RoundRobinSmt,
+ *        TimeSlice or LowestClock with nested per-core children)
+ *     -> calibrate the decode threshold (channel::Calibration)
+ *     -> window-decode and score
+ *   -> SessionResult
+ *
+ * The legacy entry points survive as thin deprecated shims over
+ * runSession (see covert_channel.hpp / xcore_channel.hpp); new code and
+ * the `channel_matrix` experiment call Session directly.
+ */
+
+#ifndef LRULEAK_CHANNEL_SESSION_HPP
+#define LRULEAK_CHANNEL_SESSION_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "channel/calibration.hpp"
+#include "channel/channel_factory.hpp"
+#include "channel/decoder.hpp"
+#include "channel/edit_distance.hpp"
+#include "exec/engine.hpp"
+#include "sim/multicore_hierarchy.hpp"
+#include "sim/plcache.hpp"
+#include "timing/uarch.hpp"
+
+namespace lruleak::channel {
+
+/** How sender and receiver share hardware. */
+enum class SharingMode
+{
+    HyperThreaded, //!< SMT siblings on one core (Section V-A)
+    TimeSliced,    //!< one context, OS scheduling (Section V-B)
+    CrossCore,     //!< different cores, shared inclusive LLC (x-core)
+};
+
+/** Stable CLI token: "hyperthreaded", "timesliced", "crosscore". */
+std::string_view sharingModeToken(SharingMode mode);
+
+/** Parse a sharing-mode name (token, aliases like "smt"/"ht"/"xcore"). */
+SharingMode sharingModeFromName(std::string_view name);
+
+/** All modes, in declaration order. */
+const std::vector<SharingMode> &allSharingModes();
+
+/** Full configuration of one channel session. */
+struct SessionConfig
+{
+    ChannelId channel = ChannelId::LruAlg1;
+    SharingMode mode = SharingMode::HyperThreaded;
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+
+    sim::ReplPolicyKind l1_policy = sim::ReplPolicyKind::TreePlru;
+    /** Shared-LLC policy; nullopt keeps the topology default (SRRIP). */
+    std::optional<sim::ReplPolicyKind> llc_policy;
+    sim::PlMode pl_mode = sim::PlMode::Disabled; //!< single-core only
+
+    std::uint32_t d = 0;          //!< receiver init depth; 0 = default
+    std::uint64_t tr = 600;       //!< receiver sampling period (cycles)
+    std::uint64_t ts = 6000;      //!< sender per-bit period (cycles)
+    Bits message;                 //!< bits to transmit
+    std::uint32_t repeats = 1;
+    bool infinite = false;        //!< sender loops forever; no decode
+
+    std::uint32_t target_set = 7;   //!< carrier set of the channel
+    std::uint32_t chase_set = 63;   //!< set of the receiver's chain
+    bool shared_same_vaddr = true;  //!< false: separate address spaces
+                                    //!< (AMD utag experiment)
+    bool sender_locks_line = false; //!< PL-cache attack (Fig. 11)
+    std::uint32_t encode_gap = 40;
+    std::uint64_t max_samples = 0;  //!< 0: derived from bits, Ts and Tr
+                                    //!< (or 300 when infinite)
+    std::uint32_t chain_len = 7;
+
+    // ----- topology beyond the minimal one the mode implies.
+    /** Run on the multi-core topology even without noise cores or
+     *  cross-core parties (the SMT-pair-on-core-0 scenarios). */
+    bool multicore = false;
+    std::uint32_t noise_cores = 0;  //!< background cores beyond the
+                                    //!< party core(s)
+    exec::NoiseConfig noise{};      //!< per-noise-core knobs (seed varies)
+
+    /**
+     * CrossCore only: > 0 layers OS time-slicing with this quantum on
+     * *each party core* (TimeSlice nested under LowestClock).  For
+     * SharingMode::TimeSliced the OS model is `tslice` itself.
+     */
+    std::uint64_t quantum = 0;
+    exec::TimeSlicePolicyConfig tslice{};
+
+    exec::EngineConfig sched{};     //!< engine knobs (seed overridden)
+    std::uint64_t seed = 1;
+};
+
+/** Everything a figure/table needs from one session. */
+struct SessionResult
+{
+    std::vector<Sample> samples;   //!< receiver's raw trace
+    Bits sent;                     //!< ground-truth transmitted bits
+    Bits received;                 //!< decoded bits (empty if infinite)
+    double error_rate = 0.0;       //!< edit distance / sent length
+    double kbps = 0.0;             //!< effective rate during the send
+    std::uint64_t elapsed_cycles = 0;
+    std::uint32_t threshold = 0;   //!< decode decision latency
+    bool invert = false;           //!< decode polarity (1 = slow sample)
+    std::uint64_t sender_start = 0;
+    std::uint64_t back_invalidations = 0; //!< topology-wide (multi-core)
+    std::uint32_t cores = 1;       //!< total cores simulated
+
+    // Per-party cache behaviour (Tables IV-VII).  On the multi-core
+    // topology the private levels are the party's own core's.
+    sim::LevelStats sender_l1;
+    sim::LevelStats sender_l2;
+    sim::LevelStats sender_llc;
+    sim::LevelStats receiver_l1;
+    sim::LevelStats receiver_llc;
+
+    // Engine telemetry of the two parties.
+    exec::ThreadStats sender_stats;
+    exec::ThreadStats receiver_stats;
+};
+
+/** The cache level that carries the channel state for this config. */
+Carrier sessionCarrier(const SessionConfig &config);
+
+/** Does this config need the multi-core topology? */
+bool sessionMultiCore(const SessionConfig &config);
+
+/** The carrier-geometry address plan the parties agree on. */
+ChannelLayout sessionLayoutFor(const SessionConfig &config);
+
+/** Run a full transmission and decode it. */
+SessionResult runSession(const SessionConfig &config);
+
+/**
+ * Observation experiment (Figures 6, 8 and 15): the sender constantly
+ * sends @p constant_bit (config.message/repeats are ignored); the
+ * receiver takes max_samples measurements with period Tr; returns the
+ * fraction of post-warm-up samples the receiver reads as 1.
+ */
+double sessionPercentOnes(SessionConfig config, std::uint8_t constant_bit);
+
+} // namespace lruleak::channel
+
+#endif // LRULEAK_CHANNEL_SESSION_HPP

@@ -1,58 +1,12 @@
 /**
  * @file
- * Cross-core channel run orchestration (plus the combined scenarios:
- * time-sliced party cores and the SMT-pair-on-a-multi-core-system).
+ * Deprecated cross-core shims: XCoreConfig / SmtMultiCoreConfig
+ * translated onto the unified channel-session pipeline.
  */
 
 #include "channel/xcore_channel.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <vector>
-
-#include "timing/pointer_chase.hpp"
-
 namespace lruleak::channel {
-
-namespace {
-
-/**
- * Build one NoiseProgram per noise core, with per-core seed and
- * footprint base so the cores never run in lockstep.
- */
-std::vector<std::unique_ptr<exec::NoiseProgram>>
-makeNoisePrograms(const exec::NoiseConfig &base_config,
-                  std::uint32_t noise_cores, std::uint64_t seed)
-{
-    std::vector<std::unique_ptr<exec::NoiseProgram>> noise;
-    noise.reserve(noise_cores);
-    for (std::uint32_t i = 0; i < noise_cores; ++i) {
-        exec::NoiseConfig nc = base_config;
-        nc.seed = seed + 0x6e01'0000ULL + i;
-        nc.base = base_config.base + i * 0x0100'0000'0000ULL;
-        noise.push_back(std::make_unique<exec::NoiseProgram>(nc));
-    }
-    return noise;
-}
-
-/**
- * Per-party-core OS model for the time-sliced cross-core scenario:
- * same quantum on both cores, distinct kernel/background thread ids
- * and background footprints (the kernel working set is shared — it is
- * the same kernel).
- */
-exec::TimeSlicePolicyConfig
-partyCoreTimeSlice(const XCoreConfig &config, std::uint32_t core)
-{
-    exec::TimeSlicePolicyConfig tc = config.tslice;
-    tc.quantum = config.quantum;
-    tc.kernel_thread = 1000 + 2 * core;
-    tc.background_thread = 1001 + 2 * core;
-    tc.background_base += core * 0x0100'0000'0000ULL;
-    return tc;
-}
-
-} // namespace
 
 sim::MultiCoreConfig
 multiCoreConfigFor(const XCoreConfig &config)
@@ -67,172 +21,104 @@ multiCoreConfigFor(const XCoreConfig &config)
 ChannelLayout
 xcoreLayoutFor(const XCoreConfig &config)
 {
-    // The address plan is built from the *LLC* geometry: lines 0..N-1
-    // share one LLC set (and, since LLC-set bits contain the private-
-    // cache set bits, one private set per core too).
-    sim::CacheConfig llc = sim::CacheConfig::intelLlc();
-    llc.policy = config.llc_policy;
-    return ChannelLayout(llc, config.target_set, config.chase_set,
-                         /*shared_same_vaddr=*/true);
+    return sessionLayoutFor(sessionConfigFor(config));
+}
+
+SessionConfig
+sessionConfigFor(const XCoreConfig &config)
+{
+    SessionConfig s;
+    s.channel = ChannelId::XCoreLruAlg2;
+    s.mode = SharingMode::CrossCore;
+    s.uarch = config.uarch;
+    s.llc_policy = config.llc_policy;
+    s.noise_cores = config.noise_cores;
+    s.d = config.d;
+    s.tr = config.tr;
+    s.ts = config.ts;
+    s.message = config.message;
+    s.repeats = config.repeats;
+    s.target_set = config.target_set;
+    s.chase_set = config.chase_set;
+    s.encode_gap = config.encode_gap;
+    s.max_samples = config.max_samples;
+    s.noise = config.noise;
+    s.quantum = config.quantum;
+    s.tslice = config.tslice;
+    s.sched = config.sched;
+    s.seed = config.seed;
+    return s;
 }
 
 XCoreResult
 runXCoreChannel(const XCoreConfig &config)
 {
-    const std::size_t nbits = config.message.size() * config.repeats;
-
-    SenderConfig sc;
-    sc.alg = LruAlgorithm::Alg2Disjoint;
-    sc.message = config.message;
-    sc.repeats = config.repeats;
-    sc.ts = config.ts;
-    sc.encode_gap = config.encode_gap;
-
-    ReceiverConfig rc;
-    rc.alg = LruAlgorithm::Alg2Disjoint;
-    rc.d = config.d;
-    rc.tr = config.tr;
-    // Sample slightly past the end of the message so the last bit gets
-    // its full window even with scheduling skew.
-    rc.max_samples = config.max_samples
-        ? config.max_samples
-        : (nbits * config.ts) / std::max<std::uint64_t>(config.tr, 1) + 8;
-
-    sim::MultiCoreHierarchy hierarchy(multiCoreConfigFor(config));
-    const ChannelLayout layout = xcoreLayoutFor(config);
-    LruSender sender(layout, sc);
-    LruReceiver receiver(layout, rc);
-
-    const auto noise =
-        makeNoisePrograms(config.noise, config.noise_cores, config.seed);
-    std::vector<exec::ThreadSpec> specs{{&sender, 0}, {&receiver, 1}};
-    for (std::uint32_t i = 0; i < config.noise_cores; ++i)
-        specs.push_back(exec::ThreadSpec{noise[i].get(), 2 + i});
-
-    sim::MultiCorePort port(hierarchy);
-    exec::LowestClock policy;
-    if (config.quantum > 0) {
-        // Layer OS time-slicing on the party cores: TimeSlice nests
-        // under the cross-core LowestClock arbitration.  Noise cores
-        // stay dedicated (they model pinned background processes).
-        policy.nest(0, std::make_unique<exec::TimeSlice>(
-                           partyCoreTimeSlice(config, 0)));
-        policy.nest(1, std::make_unique<exec::TimeSlice>(
-                           partyCoreTimeSlice(config, 1)));
-    }
-
-    exec::EngineConfig ec = config.sched;
-    ec.seed = config.seed;
-    exec::Engine engine(port, config.uarch, policy, ec);
-    const std::uint64_t end = engine.run(specs, /*primary=*/1);
-
-    const timing::MeasurementModel model(config.uarch);
+    const SessionResult r = runSession(sessionConfigFor(config));
 
     XCoreResult res;
-    res.samples = receiver.samples();
-    res.sent = sender.sentBits();
-    // The timed line-0 access resolves in the LLC when the line
-    // survived and in memory when it was evicted, so the decision
-    // threshold sits between those two levels (not L1/L2).
-    res.threshold = model.chaseThresholdBetween(sim::HitLevel::LLC,
-                                                sim::HitLevel::Memory);
-    res.sender_start = sender.startTsc();
-    res.cores = hierarchy.cores();
-
-    // Algorithm 2 polarity: a 1 evicts line 0, so high latency = 1.
-    res.received = windowDecode(res.samples, res.threshold,
-                                /*invert=*/true, res.sender_start,
-                                config.ts, nbits);
-    res.error_rate = editErrorRate(res.sent, res.received);
-
-    res.elapsed_cycles = end > res.sender_start ? end - res.sender_start
-                                                : 0;
-    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
-    res.back_invalidations = hierarchy.backInvalidations();
-
-    res.sender_l1 = hierarchy.l1(0).counters().forThread(kSenderThread);
-    res.sender_llc = hierarchy.llc().counters().forThread(kSenderThread);
-    res.receiver_llc =
-        hierarchy.llc().counters().forThread(kReceiverThread);
+    res.samples = r.samples;
+    res.sent = r.sent;
+    res.received = r.received;
+    res.error_rate = r.error_rate;
+    res.kbps = r.kbps;
+    res.elapsed_cycles = r.elapsed_cycles;
+    res.threshold = r.threshold;
+    res.sender_start = r.sender_start;
+    res.back_invalidations = r.back_invalidations;
+    res.cores = r.cores;
+    res.sender_l1 = r.sender_l1;
+    res.sender_llc = r.sender_llc;
+    res.receiver_llc = r.receiver_llc;
     return res;
 }
 
 // --------------------------------------- SMT pair on a multi-core system
 
+SessionConfig
+sessionConfigFor(const SmtMultiCoreConfig &config)
+{
+    SessionConfig s;
+    s.channel = config.alg == LruAlgorithm::Alg1Shared
+                    ? ChannelId::LruAlg1
+                    : ChannelId::LruAlg2;
+    s.mode = SharingMode::HyperThreaded;
+    s.multicore = true; // core 0's private L1 carries the channel
+    s.uarch = config.uarch;
+    s.l1_policy = config.l1_policy;
+    s.noise_cores = config.noise_cores;
+    s.d = config.d;
+    s.tr = config.tr;
+    s.ts = config.ts;
+    s.message = config.message;
+    s.repeats = config.repeats;
+    s.target_set = config.target_set;
+    s.chase_set = config.chase_set;
+    s.encode_gap = config.encode_gap;
+    s.max_samples = config.max_samples;
+    s.noise = config.noise;
+    s.sched = config.sched;
+    s.seed = config.seed;
+    return s;
+}
+
 SmtMultiCoreResult
 runSmtMulticore(const SmtMultiCoreConfig &config)
 {
-    const std::size_t nbits = config.message.size() * config.repeats;
-
-    SenderConfig sc;
-    sc.alg = config.alg;
-    sc.message = config.message;
-    sc.repeats = config.repeats;
-    sc.ts = config.ts;
-    sc.encode_gap = config.encode_gap;
-
-    ReceiverConfig rc;
-    rc.alg = config.alg;
-    rc.d = config.d;
-    rc.tr = config.tr;
-    rc.max_samples = config.max_samples
-        ? config.max_samples
-        : (nbits * config.ts) / std::max<std::uint64_t>(config.tr, 1) + 8;
-
-    // Core 0's private L1 carries the channel, exactly as in the
-    // single-core SMT setting; the other cores only reach it through
-    // shared-LLC back-invalidation.
-    sim::MultiCoreConfig mc;
-    mc.cores = 1 + config.noise_cores;
-    mc.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
-    mc.seed = config.seed;
-    sim::MultiCoreHierarchy hierarchy(mc);
-
-    const ChannelLayout layout(sim::CacheConfig::intelL1d(config.l1_policy),
-                               config.target_set, config.chase_set,
-                               /*shared_same_vaddr=*/true);
-    LruSender sender(layout, sc);
-    LruReceiver receiver(layout, rc);
-
-    const auto noise =
-        makeNoisePrograms(config.noise, config.noise_cores, config.seed);
-    std::vector<exec::ThreadSpec> specs{{&sender, 0}, {&receiver, 0}};
-    for (std::uint32_t i = 0; i < config.noise_cores; ++i)
-        specs.push_back(exec::ThreadSpec{noise[i].get(), 1 + i});
-
-    sim::MultiCorePort port(hierarchy);
-    exec::LowestClock policy;
-    // The hyperthread pair on core 0: RoundRobinSmt nests under the
-    // cross-core arbitration.  Noise cores get the default leaf.
-    policy.nest(0, std::make_unique<exec::RoundRobinSmt>());
-
-    exec::EngineConfig ec = config.sched;
-    ec.seed = config.seed;
-    exec::Engine engine(port, config.uarch, policy, ec);
-    const std::uint64_t end = engine.run(specs, /*primary=*/1);
-
-    const timing::MeasurementModel model(config.uarch);
+    const SessionResult r = runSession(sessionConfigFor(config));
 
     SmtMultiCoreResult res;
-    res.samples = receiver.samples();
-    res.sent = sender.sentBits();
-    res.threshold = model.chaseThreshold();
-    res.sender_start = sender.startTsc();
-    res.cores = hierarchy.cores();
-
-    const bool invert = config.alg == LruAlgorithm::Alg2Disjoint;
-    res.received = windowDecode(res.samples, res.threshold, invert,
-                                res.sender_start, config.ts, nbits);
-    res.error_rate = editErrorRate(res.sent, res.received);
-
-    res.elapsed_cycles = end > res.sender_start ? end - res.sender_start
-                                                : 0;
-    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
-    res.back_invalidations = hierarchy.backInvalidations();
-
-    res.sender_l1 = hierarchy.l1(0).counters().forThread(kSenderThread);
-    res.receiver_l1 =
-        hierarchy.l1(0).counters().forThread(kReceiverThread);
+    res.samples = r.samples;
+    res.sent = r.sent;
+    res.received = r.received;
+    res.error_rate = r.error_rate;
+    res.kbps = r.kbps;
+    res.elapsed_cycles = r.elapsed_cycles;
+    res.threshold = r.threshold;
+    res.sender_start = r.sender_start;
+    res.back_invalidations = r.back_invalidations;
+    res.cores = r.cores;
+    res.sender_l1 = r.sender_l1;
+    res.receiver_l1 = r.receiver_l1;
     return res;
 }
 

@@ -3,6 +3,13 @@
  * The cross-core LRU channel: Algorithm 2 carried by the shared
  * inclusive LLC instead of a shared L1.
  *
+ * DEPRECATED SHIMS.  runXCoreChannel and runSmtMulticore are now thin
+ * config translators over the unified channel-session pipeline
+ * (channel/session.hpp): XCoreConfig maps to a SessionConfig with
+ * channel = ChannelId::XCoreLruAlg2 and mode = SharingMode::CrossCore;
+ * SmtMultiCoreConfig maps to mode = SharingMode::HyperThreaded with
+ * multicore = true.  New code should build the SessionConfig directly.
+ *
  * Sender and receiver run on different cores and share no memory; they
  * agree only on an LLC set index.  The protocol is the paper's
  * Algorithm 2 verbatim, just instantiated over the LLC geometry
@@ -35,12 +42,7 @@
 
 #include <cstdint>
 
-#include "channel/decoder.hpp"
-#include "channel/edit_distance.hpp"
-#include "channel/lru_channel.hpp"
-#include "exec/engine.hpp"
-#include "sim/multicore_hierarchy.hpp"
-#include "timing/uarch.hpp"
+#include "channel/session.hpp"
 
 namespace lruleak::channel {
 
@@ -107,7 +109,10 @@ sim::MultiCoreConfig multiCoreConfigFor(const XCoreConfig &config);
 /** The LLC-geometry address plan the cross-core parties agree on. */
 ChannelLayout xcoreLayoutFor(const XCoreConfig &config);
 
-/** Run a full cross-core transmission and decode it. */
+/** The SessionConfig a legacy XCoreConfig translates to. */
+SessionConfig sessionConfigFor(const XCoreConfig &config);
+
+/** Run a full cross-core transmission and decode it (shim). */
 XCoreResult runXCoreChannel(const XCoreConfig &config);
 
 // --------------------------------------- SMT pair on a multi-core system
@@ -164,7 +169,10 @@ struct SmtMultiCoreResult
     sim::LevelStats receiver_l1;   //!< core-0 L1, receiver thread
 };
 
-/** Run the SMT-pair-on-core-0 scenario and decode it. */
+/** The SessionConfig a legacy SmtMultiCoreConfig translates to. */
+SessionConfig sessionConfigFor(const SmtMultiCoreConfig &config);
+
+/** Run the SMT-pair-on-core-0 scenario and decode it (shim). */
 SmtMultiCoreResult runSmtMulticore(const SmtMultiCoreConfig &config);
 
 } // namespace lruleak::channel

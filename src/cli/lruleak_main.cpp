@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/session.hpp"
 #include "core/bench.hpp"
 #include "core/experiment.hpp"
 
@@ -39,7 +40,7 @@ usage(std::ostream &os, int code)
 {
     os << "usage:\n"
           "  lruleak list\n"
-          "  lruleak describe <experiment>\n"
+          "  lruleak describe <experiment|channel>\n"
           "  lruleak run <experiment> [--format=table|json|csv] "
           "[--smoke] [--seed=N]\n"
           "              [--<param>=<value> ...]\n"
@@ -84,13 +85,75 @@ cmdList()
     return 0;
 }
 
+const char *
+hitLevelName(sim::HitLevel level)
+{
+    switch (level) {
+      case sim::HitLevel::L1:     return "L1";
+      case sim::HitLevel::L2:     return "L2";
+      case sim::HitLevel::LLC:    return "LLC";
+      case sim::HitLevel::Memory: return "memory";
+    }
+    return "?";
+}
+
+/**
+ * The capability card of one channel design, driven entirely by the
+ * factory capability query and the calibration table — which sharing
+ * modes it runs in (all of them, since the Session refactor), which
+ * cache level carries it there and which latency pair it decodes.
+ */
+void
+describeChannel(channel::ChannelId id)
+{
+    const auto &caps = channel::channelCaps(id);
+    std::cout << channel::channelIdToken(id) << "  ("
+              << channel::channelDisplayName(id) << ")\n"
+              << "  sender protocol:  "
+              << (caps.sender_alg == channel::LruAlgorithm::Alg1Shared
+                      ? "Algorithm 1 (shared line)"
+                      : "Algorithm 2 (disjoint address spaces)")
+              << "\n"
+              << "  shared memory:    "
+              << (caps.shared_memory ? "required" : "not required") << "\n"
+              << "  uses clflush:     " << (caps.uses_flush ? "yes" : "no")
+              << "\n"
+              << "  decode polarity:  1 bit = "
+              << (caps.invert ? "slow sample (eviction)"
+                              : "fast sample (hit)")
+              << "\n"
+              << "  sharing modes:\n";
+    for (channel::SharingMode mode : channel::allSharingModes()) {
+        channel::SessionConfig probe;
+        probe.channel = id;
+        probe.mode = mode;
+        const channel::Carrier carrier = channel::sessionCarrier(probe);
+        const auto levels = channel::carrierLevels(id, carrier);
+        std::cout << "    " << std::left << std::setw(15)
+                  << channel::sharingModeToken(mode)
+                  << (carrier == channel::Carrier::L1 ? "L1" : "shared-LLC")
+                  << " carrier, decodes " << hitLevelName(levels.fast)
+                  << " vs " << hitLevelName(levels.slow) << "\n";
+    }
+    std::cout << "\nRun any mode through the `channel_matrix` experiment "
+                 "or channel::Session.\n";
+}
+
 int
 cmdDescribe(const std::string &name)
 {
     const Experiment *e = Registry::instance().find(name);
     if (!e) {
-        std::cerr << "unknown experiment '" << name
-                  << "'; see `lruleak list`\n";
+        // Not an experiment — maybe a channel ("lruleak describe
+        // lru-alg1" prints its topology/sharing-mode capabilities).
+        try {
+            describeChannel(channel::channelIdFromName(name));
+            return 0;
+        } catch (const std::invalid_argument &) {
+        }
+        std::cerr << "unknown experiment or channel '" << name
+                  << "'; see `lruleak list` (experiments) or `lruleak "
+                     "describe lru-alg1` (channels)\n";
         return 2;
     }
     std::cout << e->name() << "\n  " << e->description() << "\n";

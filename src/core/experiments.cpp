@@ -154,47 +154,27 @@ channelKindName(ChannelKind kind)
 
 namespace {
 
-/** Shared harness: run `kind` for a while, return the finished parties. */
-struct ChannelRun
-{
-    sim::LevelStats sender_l1, sender_l2, sender_llc;
-    std::vector<sim::HitLevel> encode_levels;
-};
-
-ChannelRun
+/**
+ * Shared harness: run `kind` through the unified channel-session
+ * pipeline for a while, for its sender-side counters.  The hyper-
+ * threaded co-residency of Table VI, at the scale the table used from
+ * its first revision (64-bit message x4, 2000 receiver samples).
+ */
+channel::SessionResult
 runChannelKind(const timing::Uarch &uarch, ChannelKind kind,
                std::uint64_t seed)
 {
-    sim::HierarchyConfig h;
-    h.l1_way_predictor = uarch.way_predictor;
-    sim::CacheHierarchy hierarchy(h);
-
-    channel::ChannelLayout layout(sim::CacheConfig::intelL1d(), 7, 63);
-
-    channel::ChannelPairConfig pc;
-    pc.message = channel::randomBits(64, seed);
-    pc.repeats = 4;
-    pc.ts = 6000;
-    pc.tr = 600;
-    pc.max_samples = 2000;
-    channel::ChannelPair pair(kind, layout, pc);
-
-    sim::SingleCorePort port(hierarchy);
-    exec::RoundRobinSmt policy;
-    exec::EngineConfig ec;
-    ec.seed = seed;
-    exec::Engine engine(port, uarch, policy, ec);
-    engine.run(pair.sender(), pair.receiver(), 1);
-
-    ChannelRun out;
-    out.sender_l1 =
-        hierarchy.l1().counters().forThread(channel::kSenderThread);
-    out.sender_l2 =
-        hierarchy.l2().counters().forThread(channel::kSenderThread);
-    out.sender_llc =
-        hierarchy.llc().counters().forThread(channel::kSenderThread);
-    out.encode_levels = pair.sender().encodeLevels();
-    return out;
+    channel::SessionConfig s;
+    s.channel = kind;
+    s.mode = channel::SharingMode::HyperThreaded;
+    s.uarch = uarch;
+    s.message = channel::randomBits(64, seed);
+    s.repeats = 4;
+    s.ts = 6000;
+    s.tr = 600;
+    s.max_samples = 2000;
+    s.seed = seed;
+    return channel::runSession(s);
 }
 
 } // namespace
@@ -262,7 +242,7 @@ senderMissRates(const timing::Uarch &uarch,
     std::vector<MissRateRow> rows;
 
     for (ChannelKind kind : channels) {
-        const ChannelRun run = runChannelKind(uarch, kind, seed);
+        const auto run = runChannelKind(uarch, kind, seed);
         rows.push_back(MissRateRow{channelKindName(kind), run.sender_l1,
                                    run.sender_l2, run.sender_llc});
     }
@@ -369,9 +349,9 @@ PlAttackTrace
 plCacheAttack(sim::PlMode mode, const timing::Uarch &uarch,
               std::size_t bits, std::uint64_t seed)
 {
-    channel::CovertConfig cfg;
+    channel::SessionConfig cfg;
+    cfg.channel = channel::ChannelId::LruAlg2;
     cfg.uarch = uarch;
-    cfg.alg = channel::LruAlgorithm::Alg2Disjoint;
     cfg.mode = channel::SharingMode::HyperThreaded;
     cfg.pl_mode = mode;
     cfg.sender_locks_line = true;
@@ -381,7 +361,7 @@ plCacheAttack(sim::PlMode mode, const timing::Uarch &uarch,
     cfg.message = channel::alternatingBits(bits);
     cfg.seed = seed;
 
-    const auto res = channel::runCovertChannel(cfg);
+    const auto res = channel::runSession(cfg);
 
     PlAttackTrace out;
     out.samples = res.samples;

@@ -5,7 +5,7 @@
  * across Intel generations.
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -54,16 +54,17 @@ class Fig14SkylakeTraces final : public Experiment
     trace(LruAlgorithm alg, std::uint32_t d, const ParamMap &params,
           ResultSink &sink)
     {
-        CovertConfig cfg;
+        SessionConfig cfg;
+        cfg.channel = alg == LruAlgorithm::Alg1Shared ? ChannelId::LruAlg1
+                                                      : ChannelId::LruAlg2;
         cfg.uarch = timing::Uarch::intelXeonE31245v5();
-        cfg.alg = alg;
         cfg.d = d;
         cfg.tr = 600;
         cfg.ts = 6000;
         cfg.message = alternatingBits(
             static_cast<std::size_t>(params.getUint("bits")));
         cfg.seed = params.getUint("seed");
-        const auto res = runCovertChannel(cfg);
+        const auto res = runSession(cfg);
 
         sink.series("\n" +
                         std::string(alg == LruAlgorithm::Alg1Shared

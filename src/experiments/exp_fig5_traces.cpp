@@ -9,7 +9,7 @@
  * additionally show d = 5 where the alternation is clean.
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -65,16 +65,17 @@ class Fig5Traces final : public Experiment
     trace(LruAlgorithm alg, std::uint32_t d, const timing::Uarch &uarch,
           const ParamMap &params, ResultSink &sink)
     {
-        CovertConfig cfg;
+        SessionConfig cfg;
+        cfg.channel = alg == LruAlgorithm::Alg1Shared ? ChannelId::LruAlg1
+                                                      : ChannelId::LruAlg2;
         cfg.uarch = uarch;
-        cfg.alg = alg;
         cfg.d = d;
         cfg.tr = 600;
         cfg.ts = 6000;
         cfg.message = alternatingBits(
             static_cast<std::size_t>(params.getUint("bits")));
         cfg.seed = params.getUint("seed");
-        const auto res = runCovertChannel(cfg);
+        const auto res = runSession(cfg);
 
         const std::string title =
             std::string(alg == LruAlgorithm::Alg1Shared ? "Algorithm 1"

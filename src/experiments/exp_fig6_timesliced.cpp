@@ -6,7 +6,7 @@
  * Algorithm 1.
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -61,7 +61,7 @@ class Fig6Timesliced final : public Experiment
                 std::vector<std::string> row{
                     std::to_string(tr / 1'000'000)};
                 for (std::uint32_t d = 1; d <= 8; ++d) {
-                    CovertConfig cfg;
+                    SessionConfig cfg;
                     cfg.uarch = uarch;
                     cfg.mode = SharingMode::TimeSliced;
                     cfg.d = d;
@@ -69,7 +69,8 @@ class Fig6Timesliced final : public Experiment
                     cfg.encode_gap = 20'000;
                     cfg.max_samples = max_samples;
                     cfg.seed = seed + d;
-                    row.push_back(fmtPercent(runPercentOnes(cfg, bit)));
+                    row.push_back(
+                        fmtPercent(sessionPercentOnes(cfg, bit)));
                 }
                 table.addRow(row);
             }

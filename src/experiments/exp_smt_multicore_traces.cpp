@@ -15,7 +15,7 @@
  * load, and the trace rows make the injected misses visible.
  */
 
-#include "channel/xcore_channel.hpp"
+#include "channel/session.hpp"
 #include "core/trial_runner.hpp"
 #include "experiments/common.hpp"
 
@@ -87,9 +87,13 @@ class SmtMulticoreTraces final : public Experiment
         const std::uint32_t noise_levels = cores;
         const auto results = core::runTrials(
             noise_levels, seed, [&](std::uint32_t idx, sim::Xoshiro256 &) {
-                SmtMultiCoreConfig cfg;
+                SessionConfig cfg;
+                cfg.channel = alg == LruAlgorithm::Alg1Shared
+                                  ? ChannelId::LruAlg1
+                                  : ChannelId::LruAlg2;
+                cfg.mode = SharingMode::HyperThreaded;
+                cfg.multicore = true;
                 cfg.uarch = uarch;
-                cfg.alg = alg;
                 cfg.noise_cores = idx;
                 cfg.d = d;
                 cfg.message = message;
@@ -109,7 +113,7 @@ class SmtMulticoreTraces final : public Experiment
                 cfg.noise.lines_per_set = 24;
                 cfg.noise.burst = 256;
                 cfg.noise.gap = 10;
-                return runSmtMulticore(cfg);
+                return runSession(cfg);
             });
 
         Table table({"noise cores", "error", "rate", "back-inval",
@@ -153,7 +157,7 @@ class SmtMulticoreTraces final : public Experiment
 
   private:
     static void
-    trace(const SmtMultiCoreResult &res, std::uint32_t noise,
+    trace(const SessionResult &res, std::uint32_t noise,
           ResultSink &sink)
     {
         const std::string title =

@@ -5,7 +5,7 @@
  * Algorithm 1 vs 2).
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -19,16 +19,17 @@ double
 hyperThreadedKbps(const timing::Uarch &uarch, LruAlgorithm alg,
                   std::size_t bits, std::uint64_t seed)
 {
-    CovertConfig cfg;
+    SessionConfig cfg;
+    cfg.channel = alg == LruAlgorithm::Alg1Shared ? ChannelId::LruAlg1
+                                                  : ChannelId::LruAlg2;
     cfg.uarch = uarch;
-    cfg.alg = alg;
     cfg.d = alg == LruAlgorithm::Alg1Shared ? 8 : 5;
     const bool amd = uarch.way_predictor;
     cfg.ts = amd ? 100'000 : 6000;
     cfg.tr = amd ? 1000 : 600;
     cfg.message = randomBits(bits, 17);
     cfg.seed = seed;
-    return runCovertChannel(cfg).kbps;
+    return runSession(cfg).kbps;
 }
 
 double
@@ -36,7 +37,7 @@ timeSlicedBps(const timing::Uarch &uarch, std::uint64_t seed)
 {
     // Paper methodology: with Tr = 1e8 and ~10 measurements needed to
     // tell ~30% of 1s from < 5%, the rate is measurements/10 per second.
-    CovertConfig cfg;
+    SessionConfig cfg;
     cfg.uarch = uarch;
     cfg.mode = SharingMode::TimeSliced;
     cfg.d = 8;
@@ -44,8 +45,8 @@ timeSlicedBps(const timing::Uarch &uarch, std::uint64_t seed)
     cfg.encode_gap = 20'000;
     cfg.max_samples = 60;
     cfg.seed = seed;
-    const double p1 = runPercentOnes(cfg, 1);
-    const double p0 = runPercentOnes(cfg, 0);
+    const double p1 = sessionPercentOnes(cfg, 1);
+    const double p0 = sessionPercentOnes(cfg, 0);
     if (p1 < p0 + 0.05)
         return 0.0; // indistinguishable
     const double meas_per_sec = uarch.ghz * 1e9 / double(cfg.tr);

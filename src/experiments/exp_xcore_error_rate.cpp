@@ -14,7 +14,7 @@
  * for any LRULEAK_THREADS.
  */
 
-#include "channel/xcore_channel.hpp"
+#include "channel/session.hpp"
 #include "core/trial_runner.hpp"
 #include "experiments/common.hpp"
 
@@ -90,7 +90,10 @@ class XCoreErrorRate final : public Experiment
                 const std::size_t ts_idx = (idx / noise_levels) % n_ts;
                 const std::size_t pol = idx / (noise_levels * n_ts);
 
-                XCoreConfig cfg;
+                SessionConfig cfg;
+                cfg.channel = ChannelId::XCoreLruAlg2;
+                cfg.mode = SharingMode::CrossCore;
+                cfg.tr = 3000;
                 cfg.uarch = uarch;
                 cfg.llc_policy = policies[pol];
                 cfg.noise_cores = noise;
@@ -99,7 +102,7 @@ class XCoreErrorRate final : public Experiment
                 cfg.message = message;
                 cfg.repeats = repeats;
                 cfg.seed = seed + idx;
-                const auto res = runXCoreChannel(cfg);
+                const auto res = runSession(cfg);
                 return std::pair<double, double>(res.error_rate,
                                                  res.kbps);
             });

@@ -17,7 +17,7 @@
  * The quantum=0 row is the dedicated-core baseline of `xcore_traces`.
  */
 
-#include "channel/xcore_channel.hpp"
+#include "channel/session.hpp"
 #include "core/trial_runner.hpp"
 #include "experiments/common.hpp"
 
@@ -94,7 +94,11 @@ class XCoreTimesliced final : public Experiment
         // the table is identical for any LRULEAK_THREADS.
         const auto results = core::runTrials(
             cells, seed, [&](std::uint32_t idx, sim::Xoshiro256 &) {
-                XCoreConfig cfg;
+                SessionConfig cfg;
+                cfg.channel = ChannelId::XCoreLruAlg2;
+                cfg.mode = SharingMode::CrossCore;
+                cfg.tr = 3000;
+                cfg.ts = 30000;
                 cfg.uarch = uarch;
                 cfg.llc_policy = policy;
                 cfg.noise_cores = noise_cores;
@@ -108,7 +112,7 @@ class XCoreTimesliced final : public Experiment
                 cfg.tslice.quantum_jitter = kQuanta[idx] / 2;
                 cfg.tslice.tick_period = 100'000;
                 cfg.seed = seed + idx;
-                return runXCoreChannel(cfg);
+                return runSession(cfg);
             });
 
         Table table({"quantum (cyc)", "error", "rate", "bits rx",

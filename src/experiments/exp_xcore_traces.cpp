@@ -11,7 +11,7 @@
  * L1-vs-L2 traces of Fig. 5.
  */
 
-#include "channel/xcore_channel.hpp"
+#include "channel/session.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -60,7 +60,11 @@ class XCoreTraces final : public Experiment
             throw ParamError("parameter 'cores': at least 2 cores "
                              "(sender + receiver) are required");
 
-        XCoreConfig cfg;
+        SessionConfig cfg;
+        cfg.channel = ChannelId::XCoreLruAlg2;
+        cfg.mode = SharingMode::CrossCore;
+        cfg.tr = 3000;
+        cfg.ts = 30000;
         cfg.uarch = uarchFromParams(params);
         cfg.llc_policy = sim::replPolicyFromName(params.getStr("policy"));
         cfg.noise_cores = cores - 2;
@@ -74,7 +78,7 @@ class XCoreTraces final : public Experiment
                   " ===\n(" + std::to_string(cores) + " cores, " +
                   std::to_string(cfg.noise_cores) + " of them noise; "
                   "shared 16-way inclusive LLC, " +
-                  std::string(sim::replPolicyName(cfg.llc_policy)) +
+                  std::string(sim::replPolicyName(*cfg.llc_policy)) +
                   "; y: pointer-chase latency in cycles)");
 
         trace(cfg, cfg.d, sink);
@@ -87,10 +91,10 @@ class XCoreTraces final : public Experiment
 
   private:
     static void
-    trace(XCoreConfig cfg, std::uint32_t d, ResultSink &sink)
+    trace(SessionConfig cfg, std::uint32_t d, ResultSink &sink)
     {
         cfg.d = d;
-        const auto res = runXCoreChannel(cfg);
+        const auto res = runSession(cfg);
 
         const std::string title =
             "x-core Alg.2, Tr=" + std::to_string(cfg.tr) +

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Test-only reference copies of the three retired transmission
+ * harnesses.
+ *
+ * channel::Session replaced runCovertChannel / runXCoreChannel /
+ * runSmtMulticore (and the ad-hoc ChannelPair loops) with one pipeline;
+ * the production entry points are now thin config-translating shims
+ * over runSession.  To keep the equivalence claim *testable* (the shims
+ * cannot differ from the Session by construction), the pre-refactor
+ * harness bodies live on here verbatim — independent hierarchy
+ * construction, engine wiring, calibration and decode — as the oracle
+ * tests/test_session_differential.cpp compares the Session against,
+ * the same pattern tests/legacy_schedulers.hpp uses for the engine.
+ *
+ * Do not "fix" or modernise this code: its value is being the
+ * pre-Session behaviour, byte for byte.
+ */
+
+#ifndef LRULEAK_TESTS_LEGACY_CHANNEL_RUNNERS_HPP
+#define LRULEAK_TESTS_LEGACY_CHANNEL_RUNNERS_HPP
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "channel/covert_channel.hpp"
+#include "channel/xcore_channel.hpp"
+#include "sim/access_port.hpp"
+#include "timing/pointer_chase.hpp"
+
+namespace lruleak::legacy {
+
+using namespace lruleak::channel;
+
+// ----------------------------------------------- single-core (covert)
+
+namespace detail {
+
+/** Shared setup for both single-core runners. */
+struct RunContext
+{
+    sim::CacheHierarchy hierarchy;
+    ChannelLayout layout;
+    LruSender sender;
+    LruReceiver receiver;
+
+    RunContext(const CovertConfig &config, const SenderConfig &sc,
+               const ReceiverConfig &rc)
+        : hierarchy(hierarchyFor(config)),
+          layout(sim::CacheConfig::intelL1d(config.l1_policy),
+                 config.target_set, config.chase_set,
+                 config.shared_same_vaddr),
+          sender(layout, sc), receiver(layout, rc)
+    {}
+};
+
+constexpr std::uint64_t kTimeSlicedMaxCycles = 4'000'000'000'000ULL;
+
+inline std::uint64_t
+runScheduler(const CovertConfig &config, RunContext &ctx)
+{
+    sim::SingleCorePort port(ctx.hierarchy);
+    exec::EngineConfig ec;
+    ec.seed = config.seed;
+    if (config.mode == SharingMode::HyperThreaded) {
+        exec::RoundRobinSmt policy;
+        exec::Engine engine(port, config.uarch, policy, ec);
+        return engine.run(ctx.sender, ctx.receiver, /*primary=*/1);
+    }
+    ec.max_cycles = kTimeSlicedMaxCycles;
+    exec::TimeSlice policy(config.tslice);
+    exec::Engine engine(port, config.uarch, policy, ec);
+    return engine.run(ctx.sender, ctx.receiver, /*primary=*/1);
+}
+
+/**
+ * Build one NoiseProgram per noise core, with per-core seed and
+ * footprint base so the cores never run in lockstep.
+ */
+inline std::vector<std::unique_ptr<exec::NoiseProgram>>
+makeNoisePrograms(const exec::NoiseConfig &base_config,
+                  std::uint32_t noise_cores, std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<exec::NoiseProgram>> noise;
+    noise.reserve(noise_cores);
+    for (std::uint32_t i = 0; i < noise_cores; ++i) {
+        exec::NoiseConfig nc = base_config;
+        nc.seed = seed + 0x6e01'0000ULL + i;
+        nc.base = base_config.base + i * 0x0100'0000'0000ULL;
+        noise.push_back(std::make_unique<exec::NoiseProgram>(nc));
+    }
+    return noise;
+}
+
+inline exec::TimeSlicePolicyConfig
+partyCoreTimeSlice(const XCoreConfig &config, std::uint32_t core)
+{
+    exec::TimeSlicePolicyConfig tc = config.tslice;
+    tc.quantum = config.quantum;
+    tc.kernel_thread = 1000 + 2 * core;
+    tc.background_thread = 1001 + 2 * core;
+    tc.background_base += core * 0x0100'0000'0000ULL;
+    return tc;
+}
+
+} // namespace detail
+
+inline CovertResult
+legacyRunCovertChannel(const CovertConfig &config)
+{
+    const std::size_t nbits = config.message.size() * config.repeats;
+
+    SenderConfig sc;
+    sc.alg = config.alg;
+    sc.message = config.message;
+    sc.repeats = config.repeats;
+    sc.ts = config.ts;
+    sc.encode_gap = config.encode_gap;
+    sc.lock_line = config.sender_locks_line;
+
+    ReceiverConfig rc;
+    rc.alg = config.alg;
+    rc.d = config.d;
+    rc.tr = config.tr;
+    rc.max_samples = config.max_samples
+        ? config.max_samples
+        : (nbits * config.ts) / std::max<std::uint64_t>(config.tr, 1) + 8;
+
+    detail::RunContext ctx(config, sc, rc);
+    const std::uint64_t end = detail::runScheduler(config, ctx);
+
+    const timing::MeasurementModel model(config.uarch);
+
+    CovertResult res;
+    res.samples = ctx.receiver.samples();
+    res.sent = ctx.sender.sentBits();
+    res.threshold = model.chaseThreshold();
+    res.sender_start = ctx.sender.startTsc();
+
+    const bool invert = config.alg == LruAlgorithm::Alg2Disjoint;
+    res.received = windowDecode(res.samples, res.threshold, invert,
+                                res.sender_start, config.ts, nbits);
+    res.error_rate = editErrorRate(res.sent, res.received);
+
+    res.elapsed_cycles = end > res.sender_start ? end - res.sender_start
+                                                : 0;
+    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
+
+    const auto &h = ctx.hierarchy;
+    res.sender_l1 = h.l1().counters().forThread(kSenderThread);
+    res.sender_l2 = h.l2().counters().forThread(kSenderThread);
+    res.sender_llc = h.llc().counters().forThread(kSenderThread);
+    res.receiver_l1 = h.l1().counters().forThread(kReceiverThread);
+    return res;
+}
+
+inline double
+legacyRunPercentOnes(const CovertConfig &config, std::uint8_t constant_bit)
+{
+    SenderConfig sc;
+    sc.alg = config.alg;
+    sc.message = Bits{constant_bit};
+    sc.infinite = true;
+    sc.ts = config.ts;
+    sc.encode_gap = config.encode_gap;
+
+    ReceiverConfig rc;
+    rc.alg = config.alg;
+    rc.d = config.d;
+    rc.tr = config.tr;
+    rc.max_samples = config.max_samples ? config.max_samples : 300;
+
+    detail::RunContext ctx(config, sc, rc);
+    detail::runScheduler(config, ctx);
+
+    const timing::MeasurementModel model(config.uarch);
+    const bool invert = config.alg == LruAlgorithm::Alg2Disjoint;
+    const Bits bits = thresholdSamples(ctx.receiver.samples(),
+                                       model.chaseThreshold(), invert);
+    const std::size_t skip = std::min<std::size_t>(bits.size(), 4);
+    Bits tail(bits.begin() + static_cast<std::ptrdiff_t>(skip), bits.end());
+    return fractionOnes(tail);
+}
+
+// -------------------------------------------------------- cross-core
+
+inline XCoreResult
+legacyRunXCoreChannel(const XCoreConfig &config)
+{
+    const std::size_t nbits = config.message.size() * config.repeats;
+
+    SenderConfig sc;
+    sc.alg = LruAlgorithm::Alg2Disjoint;
+    sc.message = config.message;
+    sc.repeats = config.repeats;
+    sc.ts = config.ts;
+    sc.encode_gap = config.encode_gap;
+
+    ReceiverConfig rc;
+    rc.alg = LruAlgorithm::Alg2Disjoint;
+    rc.d = config.d;
+    rc.tr = config.tr;
+    rc.max_samples = config.max_samples
+        ? config.max_samples
+        : (nbits * config.ts) / std::max<std::uint64_t>(config.tr, 1) + 8;
+
+    sim::MultiCoreConfig mc;
+    mc.cores = 2 + config.noise_cores;
+    mc.llc.policy = config.llc_policy;
+    mc.seed = config.seed;
+    sim::MultiCoreHierarchy hierarchy(mc);
+
+    sim::CacheConfig llc = sim::CacheConfig::intelLlc();
+    llc.policy = config.llc_policy;
+    const ChannelLayout layout(llc, config.target_set, config.chase_set,
+                               /*shared_same_vaddr=*/true);
+    LruSender sender(layout, sc);
+    LruReceiver receiver(layout, rc);
+
+    const auto noise = detail::makeNoisePrograms(
+        config.noise, config.noise_cores, config.seed);
+    std::vector<exec::ThreadSpec> specs{{&sender, 0}, {&receiver, 1}};
+    for (std::uint32_t i = 0; i < config.noise_cores; ++i)
+        specs.push_back(exec::ThreadSpec{noise[i].get(), 2 + i});
+
+    sim::MultiCorePort port(hierarchy);
+    exec::LowestClock policy;
+    if (config.quantum > 0) {
+        policy.nest(0, std::make_unique<exec::TimeSlice>(
+                           detail::partyCoreTimeSlice(config, 0)));
+        policy.nest(1, std::make_unique<exec::TimeSlice>(
+                           detail::partyCoreTimeSlice(config, 1)));
+    }
+
+    exec::EngineConfig ec = config.sched;
+    ec.seed = config.seed;
+    exec::Engine engine(port, config.uarch, policy, ec);
+    const std::uint64_t end = engine.run(specs, /*primary=*/1);
+
+    const timing::MeasurementModel model(config.uarch);
+
+    XCoreResult res;
+    res.samples = receiver.samples();
+    res.sent = sender.sentBits();
+    res.threshold = model.chaseThresholdBetween(sim::HitLevel::LLC,
+                                                sim::HitLevel::Memory);
+    res.sender_start = sender.startTsc();
+    res.cores = hierarchy.cores();
+
+    res.received = windowDecode(res.samples, res.threshold,
+                                /*invert=*/true, res.sender_start,
+                                config.ts, nbits);
+    res.error_rate = editErrorRate(res.sent, res.received);
+
+    res.elapsed_cycles = end > res.sender_start ? end - res.sender_start
+                                                : 0;
+    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
+    res.back_invalidations = hierarchy.backInvalidations();
+
+    res.sender_l1 = hierarchy.l1(0).counters().forThread(kSenderThread);
+    res.sender_llc = hierarchy.llc().counters().forThread(kSenderThread);
+    res.receiver_llc =
+        hierarchy.llc().counters().forThread(kReceiverThread);
+    return res;
+}
+
+// --------------------------------------- SMT pair on a multi-core system
+
+inline SmtMultiCoreResult
+legacyRunSmtMulticore(const SmtMultiCoreConfig &config)
+{
+    const std::size_t nbits = config.message.size() * config.repeats;
+
+    SenderConfig sc;
+    sc.alg = config.alg;
+    sc.message = config.message;
+    sc.repeats = config.repeats;
+    sc.ts = config.ts;
+    sc.encode_gap = config.encode_gap;
+
+    ReceiverConfig rc;
+    rc.alg = config.alg;
+    rc.d = config.d;
+    rc.tr = config.tr;
+    rc.max_samples = config.max_samples
+        ? config.max_samples
+        : (nbits * config.ts) / std::max<std::uint64_t>(config.tr, 1) + 8;
+
+    sim::MultiCoreConfig mc;
+    mc.cores = 1 + config.noise_cores;
+    mc.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
+    mc.seed = config.seed;
+    sim::MultiCoreHierarchy hierarchy(mc);
+
+    const ChannelLayout layout(sim::CacheConfig::intelL1d(config.l1_policy),
+                               config.target_set, config.chase_set,
+                               /*shared_same_vaddr=*/true);
+    LruSender sender(layout, sc);
+    LruReceiver receiver(layout, rc);
+
+    const auto noise = detail::makeNoisePrograms(
+        config.noise, config.noise_cores, config.seed);
+    std::vector<exec::ThreadSpec> specs{{&sender, 0}, {&receiver, 0}};
+    for (std::uint32_t i = 0; i < config.noise_cores; ++i)
+        specs.push_back(exec::ThreadSpec{noise[i].get(), 1 + i});
+
+    sim::MultiCorePort port(hierarchy);
+    exec::LowestClock policy;
+    policy.nest(0, std::make_unique<exec::RoundRobinSmt>());
+
+    exec::EngineConfig ec = config.sched;
+    ec.seed = config.seed;
+    exec::Engine engine(port, config.uarch, policy, ec);
+    const std::uint64_t end = engine.run(specs, /*primary=*/1);
+
+    const timing::MeasurementModel model(config.uarch);
+
+    SmtMultiCoreResult res;
+    res.samples = receiver.samples();
+    res.sent = sender.sentBits();
+    res.threshold = model.chaseThreshold();
+    res.sender_start = sender.startTsc();
+    res.cores = hierarchy.cores();
+
+    const bool invert = config.alg == LruAlgorithm::Alg2Disjoint;
+    res.received = windowDecode(res.samples, res.threshold, invert,
+                                res.sender_start, config.ts, nbits);
+    res.error_rate = editErrorRate(res.sent, res.received);
+
+    res.elapsed_cycles = end > res.sender_start ? end - res.sender_start
+                                                : 0;
+    res.kbps = config.uarch.kbps(nbits, res.elapsed_cycles);
+    res.back_invalidations = hierarchy.backInvalidations();
+
+    res.sender_l1 = hierarchy.l1(0).counters().forThread(kSenderThread);
+    res.receiver_l1 =
+        hierarchy.l1(0).counters().forThread(kReceiverThread);
+    return res;
+}
+
+} // namespace lruleak::legacy
+
+#endif // LRULEAK_TESTS_LEGACY_CHANNEL_RUNNERS_HPP

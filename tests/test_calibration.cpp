@@ -1,0 +1,162 @@
+/**
+ * @file
+ * channel::Calibration tests: for every ChannelId x every registered
+ * CPU model x both carriers, the derived threshold must lie strictly
+ * between the noise-free readouts of the latency pair it separates;
+ * the cross-core thresholds must match the
+ * MeasurementModel::chaseThresholdBetween values the legacy runner
+ * used, and the Prime+Probe thresholds the historical
+ * PpReceiver::probeThreshold formula.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "channel/calibration.hpp"
+#include "channel/prime_probe.hpp"
+#include "timing/pointer_chase.hpp"
+
+using namespace lruleak;
+using namespace lruleak::channel;
+
+namespace {
+
+std::vector<timing::Uarch>
+allUarchs()
+{
+    std::vector<timing::Uarch> uarchs;
+    for (const auto &token : timing::uarchTokens())
+        uarchs.push_back(timing::uarchFromName(token));
+    return uarchs;
+}
+
+/** Carrier-set associativity the layouts use. */
+std::uint32_t
+waysFor(Carrier carrier)
+{
+    return carrier == Carrier::L1 ? sim::CacheConfig::intelL1d().ways
+                                  : sim::CacheConfig::intelLlc().ways;
+}
+
+/**
+ * Noise-free readout of one sample when the timed access is served at
+ * @p level: what MeasurementModel::chase computes with zero jitter —
+ * or, for Prime+Probe, the whole probe walk served at @p level —
+ * floored to the CPU's timestamp granularity exactly as the attacker
+ * observes it (the AMD model reads in 16-cycle granules).
+ */
+double
+noiselessReadout(const timing::Uarch &u, ChannelId id, Carrier carrier,
+                 sim::HitLevel level)
+{
+    const std::uint32_t ways = waysFor(carrier);
+    double total = 0.0;
+    if (id == ChannelId::PrimeProbe) {
+        // All ways served at the fast level, except (for the slow
+        // readout) the one line the sender evicted.
+        const Calibration cal = carrierLevels(id, carrier);
+        const std::uint32_t fast = u.latency(cal.fast);
+        total = u.chase_overhead + ways * fast;
+        if (level == cal.slow)
+            total += u.latency(cal.slow) - fast;
+    } else {
+        total = u.chase_overhead +
+                timing::MeasurementModel::kChainLength * u.l1_latency +
+                u.latency(level);
+    }
+    const auto g = std::max<std::uint32_t>(u.tsc_granularity, 1);
+    return static_cast<double>(
+        (static_cast<std::uint64_t>(total) / g) * g);
+}
+
+} // namespace
+
+TEST(Calibration, ThresholdStrictlySeparatesItsLatencyPair)
+{
+    for (const auto &u : allUarchs()) {
+        for (ChannelId id : allChannelIds()) {
+            for (Carrier carrier : {Carrier::L1, Carrier::Llc}) {
+                const Calibration cal =
+                    calibrationFor(u, id, carrier, waysFor(carrier));
+                const double fast =
+                    noiselessReadout(u, id, carrier, cal.fast);
+                const double slow =
+                    noiselessReadout(u, id, carrier, cal.slow);
+                SCOPED_TRACE(u.name + " / " +
+                             std::string(channelIdToken(id)) +
+                             (carrier == Carrier::L1 ? " / L1"
+                                                     : " / LLC"));
+                EXPECT_LT(fast, slow);
+                EXPECT_GT(static_cast<double>(cal.threshold), fast);
+                EXPECT_LT(static_cast<double>(cal.threshold), slow);
+            }
+        }
+    }
+}
+
+TEST(Calibration, XCoreThresholdMatchesChaseThresholdBetween)
+{
+    for (const auto &u : allUarchs()) {
+        const timing::MeasurementModel model(u);
+        const Calibration cal = calibrationFor(
+            u, ChannelId::XCoreLruAlg2, Carrier::Llc, waysFor(Carrier::Llc));
+        EXPECT_EQ(cal.threshold,
+                  model.chaseThresholdBetween(sim::HitLevel::LLC,
+                                              sim::HitLevel::Memory))
+            << u.name;
+        EXPECT_EQ(cal.fast, sim::HitLevel::LLC) << u.name;
+        EXPECT_EQ(cal.slow, sim::HitLevel::Memory) << u.name;
+        EXPECT_TRUE(cal.invert) << u.name;
+    }
+}
+
+TEST(Calibration, SingleCoreLruThresholdMatchesChaseThreshold)
+{
+    for (const auto &u : allUarchs()) {
+        const timing::MeasurementModel model(u);
+        for (ChannelId id : {ChannelId::LruAlg1, ChannelId::LruAlg2}) {
+            const Calibration cal =
+                calibrationFor(u, id, Carrier::L1, waysFor(Carrier::L1));
+            EXPECT_EQ(cal.threshold, model.chaseThreshold())
+                << u.name << " " << channelIdToken(id);
+        }
+        // Polarity: Algorithm 1 signals with a hit, Algorithm 2 with an
+        // eviction.
+        EXPECT_FALSE(calibrationFor(u, ChannelId::LruAlg1, Carrier::L1, 8)
+                         .invert);
+        EXPECT_TRUE(calibrationFor(u, ChannelId::LruAlg2, Carrier::L1, 8)
+                        .invert);
+    }
+}
+
+TEST(Calibration, PrimeProbeMatchesHistoricalProbeThreshold)
+{
+    for (const auto &u : allUarchs()) {
+        for (std::uint32_t ways : {4u, 8u, 16u}) {
+            // The historical formula, inlined: all-ways L1 hits plus
+            // half the L2 delta.
+            const std::uint32_t expected = u.chase_overhead +
+                                           ways * u.l1_latency +
+                                           (u.l2_latency - u.l1_latency) / 2;
+            EXPECT_EQ(calibrationFor(u, ChannelId::PrimeProbe, Carrier::L1,
+                                     ways)
+                          .threshold,
+                      expected)
+                << u.name << " ways=" << ways;
+            EXPECT_EQ(PpReceiver::probeThreshold(u, ways), expected)
+                << u.name << " ways=" << ways;
+        }
+    }
+}
+
+TEST(Calibration, FlushReloadMemSeparatesL1FromMemory)
+{
+    for (const auto &u : allUarchs()) {
+        const Calibration cal =
+            calibrationFor(u, ChannelId::FrMem, Carrier::L1, 8);
+        EXPECT_EQ(cal.fast, sim::HitLevel::L1) << u.name;
+        EXPECT_EQ(cal.slow, sim::HitLevel::Memory) << u.name;
+        EXPECT_FALSE(cal.invert) << u.name;
+    }
+}

@@ -263,23 +263,46 @@ TEST(ChannelFactory, SenderAlgorithmPairing)
               LruAlgorithm::Alg2Disjoint);
 }
 
-TEST(ChannelFactory, PairBuildsEverySingleCoreReceiver)
+TEST(ChannelFactory, PairBuildsEveryReceiverOverAnyLayout)
 {
-    const channel::ChannelLayout layout;
-    for (auto id : channel::allChannelIds()) {
-        channel::ChannelPairConfig cfg;
-        cfg.message = channel::Bits{1, 0, 1};
-        if (id == channel::ChannelId::XCoreLruAlg2) {
-            // The cross-core channel cannot run over a single-core
-            // layout; the factory must refuse loudly, not mislabel.
-            EXPECT_THROW(channel::ChannelPair(id, layout, cfg),
-                         std::invalid_argument);
-            continue;
+    // Since the Session refactor every ChannelId constructs against any
+    // carrier geometry — the L1 layout here, the LLC layout below.
+    for (const channel::ChannelLayout &layout :
+         {channel::ChannelLayout(),
+          channel::ChannelLayout(sim::CacheConfig::intelLlc())}) {
+        for (auto id : channel::allChannelIds()) {
+            channel::ChannelPairConfig cfg;
+            cfg.message = channel::Bits{1, 0, 1};
+            channel::ChannelPair pair(id, layout, cfg);
+            EXPECT_EQ(pair.id(), id);
+            EXPECT_TRUE(pair.samples().empty()); // nothing run yet
         }
-        channel::ChannelPair pair(id, layout, cfg);
-        EXPECT_EQ(pair.id(), id);
-        EXPECT_TRUE(pair.samples().empty()); // nothing run yet
     }
+}
+
+TEST(ChannelFactory, CapsDriveAlgorithmAndDepthDefaults)
+{
+    using channel::ChannelId;
+    for (auto id : channel::allChannelIds()) {
+        EXPECT_EQ(channel::channelCaps(id).sender_alg,
+                  channel::senderAlgorithmFor(id));
+    }
+    // Paper defaults: Alg.1 primes the whole 8-way set, Alg.2 half,
+    // the cross-core Alg.2 12 of the LLC's 16 ways.
+    EXPECT_EQ(channel::defaultInitDepth(ChannelId::LruAlg1, 8), 8u);
+    EXPECT_EQ(channel::defaultInitDepth(ChannelId::LruAlg2, 8), 4u);
+    EXPECT_EQ(channel::defaultInitDepth(ChannelId::XCoreLruAlg2, 16),
+              12u);
+    EXPECT_EQ(channel::defaultInitDepth(ChannelId::FrMem, 8), 0u);
+    // Shared-memory and polarity capabilities match the designs.
+    EXPECT_TRUE(channel::channelCaps(ChannelId::FrMem).shared_memory);
+    EXPECT_TRUE(channel::channelCaps(ChannelId::LruAlg1).shared_memory);
+    EXPECT_FALSE(channel::channelCaps(ChannelId::LruAlg2).shared_memory);
+    EXPECT_TRUE(channel::channelCaps(ChannelId::FrMem).uses_flush);
+    EXPECT_TRUE(channel::channelCaps(ChannelId::PrimeProbe).invert);
+    EXPECT_FALSE(channel::channelCaps(ChannelId::LruAlg1).invert);
+    EXPECT_TRUE(
+        channel::channelCaps(ChannelId::XCoreLruAlg2).llc_geometry);
 }
 
 TEST(UarchNames, TokensResolve)

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Differential suite: channel::Session (through the deprecated shims,
+ * which are pure config translations) must be byte-equal to the three
+ * pre-refactor transmission harnesses — preserved verbatim in
+ * tests/legacy_channel_runners.hpp — across randomized configurations:
+ * the raw trace (tsc, latency, ground-truth level per sample), the
+ * decoded bits, the error rate, the per-level counters, the derived
+ * rates and the calibrated threshold.  Together with the 27+1 golden
+ * snapshots this is the proof that the multi-layer refactor is
+ * behavior-preserving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
+#include "channel/xcore_channel.hpp"
+#include "legacy_channel_runners.hpp"
+#include "sim/random.hpp"
+
+using namespace lruleak;
+using namespace lruleak::channel;
+
+namespace {
+
+void
+expectSamplesEqual(const std::vector<Sample> &a,
+                   const std::vector<Sample> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tsc, b[i].tsc) << "sample " << i;
+        EXPECT_EQ(a[i].latency, b[i].latency) << "sample " << i;
+        EXPECT_EQ(a[i].level, b[i].level) << "sample " << i;
+    }
+}
+
+void
+expectStatsEqual(const sim::LevelStats &a, const sim::LevelStats &b,
+                 const char *what)
+{
+    EXPECT_EQ(a.accesses, b.accesses) << what;
+    EXPECT_EQ(a.hits, b.hits) << what;
+    EXPECT_EQ(a.misses, b.misses) << what;
+}
+
+/** A random policy from the kinds with deterministic per-seed state. */
+sim::ReplPolicyKind
+randomPolicy(sim::Xoshiro256 &rng)
+{
+    static const sim::ReplPolicyKind kinds[] = {
+        sim::ReplPolicyKind::TrueLru, sim::ReplPolicyKind::TreePlru,
+        sim::ReplPolicyKind::BitPlru, sim::ReplPolicyKind::Fifo,
+        sim::ReplPolicyKind::Random,  sim::ReplPolicyKind::Srrip};
+    return kinds[rng.below(std::size(kinds))];
+}
+
+timing::Uarch
+randomUarch(sim::Xoshiro256 &rng)
+{
+    switch (rng.below(3)) {
+      case 0:  return timing::Uarch::intelXeonE52690();
+      case 1:  return timing::Uarch::intelXeonE31245v5();
+      default: return timing::Uarch::amdEpyc7571();
+    }
+}
+
+} // namespace
+
+TEST(SessionDifferential, HyperThreadedMatchesLegacyCovert)
+{
+    sim::Xoshiro256 rng(0x5e55'1001);
+    for (int trial = 0; trial < 12; ++trial) {
+        CovertConfig cfg;
+        cfg.uarch = randomUarch(rng);
+        cfg.alg = rng.below(2) ? LruAlgorithm::Alg2Disjoint
+                               : LruAlgorithm::Alg1Shared;
+        cfg.l1_policy = randomPolicy(rng);
+        cfg.d = 1 + static_cast<std::uint32_t>(rng.below(8));
+        cfg.tr = 400 + rng.below(3000);
+        cfg.ts = 4000 + rng.below(30000);
+        cfg.message =
+            randomBits(8 + rng.below(48), 0xbeef + trial);
+        cfg.repeats = 1 + static_cast<std::uint32_t>(rng.below(3));
+        cfg.target_set = static_cast<std::uint32_t>(rng.below(64));
+        cfg.chase_set = static_cast<std::uint32_t>(rng.below(64));
+        cfg.shared_same_vaddr = rng.below(4) != 0;
+        cfg.encode_gap = 20 + static_cast<std::uint32_t>(rng.below(60));
+        cfg.seed = rng();
+
+        const auto legacy = legacy::legacyRunCovertChannel(cfg);
+        const auto now = runCovertChannel(cfg);
+
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        expectSamplesEqual(legacy.samples, now.samples);
+        EXPECT_EQ(legacy.sent, now.sent);
+        EXPECT_EQ(legacy.received, now.received);
+        EXPECT_EQ(legacy.error_rate, now.error_rate);
+        EXPECT_EQ(legacy.kbps, now.kbps);
+        EXPECT_EQ(legacy.elapsed_cycles, now.elapsed_cycles);
+        EXPECT_EQ(legacy.threshold, now.threshold);
+        EXPECT_EQ(legacy.sender_start, now.sender_start);
+        expectStatsEqual(legacy.sender_l1, now.sender_l1, "sender L1");
+        expectStatsEqual(legacy.sender_l2, now.sender_l2, "sender L2");
+        expectStatsEqual(legacy.sender_llc, now.sender_llc, "sender LLC");
+        expectStatsEqual(legacy.receiver_l1, now.receiver_l1,
+                         "receiver L1");
+    }
+}
+
+TEST(SessionDifferential, TimeSlicedPercentOnesMatchesLegacy)
+{
+    sim::Xoshiro256 rng(0x5e55'1002);
+    for (int trial = 0; trial < 3; ++trial) {
+        CovertConfig cfg;
+        cfg.mode = SharingMode::TimeSliced;
+        cfg.d = 1 + static_cast<std::uint32_t>(rng.below(8));
+        cfg.tr = 50'000'000 + rng.below(150'000'000);
+        cfg.encode_gap = 20'000;
+        cfg.max_samples = 20 + rng.below(30);
+        cfg.seed = rng();
+
+        const std::uint8_t bit = trial % 2;
+        EXPECT_EQ(legacy::legacyRunPercentOnes(cfg, bit),
+                  runPercentOnes(cfg, bit))
+            << "trial " << trial;
+    }
+}
+
+TEST(SessionDifferential, TimeSlicedDecodeMatchesLegacy)
+{
+    // A windowed-decode run under the scaled OS model (the channel_matrix
+    // operating point), not just percent-ones.
+    sim::Xoshiro256 rng(0x5e55'1003);
+    for (int trial = 0; trial < 3; ++trial) {
+        CovertConfig cfg;
+        cfg.mode = SharingMode::TimeSliced;
+        cfg.d = 8;
+        cfg.tr = 600;
+        cfg.ts = 6000;
+        cfg.message = randomBits(16, 0xf00d + trial);
+        cfg.tslice.quantum = 30'000;
+        cfg.tslice.quantum_jitter = 15'000;
+        cfg.tslice.tick_period = 100'000;
+        cfg.seed = rng();
+
+        const auto legacy = legacy::legacyRunCovertChannel(cfg);
+        const auto now = runCovertChannel(cfg);
+
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        expectSamplesEqual(legacy.samples, now.samples);
+        EXPECT_EQ(legacy.received, now.received);
+        EXPECT_EQ(legacy.error_rate, now.error_rate);
+        EXPECT_EQ(legacy.elapsed_cycles, now.elapsed_cycles);
+    }
+}
+
+TEST(SessionDifferential, CrossCoreMatchesLegacyXCore)
+{
+    sim::Xoshiro256 rng(0x5e55'1004);
+    for (int trial = 0; trial < 6; ++trial) {
+        XCoreConfig cfg;
+        cfg.llc_policy = randomPolicy(rng);
+        cfg.noise_cores = static_cast<std::uint32_t>(rng.below(3));
+        cfg.d = 8 + static_cast<std::uint32_t>(rng.below(9));
+        cfg.tr = 2000 + rng.below(3000);
+        cfg.ts = 20000 + rng.below(30000);
+        cfg.message = randomBits(8 + rng.below(24), 0xcafe + trial);
+        cfg.target_set = static_cast<std::uint32_t>(rng.below(2048));
+        cfg.chase_set = static_cast<std::uint32_t>(rng.below(2048));
+        // Every other trial layers the nested per-core OS time-slicing.
+        cfg.quantum = trial % 2 ? 25'000 + rng.below(100'000) : 0;
+        cfg.tslice.quantum_jitter = cfg.quantum / 2;
+        cfg.tslice.tick_period = 100'000;
+        cfg.seed = rng();
+
+        const auto legacy = legacy::legacyRunXCoreChannel(cfg);
+        const auto now = runXCoreChannel(cfg);
+
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        expectSamplesEqual(legacy.samples, now.samples);
+        EXPECT_EQ(legacy.sent, now.sent);
+        EXPECT_EQ(legacy.received, now.received);
+        EXPECT_EQ(legacy.error_rate, now.error_rate);
+        EXPECT_EQ(legacy.kbps, now.kbps);
+        EXPECT_EQ(legacy.elapsed_cycles, now.elapsed_cycles);
+        EXPECT_EQ(legacy.threshold, now.threshold);
+        EXPECT_EQ(legacy.back_invalidations, now.back_invalidations);
+        EXPECT_EQ(legacy.cores, now.cores);
+        expectStatsEqual(legacy.sender_l1, now.sender_l1, "sender L1");
+        expectStatsEqual(legacy.sender_llc, now.sender_llc, "sender LLC");
+        expectStatsEqual(legacy.receiver_llc, now.receiver_llc,
+                         "receiver LLC");
+    }
+}
+
+TEST(SessionDifferential, SmtMulticoreMatchesLegacy)
+{
+    sim::Xoshiro256 rng(0x5e55'1005);
+    for (int trial = 0; trial < 4; ++trial) {
+        SmtMultiCoreConfig cfg;
+        cfg.alg = rng.below(2) ? LruAlgorithm::Alg2Disjoint
+                               : LruAlgorithm::Alg1Shared;
+        cfg.l1_policy = randomPolicy(rng);
+        cfg.noise_cores = static_cast<std::uint32_t>(rng.below(4));
+        cfg.d = 1 + static_cast<std::uint32_t>(rng.below(8));
+        cfg.message = randomBits(8 + rng.below(16), 0xabcd + trial);
+        cfg.noise.footprint_sets = 1;
+        cfg.noise.lines_per_set = 24;
+        cfg.noise.burst = 128;
+        cfg.noise.gap = 10;
+        cfg.seed = rng();
+
+        const auto legacy = legacy::legacyRunSmtMulticore(cfg);
+        const auto now = runSmtMulticore(cfg);
+
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        expectSamplesEqual(legacy.samples, now.samples);
+        EXPECT_EQ(legacy.received, now.received);
+        EXPECT_EQ(legacy.error_rate, now.error_rate);
+        EXPECT_EQ(legacy.elapsed_cycles, now.elapsed_cycles);
+        EXPECT_EQ(legacy.threshold, now.threshold);
+        EXPECT_EQ(legacy.back_invalidations, now.back_invalidations);
+        EXPECT_EQ(legacy.cores, now.cores);
+        expectStatsEqual(legacy.sender_l1, now.sender_l1, "sender L1");
+        expectStatsEqual(legacy.receiver_l1, now.receiver_l1,
+                         "receiver L1");
+    }
+}
