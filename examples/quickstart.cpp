@@ -18,7 +18,7 @@
 #include <iostream>
 #include <string>
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "core/table.hpp"
 
 using namespace lruleak;
@@ -33,10 +33,10 @@ main(int argc, char **argv)
     std::cout << "lruleak quickstart: covert channel over the L1D "
                  "replacement state\n\n";
 
-    // 1. Configure the channel: CPU model, protocol, timing.
-    CovertConfig cfg;
+    // 1. Configure the channel session: CPU model, protocol, timing.
+    SessionConfig cfg;
     cfg.uarch = timing::Uarch::intelXeonE52690(); // Table III machine
-    cfg.alg = LruAlgorithm::Alg1Shared;           // shared `line 0`
+    cfg.channel = ChannelId::LruAlg1;             // shared `line 0`
     cfg.mode = SharingMode::HyperThreaded;        // SMT co-residency
     cfg.d = 8;         // receiver init-phase depth (paper's d)
     cfg.ts = 6000;     // sender cycles per bit
@@ -45,7 +45,7 @@ main(int argc, char **argv)
     cfg.seed = 42;
 
     // 2. Run the whole transmission in the simulator.
-    const CovertResult res = runCovertChannel(cfg);
+    const SessionResult res = runSession(cfg);
 
     // 3. Decode and report.
     std::cout << "sent      : \"" << message << "\" ("

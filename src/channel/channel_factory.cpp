@@ -5,9 +5,11 @@
 
 #include "channel/channel_factory.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "channel/dirty_channel.hpp"
 #include "util/strings.hpp"
 
 namespace lruleak::channel {
@@ -22,6 +24,8 @@ channelIdToken(ChannelId id)
       case ChannelId::LruAlg2:    return "lru-alg2";
       case ChannelId::PrimeProbe: return "prime-probe";
       case ChannelId::XCoreLruAlg2: return "xcore-lru-alg2";
+      case ChannelId::DirtyEvict:   return "dirty-evict";
+      case ChannelId::FlushDirty:   return "flush-dirty";
     }
     return "unknown";
 }
@@ -36,6 +40,8 @@ channelDisplayName(ChannelId id)
       case ChannelId::LruAlg2:    return "L1 LRU Alg.2";
       case ChannelId::PrimeProbe: return "Prime+Probe";
       case ChannelId::XCoreLruAlg2: return "LLC LRU Alg.2 (x-core)";
+      case ChannelId::DirtyEvict:   return "Dirty-evict (WB)";
+      case ChannelId::FlushDirty:   return "Flush-dirty (clflush)";
     }
     return "unknown";
 }
@@ -60,6 +66,10 @@ channelIdFromName(std::string_view name)
         return ChannelId::PrimeProbe;
     if (n == "xcore" || n == "xcore-alg2" || n == "llc-alg2")
         return ChannelId::XCoreLruAlg2;
+    if (n == "dirtyevict" || n == "cui" || n == "wb-evict")
+        return ChannelId::DirtyEvict;
+    if (n == "flushdirty" || n == "flushgeist" || n == "fd")
+        return ChannelId::FlushDirty;
 
     std::ostringstream os;
     os << "unknown channel '" << name << "'; valid channels:";
@@ -74,7 +84,8 @@ allChannelIds()
     static const std::vector<ChannelId> ids{
         ChannelId::FrMem, ChannelId::FrL1, ChannelId::LruAlg1,
         ChannelId::LruAlg2, ChannelId::PrimeProbe,
-        ChannelId::XCoreLruAlg2};
+        ChannelId::XCoreLruAlg2, ChannelId::DirtyEvict,
+        ChannelId::FlushDirty};
     return ids;
 }
 
@@ -87,19 +98,27 @@ senderAlgorithmFor(ChannelId id)
 const ChannelCaps &
 channelCaps(ChannelId id)
 {
-    // {sender_alg, shared_memory, uses_flush, invert, llc_geometry}
+    // {sender_alg, shared_memory, uses_flush, invert, llc_geometry,
+    //  dirty_state}
     static const ChannelCaps kFrMem{LruAlgorithm::Alg1Shared, true, true,
-                                    false, false};
+                                    false, false, false};
     static const ChannelCaps kFrL1{LruAlgorithm::Alg1Shared, true, false,
-                                   false, false};
+                                   false, false, false};
     static const ChannelCaps kAlg1{LruAlgorithm::Alg1Shared, true, false,
-                                   false, false};
+                                   false, false, false};
     static const ChannelCaps kAlg2{LruAlgorithm::Alg2Disjoint, false,
-                                   false, true, false};
+                                   false, true, false, false};
     static const ChannelCaps kPp{LruAlgorithm::Alg2Disjoint, false, false,
-                                 true, false};
+                                 true, false, false};
     static const ChannelCaps kXCore{LruAlgorithm::Alg2Disjoint, false,
-                                    false, true, true};
+                                    false, true, true, false};
+    // Dirty-evict needs no shared memory (the sender dirties its own
+    // line); flush-dirty flushes the one shared line, like F+R.  Both
+    // decode "1 = slow sample" (a write-back stall).
+    static const ChannelCaps kDirtyEvict{LruAlgorithm::Alg2Disjoint,
+                                         false, false, true, false, true};
+    static const ChannelCaps kFlushDirty{LruAlgorithm::Alg1Shared, true,
+                                         true, true, false, true};
     switch (id) {
       case ChannelId::FrMem:        return kFrMem;
       case ChannelId::FrL1:         return kFrL1;
@@ -107,6 +126,8 @@ channelCaps(ChannelId id)
       case ChannelId::LruAlg2:      return kAlg2;
       case ChannelId::PrimeProbe:   return kPp;
       case ChannelId::XCoreLruAlg2: return kXCore;
+      case ChannelId::DirtyEvict:   return kDirtyEvict;
+      case ChannelId::FlushDirty:   return kFlushDirty;
     }
     return kAlg1;
 }
@@ -121,6 +142,8 @@ defaultInitDepth(ChannelId id, std::uint32_t ways)
       case ChannelId::FrMem:
       case ChannelId::FrL1:
       case ChannelId::PrimeProbe:
+      case ChannelId::DirtyEvict:
+      case ChannelId::FlushDirty:
         break;
     }
     return 0;
@@ -140,6 +163,17 @@ ChannelPair::ChannelPair(ChannelId id, const ChannelLayout &layout,
     sc.encode_gap = config.encode_gap;
     sc.infinite = config.infinite;
     sc.lock_line = config.lock_line;
+    sc.write_polarity = channelCaps(id).dirty_state;
+    if (id == ChannelId::DirtyEvict) {
+        // A line the sender keeps re-touching is MRU/PLRU-protected and
+        // the receiver's eviction walk can never victimise it.  Pace the
+        // re-dirtying at the receiver's sampling period instead: one
+        // touch per sample, re-arming the line right after the previous
+        // walk drained it.  (Flush-dirty needs no pacing — clflush
+        // removes the line regardless of replacement state.)
+        sc.encode_gap = std::max(
+            sc.encode_gap, static_cast<std::uint32_t>(config.tr));
+    }
     sender_ = std::make_unique<LruSender>(layout, sc);
 
     switch (id) {
@@ -179,6 +213,24 @@ ChannelPair::ChannelPair(ChannelId id, const ChannelLayout &layout,
         rc.tr = config.tr;
         rc.max_samples = config.max_samples;
         auto receiver = std::make_unique<PpReceiver>(layout, rc);
+        samples_ = &receiver->samples();
+        receiver_ = std::move(receiver);
+        break;
+      }
+      case ChannelId::DirtyEvict: {
+        DirtyEvictReceiverConfig rc;
+        rc.tr = config.tr;
+        rc.max_samples = config.max_samples;
+        auto receiver = std::make_unique<DirtyEvictReceiver>(layout, rc);
+        samples_ = &receiver->samples();
+        receiver_ = std::move(receiver);
+        break;
+      }
+      case ChannelId::FlushDirty: {
+        FlushDirtyReceiverConfig rc;
+        rc.tr = config.tr;
+        rc.max_samples = config.max_samples;
+        auto receiver = std::make_unique<FlushDirtyReceiver>(layout, rc);
         samples_ = &receiver->samples();
         receiver_ = std::move(receiver);
         break;

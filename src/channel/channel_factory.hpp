@@ -36,6 +36,12 @@ enum class ChannelId
     PrimeProbe, //!< Prime+Probe baseline (Osvik et al.)
     XCoreLruAlg2, //!< Algorithm 2 over the shared inclusive LLC
                   //!< (cross-core; see channel/xcore_channel.hpp)
+    DirtyEvict,   //!< dirty-state channel: write-back latency of the
+                  //!< receiver's refill distinguishes whether the evicted
+                  //!< sender line was dirty (Cui et al.)
+    FlushDirty,   //!< dirty-state channel: clflush of a modified shared
+                  //!< line stalls on the write-back, so timed flushes
+                  //!< decode the dirty bit (Flushgeist)
 };
 
 /** Stable CLI token: "fr-mem", "fr-l1", "lru-alg1", ... */
@@ -73,6 +79,10 @@ struct ChannelCaps
     bool invert;              //!< decode polarity: 1 bit = slow sample
     bool llc_geometry;        //!< layout natively built from the LLC
                               //!< geometry in every sharing mode
+    bool dirty_state;         //!< the modulated state is the line's dirty
+                              //!< bit, not its presence: the sender uses
+                              //!< write-polarity encoding and the channel
+                              //!< needs a write-back cache to exist at all
 };
 
 /** Capability record of one channel design. */

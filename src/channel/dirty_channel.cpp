@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Dirty-state receiver implementations.
+ */
+
+#include "channel/dirty_channel.hpp"
+
+#include <algorithm>
+
+namespace lruleak::channel {
+
+// --------------------------------------------------------- dirty-evict
+
+DirtyEvictReceiver::DirtyEvictReceiver(const ChannelLayout &layout,
+                                       DirtyEvictReceiverConfig config)
+    : layout_(layout), config_(config),
+      readout_(layout.chaseRefs(1).front())
+{
+    // N+1 own lines for the N-way target set: the paper's Table I
+    // eviction sequence.  A plain N-line prime (Prime+Probe's walk)
+    // cannot carry this channel — under any recency policy the refill
+    // victim is one of our own stale lines, never the sender's line,
+    // which stays resident and dirty forever.
+    for (std::uint32_t i = 0; i <= layout_.ways(); ++i)
+        lines_.push_back(layout_.receiverLine(LruAlgorithm::Alg2Disjoint, i));
+    samples_.reserve(config_.max_samples);
+}
+
+exec::Op
+DirtyEvictReceiver::next(std::uint64_t now)
+{
+    switch (phase_) {
+      case Phase::Sleep: {
+        phase_ = Phase::Walk;
+        const std::uint64_t deadline = mark_ + config_.tr;
+        mark_ = std::max(deadline, now);
+        if (deadline > now)
+            return exec::Op::spinUntil(deadline);
+        [[fallthrough]];
+      }
+
+      case Phase::Walk:
+        // Fixed sequential order 0..N: Table I shows this is what makes
+        // the untouched (sender's) line the Tree-PLRU victim.
+        if (index_ < lines_.size())
+            return exec::Op::access(lines_[index_++]);
+        index_ = 0;
+        phase_ = Phase::Refetch;
+        [[fallthrough]];
+
+      case Phase::Refetch:
+        phase_ = Phase::Measure;
+        return exec::Op::access(readout_);
+
+      case Phase::Measure:
+        phase_ = Phase::Sleep;
+        // Every write-back since the previous sample stalled this
+        // iteration's walk; fold them all into the timed L1 hit (the
+        // engine adds the timed access's own write-backs on top).
+        return exec::Op::measure(readout_, {}, pending_writebacks_);
+
+      case Phase::Finished:
+        break;
+    }
+    return exec::Op::done();
+}
+
+void
+DirtyEvictReceiver::onResult(const exec::OpResult &result)
+{
+    if (result.kind == exec::OpKind::Access) {
+        pending_writebacks_ += result.writebacks;
+        return;
+    }
+    if (result.kind != exec::OpKind::Measure)
+        return;
+    pending_writebacks_ = 0;
+    samples_.push_back(Sample{result.tsc, result.measured, result.level});
+    if (samples_.size() >= config_.max_samples)
+        phase_ = Phase::Finished;
+}
+
+// --------------------------------------------------------- flush-dirty
+
+FlushDirtyReceiver::FlushDirtyReceiver(const ChannelLayout &layout,
+                                       FlushDirtyReceiverConfig config)
+    : layout_(layout), config_(config),
+      line_(layout.sharedLine(kReceiverThread))
+{
+    samples_.reserve(config_.max_samples);
+}
+
+exec::Op
+FlushDirtyReceiver::next(std::uint64_t now)
+{
+    switch (phase_) {
+      case Phase::Sleep: {
+        phase_ = Phase::Measure;
+        const std::uint64_t deadline = mark_ + config_.tr;
+        mark_ = std::max(deadline, now);
+        if (deadline > now)
+            return exec::Op::spinUntil(deadline);
+        [[fallthrough]];
+      }
+
+      case Phase::Measure:
+        phase_ = Phase::Sleep;
+        return exec::Op::measureFlush(line_);
+
+      case Phase::Finished:
+        break;
+    }
+    return exec::Op::done();
+}
+
+void
+FlushDirtyReceiver::onResult(const exec::OpResult &result)
+{
+    if (result.kind != exec::OpKind::MeasureFlush)
+        return;
+    samples_.push_back(Sample{result.tsc, result.measured, result.level});
+    if (samples_.size() >= config_.max_samples)
+        phase_ = Phase::Finished;
+}
+
+} // namespace lruleak::channel

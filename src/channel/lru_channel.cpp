@@ -158,6 +158,14 @@ LruSender::next(std::uint64_t now)
     // work -> short spin.  The iteration then repeats until Ts expires.
     if (sub_step_ == 0) {
         sub_step_ = 1;
+        if (config_.write_polarity) {
+            // Dirty-state encoding: access the line for both symbols,
+            // store for 1 and load for 0 (see SenderConfig).
+            awaiting_encode_ = true;
+            sim::MemRef ref = line_;
+            ref.is_write = bit == 1;
+            return exec::Op::access(ref);
+        }
         if (bit == 1) {
             awaiting_encode_ = true;
             return exec::Op::access(line_);

@@ -98,6 +98,16 @@ struct SenderConfig
     bool prewarm = true;          //!< fetch the line before starting
     bool lock_line = false;       //!< PL cache: lock the line on prewarm
     std::uint32_t stack_lines = 2; //!< local accesses per iteration
+
+    /**
+     * Encode in the line's *dirty bit* instead of its presence: the
+     * sender touches its line every bit, as a store when sending 1 and
+     * as a load when sending 0.  The access mix (and hence the miss
+     * count) is identical for both symbols — the dirty-state channels'
+     * stealth argument — and the receiver reads the bit back through
+     * write-back latency (dirty-evict) or flush latency (flush-dirty).
+     */
+    bool write_polarity = false;
 };
 
 /**

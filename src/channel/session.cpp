@@ -261,6 +261,10 @@ runSession(const SessionConfig &config)
     // ----- stage 2: topology + arbitration policy, then the run.
     SessionResult res;
     RunOutcome run;
+    const auto applyWritePolicy = [&](sim::CacheConfig &cc) {
+        cc.write_hit = config.write_hit;
+        cc.write_miss = config.write_miss;
+    };
     if (multi) {
         sim::MultiCoreConfig mc;
         mc.cores = (config.mode == SharingMode::CrossCore ? 2u : 1u) +
@@ -269,6 +273,9 @@ runSession(const SessionConfig &config)
         if (config.llc_policy)
             mc.llc.policy = *config.llc_policy;
         mc.seed = config.seed;
+        applyWritePolicy(mc.l1);
+        applyWritePolicy(mc.l2);
+        applyWritePolicy(mc.llc);
         sim::MultiCoreHierarchy hierarchy(mc);
 
         run = runMultiCore(config, pair, hierarchy);
@@ -292,6 +299,9 @@ runSession(const SessionConfig &config)
             h.llc.policy = *config.llc_policy;
         h.l1_way_predictor = config.uarch.way_predictor;
         h.l1_pl_mode = config.pl_mode;
+        applyWritePolicy(h.l1);
+        applyWritePolicy(h.l2);
+        applyWritePolicy(h.llc);
         sim::CacheHierarchy hierarchy(h);
 
         run = runSingleCore(config, pair, hierarchy);

@@ -75,6 +75,16 @@ struct SessionConfig
     std::optional<sim::ReplPolicyKind> llc_policy;
     sim::PlMode pl_mode = sim::PlMode::Disabled; //!< single-core only
 
+    /**
+     * Write policy of every cache level (applied uniformly to the whole
+     * topology).  Write-back + write-allocate is the default every
+     * modeled machine uses; the write-through settings exist for the
+     * `dirty_error_rate` ablation — a write-through level never holds a
+     * dirty line, which kills the dirty-state channels.
+     */
+    sim::WriteHitPolicy write_hit = sim::WriteHitPolicy::WriteBack;
+    sim::WriteMissPolicy write_miss = sim::WriteMissPolicy::WriteAllocate;
+
     std::uint32_t d = 0;          //!< receiver init depth; 0 = default
     std::uint64_t tr = 600;       //!< receiver sampling period (cycles)
     std::uint64_t ts = 6000;      //!< sender per-bit period (cycles)

@@ -122,6 +122,12 @@ describeChannel(channel::ChannelId id)
               << (caps.invert ? "slow sample (eviction)"
                               : "fast sample (hit)")
               << "\n"
+              << "  modulated state:  "
+              << (caps.dirty_state
+                      ? "dirty bit (write-polarity sender; needs a "
+                        "write-back cache)"
+                      : "presence / replacement state")
+              << "\n"
               << "  sharing modes:\n";
     for (channel::SharingMode mode : channel::allSharingModes()) {
         channel::SessionConfig probe;

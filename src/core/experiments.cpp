@@ -203,8 +203,14 @@ meanEncodeLatency(const timing::Uarch &uarch, ChannelKind kind,
           case ChannelKind::FrMem:
             hierarchy.flush(line);
             break;
+          case ChannelKind::FlushDirty:
+            // The receiver's timed clflush removes the line each sample.
+            hierarchy.flush(line);
+            break;
           case ChannelKind::FrL1:
-            // The receiver evicts the line from L1 via 8 same-set lines.
+          case ChannelKind::DirtyEvict:
+            // The receiver evicts the line from L1 via 8 same-set lines
+            // (for dirty-evict that is its refill walk).
             for (std::uint32_t i = 1; i <= layout.ways(); ++i)
                 hierarchy.access(
                     layout.receiverLine(channel::LruAlgorithm::Alg1Shared,
@@ -213,6 +219,7 @@ meanEncodeLatency(const timing::Uarch &uarch, ChannelKind kind,
           case ChannelKind::LruAlg1:
           case ChannelKind::LruAlg2:
           case ChannelKind::PrimeProbe:
+          case ChannelKind::XCoreLruAlg2:
             // LRU-state and Prime+Probe senders leave the line wherever
             // it is — typically L1.
             break;

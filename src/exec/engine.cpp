@@ -47,45 +47,75 @@ Engine::executeOp(unsigned idx, const Op &op, std::uint64_t start)
                                                 : 0;
     switch (op.kind) {
       case OpKind::Access: {
-        const auto level = port_.access(t.core, op.ref, op.lock_req);
+        const auto pa = port_.access(t.core, op.ref, op.lock_req);
         OpResult out;
         out.kind = OpKind::Access;
-        out.level = level;
+        out.level = pa.level;
+        out.writebacks = pa.writebacks;
         out.tsc = start;
         t.program->onResult(out);
         ++t.stats.accesses;
         maybeAudit();
+        // Write-back stalls are deterministic and added after the
+        // existing jitter draw, so read-only traces keep the exact RNG
+        // sequence (and costs) of the pre-write-path engine.
         const std::uint64_t cost =
-            uarch_.latency(level) + config_.op_overhead + jitter;
+            uarch_.latency(pa.level) + config_.op_overhead + jitter +
+            std::uint64_t{pa.writebacks} * uarch_.wb_latency;
         t.stats.busy_cycles += cost;
         return cost;
       }
       case OpKind::Measure: {
-        const auto level = port_.access(t.core, op.ref, op.lock_req);
+        const auto pa = port_.access(t.core, op.ref, op.lock_req);
         OpResult out;
         out.kind = OpKind::Measure;
-        out.level = level;
-        out.measured = model_.chase(op.chain_levels, level, rng_);
+        out.level = pa.level;
+        out.writebacks = pa.writebacks;
         out.tsc = start;
+        const std::uint32_t wb_stall =
+            (op.chain_writebacks + pa.writebacks) * uarch_.wb_latency;
+        out.measured =
+            model_.chase(op.chain_levels, pa.level, rng_) + wb_stall;
         t.program->onResult(out);
         ++t.stats.measures;
         maybeAudit();
-        const std::uint64_t cost =
-            uarch_.latency(level) + config_.op_overhead + jitter;
+        const std::uint64_t cost = uarch_.latency(pa.level) +
+                                   config_.op_overhead + jitter +
+                                   std::uint64_t{pa.writebacks} *
+                                       uarch_.wb_latency;
         t.stats.busy_cycles += cost;
         return cost;
       }
       case OpKind::Flush: {
-        port_.flush(op.ref);
+        const auto fr = port_.flush(op.ref);
         OpResult out;
         out.kind = OpKind::Flush;
         out.tsc = start;
         t.program->onResult(out);
         ++t.stats.flushes;
         maybeAudit();
-        // clflush drains to memory: charge a memory round trip.
+        // clflush drains to memory: charge a memory round trip, plus
+        // the write-back when the dropped copy was dirty.
         const std::uint64_t cost =
-            uarch_.mem_latency + config_.op_overhead + jitter;
+            uarch_.mem_latency + config_.op_overhead + jitter +
+            (fr.dirty ? uarch_.wb_latency : 0);
+        t.stats.busy_cycles += cost;
+        return cost;
+      }
+      case OpKind::MeasureFlush: {
+        const auto fr = port_.flush(op.ref);
+        OpResult out;
+        out.kind = OpKind::MeasureFlush;
+        out.level = fr.dirty ? sim::HitLevel::Memory : sim::HitLevel::L1;
+        out.measured = model_.flushMeasure(fr.dirty, rng_);
+        out.tsc = start;
+        t.program->onResult(out);
+        ++t.stats.measures;
+        ++t.stats.flushes;
+        maybeAudit();
+        const std::uint64_t cost =
+            uarch_.mem_latency + config_.op_overhead + jitter +
+            (fr.dirty ? uarch_.wb_latency : 0);
         t.stats.busy_cycles += cost;
         return cost;
       }
@@ -309,9 +339,10 @@ TimeSlice::backgroundSlice(Engine &engine, std::uint64_t slice_end)
         const sim::Addr line = config_.background_base +
             engine.rng().below(config_.background_lines * 4) * 64;
         const sim::MemRef ref{line, line, config_.background_thread, false};
-        const auto level = engine.port().access(core_, ref);
-        now_ += engine.uarch().latency(level) +
-                engine.config().op_overhead;
+        const auto pa = engine.port().access(core_, ref);
+        now_ += engine.uarch().latency(pa.level) +
+                engine.config().op_overhead +
+                std::uint64_t{pa.writebacks} * engine.uarch().wb_latency;
         if (now_ >= slice_end)
             break;
     }

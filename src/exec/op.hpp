@@ -25,11 +25,14 @@ namespace lruleak::exec {
 /** What a thread wants to do next. */
 enum class OpKind
 {
-    Access,    //!< one load/store through the hierarchy
-    Measure,   //!< timed load of @c ref using the pointer-chase readout
-    Flush,     //!< clflush @c ref from all levels
-    SpinUntil, //!< busy-wait until the TSC reaches @c until
-    Done,      //!< thread finished
+    Access,       //!< one load/store through the hierarchy
+    Measure,      //!< timed load of @c ref using the pointer-chase readout
+    Flush,        //!< clflush @c ref from all levels
+    MeasureFlush, //!< timed clflush of @c ref: the readout depends on
+                  //!< whether a dirty copy had to be written back
+                  //!< (Flushgeist-style flush-latency decoding)
+    SpinUntil,    //!< busy-wait until the TSC reaches @c until
+    Done,         //!< thread finished
 };
 
 /** One operation yielded by a ThreadProgram. */
@@ -46,6 +49,14 @@ struct Op
      * collects their levels via onResult).
      */
     std::vector<sim::HitLevel> chain_levels;
+
+    /**
+     * For Measure: write-back transactions the preceding chain accesses
+     * triggered (collected from their OpResults).  Each one stalled the
+     * timed walk by the uarch's write-back latency, so the engine adds
+     * them to the readout — the `dirty-evict` channel's signal.
+     */
+    std::uint32_t chain_writebacks = 0;
 
     static Op
     access(const sim::MemRef &ref)
@@ -65,12 +76,14 @@ struct Op
     }
 
     static Op
-    measure(const sim::MemRef &ref, std::vector<sim::HitLevel> chain)
+    measure(const sim::MemRef &ref, std::vector<sim::HitLevel> chain,
+            std::uint32_t chain_writebacks = 0)
     {
         Op op;
         op.kind = OpKind::Measure;
         op.ref = ref;
         op.chain_levels = std::move(chain);
+        op.chain_writebacks = chain_writebacks;
         return op;
     }
 
@@ -79,6 +92,15 @@ struct Op
     {
         Op op;
         op.kind = OpKind::Flush;
+        op.ref = ref;
+        return op;
+    }
+
+    static Op
+    measureFlush(const sim::MemRef &ref)
+    {
+        Op op;
+        op.kind = OpKind::MeasureFlush;
         op.ref = ref;
         return op;
     }
@@ -99,12 +121,15 @@ struct Op
     }
 };
 
-/** Outcome of an executed Access/Measure/Flush op. */
+/** Outcome of an executed Access/Measure/Flush/MeasureFlush op. */
 struct OpResult
 {
     OpKind kind = OpKind::Access;
     sim::HitLevel level = sim::HitLevel::Memory; //!< where it was served
-    std::uint32_t measured = 0;   //!< latency readout (Measure only)
+    std::uint32_t measured = 0;   //!< latency readout (Measure kinds only)
+    std::uint32_t writebacks = 0; //!< write-back transactions triggered
+                                  //!< (Access/Measure; receivers fold
+                                  //!< these into the next timed readout)
     std::uint64_t tsc = 0;        //!< completion time
 };
 

@@ -1,11 +1,12 @@
 /**
  * @file
  * The channel-session matrix: every channel design the repo implements
- * (both LRU algorithms, both Flush+Reload baselines, Prime+Probe and
- * the cross-core LLC Algorithm 2) run in every sharing mode
- * (hyper-threaded, OS-time-sliced, cross-core) over every replacement
- * policy of the carrier cache — error rate and effective bandwidth per
- * cell, through the one channel::Session pipeline.
+ * (both LRU algorithms, both Flush+Reload baselines, Prime+Probe, the
+ * cross-core LLC Algorithm 2 and the dirty-state family) run in every
+ * sharing mode (hyper-threaded, OS-time-sliced, cross-core) over every
+ * replacement policy of the carrier cache — error rate and effective
+ * bandwidth per cell, through the one channel::Session pipeline — plus
+ * a PL-cache secure-mode ablation of the hyper-threaded column.
  *
  * This is the payoff of unifying the three transmission harnesses:
  * cells like cross-core Flush+Reload (the shared line decoded at
@@ -56,8 +57,9 @@ class ChannelMatrix final : public Experiment
     std::string
     description() const override
     {
-        return "channel-session matrix: all 6 channels x all 3 sharing "
-               "modes x carrier replacement policies";
+        return "channel-session matrix: all channels x all 3 sharing "
+               "modes x carrier replacement policies, plus a PL-cache "
+               "secure-mode ablation";
     }
 
     std::vector<ParamSpec>
@@ -171,8 +173,8 @@ class ChannelMatrix final : public Experiment
                        table);
         }
 
-        // The 18-cell headline matrix (first listed policy), one scalar
-        // per channel x mode so trends are machine-checkable.
+        // The headline matrix (first listed policy), one scalar per
+        // channel x mode so trends are machine-checkable.
         for (std::uint32_t c = 0; c < n_channels; ++c) {
             for (std::uint32_t m = 0; m < n_modes; ++m) {
                 sink.scalar(
@@ -182,6 +184,53 @@ class ChannelMatrix final : public Experiment
                     cell(0, c, m).first);
             }
         }
+
+        // ----- PL-cache secure-mode ablation (Fig. 11's defense axis):
+        // hyper-threaded cells, first listed policy, the sender locking
+        // its line in a partition-locked L1.  The original PL design
+        // still updates replacement state on locked hits, so the
+        // LRU-state channels survive it; the fixed design freezes the
+        // state and the dirty channels lose their evictable line.
+        const sim::PlMode pl_modes[] = {sim::PlMode::Original,
+                                        sim::PlMode::FixedLruLock};
+        const auto pl_results = core::runTrials(
+            n_channels * 2, seed + cells,
+            [&](std::uint32_t idx, sim::Xoshiro256 &) {
+                SessionConfig cfg;
+                cfg.channel = channels[idx / 2];
+                cfg.mode = SharingMode::HyperThreaded;
+                cfg.uarch = uarch;
+                cfg.tr = modes[0].tr;
+                cfg.ts = modes[0].ts;
+                cfg.message = message;
+                cfg.repeats = repeats;
+                cfg.seed = seed + cells + idx;
+                cfg.l1_policy = policies[0];
+                cfg.pl_mode = pl_modes[idx % 2];
+                cfg.sender_locks_line = true;
+                return runSession(cfg).error_rate;
+            });
+
+        Table pl_table({"Channel", "no PL-cache", "PL original",
+                        "PL fixed (LRU-lock)"});
+        for (std::uint32_t c = 0; c < n_channels; ++c) {
+            pl_table.addRow({channelDisplayName(channels[c]),
+                             fmtPercent(cell(0, c, 0).first),
+                             fmtPercent(pl_results[c * 2]),
+                             fmtPercent(pl_results[c * 2 + 1])});
+            sink.scalar("error_" +
+                            std::string(channelIdToken(channels[c])) +
+                            "_pl_original",
+                        pl_results[c * 2]);
+            sink.scalar("error_" +
+                            std::string(channelIdToken(channels[c])) +
+                            "_pl_fixed",
+                        pl_results[c * 2 + 1]);
+        }
+        sink.table("--- PL-cache ablation (hyperthreaded, " +
+                       std::string(sim::replPolicyName(policies[0])) +
+                       ", sender locks its line) ---",
+                   pl_table);
 
         sink.note("\nReading the matrix: the hyper-threaded column of "
                   "each table reproduces the paper's\nTable IV/VI "

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The dirty-state channel family as registered experiments.
+ *
+ *  - dirty_channel_traces: the receiver's raw readout while the sender
+ *    transmits alternating 0/1 through the dirty bit — dirty-evict
+ *    hyper-threaded, flush-dirty hyper-threaded and flush-dirty
+ *    cross-core (the carrier-independent member runs unchanged over
+ *    the shared LLC).
+ *
+ *  - dirty_error_rate: error rate and bandwidth for both channels in
+ *    all three sharing modes, with the write-policy ablation that
+ *    pins down the mechanism: switching every cache to write-through
+ *    leaves presence, replacement state and miss counts untouched but
+ *    removes dirty lines, and both channels go dark.
+ */
+
+#include "channel/session.hpp"
+#include "core/trial_runner.hpp"
+#include "experiments/common.hpp"
+
+namespace lruleak::experiments {
+
+namespace {
+
+using namespace lruleak::core;
+using namespace lruleak::channel;
+
+/** The family, sweep order fixed for tables and scalars. */
+constexpr ChannelId kDirtyChannels[] = {ChannelId::DirtyEvict,
+                                        ChannelId::FlushDirty};
+
+/** Per-mode protocol periods (the channel_matrix operating points). */
+struct ModePoint
+{
+    SharingMode mode;
+    std::uint64_t tr;
+    std::uint64_t ts;
+};
+
+constexpr ModePoint kModes[] = {
+    {SharingMode::HyperThreaded, 600, 6000},
+    {SharingMode::TimeSliced, 600, 6000},
+    {SharingMode::CrossCore, 3000, 30000},
+};
+
+class DirtyChannelTraces final : public Experiment
+{
+  public:
+    std::string name() const override { return "dirty_channel_traces"; }
+
+    std::string
+    description() const override
+    {
+        return "dirty-state channels: receiver readout traces, sender "
+               "alternating 0/1 through the dirty bit";
+    }
+
+    std::vector<ParamSpec>
+    params() const override
+    {
+        return {
+            ParamSpec::integer("bits", 20,
+                               "alternating message length"),
+            uarchParam("e5-2690"),
+            seedParam(41),
+        };
+    }
+
+    void
+    run(const ParamMap &params, ResultSink &sink) const override
+    {
+        const auto u = uarchFromParams(params);
+        sink.note("=== dirty-state channel traces, sender alternating "
+                  "0/1, " + u.name + " ===\n(y: timed readout in "
+                  "cycles; x: observation sequence.  The sender touches "
+                  "its line for BOTH\nsymbols — store for 1, load for 0 "
+                  "— so presence and miss counts are symbol-blind\nand "
+                  "only the write-back stall separates the levels)");
+
+        trace(ChannelId::DirtyEvict, SharingMode::HyperThreaded, u,
+              params, sink);
+        trace(ChannelId::FlushDirty, SharingMode::HyperThreaded, u,
+              params, sink);
+        trace(ChannelId::FlushDirty, SharingMode::CrossCore, u, params,
+              sink);
+
+        sink.note("\nReading the traces: 1-bit windows sit one uarch "
+                  "write-back latency above the\n0-bit floor.  "
+                  "Flush-dirty's readout is the timed clflush itself, "
+                  "so the cross-core\ntrace is the same signal over the "
+                  "shared LLC — the carrier never enters the\nreadout.");
+    }
+
+  private:
+    static void
+    trace(ChannelId id, SharingMode mode, const timing::Uarch &uarch,
+          const ParamMap &params, ResultSink &sink)
+    {
+        const bool xcore = mode == SharingMode::CrossCore;
+        SessionConfig cfg;
+        cfg.channel = id;
+        cfg.mode = mode;
+        cfg.uarch = uarch;
+        cfg.tr = xcore ? 3000 : 600;
+        cfg.ts = xcore ? 30000 : 6000;
+        cfg.message = alternatingBits(
+            static_cast<std::size_t>(params.getUint("bits")));
+        cfg.seed = params.getUint("seed");
+        const auto res = runSession(cfg);
+
+        const std::string title =
+            channelDisplayName(id) + ", " +
+            std::string(sharingModeToken(mode)) +
+            ", Tr=" + std::to_string(cfg.tr) +
+            ", Ts=" + std::to_string(cfg.ts) + "  (threshold " +
+            std::to_string(res.threshold) + " cycles, rate " +
+            fmtKbps(res.kbps) + ", error " + fmtPercent(res.error_rate) +
+            ")";
+        sink.series("\n" + title, sampleLatencies(res.samples, 200), 8);
+        sink.text("", "decoded: " + bitsToString(res.received));
+    }
+};
+
+LRULEAK_REGISTER_EXPERIMENT(DirtyChannelTraces)
+
+class DirtyErrorRate final : public Experiment
+{
+  public:
+    std::string name() const override { return "dirty_error_rate"; }
+
+    std::string
+    description() const override
+    {
+        return "dirty-state channels: error rate per sharing mode with "
+               "the write-back vs write-through ablation";
+    }
+
+    std::vector<ParamSpec>
+    params() const override
+    {
+        return {
+            ParamSpec::integer("bits", 64, "random message length"),
+            ParamSpec::integer("repeats", 2,
+                               "times the message is re-sent"),
+            ParamSpec::integer("quantum", 30'000,
+                               "time-sliced cells: scheduling quantum "
+                               "in cycles (scaled OS model)"),
+            uarchParam("e5-2690"),
+            seedParam(43),
+        };
+    }
+
+    void
+    run(const ParamMap &params, ResultSink &sink) const override
+    {
+        const auto seed = params.getUint("seed");
+        const auto repeats = params.getUint32("repeats");
+        const auto quantum = params.getUint("quantum");
+        const auto uarch = uarchFromParams(params);
+        const Bits message = randomBits(
+            static_cast<std::size_t>(params.getUint("bits")), 20200408);
+
+        sink.note("=== dirty-state channel error rates, " + uarch.name +
+                  " ===\n(" + std::to_string(params.getUint("bits")) +
+                  "-bit random string x" + std::to_string(repeats) +
+                  "; error = edit distance / bits sent.  The ablation "
+                  "re-runs every cell with\nevery cache write-through: "
+                  "same accesses, same misses, no dirty lines — a "
+                  "channel\nthat survives that is not reading the dirty "
+                  "bit)");
+
+        // Flat trial-parallel sweep over (channel, mode, write policy);
+        // per-cell seeds depend only on the cell index, so the table is
+        // identical for any worker count.
+        constexpr std::uint32_t n_modes =
+            static_cast<std::uint32_t>(std::size(kModes));
+        constexpr std::uint32_t n_channels =
+            static_cast<std::uint32_t>(std::size(kDirtyChannels));
+        const std::uint32_t cells = n_channels * n_modes * 2;
+        const auto results = core::runTrials(
+            cells, seed, [&](std::uint32_t idx, sim::Xoshiro256 &) {
+                const bool write_through = idx % 2 == 1;
+                const std::uint32_t mode_idx = (idx / 2) % n_modes;
+                const std::uint32_t chan_idx = idx / (2 * n_modes);
+
+                SessionConfig cfg;
+                cfg.channel = kDirtyChannels[chan_idx];
+                cfg.mode = kModes[mode_idx].mode;
+                cfg.uarch = uarch;
+                cfg.tr = kModes[mode_idx].tr;
+                cfg.ts = kModes[mode_idx].ts;
+                cfg.message = message;
+                cfg.repeats = repeats;
+                cfg.seed = seed + idx / 2; // WB/WT pairs share a seed
+                if (write_through)
+                    cfg.write_hit = sim::WriteHitPolicy::WriteThrough;
+                if (cfg.mode == SharingMode::TimeSliced) {
+                    cfg.tslice.quantum = quantum;
+                    cfg.tslice.quantum_jitter = quantum / 2;
+                    cfg.tslice.tick_period = 100'000;
+                }
+                const auto res = runSession(cfg);
+                return std::pair<double, double>(res.error_rate,
+                                                 res.kbps);
+            });
+
+        Table table({"Channel", "Mode", "write-back", "write-through"});
+        for (std::uint32_t c = 0; c < n_channels; ++c) {
+            for (std::uint32_t m = 0; m < n_modes; ++m) {
+                const auto &[wb_err, wb_kbps] =
+                    results[(c * n_modes + m) * 2];
+                const auto &[wt_err, _] = results[(c * n_modes + m) * 2 + 1];
+                table.addRow({channelDisplayName(kDirtyChannels[c]),
+                              std::string(sharingModeToken(kModes[m].mode)),
+                              fmtPercent(wb_err) + " @ " +
+                                  fmtKbps(wb_kbps),
+                              fmtPercent(wt_err)});
+
+                const std::string base =
+                    "error_" +
+                    std::string(channelIdToken(kDirtyChannels[c])) + "_" +
+                    std::string(sharingModeToken(kModes[m].mode));
+                sink.scalar(base + "_wb", wb_err);
+                sink.scalar(base + "_wt", wt_err);
+            }
+        }
+        sink.table("", table);
+
+        sink.note("\nReading the table: hyper-threaded and cross-core "
+                  "write-back cells transmit (the\ncross-core dirty "
+                  "channels ride the shared LLC's dirty bits); every "
+                  "write-through\ncell collapses to the dead-channel "
+                  "error floor.  Time-slicing degrades the dirty\n"
+                  "family like every other design — only the first "
+                  "readout after a sender slice\ncarries signal.");
+    }
+};
+
+LRULEAK_REGISTER_EXPERIMENT(DirtyErrorRate)
+
+} // namespace
+
+} // namespace lruleak::experiments

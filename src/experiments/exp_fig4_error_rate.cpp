@@ -6,7 +6,7 @@
  * d in 1..8, Ts in {4500, 6000, 12000, 30000}.
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "core/trial_runner.hpp"
 #include "experiments/common.hpp"
 
@@ -86,15 +86,17 @@ class Fig4ErrorRate final : public Experiment
                     8, seed,
                     [&](std::uint32_t idx, sim::Xoshiro256 &) {
                         const std::uint32_t d = idx + 1;
-                        CovertConfig cfg;
-                        cfg.alg = alg;
+                        SessionConfig cfg;
+                        cfg.channel = alg == LruAlgorithm::Alg1Shared
+                                          ? ChannelId::LruAlg1
+                                          : ChannelId::LruAlg2;
                         cfg.d = d;
                         cfg.tr = tr;
                         cfg.ts = ts;
                         cfg.message = message;
                         cfg.repeats = repeats;
                         cfg.seed = seed + d;
-                        const auto res = runCovertChannel(cfg);
+                        const auto res = runSession(cfg);
                         return std::pair<double, double>(res.error_rate,
                                                          res.kbps);
                     });

@@ -28,6 +28,18 @@
 namespace lruleak::sim {
 
 /**
+ * Outcome of a port access: where the data came from, and how many
+ * write-back transactions the access triggered along the way (dirty
+ * victim evictions, write-through forwards, dirty back-invalidations).
+ * The engine charges each transaction the uarch's write-back latency.
+ */
+struct PortAccess
+{
+    HitLevel level = HitLevel::Memory;
+    std::uint32_t writebacks = 0;
+};
+
+/**
  * One memory system as seen by the execution engine: N cores issuing
  * demand accesses, each served at some HitLevel.
  */
@@ -39,9 +51,9 @@ class AccessPort
     /** Number of cores that can issue accesses ([0, cores()) are valid). */
     virtual std::uint32_t cores() const = 0;
 
-    /** Demand access issued by @p core; returns the serving level. */
-    virtual HitLevel access(std::uint32_t core, const MemRef &ref,
-                            LockReq lock_req = LockReq::None) = 0;
+    /** Demand access issued by @p core. */
+    virtual PortAccess access(std::uint32_t core, const MemRef &ref,
+                              LockReq lock_req = LockReq::None) = 0;
 
     /**
      * Replay a whole access sequence from @p core, recording the level
@@ -55,8 +67,12 @@ class AccessPort
     virtual void accessBatch(std::uint32_t core,
                              std::span<const MemRef> refs) = 0;
 
-    /** clflush: remove the line from every cache of every core. */
-    virtual void flush(const MemRef &ref) = 0;
+    /**
+     * clflush: remove the line from every cache of every core.  Reports
+     * presence and whether any dropped copy was dirty (the flush then
+     * stalls on the write-back — the `flush-dirty` channel observable).
+     */
+    virtual CacheFlushResult flush(const MemRef &ref) = 0;
 
     /**
      * Walk the topology's inclusion invariant, if it has one.  Returns a
@@ -83,11 +99,12 @@ class SingleCorePort final : public AccessPort
 
     std::uint32_t cores() const override { return 1; }
 
-    HitLevel
+    PortAccess
     access(std::uint32_t, const MemRef &ref,
            LockReq lock_req = LockReq::None) override
     {
-        return hierarchy_.access(ref, lock_req).level;
+        const auto res = hierarchy_.access(ref, lock_req);
+        return PortAccess{res.level, res.writebacks};
     }
 
     void
@@ -103,7 +120,11 @@ class SingleCorePort final : public AccessPort
         hierarchy_.accessBatch(refs);
     }
 
-    void flush(const MemRef &ref) override { hierarchy_.flush(ref); }
+    CacheFlushResult
+    flush(const MemRef &ref) override
+    {
+        return hierarchy_.flush(ref);
+    }
 
     CacheHierarchy &hierarchy() { return hierarchy_; }
 
@@ -125,11 +146,12 @@ class MultiCorePort final : public AccessPort
 
     std::uint32_t cores() const override { return hierarchy_.cores(); }
 
-    HitLevel
+    PortAccess
     access(std::uint32_t core, const MemRef &ref,
            LockReq = LockReq::None) override
     {
-        return hierarchy_.access(core, ref).level;
+        const auto res = hierarchy_.access(core, ref);
+        return PortAccess{res.level, res.writebacks};
     }
 
     void
@@ -145,7 +167,11 @@ class MultiCorePort final : public AccessPort
         hierarchy_.accessBatch(core, refs);
     }
 
-    void flush(const MemRef &ref) override { hierarchy_.flush(ref); }
+    CacheFlushResult
+    flush(const MemRef &ref) override
+    {
+        return hierarchy_.flush(ref);
+    }
 
     std::optional<std::string>
     auditInclusion() const override

@@ -50,6 +50,13 @@ struct MemRef
     {
         return MemRef{vaddr, paddr, thread, false};
     }
+
+    /** Convenience factory for a same-VA/PA store. */
+    static constexpr MemRef
+    store(Addr addr, ThreadId thread = 0)
+    {
+        return MemRef{addr, addr, thread, true};
+    }
 };
 
 /**

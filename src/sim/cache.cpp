@@ -21,7 +21,7 @@ Cache::Cache(const CacheConfig &config, PlMode pl_mode, bool way_predictor)
         sets_.emplace_back(config_.ways,
                            ReplState::make(config_.policy, config_.ways,
                                            config_.seed + s),
-                           pl_mode);
+                           pl_mode, config_.write_hit, config_.write_miss);
     }
 }
 
@@ -34,7 +34,8 @@ Cache::access(const MemRef &ref, LockReq lock_req)
         way_predictor_ ? WayPredictor::utag(ref.vaddr) : 0;
 
     SetAccessResult sr = sets_[set].access(tag, utag, way_predictor_,
-                                           lock_req, ref.thread);
+                                           lock_req, ref.thread,
+                                           ref.is_write);
 
     CacheAccessResult res;
     res.hit = sr.hit;
@@ -43,10 +44,14 @@ Cache::access(const MemRef &ref, LockReq lock_req)
     res.filled = sr.filled;
     res.bypassed = sr.bypassed;
     res.utag_mismatch = sr.utag_mismatch;
+    res.dirty_writeback = sr.dirty_writeback;
+    res.write_no_alloc = sr.write_no_alloc;
     if (sr.evicted)
         res.evicted_line = layout_.compose(sr.evicted_tag, set);
 
     counters_.record(ref.thread, sr.hit);
+    if (sr.dirty_writeback)
+        counters_.recordWriteback(ref.thread);
     return res;
 }
 
@@ -68,7 +73,8 @@ Cache::accessBatch(std::span<const MemRef> refs,
             way_predictor_ ? WayPredictor::utag(ref.vaddr) : 0;
 
         SetAccessResult sr = sets_[set].access(tag, utag, way_predictor_,
-                                               LockReq::None, ref.thread);
+                                               LockReq::None, ref.thread,
+                                               ref.is_write);
 
         CacheAccessResult &res = results[i];
         res = CacheAccessResult{};
@@ -78,9 +84,13 @@ Cache::accessBatch(std::span<const MemRef> refs,
         res.filled = sr.filled;
         res.bypassed = sr.bypassed;
         res.utag_mismatch = sr.utag_mismatch;
+        res.dirty_writeback = sr.dirty_writeback;
+        res.write_no_alloc = sr.write_no_alloc;
         if (sr.evicted)
             res.evicted_line = layout_.compose(sr.evicted_tag, set);
 
+        if (sr.dirty_writeback)
+            counters_.recordWriteback(ref.thread);
         if (ref.thread != run_thread) {
             counters_.recordMany(run_thread, run_hits, run_accesses);
             run_thread = ref.thread;
@@ -121,11 +131,22 @@ Cache::contains(const MemRef &ref) const
     return sets_[set].probe(layout_.tag(ref.paddr)).has_value();
 }
 
-bool
+CacheFlushResult
 Cache::flush(const MemRef &ref)
 {
     const std::uint32_t set = layout_.setIndex(ref.vaddr);
-    return sets_[set].invalidate(layout_.tag(ref.paddr));
+    const SetFlushResult sr = sets_[set].flushLine(layout_.tag(ref.paddr));
+    if (sr.dirty)
+        counters_.recordWriteback(ref.thread);
+    return CacheFlushResult{sr.present, sr.dirty};
+}
+
+bool
+Cache::markDirtyLine(Addr line_base)
+{
+    const MemRef ref = MemRef::load(line_base);
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    return sets_[set].markDirty(layout_.tag(ref.paddr));
 }
 
 void

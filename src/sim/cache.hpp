@@ -27,7 +27,23 @@ struct CacheAccessResult
     bool filled = false;
     bool bypassed = false;
     bool utag_mismatch = false;
+    bool dirty_writeback = false;  //!< the victim line was dirty
+    bool write_no_alloc = false;   //!< store miss bypassed this level
+                                   //!< (no-write-allocate)
     std::optional<Addr> evicted_line; //!< line base address of the victim
+};
+
+/**
+ * Outcome of removing a line from a level (clflush / back-invalidation).
+ * Contextually convertible to bool ("was the line present?") so legacy
+ * `if (flush(...))` call sites keep working.
+ */
+struct CacheFlushResult
+{
+    bool present = false;
+    bool dirty = false; //!< the removed copy was dirty: write-back due
+
+    explicit operator bool() const { return present; }
 };
 
 /**
@@ -63,21 +79,32 @@ class Cache
     /** Presence check without any state change. */
     bool contains(const MemRef &ref) const;
 
-    /** clflush semantics for this level. @return true if the line hit. */
-    bool flush(const MemRef &ref);
+    /**
+     * clflush semantics for this level.  The result reports presence
+     * and whether the dropped copy was dirty (its data must be written
+     * back before the invalidation completes).
+     */
+    CacheFlushResult flush(const MemRef &ref);
 
     /**
      * Back-invalidation hook for an inclusive outer level: remove the
      * line with base address @p line_base, no counter activity.  Indexes
      * by the physical line base — exact under the identity VA==PA
      * mappings the multi-core scenarios use (and for any L1, whose set
-     * bits sit inside the page offset).  @return true if present.
+     * bits sit inside the page offset).
      */
-    bool
+    CacheFlushResult
     invalidateLine(Addr line_base)
     {
         return flush(MemRef::load(line_base));
     }
+
+    /**
+     * Land a write-back from the level above: mark the line dirty
+     * without touching replacement state or counters.  @return true iff
+     * the line is present at this level.
+     */
+    bool markDirtyLine(Addr line_base);
 
     /** Clear all contents, replacement state and counters. */
     void reset();

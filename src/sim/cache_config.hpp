@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sim/replacement.hpp"
+#include "sim/write_policy.hpp"
 
 namespace lruleak::sim {
 
@@ -27,6 +28,11 @@ struct CacheConfig
     std::uint32_t line_size = 64;          //!< bytes per line
     ReplPolicyKind policy = ReplPolicyKind::TreePlru;
     std::uint64_t seed = 0;                //!< Random-policy seed
+
+    // Write-path behaviour (orthogonal axes; defaults match the
+    // evaluated CPUs, whose data caches are write-back/write-allocate).
+    WriteHitPolicy write_hit = WriteHitPolicy::WriteBack;
+    WriteMissPolicy write_miss = WriteMissPolicy::WriteAllocate;
 
     std::uint32_t
     numSets() const

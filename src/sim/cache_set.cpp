@@ -9,8 +9,10 @@
 
 namespace lruleak::sim {
 
-CacheSet::CacheSet(std::uint32_t ways, ReplState state, PlMode pl_mode)
-    : ways_(ways), pl_mode_(pl_mode), tags_(ways, 0), utags_(ways, 0),
+CacheSet::CacheSet(std::uint32_t ways, ReplState state, PlMode pl_mode,
+                   WriteHitPolicy write_hit, WriteMissPolicy write_miss)
+    : ways_(ways), pl_mode_(pl_mode), write_hit_(write_hit),
+      write_miss_(write_miss), tags_(ways, 0), utags_(ways, 0),
       filled_by_(ways, 0), repl_(std::move(state))
 {
 }
@@ -34,7 +36,7 @@ CacheSet::probe(Addr tag) const
 
 void
 CacheSet::fill(std::uint32_t way, Addr tag, bool lock, std::uint16_t utag,
-               ThreadId thread)
+               ThreadId thread, bool dirty)
 {
     tags_[way] = tag;
     valid_mask_ |= 1u << way;
@@ -42,15 +44,24 @@ CacheSet::fill(std::uint32_t way, Addr tag, bool lock, std::uint16_t utag,
         locked_mask_ |= 1u << way;
     else
         locked_mask_ &= ~(1u << way);
+    if (dirty)
+        dirty_mask_ |= 1u << way;
+    else
+        dirty_mask_ &= ~(1u << way);
     utags_[way] = utag;
     filled_by_[way] = thread;
 }
 
 SetAccessResult
 CacheSet::access(Addr tag, std::uint16_t utag, bool check_utag,
-                 LockReq lock_req, ThreadId thread)
+                 LockReq lock_req, ThreadId thread, bool is_write)
 {
     SetAccessResult res;
+    // A store leaves the line dirty only under write-back; under
+    // write-through the data goes downstream immediately and the cached
+    // copy stays clean.
+    const bool mark_dirty =
+        is_write && write_hit_ == WriteHitPolicy::WriteBack;
 
     if (auto way = probe(tag)) {
         // ----- Cache hit path of Fig. 10.
@@ -74,10 +85,20 @@ CacheSet::access(Addr tag, std::uint16_t utag, bool check_utag,
             repl_.touch(w);
         }
 
+        if (mark_dirty)
+            dirty_mask_ |= 1u << w;
+
         if (lock_req == LockReq::Lock && pl_mode_ != PlMode::Disabled)
             locked_mask_ |= 1u << w;
         else if (lock_req == LockReq::Unlock)
             locked_mask_ &= ~(1u << w);
+        return res;
+    }
+
+    if (is_write && write_miss_ == WriteMissPolicy::NoWriteAllocate) {
+        // No-write-allocate: the store bypasses this level entirely —
+        // no fill, no replacement-state update.
+        res.write_no_alloc = true;
         return res;
     }
 
@@ -89,7 +110,7 @@ CacheSet::access(Addr tag, std::uint16_t utag, bool check_utag,
     const std::uint32_t first_invalid =
         std::countr_one(valid_mask_); // index of the lowest clear bit
     if (first_invalid < ways_) {
-        fill(first_invalid, tag, lock, utag, thread);
+        fill(first_invalid, tag, lock, utag, thread, mark_dirty);
         repl_.onFill(first_invalid);
         res.hit = false;
         res.way = first_invalid;
@@ -118,7 +139,8 @@ CacheSet::access(Addr tag, std::uint16_t utag, bool check_utag,
 
     res.evicted = true;
     res.evicted_tag = tags_[victim_way];
-    fill(victim_way, tag, lock, utag, thread);
+    res.dirty_writeback = ((dirty_mask_ >> victim_way) & 1u) != 0;
+    fill(victim_way, tag, lock, utag, thread, mark_dirty);
     repl_.onFill(victim_way);
 
     res.hit = false;
@@ -134,15 +156,18 @@ namespace {
  * accessBatch and the stats-only replayBatch (@p kCollect selects at
  * compile time).  @p kWays = 0 keeps the way count a runtime value; a
  * non-zero kWays makes it a compile-time constant so the probe loop
- * fully unrolls.
+ * fully unrolls.  @p kWrites enables the store path (@p writes runs
+ * parallel to @p tags); read-only instantiations still maintain the
+ * dirty mask, because a read fill can evict a line dirtied earlier.
  */
-template <std::uint32_t kWays, bool kCollect, typename St>
+template <std::uint32_t kWays, bool kCollect, bool kWrites, typename St>
 inline SetBatchStats
 runBatchLoop(St &st, Addr *const set_tags, std::uint16_t *const utags,
              ThreadId *const filled_by, std::uint32_t &valid_ref,
-             std::uint32_t runtime_ways, std::uint32_t full,
-             std::span<const Addr> tags, SetAccessResult *const results,
-             ThreadId thread)
+             std::uint32_t &dirty_ref, std::uint32_t runtime_ways,
+             std::uint32_t full, std::span<const Addr> tags,
+             const std::uint8_t *const writes, bool wb_hits, bool allocate,
+             SetAccessResult *const results, ThreadId thread)
 {
     const std::uint32_t ways = kWays != 0 ? kWays : runtime_ways;
     // Work on register-resident copies: the POD state and the masks stay
@@ -150,12 +175,17 @@ runBatchLoop(St &st, Addr *const set_tags, std::uint16_t *const utags,
     // could otherwise alias them and force reloads).
     St local = st;
     std::uint32_t valid = valid_ref;
+    std::uint32_t dirty = dirty_ref;
     SetBatchStats stats;
     stats.accesses = tags.size();
     const std::size_t n = tags.size();
     for (std::size_t i = 0; i < n; ++i) {
         const Addr tag = tags[i];
         SetAccessResult res;
+        bool is_write = false;
+        if constexpr (kWrites)
+            is_write = writes[i] != 0;
+        const bool mark_dirty = is_write && wb_hits;
 
         std::uint32_t way = kNoWay;
         if (valid == full) {
@@ -177,28 +207,43 @@ runBatchLoop(St &st, Addr *const set_tags, std::uint16_t *const utags,
 
         if (way != kNoWay) {
             local.touch(way);
+            if constexpr (kWrites) {
+                if (mark_dirty)
+                    dirty |= 1u << way;
+            }
             if constexpr (kCollect) {
                 res.hit = true;
                 res.way = way;
             } else {
                 ++stats.hits;
             }
+        } else if (kWrites && is_write && !allocate) {
+            // No-write-allocate: the store bypasses this level.
+            if constexpr (kCollect)
+                res.write_no_alloc = true;
         } else {
             std::uint32_t victim;
+            bool dirty_wb = false;
             if (valid != full) {
                 victim = static_cast<std::uint32_t>(
                     std::countr_one(valid)); // lowest invalid way
                 valid |= 1u << victim;
             } else {
+                victim = local.selectVictim();
+                dirty_wb = ((dirty >> victim) & 1u) != 0;
                 if constexpr (kCollect) {
-                    victim = local.selectVictim();
                     res.evicted = true;
                     res.evicted_tag = set_tags[victim];
+                    res.dirty_writeback = dirty_wb;
                 } else {
-                    victim = local.selectVictim();
                     ++stats.evictions;
                 }
             }
+            stats.dirty_writebacks += dirty_wb ? 1 : 0;
+            if (mark_dirty)
+                dirty |= 1u << victim;
+            else
+                dirty &= ~(1u << victim);
             set_tags[victim] = tag;
             utags[victim] = 0;
             filled_by[victim] = thread;
@@ -215,32 +260,37 @@ runBatchLoop(St &st, Addr *const set_tags, std::uint16_t *const utags,
     }
     st = local;
     valid_ref = valid;
+    dirty_ref = dirty;
     return stats;
 }
 
 /** Dispatch the batch loop over (state alternative, common way count). */
-template <bool kCollect>
+template <bool kCollect, bool kWrites>
 inline SetBatchStats
 dispatchBatch(ReplState &repl, Addr *set_tags, std::uint16_t *utags,
               ThreadId *filled_by, std::uint32_t &valid_ref,
-              std::uint32_t ways, std::uint32_t full,
-              std::span<const Addr> tags, SetAccessResult *results,
-              ThreadId thread)
+              std::uint32_t &dirty_ref, std::uint32_t ways,
+              std::uint32_t full, std::span<const Addr> tags,
+              const std::uint8_t *writes, bool wb_hits, bool allocate,
+              SetAccessResult *results, ThreadId thread)
 {
     return repl.visitState([&](auto &st) {
         switch (ways) {
           case 8:
-            return runBatchLoop<8, kCollect>(st, set_tags, utags,
-                                             filled_by, valid_ref, ways,
-                                             full, tags, results, thread);
+            return runBatchLoop<8, kCollect, kWrites>(
+                st, set_tags, utags, filled_by, valid_ref, dirty_ref,
+                ways, full, tags, writes, wb_hits, allocate, results,
+                thread);
           case 16:
-            return runBatchLoop<16, kCollect>(st, set_tags, utags,
-                                              filled_by, valid_ref, ways,
-                                              full, tags, results, thread);
+            return runBatchLoop<16, kCollect, kWrites>(
+                st, set_tags, utags, filled_by, valid_ref, dirty_ref,
+                ways, full, tags, writes, wb_hits, allocate, results,
+                thread);
           default:
-            return runBatchLoop<0, kCollect>(st, set_tags, utags,
-                                             filled_by, valid_ref, ways,
-                                             full, tags, results, thread);
+            return runBatchLoop<0, kCollect, kWrites>(
+                st, set_tags, utags, filled_by, valid_ref, dirty_ref,
+                ways, full, tags, writes, wb_hits, allocate, results,
+                thread);
         }
     });
 }
@@ -262,9 +312,31 @@ CacheSet::accessBatch(std::span<const Addr> tags,
     // concrete replacement state (and per common way count), so
     // touch/onFill/selectVictim are direct, inlinable calls on a
     // register-resident state machine.
-    dispatchBatch<true>(repl_, tags_.data(), utags_.data(),
-                        filled_by_.data(), valid_mask_, ways_, fullMask(),
-                        tags, results.data(), thread);
+    dispatchBatch<true, false>(repl_, tags_.data(), utags_.data(),
+                               filled_by_.data(), valid_mask_, dirty_mask_,
+                               ways_, fullMask(), tags, nullptr,
+                               write_hit_ == WriteHitPolicy::WriteBack,
+                               write_miss_ == WriteMissPolicy::WriteAllocate,
+                               results.data(), thread);
+}
+
+void
+CacheSet::accessBatch(std::span<const Addr> tags,
+                      std::span<const std::uint8_t> writes,
+                      std::span<SetAccessResult> results, ThreadId thread)
+{
+    if (pl_mode_ != PlMode::Disabled) {
+        for (std::size_t i = 0; i < tags.size(); ++i)
+            results[i] = access(tags[i], 0, false, LockReq::None, thread,
+                                writes[i] != 0);
+        return;
+    }
+    dispatchBatch<true, true>(repl_, tags_.data(), utags_.data(),
+                              filled_by_.data(), valid_mask_, dirty_mask_,
+                              ways_, fullMask(), tags, writes.data(),
+                              write_hit_ == WriteHitPolicy::WriteBack,
+                              write_miss_ == WriteMissPolicy::WriteAllocate,
+                              results.data(), thread);
 }
 
 SetBatchStats
@@ -279,24 +351,70 @@ CacheSet::replayBatch(std::span<const Addr> tags, ThreadId thread)
             stats.hits += res.hit ? 1 : 0;
             stats.fills += res.filled ? 1 : 0;
             stats.evictions += res.evicted ? 1 : 0;
+            stats.dirty_writebacks += res.dirty_writeback ? 1 : 0;
         }
         return stats;
     }
-    return dispatchBatch<false>(repl_, tags_.data(), utags_.data(),
-                                filled_by_.data(), valid_mask_, ways_,
-                                fullMask(), tags, nullptr, thread);
+    return dispatchBatch<false, false>(
+        repl_, tags_.data(), utags_.data(), filled_by_.data(), valid_mask_,
+        dirty_mask_, ways_, fullMask(), tags, nullptr,
+        write_hit_ == WriteHitPolicy::WriteBack,
+        write_miss_ == WriteMissPolicy::WriteAllocate, nullptr, thread);
+}
+
+SetBatchStats
+CacheSet::replayBatch(std::span<const Addr> tags,
+                      std::span<const std::uint8_t> writes, ThreadId thread)
+{
+    if (pl_mode_ != PlMode::Disabled) {
+        SetBatchStats stats;
+        stats.accesses = tags.size();
+        for (std::size_t i = 0; i < tags.size(); ++i) {
+            const auto res = access(tags[i], 0, false, LockReq::None,
+                                    thread, writes[i] != 0);
+            stats.hits += res.hit ? 1 : 0;
+            stats.fills += res.filled ? 1 : 0;
+            stats.evictions += res.evicted ? 1 : 0;
+            stats.dirty_writebacks += res.dirty_writeback ? 1 : 0;
+        }
+        return stats;
+    }
+    return dispatchBatch<false, true>(
+        repl_, tags_.data(), utags_.data(), filled_by_.data(), valid_mask_,
+        dirty_mask_, ways_, fullMask(), tags, writes.data(),
+        write_hit_ == WriteHitPolicy::WriteBack,
+        write_miss_ == WriteMissPolicy::WriteAllocate, nullptr, thread);
 }
 
 bool
 CacheSet::invalidate(Addr tag)
 {
+    return flushLine(tag).present;
+}
+
+SetFlushResult
+CacheSet::flushLine(Addr tag)
+{
+    SetFlushResult res;
     if (auto way = probe(tag)) {
         const std::uint32_t bit = 1u << *way;
+        res.present = true;
+        res.dirty = (dirty_mask_ & bit) != 0;
         valid_mask_ &= ~bit;
         locked_mask_ &= ~bit;
+        dirty_mask_ &= ~bit;
         tags_[*way] = 0;
         utags_[*way] = 0;
         filled_by_[*way] = 0;
+    }
+    return res;
+}
+
+bool
+CacheSet::markDirty(Addr tag)
+{
+    if (auto way = probe(tag)) {
+        dirty_mask_ |= 1u << *way;
         return true;
     }
     return false;
@@ -327,6 +445,7 @@ CacheSet::reset()
 {
     valid_mask_ = 0;
     locked_mask_ = 0;
+    dirty_mask_ = 0;
     for (std::uint32_t w = 0; w < ways_; ++w) {
         tags_[w] = 0;
         utags_[w] = 0;

@@ -28,6 +28,7 @@
 
 #include "sim/address.hpp"
 #include "sim/replacement.hpp"
+#include "sim/write_policy.hpp"
 
 namespace lruleak::sim {
 
@@ -57,6 +58,7 @@ struct LineState
     bool locked = false;        //!< PL-cache lock bit
     std::uint16_t utag = 0;     //!< AMD linear-address micro-tag
     ThreadId filled_by = 0;     //!< thread that installed the line
+    bool dirty = false;         //!< modified since fill (write-back)
 };
 
 /**
@@ -74,6 +76,10 @@ struct SetAccessResult
                                   //!< handled uncached (PL cache)
     bool utag_mismatch : 1 = false; //!< hit whose utag did not match (AMD)
     bool evicted : 1 = false;     //!< @c evicted_tag holds a displaced tag
+    bool dirty_writeback : 1 = false; //!< the displaced line was dirty:
+                                  //!< its data must be written back
+    bool write_no_alloc : 1 = false; //!< store miss under
+                                  //!< no-write-allocate: nothing installed
     Addr evicted_tag = 0;         //!< tag displaced by the fill (iff
                                   //!< @c evicted)
 
@@ -92,6 +98,14 @@ struct SetBatchStats
     std::uint64_t hits = 0;
     std::uint64_t fills = 0;     //!< misses that installed a line
     std::uint64_t evictions = 0; //!< fills that displaced a valid line
+    std::uint64_t dirty_writebacks = 0; //!< evictions of a dirty line
+};
+
+/** Outcome of removing a line (clflush / back-invalidation). */
+struct SetFlushResult
+{
+    bool present = false; //!< the line was held by this set
+    bool dirty = false;   //!< ... and was dirty: a write-back is due
 };
 
 /**
@@ -102,7 +116,9 @@ class CacheSet
 {
   public:
     CacheSet(std::uint32_t ways, ReplState state,
-             PlMode pl_mode = PlMode::Disabled);
+             PlMode pl_mode = PlMode::Disabled,
+             WriteHitPolicy write_hit = WriteHitPolicy::WriteBack,
+             WriteMissPolicy write_miss = WriteMissPolicy::WriteAllocate);
 
     /**
      * Legacy-compatible constructor: snapshots the virtual policy's
@@ -130,9 +146,12 @@ class CacheSet
      *        from @p utag is flagged (and the stored utag is retrained)
      * @param lock_req PL-cache lock/unlock request
      * @param thread issuing thread (recorded on fills)
+     * @param is_write store access: applies the set's write policies
+     *        (dirty marking, no-allocate bypass)
      */
     SetAccessResult access(Addr tag, std::uint16_t utag, bool check_utag,
-                           LockReq lock_req, ThreadId thread);
+                           LockReq lock_req, ThreadId thread,
+                           bool is_write = false);
 
     /**
      * Replay a whole tag sequence (plain loads: no utag checking, no
@@ -148,6 +167,18 @@ class CacheSet
                      ThreadId thread = 0);
 
     /**
+     * Read/write flavour: @p writes runs parallel to @p tags (non-zero
+     * = store).  Same specialised inner loop, instantiated with the
+     * write path enabled.
+     *
+     * @pre writes.size() >= tags.size()
+     */
+    void accessBatch(std::span<const Addr> tags,
+                     std::span<const std::uint8_t> writes,
+                     std::span<SetAccessResult> results,
+                     ThreadId thread = 0);
+
+    /**
      * Stats-only flavour of accessBatch for callers that replay a
      * sequence purely for its state effect (Monte-Carlo warm-ups and
      * measured loops, channel init/decode walks): no per-access results
@@ -156,8 +187,26 @@ class CacheSet
     SetBatchStats replayBatch(std::span<const Addr> tags,
                               ThreadId thread = 0);
 
+    /** Read/write flavour of the stats-only replay. */
+    SetBatchStats replayBatch(std::span<const Addr> tags,
+                              std::span<const std::uint8_t> writes,
+                              ThreadId thread = 0);
+
     /** Invalidate the line holding @p tag (clflush). @return true if hit */
     bool invalidate(Addr tag);
+
+    /**
+     * Invalidate the line holding @p tag and report whether its data
+     * was dirty (the caller owes a write-back in that case).
+     */
+    SetFlushResult flushLine(Addr tag);
+
+    /**
+     * Mark the line holding @p tag dirty without touching the
+     * replacement state — how a write-back from the level above lands
+     * here.  @return true iff the line is present.
+     */
+    bool markDirty(Addr tag);
 
     /**
      * Install @p tag without it being a demand access (prefetch fill).
@@ -173,7 +222,8 @@ class CacheSet
         return LineState{tags_[way],
                          ((valid_mask_ >> way) & 1u) != 0,
                          ((locked_mask_ >> way) & 1u) != 0,
-                         utags_[way], filled_by_[way]};
+                         utags_[way], filled_by_[way],
+                         ((dirty_mask_ >> way) & 1u) != 0};
     }
 
     /** The value-semantic replacement state of this set. */
@@ -189,8 +239,14 @@ class CacheSet
      */
     std::uint32_t validMask() const { return valid_mask_; }
 
+    /** Dirty bits as a mask (always a subset of validMask()). */
+    std::uint32_t dirtyMask() const { return dirty_mask_; }
+
     PlMode plMode() const { return pl_mode_; }
     void setPlMode(PlMode mode) { pl_mode_ = mode; }
+
+    WriteHitPolicy writeHitPolicy() const { return write_hit_; }
+    WriteMissPolicy writeMissPolicy() const { return write_miss_; }
 
     /** Number of valid lines currently in the set. */
     std::uint32_t occupancy() const;
@@ -207,12 +263,15 @@ class CacheSet
     }
 
     void fill(std::uint32_t way, Addr tag, bool lock,
-              std::uint16_t utag, ThreadId thread);
+              std::uint16_t utag, ThreadId thread, bool dirty);
 
     std::uint32_t ways_;
     PlMode pl_mode_;
+    WriteHitPolicy write_hit_;
+    WriteMissPolicy write_miss_;
     std::uint32_t valid_mask_ = 0;
     std::uint32_t locked_mask_ = 0;   //!< subset of valid_mask_
+    std::uint32_t dirty_mask_ = 0;    //!< subset of valid_mask_
     std::vector<Addr> tags_;
     std::vector<std::uint16_t> utags_;
     std::vector<ThreadId> filled_by_;

@@ -19,6 +19,22 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
             config.l1.line_size, 2);
 }
 
+void
+CacheHierarchy::landWriteback(int from, Addr line_base)
+{
+    // A write-through level never buffers dirty data, so the write-back
+    // passes through it on the way to memory.
+    if (from < 1 &&
+        config_.l2.write_hit == WriteHitPolicy::WriteBack &&
+        l2_->markDirtyLine(line_base))
+        return;
+    if (from < 2 &&
+        config_.llc.write_hit == WriteHitPolicy::WriteBack &&
+        llc_->markDirtyLine(line_base))
+        return;
+    // Reached memory: nothing to track beyond the transaction itself.
+}
+
 HierarchyAccessResult
 CacheHierarchy::access(const MemRef &ref, LockReq lock_req)
 {
@@ -27,6 +43,11 @@ CacheHierarchy::access(const MemRef &ref, LockReq lock_req)
     res.l1 = l1_->access(ref, lock_req);
     res.l1_utag_mismatch = res.l1.utag_mismatch;
     res.l1_bypassed = res.l1.bypassed;
+
+    if (res.l1.dirty_writeback && res.l1.evicted_line) {
+        landWriteback(0, *res.l1.evicted_line);
+        ++res.writebacks;
+    }
 
     if (res.l1.hit && !res.l1.utag_mismatch) {
         res.level = HitLevel::L1;
@@ -38,13 +59,49 @@ CacheHierarchy::access(const MemRef &ref, LockReq lock_req)
     } else {
         // L1 miss: walk down.  Perf counters of lower levels tick only
         // when the level is actually referenced, as with real HW events.
-        const auto l2_res = l2_->access(ref);
+        // A store is "absorbed" by the innermost write-back level that
+        // keeps a copy; below that point the walk is a plain read, so
+        // one store never dirties two levels.
+        MemRef down = ref;
+        if (down.is_write &&
+            config_.l1.write_hit == WriteHitPolicy::WriteBack &&
+            res.l1.filled)
+            down.is_write = false;
+        const auto l2_res = l2_->access(down);
+        if (l2_res.dirty_writeback && l2_res.evicted_line) {
+            landWriteback(1, *l2_res.evicted_line);
+            ++res.writebacks;
+        }
+        if (down.is_write &&
+            (l2_res.hit || l2_res.filled)) {
+            if (config_.l2.write_hit == WriteHitPolicy::WriteBack) {
+                down.is_write = false; // L2 buffered the dirty data
+            } else {
+                // Write-through L2: the store passes through.
+                landWriteback(1, l1_->layout().lineBase(ref.paddr));
+                ++res.writebacks;
+                down.is_write = false;
+            }
+        }
         if (l2_res.hit) {
             res.level = HitLevel::L2;
         } else {
-            const auto llc_res = llc_->access(ref);
+            const auto llc_res = llc_->access(down);
             res.level = llc_res.hit ? HitLevel::LLC : HitLevel::Memory;
+            if (llc_res.dirty_writeback)
+                ++res.writebacks; // LLC victims drain straight to memory
+            if (down.is_write && (llc_res.hit || llc_res.filled) &&
+                config_.llc.write_hit == WriteHitPolicy::WriteThrough)
+                ++res.writebacks; // passes through the LLC to memory
         }
+    }
+
+    if (res.l1.hit && ref.is_write &&
+        config_.l1.write_hit == WriteHitPolicy::WriteThrough) {
+        // Write-through L1: the store is forwarded downstream even on a
+        // hit; the miss path above already carried it down.
+        landWriteback(0, l1_->layout().lineBase(ref.paddr));
+        ++res.writebacks;
     }
 
     if (prefetcher_) {
@@ -79,12 +136,16 @@ CacheHierarchy::accessBatch(std::span<const MemRef> refs,
         levels[i] = access(refs[i]).level;
 }
 
-void
+CacheFlushResult
 CacheHierarchy::flush(const MemRef &ref)
 {
-    l1_->flush(ref);
-    l2_->flush(ref);
-    llc_->flush(ref);
+    const auto f1 = l1_->flush(ref);
+    const auto f2 = l2_->flush(ref);
+    const auto f3 = llc_->flush(ref);
+    CacheFlushResult res;
+    res.present = f1.present || f2.present || f3.present;
+    res.dirty = f1.dirty || f2.dirty || f3.dirty;
+    return res;
 }
 
 bool

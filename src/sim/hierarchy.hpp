@@ -36,6 +36,12 @@ struct HierarchyAccessResult
     HitLevel level = HitLevel::Memory;  //!< level that served the data
     bool l1_utag_mismatch = false;      //!< AMD way-predictor miss
     bool l1_bypassed = false;           //!< PL cache handled it uncached
+    std::uint32_t writebacks = 0;       //!< write-back transactions this
+                                        //!< access triggered (dirty victim
+                                        //!< evictions and write-through
+                                        //!< forwards); each one stalls the
+                                        //!< access by the uarch's
+                                        //!< write-back latency
     CacheAccessResult l1;               //!< detailed L1 outcome
 };
 
@@ -52,8 +58,14 @@ struct HierarchyConfig
 
 /**
  * The memory system seen by the simulated threads.  Non-inclusive:
- * evictions from a level simply drop (writebacks are not modelled; the
- * channels are read-only).
+ * evicting a *clean* line from a level simply drops it.  Dirty lines
+ * are write-back-modelled: a dirty victim (or a write-through store
+ * hit) walks down and lands in the first lower write-back level that
+ * still holds the line, or in memory otherwise, and each such
+ * transaction is reported in HierarchyAccessResult::writebacks so the
+ * execution engine can charge its latency — the observable the
+ * dirty-state channels (`dirty-evict`, `flush-dirty`) decode.  Each
+ * level's write-hit/write-miss policy comes from its CacheConfig.
  */
 class CacheHierarchy
 {
@@ -83,8 +95,12 @@ class CacheHierarchy
     void accessBatch(std::span<const MemRef> refs,
                      std::span<HitLevel> levels);
 
-    /** clflush: remove the line from every level. */
-    void flush(const MemRef &ref);
+    /**
+     * clflush: remove the line from every level.  Reports whether any
+     * level held it and whether any dropped copy was dirty (in which
+     * case the flush stalls until the data reaches memory).
+     */
+    CacheFlushResult flush(const MemRef &ref);
 
     /** Present in L1? (no state change) */
     bool inL1(const MemRef &ref) const { return l1_->contains(ref); }
@@ -115,6 +131,14 @@ class CacheHierarchy
     void resetCounters();
 
   private:
+    /**
+     * Land one write-back transaction below level @p from (0 = from
+     * L1, 1 = from L2, 2 = from LLC): the first lower write-back level
+     * still holding @p line_base absorbs the data; otherwise it reaches
+     * memory.  The caller counts the transaction either way.
+     */
+    void landWriteback(int from, Addr line_base);
+
     HierarchyConfig config_;
     std::unique_ptr<Cache> l1_;
     std::unique_ptr<Cache> l2_;

@@ -42,22 +42,71 @@ MultiCoreHierarchy::MultiCoreHierarchy(const MultiCoreConfig &config)
     llc_ = std::make_unique<Cache>(llc);
 }
 
+void
+MultiCoreHierarchy::landPrivateWriteback(std::uint32_t core, int level,
+                                         Addr line_base)
+{
+    if (level < 1 &&
+        config_.l2.write_hit == WriteHitPolicy::WriteBack &&
+        l2_[core]->markDirtyLine(line_base))
+        return;
+    // Inclusion guarantees the LLC still holds the line while any
+    // private copy exists, so a private dirty victim normally lands
+    // here; memory is the fallback for write-through LLC configs.
+    if (config_.llc.write_hit == WriteHitPolicy::WriteBack &&
+        llc_->markDirtyLine(line_base))
+        return;
+    ++dirty_writebacks_;
+}
+
 MultiCoreAccessResult
 MultiCoreHierarchy::access(std::uint32_t core, const MemRef &ref)
 {
     MultiCoreAccessResult res;
 
     const auto l1_res = l1_[core]->access(ref);
+    if (l1_res.dirty_writeback && l1_res.evicted_line) {
+        landPrivateWriteback(core, 0, *l1_res.evicted_line);
+        ++res.writebacks;
+    }
     if (l1_res.hit) {
         // Inclusion invariant: a private hit implies LLC presence, so
         // the shared level is not referenced at all (no LRU update —
         // the paper's cross-core receiver depends on private hits being
         // invisible to the LLC state).
         res.level = HitLevel::L1;
+        if (ref.is_write &&
+            config_.l1.write_hit == WriteHitPolicy::WriteThrough) {
+            // Write-through L1: the store is forwarded downstream.
+            landPrivateWriteback(core, 0,
+                                 l1_[core]->layout().lineBase(ref.paddr));
+            ++res.writebacks;
+        }
         return res;
     }
 
-    const auto l2_res = l2_[core]->access(ref);
+    // A store is absorbed by the innermost write-back level that keeps
+    // a copy; below that point the walk is a plain read.
+    MemRef down = ref;
+    if (down.is_write &&
+        config_.l1.write_hit == WriteHitPolicy::WriteBack && l1_res.filled)
+        down.is_write = false;
+
+    const auto l2_res = l2_[core]->access(down);
+    if (l2_res.dirty_writeback && l2_res.evicted_line) {
+        landPrivateWriteback(core, 1, *l2_res.evicted_line);
+        ++res.writebacks;
+    }
+    if (down.is_write && (l2_res.hit || l2_res.filled)) {
+        if (config_.l2.write_hit == WriteHitPolicy::WriteBack) {
+            down.is_write = false;
+        } else {
+            landPrivateWriteback(core, 1,
+                                 l2_[core]->layout().lineBase(ref.paddr));
+            ++res.writebacks;
+            down.is_write = false;
+        }
+    }
     if (l2_res.hit) {
         res.level = HitLevel::L2;
         return res;
@@ -67,15 +116,27 @@ MultiCoreHierarchy::access(std::uint32_t core, const MemRef &ref)
     // replacement state; miss installs the line).  The private fills
     // already happened above; inclusion is restored by the LLC fill on
     // the same access, and any LLC victim is back-invalidated out of
-    // every core before the access completes.
-    const auto llc_res = llc_->access(ref);
+    // every core before the access completes — writing its dirty data
+    // back first if any copy (LLC or private) was modified.
+    const auto llc_res = llc_->access(down);
     res.level = llc_res.hit ? HitLevel::LLC : HitLevel::Memory;
     res.llc_filled = llc_res.filled;
+    if (down.is_write && (llc_res.hit || llc_res.filled) &&
+        config_.llc.write_hit == WriteHitPolicy::WriteThrough) {
+        ++dirty_writebacks_; // passes through the LLC to memory
+        ++res.writebacks;
+    }
     if (llc_res.evicted_line) {
         const std::uint64_t before = back_invalidations_;
-        backInvalidate(*llc_res.evicted_line);
+        const bool private_dirty = backInvalidate(*llc_res.evicted_line);
         res.back_invalidated =
             static_cast<std::uint32_t>(back_invalidations_ - before);
+        if (llc_res.dirty_writeback || private_dirty) {
+            // Exactly one memory write-back per evicted line, no matter
+            // how many dirty copies existed.
+            ++dirty_writebacks_;
+            ++res.writebacks;
+        }
     }
     return res;
 }
@@ -97,25 +158,38 @@ MultiCoreHierarchy::accessBatch(std::uint32_t core,
         access(core, ref);
 }
 
-void
+bool
 MultiCoreHierarchy::backInvalidate(Addr line_base)
 {
+    bool any_dirty = false;
     for (std::uint32_t c = 0; c < cores(); ++c) {
-        if (l1_[c]->invalidateLine(line_base))
+        const auto f1 = l1_[c]->invalidateLine(line_base);
+        if (f1.present)
             ++back_invalidations_;
-        if (l2_[c]->invalidateLine(line_base))
+        const auto f2 = l2_[c]->invalidateLine(line_base);
+        if (f2.present)
             ++back_invalidations_;
+        any_dirty = any_dirty || f1.dirty || f2.dirty;
     }
+    return any_dirty;
 }
 
-void
+CacheFlushResult
 MultiCoreHierarchy::flush(const MemRef &ref)
 {
+    CacheFlushResult res;
     for (std::uint32_t c = 0; c < cores(); ++c) {
-        l1_[c]->flush(ref);
-        l2_[c]->flush(ref);
+        const auto f1 = l1_[c]->flush(ref);
+        const auto f2 = l2_[c]->flush(ref);
+        res.present = res.present || f1.present || f2.present;
+        res.dirty = res.dirty || f1.dirty || f2.dirty;
     }
-    llc_->flush(ref);
+    const auto fl = llc_->flush(ref);
+    res.present = res.present || fl.present;
+    res.dirty = res.dirty || fl.dirty;
+    if (res.dirty)
+        ++dirty_writebacks_;
+    return res;
 }
 
 HitLevel
@@ -140,22 +214,48 @@ MultiCoreHierarchy::auditInclusion() const
             for (std::uint32_t s = 0; s < cache.numSets(); ++s) {
                 const CacheSet &set = cache.cacheSet(s);
                 const std::uint32_t valid = set.validMask();
+                const std::uint32_t dirty = set.dirtyMask();
+                if ((dirty & ~valid) != 0) {
+                    std::ostringstream os;
+                    os << "dirty-state violation: core " << c << " "
+                       << (lvl == 0 ? "L1" : "L2") << " set " << s
+                       << " has dirty bits 0x" << std::hex
+                       << (dirty & ~valid) << std::dec
+                       << " on invalid ways";
+                    return os.str();
+                }
                 for (std::uint32_t w = 0; w < set.ways(); ++w) {
                     if (!((valid >> w) & 1u))
                         continue;
                     const Addr base =
                         cache.layout().compose(set.line(w).tag, s);
                     if (!llc_->contains(MemRef::load(base))) {
+                        const bool is_dirty = ((dirty >> w) & 1u) != 0;
                         std::ostringstream os;
-                        os << "inclusion violation: line 0x" << std::hex
-                           << base << std::dec << " valid in core " << c
-                           << " " << (lvl == 0 ? "L1" : "L2") << " set "
-                           << s << " way " << w
-                           << " but absent from the LLC";
+                        os << "inclusion violation: "
+                           << (is_dirty ? "dirty " : "") << "line 0x"
+                           << std::hex << base << std::dec
+                           << " valid in core " << c << " "
+                           << (lvl == 0 ? "L1" : "L2") << " set " << s
+                           << " way " << w << " but absent from the LLC"
+                           << (is_dirty ? " (its write-back would be lost)"
+                                        : "");
                         return os.str();
                     }
                 }
             }
+        }
+    }
+    // The shared level obeys the same dirty-subset-of-valid invariant.
+    for (std::uint32_t s = 0; s < llc_->numSets(); ++s) {
+        const CacheSet &set = llc_->cacheSet(s);
+        if ((set.dirtyMask() & ~set.validMask()) != 0) {
+            std::ostringstream os;
+            os << "dirty-state violation: LLC set " << s
+               << " has dirty bits 0x" << std::hex
+               << (set.dirtyMask() & ~set.validMask()) << std::dec
+               << " on invalid ways";
+            return os.str();
         }
     }
     return std::nullopt;
@@ -170,6 +270,7 @@ MultiCoreHierarchy::reset()
     }
     llc_->reset();
     back_invalidations_ = 0;
+    dirty_writebacks_ = 0;
 }
 
 void

@@ -55,6 +55,11 @@ struct MultiCoreAccessResult
     bool llc_filled = false;           //!< the access installed an LLC line
     std::uint32_t back_invalidated = 0; //!< private copies removed by the
                                         //!< LLC eviction this fill caused
+    std::uint32_t writebacks = 0;      //!< write-back transactions this
+                                       //!< access triggered (dirty private
+                                       //!< victims, dirty LLC victims and
+                                       //!< their back-invalidated copies —
+                                       //!< the latter exactly once per line)
 };
 
 /**
@@ -92,8 +97,12 @@ class MultiCoreHierarchy
     /** Same, for callers that do not need the individual outcomes. */
     void accessBatch(std::uint32_t core, std::span<const MemRef> refs);
 
-    /** clflush: remove the line from every cache of every core. */
-    void flush(const MemRef &ref);
+    /**
+     * clflush: remove the line from every cache of every core.  Reports
+     * whether any copy existed and whether any of them was dirty (the
+     * flush then stalls until the data reaches memory).
+     */
+    CacheFlushResult flush(const MemRef &ref);
 
     /** Level a demand access by @p core would hit (no state change). */
     HitLevel peekLevel(std::uint32_t core, const MemRef &ref) const;
@@ -118,12 +127,18 @@ class MultiCoreHierarchy
     /** Total private-cache lines removed by back-invalidation so far. */
     std::uint64_t backInvalidations() const { return back_invalidations_; }
 
+    /** Total memory write-back transactions performed so far (dirty
+     *  evictions, dirty back-invalidations, dirty flushes). */
+    std::uint64_t dirtyWritebacks() const { return dirty_writebacks_; }
+
     /**
      * Inclusion audit: walk every valid private-cache line and probe the
-     * LLC for it.  Returns a description of the first violating line, or
-     * nullopt when the invariant holds.  Read-only; cost is proportional
-     * to the private-cache capacity, so callers sample it (see the
-     * multi-core scheduler's audit_every knob).
+     * LLC for it, and check dirty-state coherence (a dirty bit may only
+     * annotate a valid line, at every level including the LLC).  Returns
+     * a description of the first violating line, or nullopt when the
+     * invariants hold.  Read-only; cost is proportional to the
+     * private-cache capacity, so callers sample it (see the multi-core
+     * scheduler's audit_every knob).
      */
     std::optional<std::string> auditInclusion() const;
 
@@ -134,14 +149,26 @@ class MultiCoreHierarchy
     void resetCounters();
 
   private:
-    /** Remove @p line_base from every core's private caches. */
-    void backInvalidate(Addr line_base);
+    /**
+     * Remove @p line_base from every core's private caches.  @return
+     * true iff any removed copy was dirty — the caller must then issue
+     * exactly one memory write-back for the line (the dirty data is
+     * drained before the invalidation completes).
+     */
+    bool backInvalidate(Addr line_base);
+
+    /** Land a dirty victim evicted from @p core's cache at @p level
+     *  (0 = L1, 1 = L2) in the next write-back level holding the line,
+     *  or in memory. */
+    void landPrivateWriteback(std::uint32_t core, int level,
+                              Addr line_base);
 
     MultiCoreConfig config_;
     std::vector<std::unique_ptr<Cache>> l1_;
     std::vector<std::unique_ptr<Cache>> l2_;
     std::unique_ptr<Cache> llc_;
     std::uint64_t back_invalidations_ = 0;
+    std::uint64_t dirty_writebacks_ = 0;
 };
 
 } // namespace lruleak::sim

@@ -22,6 +22,8 @@ struct LevelStats
     std::uint64_t accesses = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0; //!< dirty lines drained from this level
+                                  //!< (eviction, flush or write-through)
 
     double
     missRate() const
@@ -47,6 +49,7 @@ struct LevelStats
         accesses += other.accesses;
         hits += other.hits;
         misses += other.misses;
+        writebacks += other.writebacks;
         return *this;
     }
 };
@@ -77,6 +80,14 @@ class PerfCounters
         s.accesses += accesses;
         s.hits += hits;
         s.misses += accesses - hits;
+    }
+
+    /** One dirty line drained (evicted, flushed or written through). */
+    void
+    recordWriteback(ThreadId thread)
+    {
+        ++total_.writebacks;
+        ++per_thread_[thread].writebacks;
     }
 
     const LevelStats &total() const { return total_; }

@@ -78,7 +78,7 @@ class AttackContext
     measure(const sim::MemRef &ref)
     {
         port_.accessBatch(0, chase_);
-        const auto level = port_.access(0, ref);
+        const auto level = port_.access(0, ref).level;
         return model_.chase(
             std::vector<sim::HitLevel>(chase_.size(), sim::HitLevel::L1),
             level, rng_);

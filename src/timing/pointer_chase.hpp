@@ -78,6 +78,22 @@ class MeasurementModel
     }
 
     /**
+     * Timed clflush (the Flushgeist observable).  The flush itself is
+     * serialized like a single timed access; flushing a *dirty* line
+     * additionally stalls until the modified data has been written back,
+     * so the readout separates dirty from clean/absent lines regardless
+     * of which cache level held the copy.
+     */
+    std::uint32_t
+    flushMeasure(bool dirty, sim::Xoshiro256 &rng) const
+    {
+        double total = uarch_.single_overhead + uarch_.serialize_floor +
+                       (dirty ? uarch_.wb_latency : 0) +
+                       rng.gaussian() * uarch_.single_noise_stddev;
+        return quantize(total);
+    }
+
+    /**
      * Decision threshold between "target was an L1 hit" and "target
      * missed L1" for the pointer-chase readout with a chain of
      * @p chain_len L1 hits.  Mirrors the red dotted line of Fig. 5.

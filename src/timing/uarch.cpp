@@ -31,6 +31,7 @@ Uarch::intelXeonE52690()
     u.single_noise_stddev = 2.5;
     u.way_predictor = false;
     u.encode_addr_calc = 17; // Table V: LRU encode = 17 + 10 + 4 = 31
+    u.wb_latency = 64;       // dirty drain to the next level / memory
     return u;
 }
 
@@ -53,6 +54,7 @@ Uarch::intelXeonE31245v5()
     u.single_noise_stddev = 2.5;
     u.way_predictor = false;
     u.encode_addr_calc = 21; // Table V: LRU encode = 21 + 10 + 4 = 35
+    u.wb_latency = 64;
     return u;
 }
 
@@ -76,6 +78,7 @@ Uarch::amdEpyc7571()
     u.single_noise_stddev = 10.0;
     u.way_predictor = true;
     u.encode_addr_calc = 38; // Table V: LRU encode = 38 + 10 + 4 = 52
+    u.wb_latency = 96;       // must clear the 16-cycle tsc granule
     return u;
 }
 

@@ -51,6 +51,15 @@ struct Uarch
                                          //!< hides the L1/L2 difference
     double single_noise_stddev = 2.5;
 
+    /**
+     * Stall charged per write-back transaction (a dirty line drained to
+     * the next level or memory).  This is the observable behind both
+     * dirty-state channels: a dirty victim delays the eviction that
+     * displaced it, and clflush of a modified line stalls until the data
+     * leaves the cache (Cui et al.; Flushgeist).
+     */
+    std::uint32_t wb_latency = 64;
+
     // Platform quirks.
     bool way_predictor = false;          //!< AMD linear-address utag
 

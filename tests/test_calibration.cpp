@@ -52,7 +52,18 @@ noiselessReadout(const timing::Uarch &u, ChannelId id, Carrier carrier,
 {
     const std::uint32_t ways = waysFor(carrier);
     double total = 0.0;
-    if (id == ChannelId::PrimeProbe) {
+    if (id == ChannelId::DirtyEvict || id == ChannelId::FlushDirty) {
+        // The dirty channels are carrier-independent: the receiver
+        // times either a pinned L1-hit readout access that absorbs the
+        // pending write-back stall (dirty-evict) or a clflush
+        // (flush-dirty).  cal.fast/cal.slow encode clean/dirty, not
+        // serving levels; the dirty readout adds one write-back.
+        total = id == ChannelId::DirtyEvict
+                    ? u.chase_overhead + u.l1_latency
+                    : u.single_overhead + u.serialize_floor;
+        if (level == sim::HitLevel::Memory)
+            total += u.wb_latency;
+    } else if (id == ChannelId::PrimeProbe) {
         // All ways served at the fast level, except (for the slow
         // readout) the one line the sender evicted.
         const Calibration cal = carrierLevels(id, carrier);
@@ -146,6 +157,37 @@ TEST(Calibration, PrimeProbeMatchesHistoricalProbeThreshold)
                 << u.name << " ways=" << ways;
             EXPECT_EQ(PpReceiver::probeThreshold(u, ways), expected)
                 << u.name << " ways=" << ways;
+        }
+    }
+}
+
+TEST(Calibration, DirtyThresholdsSeparateCleanFromDirtyReadout)
+{
+    // The dirty-state channels read the victim line's dirty bit, not
+    // its presence: the clean and dirty readouts differ by exactly one
+    // write-back.  The threshold must fall strictly between the two
+    // quantized noise-free readouts on every CPU model, and must not
+    // depend on the carrier (the dirty bit lives in whatever level
+    // holds the line).
+    for (const auto &u : allUarchs()) {
+        for (ChannelId id :
+             {ChannelId::DirtyEvict, ChannelId::FlushDirty}) {
+            const Calibration l1 =
+                calibrationFor(u, id, Carrier::L1, waysFor(Carrier::L1));
+            const Calibration llc = calibrationFor(
+                u, id, Carrier::Llc, waysFor(Carrier::Llc));
+            SCOPED_TRACE(u.name + " / " +
+                         std::string(channelIdToken(id)));
+            EXPECT_EQ(l1.threshold, llc.threshold);
+            EXPECT_TRUE(l1.invert); // slow readout = dirty = bit 1
+
+            const double clean =
+                noiselessReadout(u, id, Carrier::L1, l1.fast);
+            const double dirty =
+                noiselessReadout(u, id, Carrier::L1, l1.slow);
+            EXPECT_LT(clean, dirty);
+            EXPECT_GT(static_cast<double>(l1.threshold), clean);
+            EXPECT_LT(static_cast<double>(l1.threshold), dirty);
         }
     }
 }

@@ -225,6 +225,140 @@ fuzzMatrix()
 INSTANTIATE_TEST_SUITE_P(AllPoliciesAllWays, DifferentialFuzz,
                          ::testing::ValuesIn(fuzzMatrix()), fuzzCaseName);
 
+// ------------------------------------------------------ write-path fuzz
+
+namespace {
+
+/** One write-path fuzz configuration: policy x write-policy combo. */
+struct WriteFuzzCase
+{
+    ReplPolicyKind kind;
+    WriteHitPolicy write_hit;
+    WriteMissPolicy write_miss;
+};
+
+std::string
+writeFuzzCaseName(const ::testing::TestParamInfo<WriteFuzzCase> &info)
+{
+    return std::string(replPolicyName(info.param.kind)) + "_" +
+           std::string(writeHitPolicyName(info.param.write_hit)) + "_" +
+           std::string(writeMissPolicyName(info.param.write_miss));
+}
+
+class WritePathFuzz : public ::testing::TestWithParam<WriteFuzzCase>
+{};
+
+std::vector<WriteFuzzCase>
+writeFuzzMatrix()
+{
+    std::vector<WriteFuzzCase> cases;
+    for (ReplPolicyKind kind : allReplPolicyKinds())
+        for (WriteHitPolicy wh :
+             {WriteHitPolicy::WriteBack, WriteHitPolicy::WriteThrough})
+            for (WriteMissPolicy wm : {WriteMissPolicy::WriteAllocate,
+                                       WriteMissPolicy::NoWriteAllocate})
+                cases.push_back(WriteFuzzCase{kind, wh, wm});
+    return cases;
+}
+
+} // namespace
+
+/**
+ * Randomized read/write traces: the per-access, accessBatch and
+ * replayBatch paths must agree on every dirty bit and every write-back,
+ * for all six policies under all four write-policy combinations.  The
+ * batch inner loops specialise the write path away entirely for
+ * read-only traces, so this is the test that keeps the specialised
+ * write-enabled loops honest.
+ */
+TEST_P(WritePathFuzz, ThreePathsAgreeOnDirtyStateAndWritebacks)
+{
+    const auto [kind, write_hit, write_miss] = GetParam();
+    constexpr std::uint32_t kWays = 8;
+    constexpr std::uint64_t kSeed = 20200415;
+    constexpr std::size_t kAccesses = 10'000;
+
+    CacheSet per_access(kWays, ReplState::make(kind, kWays, kSeed),
+                        PlMode::Disabled, write_hit, write_miss);
+    CacheSet batched(kWays, ReplState::make(kind, kWays, kSeed),
+                     PlMode::Disabled, write_hit, write_miss);
+    CacheSet replayed(kWays, ReplState::make(kind, kWays, kSeed),
+                      PlMode::Disabled, write_hit, write_miss);
+
+    // ~1/3 stores over a tag space with steady eviction pressure.
+    std::vector<Addr> tags(kAccesses);
+    std::vector<std::uint8_t> writes(kAccesses);
+    Xoshiro256 rng(kSeed ^ static_cast<std::uint64_t>(kind));
+    for (std::size_t i = 0; i < kAccesses; ++i) {
+        tags[i] = rng.below(kWays * 3 + 1);
+        writes[i] = rng.chance(1.0 / 3.0) ? 1 : 0;
+    }
+
+    // Per-access lane (the oracle for the batch lanes).
+    std::uint64_t hits = 0, fills = 0, evictions = 0, writebacks = 0;
+    std::vector<SetAccessResult> per_results(kAccesses);
+    for (std::size_t i = 0; i < kAccesses; ++i) {
+        per_results[i] = per_access.access(tags[i], 0, false,
+                                           LockReq::None, 0,
+                                           writes[i] != 0);
+        hits += per_results[i].hit ? 1 : 0;
+        fills += per_results[i].filled ? 1 : 0;
+        evictions += per_results[i].evicted ? 1 : 0;
+        writebacks += per_results[i].dirty_writeback ? 1 : 0;
+    }
+
+    // Batch lane: every per-access field, including the write-path ones.
+    std::vector<SetAccessResult> batch_results(kAccesses);
+    batched.accessBatch(tags, writes, batch_results);
+    for (std::size_t i = 0; i < kAccesses; ++i) {
+        ASSERT_EQ(batch_results[i].hit, per_results[i].hit) << i;
+        ASSERT_EQ(batch_results[i].way, per_results[i].way) << i;
+        ASSERT_EQ(batch_results[i].filled, per_results[i].filled) << i;
+        ASSERT_EQ(batch_results[i].evicted, per_results[i].evicted) << i;
+        ASSERT_EQ(batch_results[i].dirty_writeback,
+                  per_results[i].dirty_writeback)
+            << "write-back divergence at access " << i;
+        ASSERT_EQ(batch_results[i].write_no_alloc,
+                  per_results[i].write_no_alloc) << i;
+        if (per_results[i].evicted)
+            ASSERT_EQ(batch_results[i].evicted_tag,
+                      per_results[i].evicted_tag) << i;
+    }
+
+    // Replay lane: aggregate write-back tally.
+    const auto stats = replayed.replayBatch(tags, writes);
+    EXPECT_EQ(stats.accesses, kAccesses);
+    EXPECT_EQ(stats.hits, hits);
+    EXPECT_EQ(stats.fills, fills);
+    EXPECT_EQ(stats.evictions, evictions);
+    EXPECT_EQ(stats.dirty_writebacks, writebacks);
+
+    // End state: dirty masks and replacement state bit-identical.
+    EXPECT_EQ(per_access.dirtyMask(), batched.dirtyMask());
+    EXPECT_EQ(per_access.dirtyMask(), replayed.dirtyMask());
+    EXPECT_EQ(per_access.validMask(), batched.validMask());
+    EXPECT_EQ(per_access.validMask(), replayed.validMask());
+    EXPECT_EQ(per_access.repl(), batched.repl());
+    EXPECT_EQ(per_access.repl(), replayed.repl());
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        EXPECT_EQ(per_access.line(w).tag, batched.line(w).tag) << w;
+        EXPECT_EQ(per_access.line(w).tag, replayed.line(w).tag) << w;
+    }
+
+    // Write-policy invariants the whole trace must respect.
+    if (write_hit == WriteHitPolicy::WriteThrough) {
+        EXPECT_EQ(per_access.dirtyMask(), 0u)
+            << "a write-through set must never hold a dirty line";
+        EXPECT_EQ(writebacks, 0u);
+    }
+    EXPECT_EQ(per_access.dirtyMask() & ~per_access.validMask(), 0u)
+        << "dirty bits must annotate valid lines only";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAllWritePolicies, WritePathFuzz,
+                         ::testing::ValuesIn(writeFuzzMatrix()),
+                         writeFuzzCaseName);
+
 TEST(DifferentialFuzz, TreePlruRejectsNonPowerOfTwoWaysEverywhere)
 {
     // Both the value core and the legacy oracle must refuse the way

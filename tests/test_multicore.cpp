@@ -96,6 +96,40 @@ TEST(MultiCoreHierarchy, LlcEvictionBackInvalidatesEveryCore)
     EXPECT_EQ(h.auditInclusion(), std::nullopt);
 }
 
+TEST(MultiCoreHierarchy, DirtyBackInvalidationWritesBackExactlyOnce)
+{
+    MultiCoreHierarchy h(tinyConfig(3));
+    const Addr victim = llcLine(h, 5, 0);
+
+    // Core 0 dirties the line, so its L1, L2 and the LLC all hold a
+    // copy (L1's is the dirty one); core 1 holds clean copies.
+    h.access(0, MemRef::store(victim, 0));
+    h.access(1, MemRef::load(victim, 1));
+    ASSERT_EQ(h.dirtyWritebacks(), 0u);
+
+    // Evict the line from LLC set 5 via core 2.  Back-invalidation
+    // removes four private copies (two levels x two cores), but the
+    // line's data must reach memory exactly once.
+    std::uint64_t writebacks_seen = 0;
+    for (std::uint32_t i = 1; i <= 8; ++i)
+        writebacks_seen +=
+            h.access(2, MemRef::load(llcLine(h, 5, i), 2)).writebacks;
+
+    EXPECT_FALSE(h.inLlc(MemRef::load(victim)));
+    EXPECT_FALSE(h.l1(0).contains(MemRef::load(victim)));
+    EXPECT_EQ(h.dirtyWritebacks(), 1u)
+        << "a dirty back-invalidated line must write back exactly once";
+    EXPECT_EQ(writebacks_seen, 1u)
+        << "the write-back must be charged to the evicting access";
+    EXPECT_EQ(h.auditInclusion(), std::nullopt);
+
+    // A second eviction round of the (now clean) set writes back
+    // nothing further.
+    for (std::uint32_t i = 9; i <= 16; ++i)
+        h.access(2, MemRef::load(llcLine(h, 5, i), 2));
+    EXPECT_EQ(h.dirtyWritebacks(), 1u);
+}
+
 TEST(MultiCoreHierarchy, InclusionHoldsUnderRandomStorm)
 {
     MultiCoreHierarchy h(tinyConfig(3));
@@ -104,8 +138,9 @@ TEST(MultiCoreHierarchy, InclusionHoldsUnderRandomStorm)
         const auto core = static_cast<std::uint32_t>(rng.below(3));
         const Addr line = 0x1000 + rng.below(4096) * 64;
         h.access(core, MemRef::load(line, core));
-        if (i % 997 == 0)
+        if (i % 997 == 0) {
             ASSERT_EQ(h.auditInclusion(), std::nullopt) << "step " << i;
+        }
     }
     EXPECT_EQ(h.auditInclusion(), std::nullopt);
     EXPECT_GT(h.backInvalidations(), 0u);
