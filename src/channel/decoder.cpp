@@ -56,6 +56,39 @@ windowDecode(const std::vector<Sample> &samples, std::uint32_t threshold,
     return out;
 }
 
+Bits
+windowSymbols(const std::vector<Sample> &samples, std::uint32_t threshold,
+              bool invert, std::uint64_t t0, std::uint64_t ts,
+              std::size_t nbits)
+{
+    if (ts == 0 || nbits == 0)
+        return {};
+
+    std::vector<std::uint32_t> ones(nbits, 0);
+    std::vector<std::uint32_t> count(nbits, 0);
+    for (const auto &s : samples) {
+        if (s.tsc < t0)
+            continue;
+        const std::uint64_t k = (s.tsc - t0) / ts;
+        if (k >= nbits)
+            continue;
+        const bool hit = s.latency <= threshold;
+        const bool one = invert ? !hit : hit;
+        ones[k] += one ? 1 : 0;
+        ++count[k];
+    }
+
+    Bits out;
+    out.reserve(nbits);
+    for (std::size_t k = 0; k < nbits; ++k) {
+        if (count[k] == 0)
+            out.push_back(kErasureSymbol);
+        else
+            out.push_back(2 * ones[k] >= count[k] ? 1 : 0);
+    }
+    return out;
+}
+
 std::vector<double>
 movingAverage(const std::vector<double> &series, std::size_t window)
 {

@@ -42,6 +42,26 @@ Bits windowDecode(const std::vector<Sample> &samples,
                   std::uint32_t threshold, bool invert, std::uint64_t t0,
                   std::uint64_t ts, std::size_t nbits);
 
+/**
+ * Output symbol of a bit window that received no samples.  The leakage
+ * estimator scores a channel whose output alphabet is {0, 1, erasure}:
+ * unlike windowDecode (which drops the window and lets edit distance
+ * charge the loss), the aligned view must keep one output symbol per
+ * sent bit.
+ */
+inline constexpr std::uint8_t kErasureSymbol = 2;
+
+/**
+ * Aligned flavour of windowDecode for leakage estimation: exactly one
+ * output symbol per sent bit, in order — the majority vote of the
+ * window, or kErasureSymbol when the window received no samples.  The
+ * i-th entry pairs with the i-th sent bit, which is what an empirical
+ * confusion matrix / mutual-information estimate needs.
+ */
+Bits windowSymbols(const std::vector<Sample> &samples,
+                   std::uint32_t threshold, bool invert, std::uint64_t t0,
+                   std::uint64_t ts, std::size_t nbits);
+
 /** Simple moving average of a series (window w, centered). */
 std::vector<double> movingAverage(const std::vector<double> &series,
                                   std::size_t window);

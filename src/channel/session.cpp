@@ -270,6 +270,7 @@ runSession(const SessionConfig &config)
         mc.cores = (config.mode == SharingMode::CrossCore ? 2u : 1u) +
                    config.noise_cores;
         mc.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
+        mc.l1.secure = config.l1_secure;
         if (config.llc_policy)
             mc.llc.policy = *config.llc_policy;
         mc.seed = config.seed;
@@ -295,6 +296,7 @@ runSession(const SessionConfig &config)
         sim::HierarchyConfig h;
         h.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
         h.l1.seed = config.seed;
+        h.l1.secure = config.l1_secure;
         if (config.llc_policy)
             h.llc.policy = *config.llc_policy;
         h.l1_way_predictor = config.uarch.way_predictor;
@@ -332,6 +334,10 @@ runSession(const SessionConfig &config)
         res.received = windowDecode(res.samples, res.threshold, res.invert,
                                     res.sender_start, config.ts, nbits);
         res.error_rate = editErrorRate(res.sent, res.received);
+        if (config.collect_symbols)
+            res.decoded_symbols =
+                windowSymbols(res.samples, res.threshold, res.invert,
+                              res.sender_start, config.ts, nbits);
     }
 
     res.elapsed_cycles =

@@ -76,6 +76,16 @@ struct SessionConfig
     sim::PlMode pl_mode = sim::PlMode::Disabled; //!< single-core only
 
     /**
+     * Secure-cache mode of the private L1(s) (Section IX-B defenses),
+     * honoured on both topologies.  Dawg partitions each L1 set's ways
+     * and replacement state between the sender and receiver domains
+     * (thread % domains), which is exactly what kills the L1 LRU
+     * channels; RandomFill decouples the fill address from the miss
+     * address.  LLC-carrier channels are unaffected by construction.
+     */
+    sim::SecureMode l1_secure = sim::SecureMode::None;
+
+    /**
      * Write policy of every cache level (applied uniformly to the whole
      * topology).  Write-back + write-allocate is the default every
      * modeled machine uses; the write-through settings exist for the
@@ -91,6 +101,13 @@ struct SessionConfig
     Bits message;                 //!< bits to transmit
     std::uint32_t repeats = 1;
     bool infinite = false;        //!< sender loops forever; no decode
+
+    /**
+     * Also emit the aligned decode view the leakage estimator consumes
+     * (SessionResult::decoded_symbols).  Off by default so the byte
+     * layout of existing scoring paths is untouched.
+     */
+    bool collect_symbols = false;
 
     std::uint32_t target_set = 7;   //!< carrier set of the channel
     std::uint32_t chase_set = 63;   //!< set of the receiver's chain
@@ -128,6 +145,15 @@ struct SessionResult
     std::vector<Sample> samples;   //!< receiver's raw trace
     Bits sent;                     //!< ground-truth transmitted bits
     Bits received;                 //!< decoded bits (empty if infinite)
+
+    /**
+     * Aligned decode view for leakage estimation, only filled when
+     * SessionConfig::collect_symbols is set: exactly one symbol from
+     * {0, 1, kErasureSymbol} per entry of `sent`, so (sent[i],
+     * decoded_symbols[i]) are the channel's empirical (input, output)
+     * pairs.
+     */
+    Bits decoded_symbols;
     double error_rate = 0.0;       //!< edit distance / sent length
     double kbps = 0.0;             //!< effective rate during the send
     std::uint64_t elapsed_cycles = 0;

@@ -22,7 +22,7 @@ Experiment::smokeParams() const
         {"trials", 500},        {"bits", 16},
         {"repeats", 1},         {"samples", 2000},
         {"measurements", 40},   {"rounds", 2},
-        {"instructions", 30000},
+        {"instructions", 30000}, {"resamples", 50},
     };
     std::map<std::string, std::string> overrides;
     for (const ParamSpec &spec : params()) {

@@ -15,6 +15,7 @@
  *   timing   -> CPU models, timestamp counters, measurement primitives
  *   exec     -> thread programs, SMT & time-sliced schedulers
  *   channel  -> LRU channels (Alg 1/2/3), baselines, decoding
+ *   leakage  -> empirical MI / capacity estimation over channel traces
  *   spectre  -> transient execution + disclosure primitives
  *   workload -> synthetic SPEC-like suite + CPI model
  *   core     -> experiment runners, histograms, table rendering
@@ -56,6 +57,10 @@
 #include "channel/layout.hpp"
 #include "channel/lru_channel.hpp"
 #include "channel/prime_probe.hpp"
+
+// leakage
+#include "leakage/estimator.hpp"
+#include "leakage/report.hpp"
 
 // spectre
 #include "spectre/attack.hpp"

@@ -6,7 +6,9 @@
  * sharing mode (hyper-threaded, OS-time-sliced, cross-core) over every
  * replacement policy of the carrier cache — error rate and effective
  * bandwidth per cell, through the one channel::Session pipeline — plus
- * a PL-cache secure-mode ablation of the hyper-threaded column.
+ * a PL-cache secure-mode ablation of the hyper-threaded column, an AMD
+ * way-predictor cross-address-space comparison, and a time-sliced +
+ * LLC-noise-cores combination.
  *
  * This is the payoff of unifying the three transmission harnesses:
  * cells like cross-core Flush+Reload (the shared line decoded at
@@ -58,8 +60,8 @@ class ChannelMatrix final : public Experiment
     description() const override
     {
         return "channel-session matrix: all channels x all 3 sharing "
-               "modes x carrier replacement policies, plus a PL-cache "
-               "secure-mode ablation";
+               "modes x carrier replacement policies, plus PL-cache, "
+               "AMD cross-address-space and noise-core ablations";
     }
 
     std::vector<ParamSpec>
@@ -72,6 +74,9 @@ class ChannelMatrix final : public Experiment
             ParamSpec::integer("quantum", 30'000,
                                "time-sliced cells: scheduling quantum in "
                                "cycles (scaled OS model)"),
+            ParamSpec::integer("noise_cores", 2,
+                               "background cores in the time-sliced + "
+                               "noise section"),
             ParamSpec::str("policies",
                            "lru,treeplru,bitplru,fifo,random,srrip",
                            "comma-separated carrier replacement-policy "
@@ -231,6 +236,89 @@ class ChannelMatrix final : public Experiment
                        std::string(sim::replPolicyName(policies[0])) +
                        ", sender locks its line) ---",
                    pl_table);
+
+        // ----- AMD way-predictor, cross-address-space (Section VII):
+        // on Zen the L1 way predictor keys on a linear-address utag, so
+        // sender and receiver mapping the shared line at *different*
+        // virtual addresses fight the predictor on every probe.  Both
+        // columns run the AMD model so the comparison isolates the
+        // address-space split.
+        const auto amd = timing::Uarch::amdEpyc7571();
+        const std::uint64_t amd_base = seed + cells + n_channels * 2;
+        const auto amd_results = core::runTrials(
+            n_channels * 2, amd_base,
+            [&](std::uint32_t idx, sim::Xoshiro256 &) {
+                SessionConfig cfg;
+                cfg.channel = channels[idx / 2];
+                cfg.mode = SharingMode::HyperThreaded;
+                cfg.uarch = amd;
+                cfg.tr = modes[0].tr;
+                cfg.ts = modes[0].ts;
+                cfg.message = message;
+                cfg.repeats = repeats;
+                cfg.seed = amd_base + idx;
+                cfg.l1_policy = policies[0];
+                cfg.shared_same_vaddr = idx % 2 == 0;
+                return runSession(cfg).error_rate;
+            });
+
+        Table amd_table({"Channel", "same vaddr", "separate spaces"});
+        for (std::uint32_t c = 0; c < n_channels; ++c) {
+            amd_table.addRow({channelDisplayName(channels[c]),
+                              fmtPercent(amd_results[c * 2]),
+                              fmtPercent(amd_results[c * 2 + 1])});
+            sink.scalar("error_" +
+                            std::string(channelIdToken(channels[c])) +
+                            "_amd_xspace",
+                        amd_results[c * 2 + 1]);
+        }
+        sink.table("--- AMD way predictor (hyperthreaded, " + amd.name +
+                       ", " +
+                       std::string(sim::replPolicyName(policies[0])) +
+                       "): shared vaddr vs separate address spaces ---",
+                   amd_table);
+
+        // ----- time-sliced + noise cores: OS scheduling on the party
+        // core while background cores hammer the shared LLC — the two
+        // noise sources the paper studies separately, combined.  Runs
+        // on the multi-core topology with TimeSlice nested on core 0.
+        const auto noise_cores = params.getUint32("noise_cores");
+        const std::uint64_t tsn_base = amd_base + n_channels * 2;
+        const auto tsn_results = core::runTrials(
+            n_channels, tsn_base, [&](std::uint32_t idx, sim::Xoshiro256 &) {
+                SessionConfig cfg;
+                cfg.channel = channels[idx];
+                cfg.mode = SharingMode::TimeSliced;
+                cfg.uarch = uarch;
+                cfg.tr = modes[1].tr;
+                cfg.ts = modes[1].ts;
+                cfg.message = message;
+                cfg.repeats = repeats;
+                cfg.seed = tsn_base + idx;
+                cfg.l1_policy = policies[0];
+                cfg.noise_cores = noise_cores;
+                cfg.tslice.quantum = quantum;
+                cfg.tslice.quantum_jitter = quantum / 2;
+                cfg.tslice.tick_period = 100'000;
+                return runSession(cfg).error_rate;
+            });
+
+        Table tsn_table({"Channel", "no noise cores",
+                         "+" + std::to_string(noise_cores) +
+                             " noise cores"});
+        for (std::uint32_t c = 0; c < n_channels; ++c) {
+            tsn_table.addRow({channelDisplayName(channels[c]),
+                              fmtPercent(cell(0, c, 1).first),
+                              fmtPercent(tsn_results[c])});
+            sink.scalar("error_" +
+                            std::string(channelIdToken(channels[c])) +
+                            "_timesliced_noise",
+                        tsn_results[c]);
+        }
+        sink.table("--- time-sliced + LLC noise cores (" +
+                       std::string(sim::replPolicyName(policies[0])) +
+                       ") ---",
+                   tsn_table);
 
         sink.note("\nReading the matrix: the hyper-threaded column of "
                   "each table reproduces the paper's\nTable IV/VI "

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Leakage estimator implementation.
+ */
+
+#include "leakage/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lruleak::leakage {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+double
+log2Safe(double x)
+{
+    return std::log2(x);
+}
+
+} // namespace
+
+ConfusionMatrix::ConfusionMatrix(std::size_t inputs, std::size_t outputs)
+    : inputs_(inputs), outputs_(outputs), counts_(inputs * outputs, 0)
+{
+    if (inputs == 0 || outputs == 0)
+        throw std::invalid_argument(
+            "ConfusionMatrix: alphabets must be non-empty");
+}
+
+void
+ConfusionMatrix::add(std::size_t x, std::size_t y, std::uint64_t n)
+{
+    if (x >= inputs_ || y >= outputs_)
+        throw std::out_of_range("ConfusionMatrix: symbol out of alphabet");
+    counts_[x * outputs_ + y] += n;
+}
+
+void
+ConfusionMatrix::addPairs(std::span<const std::uint8_t> sent,
+                          std::span<const std::uint8_t> decoded)
+{
+    if (sent.size() != decoded.size())
+        throw std::invalid_argument(
+            "ConfusionMatrix: sent/decoded traces differ in length");
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        add(sent[i], decoded[i]);
+}
+
+void
+ConfusionMatrix::merge(const ConfusionMatrix &other)
+{
+    if (other.inputs_ != inputs_ || other.outputs_ != outputs_)
+        throw std::invalid_argument("ConfusionMatrix: shape mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+}
+
+std::uint64_t
+ConfusionMatrix::rowTotal(std::size_t x) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t y = 0; y < outputs_; ++y)
+        sum += count(x, y);
+    return sum;
+}
+
+std::uint64_t
+ConfusionMatrix::colTotal(std::size_t y) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t x = 0; x < inputs_; ++x)
+        sum += count(x, y);
+    return sum;
+}
+
+std::uint64_t
+ConfusionMatrix::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts_)
+        sum += c;
+    return sum;
+}
+
+double
+pluginMutualInformation(const ConfusionMatrix &m)
+{
+    const double n = static_cast<double>(m.total());
+    if (n == 0.0)
+        return 0.0;
+
+    double mi = 0.0;
+    for (std::size_t x = 0; x < m.inputs(); ++x) {
+        const std::uint64_t row = m.rowTotal(x);
+        if (row == 0)
+            continue;
+        for (std::size_t y = 0; y < m.outputs(); ++y) {
+            const std::uint64_t nxy = m.count(x, y);
+            if (nxy == 0)
+                continue;
+            const double col = static_cast<double>(m.colTotal(y));
+            mi += (static_cast<double>(nxy) / n) *
+                  log2Safe(static_cast<double>(nxy) * n /
+                           (static_cast<double>(row) * col));
+        }
+    }
+    // Floating-point cancellation can leave a tiny negative residue on
+    // an exactly-independent matrix.
+    return std::max(mi, 0.0);
+}
+
+double
+millerMadowMutualInformation(const ConfusionMatrix &m)
+{
+    const std::uint64_t n = m.total();
+    if (n == 0)
+        return 0.0;
+
+    std::size_t kx = 0, ky = 0, kxy = 0;
+    for (std::size_t x = 0; x < m.inputs(); ++x)
+        kx += m.rowTotal(x) > 0 ? 1 : 0;
+    for (std::size_t y = 0; y < m.outputs(); ++y)
+        ky += m.colTotal(y) > 0 ? 1 : 0;
+    for (std::size_t x = 0; x < m.inputs(); ++x) {
+        for (std::size_t y = 0; y < m.outputs(); ++y)
+            kxy += m.count(x, y) > 0 ? 1 : 0;
+    }
+
+    const double correction =
+        (static_cast<double>(kx) + static_cast<double>(ky) -
+         static_cast<double>(kxy) - 1.0) /
+        (2.0 * static_cast<double>(n) * kLn2);
+    return std::max(pluginMutualInformation(m) + correction, 0.0);
+}
+
+CapacityResult
+blahutArimoto(const ConfusionMatrix &m, double tolerance_bits,
+              std::size_t max_iterations)
+{
+    // Restrict to observed inputs: rows with no samples give no
+    // information about W(y|x).
+    std::vector<std::size_t> support;
+    for (std::size_t x = 0; x < m.inputs(); ++x) {
+        if (m.rowTotal(x) > 0)
+            support.push_back(x);
+    }
+
+    CapacityResult res;
+    if (support.size() < 2) {
+        // 0 or 1 usable input symbols: nothing to choose, capacity 0.
+        res.converged = true;
+        return res;
+    }
+
+    const std::size_t nx = support.size();
+    const std::size_t ny = m.outputs();
+    const double total = static_cast<double>(m.total());
+
+    // W(y|x) rows and the empirical input distribution, which seeds the
+    // iteration: the lower bound I_L starts at the plugin MI and only
+    // grows, so the returned capacity dominates it by construction.
+    std::vector<double> w(nx * ny, 0.0);
+    std::vector<double> p(nx, 0.0);
+    for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t x = support[i];
+        const double row = static_cast<double>(m.rowTotal(x));
+        p[i] = row / total;
+        for (std::size_t y = 0; y < ny; ++y)
+            w[i * ny + y] = static_cast<double>(m.count(x, y)) / row;
+    }
+
+    std::vector<double> q(ny, 0.0);
+    std::vector<double> d(nx, 0.0);
+    for (std::size_t it = 1; it <= max_iterations; ++it) {
+        // Output marginal under the current input distribution.
+        for (std::size_t y = 0; y < ny; ++y) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < nx; ++i)
+                acc += p[i] * w[i * ny + y];
+            q[y] = acc;
+        }
+
+        // Per-input divergence D(W(.|x) || q); its p-average is the
+        // lower capacity bound, its max the upper bound.
+        double lower = 0.0;
+        double upper = 0.0;
+        for (std::size_t i = 0; i < nx; ++i) {
+            double acc = 0.0;
+            for (std::size_t y = 0; y < ny; ++y) {
+                const double wxy = w[i * ny + y];
+                if (wxy > 0.0)
+                    acc += wxy * log2Safe(wxy / q[y]);
+            }
+            d[i] = acc;
+            lower += p[i] * acc;
+            upper = std::max(upper, acc);
+        }
+
+        res.capacity_bits = std::max(lower, 0.0);
+        res.gap = upper - lower;
+        res.iterations = it;
+        if (res.gap <= tolerance_bits) {
+            res.converged = true;
+            return res;
+        }
+
+        // Blahut update: p(x) <- p(x) 2^D(x) / Z.
+        double z = 0.0;
+        for (std::size_t i = 0; i < nx; ++i) {
+            p[i] *= std::exp2(d[i]);
+            z += p[i];
+        }
+        for (std::size_t i = 0; i < nx; ++i)
+            p[i] /= z;
+    }
+    return res;
+}
+
+ConfusionMatrix
+Estimator::matrixFor(std::span<const std::uint8_t> sent,
+                     std::span<const std::uint8_t> decoded) const
+{
+    ConfusionMatrix m(inputs_, outputs_);
+    m.addPairs(sent, decoded);
+    return m;
+}
+
+Estimate
+Estimator::score(const ConfusionMatrix &m, double symbol_rate_hz) const
+{
+    Estimate e;
+    e.pairs = m.total();
+    e.plugin_bits_per_use = pluginMutualInformation(m);
+    e.corrected_bits_per_use = millerMadowMutualInformation(m);
+    e.capacity_bits_per_use =
+        blahutArimoto(m, ba_tolerance_, ba_max_iter_).capacity_bits;
+    e.bits_per_second = e.corrected_bits_per_use * symbol_rate_hz;
+    return e;
+}
+
+Estimate
+Estimator::estimate(std::span<const std::uint8_t> sent,
+                    std::span<const std::uint8_t> decoded,
+                    double symbol_rate_hz) const
+{
+    return score(matrixFor(sent, decoded), symbol_rate_hz);
+}
+
+} // namespace lruleak::leakage

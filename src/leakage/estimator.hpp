@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Empirical leakage estimation for discrete channels.
+ *
+ * Every experiment below this layer scores transmissions with an edit
+ * distance, which says whether a channel *works* but not how much it
+ * *leaks*.  This module turns a session's aligned (sent-symbol,
+ * decoded-symbol) pairs into information-theoretic scores:
+ *
+ *   - the empirical confusion matrix (joint counts n(x, y));
+ *   - plugin (maximum-likelihood) mutual information in bits/use;
+ *   - the Miller-Madow bias-corrected estimate (the plugin estimator
+ *     is biased *up* by roughly (Kxy - Kx - Ky + 1) / 2N nats, which
+ *     matters at smoke-scale sample counts);
+ *   - Blahut-Arimoto channel capacity over the empirical conditional
+ *     distribution W(y|x) — what the channel could carry under the
+ *     best input distribution, an upper bound on the plugin MI;
+ *   - bits/second, from bits/use and the session's raw symbol rate.
+ *
+ * Everything here is pure, deterministic double arithmetic over counts
+ * in fixed iteration order: the same trace always produces the same
+ * score, bit for bit, regardless of LRULEAK_THREADS.
+ *
+ * The default alphabet matches the channel::Session plumbing: binary
+ * input {0, 1}, ternary output {0, 1, erasure} (windows that received
+ * no receiver sample decode to channel::kErasureSymbol rather than
+ * being dropped, so the pairs stay aligned).
+ */
+
+#ifndef LRULEAK_LEAKAGE_ESTIMATOR_HPP
+#define LRULEAK_LEAKAGE_ESTIMATOR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lruleak::leakage {
+
+/**
+ * Empirical joint counts n(x, y) of a discrete memoryless channel:
+ * rows are input symbols, columns output symbols.  A small value type;
+ * merging two matrices adds their counts (trial pooling).
+ */
+class ConfusionMatrix
+{
+  public:
+    ConfusionMatrix(std::size_t inputs, std::size_t outputs);
+
+    /** Count @p n observations of input @p x decoded as output @p y. */
+    void add(std::size_t x, std::size_t y, std::uint64_t n = 1);
+
+    /**
+     * Count one aligned trace: pair i is (sent[i], decoded[i]).
+     * Symbols outside the configured alphabets throw std::out_of_range
+     * — a mis-sized alphabet is a caller bug, not noise.
+     *
+     * @pre sent.size() == decoded.size()
+     */
+    void addPairs(std::span<const std::uint8_t> sent,
+                  std::span<const std::uint8_t> decoded);
+
+    /** Pool another matrix's counts into this one (same shape). */
+    void merge(const ConfusionMatrix &other);
+
+    std::uint64_t
+    count(std::size_t x, std::size_t y) const
+    {
+        return counts_[x * outputs_ + y];
+    }
+
+    std::uint64_t rowTotal(std::size_t x) const;
+    std::uint64_t colTotal(std::size_t y) const;
+    std::uint64_t total() const;
+
+    std::size_t inputs() const { return inputs_; }
+    std::size_t outputs() const { return outputs_; }
+
+  private:
+    std::size_t inputs_;
+    std::size_t outputs_;
+    std::vector<std::uint64_t> counts_; //!< row-major [inputs x outputs]
+};
+
+/**
+ * Plugin (maximum-likelihood) mutual information of the empirical
+ * joint distribution, in bits per channel use.  0 for an empty matrix.
+ */
+double pluginMutualInformation(const ConfusionMatrix &m);
+
+/**
+ * Miller-Madow bias-corrected mutual information in bits per use:
+ * each entropy in I = H(X) + H(Y) - H(X,Y) gets the (K - 1) / 2N
+ * correction, which nets to
+ *
+ *   I_MM = I_plugin + (Kx + Ky - Kxy - 1) / (2 N ln 2)
+ *
+ * with K* the number of non-zero rows / columns / cells.  Clamped at
+ * zero: the correction can overshoot on an independent channel, and a
+ * negative leakage score is meaningless.
+ */
+double millerMadowMutualInformation(const ConfusionMatrix &m);
+
+/** Outcome of the Blahut-Arimoto capacity iteration. */
+struct CapacityResult
+{
+    double capacity_bits = 0.0; //!< lower bound I_L at termination
+    double gap = 0.0;           //!< I_U - I_L at termination
+    std::size_t iterations = 0;
+    bool converged = false;     //!< gap fell below the tolerance
+};
+
+/**
+ * Blahut-Arimoto channel capacity of the empirical conditional
+ * distribution W(y|x) = n(x,y) / n(x), in bits per use.
+ *
+ * Inputs with no observations are excluded (their row of W is
+ * unknown).  The iteration starts from the *empirical* input
+ * distribution, and the reported lower bound I_L is monotone
+ * non-decreasing from there — so the returned capacity is always >=
+ * the plugin mutual information of the same matrix, by construction,
+ * at any iteration count.
+ */
+CapacityResult blahutArimoto(const ConfusionMatrix &m,
+                             double tolerance_bits = 1e-9,
+                             std::size_t max_iterations = 2000);
+
+/** Per-session leakage scores (one trial, one cell). */
+struct Estimate
+{
+    std::uint64_t pairs = 0;            //!< aligned (x, y) observations
+    double plugin_bits_per_use = 0.0;
+    double corrected_bits_per_use = 0.0; //!< Miller-Madow, clamped >= 0
+    double capacity_bits_per_use = 0.0;  //!< Blahut-Arimoto
+    double bits_per_second = 0.0;        //!< corrected MI x symbol rate
+};
+
+/**
+ * The per-session scorer: fixed alphabet sizes and Blahut-Arimoto
+ * termination knobs, applied to one aligned trace at a time.
+ */
+class Estimator
+{
+  public:
+    /** Defaults match the Session plumbing: {0,1} in, {0,1,erasure} out. */
+    explicit Estimator(std::size_t inputs = 2, std::size_t outputs = 3,
+                       double ba_tolerance_bits = 1e-9,
+                       std::size_t ba_max_iterations = 2000)
+        : inputs_(inputs), outputs_(outputs),
+          ba_tolerance_(ba_tolerance_bits), ba_max_iter_(ba_max_iterations)
+    {}
+
+    /** Confusion matrix of one aligned trace. */
+    ConfusionMatrix matrixFor(std::span<const std::uint8_t> sent,
+                              std::span<const std::uint8_t> decoded) const;
+
+    /**
+     * Score a matrix.  @p symbol_rate_hz is channel uses per second
+     * (for a bit-serial session: SessionResult::kbps x 1000, since one
+     * use is one sent bit); pass 0 when timing is unavailable and
+     * bits_per_second stays 0.
+     */
+    Estimate score(const ConfusionMatrix &m, double symbol_rate_hz) const;
+
+    /** matrixFor + score in one step. */
+    Estimate estimate(std::span<const std::uint8_t> sent,
+                      std::span<const std::uint8_t> decoded,
+                      double symbol_rate_hz) const;
+
+    std::size_t inputs() const { return inputs_; }
+    std::size_t outputs() const { return outputs_; }
+
+  private:
+    std::size_t inputs_;
+    std::size_t outputs_;
+    double ba_tolerance_;
+    std::size_t ba_max_iter_;
+};
+
+} // namespace lruleak::leakage
+
+#endif // LRULEAK_LEAKAGE_ESTIMATOR_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trial aggregation and bootstrap confidence intervals.
+ */
+
+#include "leakage/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace lruleak::leakage {
+
+Interval
+bootstrapMeanCi(std::span<const double> values, std::size_t resamples,
+                std::uint64_t seed)
+{
+    if (values.empty())
+        return Interval{};
+    if (values.size() == 1 || resamples == 0)
+        return Interval{values[0], values[0]};
+
+    sim::Xoshiro256 rng(seed);
+    std::vector<double> means;
+    means.reserve(resamples);
+    for (std::size_t r = 0; r < resamples; ++r) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < values.size(); ++i)
+            sum += values[rng.below(values.size())];
+        means.push_back(sum / static_cast<double>(values.size()));
+    }
+    std::sort(means.begin(), means.end());
+
+    const auto at = [&](double pct) {
+        const double pos = pct * static_cast<double>(means.size() - 1);
+        return means[static_cast<std::size_t>(std::llround(pos))];
+    };
+    return Interval{at(0.025), at(0.975)};
+}
+
+Report::Report()
+    : Report(Config{})
+{}
+
+Report::Report(Config config)
+    : config_(config),
+      pooled_(config.estimator.inputs(), config.estimator.outputs())
+{}
+
+void
+Report::addTrial(std::span<const std::uint8_t> sent,
+                 std::span<const std::uint8_t> decoded,
+                 double symbol_rate_hz)
+{
+    addTrial(config_.estimator.matrixFor(sent, decoded), symbol_rate_hz);
+}
+
+void
+Report::addTrial(const ConfusionMatrix &matrix, double symbol_rate_hz)
+{
+    pooled_.merge(matrix);
+    rate_sum_ += symbol_rate_hz;
+
+    const Estimate e = config_.estimator.score(matrix, symbol_rate_hz);
+    trial_bits_per_use_.push_back(e.corrected_bits_per_use);
+    trial_bits_per_second_.push_back(e.bits_per_second);
+}
+
+Aggregate
+Report::aggregate() const
+{
+    Aggregate agg;
+    agg.trials = trials();
+    agg.pairs = pooled_.total();
+    if (agg.trials == 0)
+        return agg;
+
+    // The pooled matrix is scored at the mean symbol rate: pooling
+    // concatenates the trials' uses, so the cell-level bits/s is the
+    // pooled per-use leakage at the average pace of one trial.
+    const double mean_rate = rate_sum_ / static_cast<double>(agg.trials);
+    agg.pooled = config_.estimator.score(pooled_, mean_rate);
+
+    const auto mean = [](const std::vector<double> &v) {
+        double sum = 0.0;
+        for (double x : v)
+            sum += x;
+        return sum / static_cast<double>(v.size());
+    };
+    agg.mean_bits_per_use = mean(trial_bits_per_use_);
+    agg.mean_bits_per_second = mean(trial_bits_per_second_);
+    agg.bits_per_use_ci = bootstrapMeanCi(
+        trial_bits_per_use_, config_.resamples, config_.seed);
+    agg.bits_per_second_ci = bootstrapMeanCi(
+        trial_bits_per_second_, config_.resamples, config_.seed ^ 0xb5ULL);
+    return agg;
+}
+
+} // namespace lruleak::leakage

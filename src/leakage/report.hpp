@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Aggregating leakage scores across trials.
+ *
+ * One session gives one Estimate; an experiment cell runs many trials.
+ * Report pools the trials' confusion matrices into a single matrix
+ * (more samples, less estimator bias) and, separately, keeps the
+ * per-trial scores so it can attach confidence intervals by resampling
+ * trials with replacement (a percentile bootstrap over whole trials —
+ * the trial, not the symbol, is the independent unit here, since the
+ * symbols within one session share cache state).
+ *
+ * Deterministic like everything else in the subsystem: the bootstrap
+ * stream is seeded explicitly and trials must be added in trial order,
+ * which the experiments guarantee by post-processing core::runTrials
+ * results sequentially.
+ */
+
+#ifndef LRULEAK_LEAKAGE_REPORT_HPP
+#define LRULEAK_LEAKAGE_REPORT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "leakage/estimator.hpp"
+
+namespace lruleak::leakage {
+
+/** A [lo, hi] percentile interval. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * 95% percentile-bootstrap interval of the mean of @p values:
+ * @p resamples resampled means (drawn with replacement from a stream
+ * seeded with @p seed), 2.5th to 97.5th percentile.  Degenerate inputs
+ * (empty, single value) collapse to [v, v].
+ */
+Interval bootstrapMeanCi(std::span<const double> values,
+                         std::size_t resamples, std::uint64_t seed);
+
+/** Cross-trial summary of one experiment cell. */
+struct Aggregate
+{
+    std::size_t trials = 0;
+    std::uint64_t pairs = 0;      //!< pooled (x, y) observations
+
+    /** Scores of the pooled confusion matrix. */
+    Estimate pooled;
+
+    /** Mean of the per-trial corrected MI (bits/use) and its 95% CI. */
+    double mean_bits_per_use = 0.0;
+    Interval bits_per_use_ci;
+
+    /** Mean per-trial throughput (bits/second) and its 95% CI. */
+    double mean_bits_per_second = 0.0;
+    Interval bits_per_second_ci;
+};
+
+/**
+ * Per-cell score aggregator.  Feed it one aligned trace per trial;
+ * read the Aggregate when the cell is done.
+ */
+class Report
+{
+  public:
+    struct Config
+    {
+        Estimator estimator{};
+        std::size_t resamples = 200;  //!< bootstrap resample count
+        std::uint64_t seed = 7;       //!< bootstrap stream seed
+    };
+
+    Report();
+    explicit Report(Config config);
+
+    /**
+     * Add one trial's aligned trace.  @p symbol_rate_hz is the trial's
+     * channel uses per second (SessionResult::kbps x 1000).
+     */
+    void addTrial(std::span<const std::uint8_t> sent,
+                  std::span<const std::uint8_t> decoded,
+                  double symbol_rate_hz);
+
+    /** Add a pre-built per-trial matrix (non-Session front ends). */
+    void addTrial(const ConfusionMatrix &matrix, double symbol_rate_hz);
+
+    std::size_t trials() const { return trial_bits_per_use_.size(); }
+
+    Aggregate aggregate() const;
+
+  private:
+    Config config_;
+    ConfusionMatrix pooled_;
+    double rate_sum_ = 0.0; //!< mean symbol rate feeds the pooled bits/s
+    std::vector<double> trial_bits_per_use_;
+    std::vector<double> trial_bits_per_second_;
+};
+
+} // namespace lruleak::leakage
+
+#endif // LRULEAK_LEAKAGE_REPORT_HPP

@@ -11,18 +11,60 @@ namespace lruleak::sim {
 
 Cache::Cache(const CacheConfig &config, PlMode pl_mode, bool way_predictor)
     : config_(config), layout_(config.line_size, config.numSets()),
-      pl_mode_(pl_mode), way_predictor_(way_predictor)
+      pl_mode_(pl_mode), way_predictor_(way_predictor),
+      fill_rng_(config.seed ^ 0xf177ed5ecULL)
 {
     config_.validate();
-    sets_.reserve(layout_.numSets());
-    for (std::uint32_t s = 0; s < layout_.numSets(); ++s) {
+
+    // DAWG partitions the ways of every address set into secure_domains
+    // independent slices, each with its own replacement state.
+    std::uint32_t per_set = 1;
+    std::uint32_t ways = config_.ways;
+    if (config_.secure == SecureMode::Dawg) {
+        if (config_.secure_domains == 0 ||
+            config_.ways % config_.secure_domains != 0)
+            throw std::invalid_argument(config_.name +
+                ": DAWG domains must evenly divide the ways");
+        per_set = config_.secure_domains;
+        ways = config_.ways / config_.secure_domains;
+    }
+    if (config_.secure == SecureMode::RandomFill &&
+        config_.fill_window == 0)
+        throw std::invalid_argument(config_.name +
+            ": RandomFill window must be non-zero");
+
+    sets_.reserve(static_cast<std::size_t>(layout_.numSets()) * per_set);
+    for (std::uint32_t s = 0; s < layout_.numSets() * per_set; ++s) {
         // Give each Random-policy set its own derived seed so sets do not
         // evict in lockstep.
-        sets_.emplace_back(config_.ways,
-                           ReplState::make(config_.policy, config_.ways,
+        sets_.emplace_back(ways,
+                           ReplState::make(config_.policy, ways,
                                            config_.seed + s),
                            pl_mode, config_.write_hit, config_.write_miss);
     }
+}
+
+SetAccessResult
+Cache::randomFill(const MemRef &ref, std::uint32_t &fill_set)
+{
+    // Deterministic random neighbour within +-fill_window lines of the
+    // missing address (never the missing line itself).  Line-base
+    // arithmetic wraps mod 2^64, which keeps the draw well-defined near
+    // address zero.
+    const std::int64_t offset =
+        fill_rng_.range(1, config_.fill_window) *
+        (fill_rng_.chance(0.5) ? 1 : -1);
+    const Addr delta = static_cast<Addr>(
+        offset * static_cast<std::int64_t>(config_.line_size));
+    const Addr line_mask = ~static_cast<Addr>(config_.line_size - 1);
+    const Addr fill_vaddr = (ref.vaddr & line_mask) + delta;
+    const Addr fill_paddr = (ref.paddr & line_mask) + delta;
+
+    fill_set = layout_.setIndex(fill_vaddr);
+    const std::uint16_t utag =
+        way_predictor_ ? WayPredictor::utag(fill_vaddr) : 0;
+    return routeSet(fill_set, ref.thread)
+        .prefetchFill(layout_.tag(fill_paddr), utag, ref.thread);
 }
 
 CacheAccessResult
@@ -33,9 +75,32 @@ Cache::access(const MemRef &ref, LockReq lock_req)
     const std::uint16_t utag =
         way_predictor_ ? WayPredictor::utag(ref.vaddr) : 0;
 
-    SetAccessResult sr = sets_[set].access(tag, utag, way_predictor_,
-                                           lock_req, ref.thread,
-                                           ref.is_write);
+    CacheSet &target = routeSet(set, ref.thread);
+
+    if (config_.secure == SecureMode::RandomFill && !target.probe(tag)) {
+        // Demand miss: serve it uncached and install a random
+        // neighbourhood line instead, decoupling the fill address from
+        // the access address.
+        std::uint32_t fill_set = 0;
+        const SetAccessResult fr = randomFill(ref, fill_set);
+
+        CacheAccessResult res;
+        res.set = set;
+        res.bypassed = true;
+        res.write_no_alloc = ref.is_write;
+        res.dirty_writeback = fr.dirty_writeback;
+        if (fr.evicted)
+            res.evicted_line = layout_.compose(fr.evicted_tag, fill_set);
+
+        counters_.record(ref.thread, false);
+        if (fr.dirty_writeback)
+            counters_.recordWriteback(ref.thread);
+        return res;
+    }
+
+    SetAccessResult sr = target.access(tag, utag, way_predictor_,
+                                       lock_req, ref.thread,
+                                       ref.is_write);
 
     CacheAccessResult res;
     res.hit = sr.hit;
@@ -59,6 +124,15 @@ void
 Cache::accessBatch(std::span<const MemRef> refs,
                    std::span<CacheAccessResult> results)
 {
+    // Secure modes take the general per-access path: DAWG routes by
+    // thread and RandomFill redirects fills, neither of which the
+    // single-set fast loop models.
+    if (config_.secure != SecureMode::None) {
+        for (std::size_t i = 0; i < refs.size(); ++i)
+            results[i] = access(refs[i]);
+        return;
+    }
+
     // Per-thread counter tallies are flushed once per thread run instead
     // of per access (batches are almost always single-thread).
     ThreadId run_thread = refs.empty() ? 0 : refs[0].thread;
@@ -112,7 +186,8 @@ Cache::prefetch(const MemRef &ref)
     const std::uint16_t utag =
         way_predictor_ ? WayPredictor::utag(ref.vaddr) : 0;
 
-    SetAccessResult sr = sets_[set].prefetchFill(tag, utag, ref.thread);
+    SetAccessResult sr =
+        routeSet(set, ref.thread).prefetchFill(tag, utag, ref.thread);
 
     CacheAccessResult res;
     res.hit = sr.hit;
@@ -128,14 +203,35 @@ bool
 Cache::contains(const MemRef &ref) const
 {
     const std::uint32_t set = layout_.setIndex(ref.vaddr);
-    return sets_[set].probe(layout_.tag(ref.paddr)).has_value();
+    return routeSet(set, ref.thread)
+        .probe(layout_.tag(ref.paddr))
+        .has_value();
 }
 
 CacheFlushResult
 Cache::flush(const MemRef &ref)
 {
     const std::uint32_t set = layout_.setIndex(ref.vaddr);
-    const SetFlushResult sr = sets_[set].flushLine(layout_.tag(ref.paddr));
+    const Addr tag = layout_.tag(ref.paddr);
+
+    // Coherence reaches across DAWG partitions even though visibility
+    // does not: clflush and back-invalidations must remove the line no
+    // matter which domain installed it.
+    if (config_.secure == SecureMode::Dawg) {
+        for (std::uint32_t d = 0; d < config_.secure_domains; ++d) {
+            const std::size_t idx =
+                static_cast<std::size_t>(set) * config_.secure_domains + d;
+            const SetFlushResult sr = sets_[idx].flushLine(tag);
+            if (sr.present) {
+                if (sr.dirty)
+                    counters_.recordWriteback(ref.thread);
+                return CacheFlushResult{sr.present, sr.dirty};
+            }
+        }
+        return CacheFlushResult{};
+    }
+
+    const SetFlushResult sr = sets_[set].flushLine(tag);
     if (sr.dirty)
         counters_.recordWriteback(ref.thread);
     return CacheFlushResult{sr.present, sr.dirty};
@@ -146,7 +242,19 @@ Cache::markDirtyLine(Addr line_base)
 {
     const MemRef ref = MemRef::load(line_base);
     const std::uint32_t set = layout_.setIndex(ref.vaddr);
-    return sets_[set].markDirty(layout_.tag(ref.paddr));
+    const Addr tag = layout_.tag(ref.paddr);
+
+    if (config_.secure == SecureMode::Dawg) {
+        for (std::uint32_t d = 0; d < config_.secure_domains; ++d) {
+            const std::size_t idx =
+                static_cast<std::size_t>(set) * config_.secure_domains + d;
+            if (sets_[idx].markDirty(tag))
+                return true;
+        }
+        return false;
+    }
+
+    return sets_[set].markDirty(tag);
 }
 
 void
@@ -155,6 +263,7 @@ Cache::reset()
     for (auto &set : sets_)
         set.reset();
     counters_.reset();
+    fill_rng_ = Xoshiro256(config_.seed ^ 0xf177ed5ecULL);
 }
 
 void

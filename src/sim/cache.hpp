@@ -14,6 +14,7 @@
 #include "sim/address.hpp"
 #include "sim/cache_config.hpp"
 #include "sim/cache_set.hpp"
+#include "sim/random.hpp"
 #include "sim/stats.hpp"
 
 namespace lruleak::sim {
@@ -50,6 +51,16 @@ struct CacheFlushResult
  * One cache level.  VIPT: the set index comes from the virtual address,
  * the tag from the physical address.  Supports PL-cache lock bits and the
  * AMD utag way predictor, both off by default.
+ *
+ * Secure modes (CacheConfig::secure; see cache_config.hpp): under
+ * SecureMode::Dawg every address set is split into `secure_domains`
+ * partitions, each with its own ways and its own ReplState; thread t
+ * lives entirely in partition t % domains, and only flush /
+ * invalidateLine / markDirtyLine reach across partitions (coherence
+ * must, visibility must not).  Under SecureMode::RandomFill a demand
+ * miss is served uncached and a random neighbourhood line is installed
+ * instead (deterministically, from a seed-derived stream); hits —
+ * including their replacement-state update — behave normally.
  */
 class Cache
 {
@@ -121,6 +132,29 @@ class Cache
     CacheSet &cacheSet(std::uint32_t index) { return sets_[index]; }
 
     std::uint32_t numSets() const { return layout_.numSets(); }
+
+    /**
+     * Number of CacheSet instances actually stored: numSets() for a
+     * plain cache, numSets() * secure_domains under SecureMode::Dawg.
+     * Audit walks iterate storage sets and map back to the address set
+     * with addressSetOf().
+     */
+    std::uint32_t
+    storageSets() const
+    {
+        return static_cast<std::uint32_t>(sets_.size());
+    }
+
+    /** Address set index a storage index belongs to. */
+    std::uint32_t
+    addressSetOf(std::uint32_t storage_index) const
+    {
+        return config_.secure == SecureMode::Dawg
+                   ? storage_index / config_.secure_domains
+                   : storage_index;
+    }
+
+    SecureMode secureMode() const { return config_.secure; }
     bool wayPredictorEnabled() const { return way_predictor_; }
     PlMode plMode() const { return pl_mode_; }
 
@@ -128,12 +162,33 @@ class Cache
     void setPlMode(PlMode mode);
 
   private:
+    /** Storage set for (address set, issuing thread): the thread's DAWG
+     *  partition when partitioned, the plain set otherwise. */
+    CacheSet &
+    routeSet(std::uint32_t set, ThreadId thread)
+    {
+        if (config_.secure == SecureMode::Dawg)
+            return sets_[static_cast<std::size_t>(set) *
+                             config_.secure_domains +
+                         thread % config_.secure_domains];
+        return sets_[set];
+    }
+    const CacheSet &
+    routeSet(std::uint32_t set, ThreadId thread) const
+    {
+        return const_cast<Cache *>(this)->routeSet(set, thread);
+    }
+
+    /** RandomFill miss handler: install a random neighbourhood line. */
+    SetAccessResult randomFill(const MemRef &ref, std::uint32_t &fill_set);
+
     CacheConfig config_;
     AddressLayout layout_;
     PlMode pl_mode_;
     bool way_predictor_;
     std::vector<CacheSet> sets_;
     PerfCounters counters_;
+    Xoshiro256 fill_rng_; //!< RandomFill neighbourhood stream
 };
 
 } // namespace lruleak::sim

@@ -9,11 +9,46 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "sim/replacement.hpp"
 #include "sim/write_policy.hpp"
 
 namespace lruleak::sim {
+
+/**
+ * Secure-cache operating mode of one level (Section IX-B designs,
+ * integrated so whole hierarchies — and therefore channel::Session —
+ * can run them end to end; the standalone DawgCache/RandomFillCache in
+ * sim/secure_caches.hpp remain the single-set reference models):
+ *
+ *  - Dawg: DAWG-style way partitioning.  The ways and the replacement
+ *    state of every set are split into `secure_domains` partitions;
+ *    thread t operates entirely inside partition t % domains, so
+ *    lookups, fills and metadata updates never cross domains.
+ *  - RandomFill: Random Fill cache.  A demand miss is served uncached
+ *    and a random line from the +-`fill_window` neighbourhood is
+ *    installed instead; hits (including their replacement-state
+ *    update) behave normally.
+ */
+enum class SecureMode : std::uint8_t
+{
+    None,
+    Dawg,
+    RandomFill,
+};
+
+/** Stable token: "none", "dawg", "randomfill". */
+constexpr std::string_view
+secureModeName(SecureMode mode)
+{
+    switch (mode) {
+      case SecureMode::None:       return "none";
+      case SecureMode::Dawg:       return "dawg";
+      case SecureMode::RandomFill: return "randomfill";
+    }
+    return "unknown";
+}
 
 /**
  * Geometry and policy of one cache level.  All counts must be powers of
@@ -33,6 +68,11 @@ struct CacheConfig
     // evaluated CPUs, whose data caches are write-back/write-allocate).
     WriteHitPolicy write_hit = WriteHitPolicy::WriteBack;
     WriteMissPolicy write_miss = WriteMissPolicy::WriteAllocate;
+
+    // Secure-cache mode of this level (None = plain cache).
+    SecureMode secure = SecureMode::None;
+    std::uint32_t secure_domains = 2; //!< DAWG protection domains
+    std::uint32_t fill_window = 64;   //!< RandomFill neighbourhood (lines)
 
     std::uint32_t
     numSets() const

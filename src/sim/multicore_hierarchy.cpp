@@ -211,8 +211,12 @@ MultiCoreHierarchy::auditInclusion() const
         const Cache *levels[2] = {l1_[c].get(), l2_[c].get()};
         for (int lvl = 0; lvl < 2; ++lvl) {
             const Cache &cache = *levels[lvl];
-            for (std::uint32_t s = 0; s < cache.numSets(); ++s) {
+            // Iterate storage sets (one per DAWG partition when the
+            // level is partitioned) and compose line bases with the
+            // owning *address* set.
+            for (std::uint32_t s = 0; s < cache.storageSets(); ++s) {
                 const CacheSet &set = cache.cacheSet(s);
+                const std::uint32_t addr_set = cache.addressSetOf(s);
                 const std::uint32_t valid = set.validMask();
                 const std::uint32_t dirty = set.dirtyMask();
                 if ((dirty & ~valid) != 0) {
@@ -228,7 +232,7 @@ MultiCoreHierarchy::auditInclusion() const
                     if (!((valid >> w) & 1u))
                         continue;
                     const Addr base =
-                        cache.layout().compose(set.line(w).tag, s);
+                        cache.layout().compose(set.line(w).tag, addr_set);
                     if (!llc_->contains(MemRef::load(base))) {
                         const bool is_dirty = ((dirty >> w) & 1u) != 0;
                         std::ostringstream os;
@@ -247,7 +251,7 @@ MultiCoreHierarchy::auditInclusion() const
         }
     }
     // The shared level obeys the same dirty-subset-of-valid invariant.
-    for (std::uint32_t s = 0; s < llc_->numSets(); ++s) {
+    for (std::uint32_t s = 0; s < llc_->storageSets(); ++s) {
         const CacheSet &set = llc_->cacheSet(s);
         if ((set.dirtyMask() & ~set.validMask()) != 0) {
             std::ostringstream os;

@@ -1,22 +1,26 @@
 /**
  * @file
  * End-to-end covert-channel tests: the paper's headline behaviours as
- * executable assertions.
+ * executable assertions, driven through the unified channel::Session
+ * pipeline (the deprecated runCovertChannel shim keeps its own
+ * differential coverage in test_session_differential.cpp).
  */
 
 #include <gtest/gtest.h>
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 
 using namespace lruleak;
 using namespace lruleak::channel;
 
 namespace {
 
-CovertConfig
+SessionConfig
 baseConfig()
 {
-    CovertConfig cfg;
+    SessionConfig cfg;
+    cfg.channel = ChannelId::LruAlg1;
+    cfg.mode = SharingMode::HyperThreaded;
     cfg.message = randomBits(96, 424242);
     cfg.repeats = 1;
     cfg.d = 8;
@@ -30,7 +34,7 @@ baseConfig()
 
 TEST(CovertChannel, Alg1HyperThreadedIsClean)
 {
-    const auto res = runCovertChannel(baseConfig());
+    const auto res = runSession(baseConfig());
     EXPECT_EQ(res.sent.size(), 96u);
     EXPECT_LT(res.error_rate, 0.02);
     // Ts = 6000 at 3.8 GHz: effective rate in the paper's 400-650 Kbps
@@ -42,9 +46,9 @@ TEST(CovertChannel, Alg1HyperThreadedIsClean)
 TEST(CovertChannel, Alg2HyperThreadedWorksWithOddD)
 {
     auto cfg = baseConfig();
-    cfg.alg = LruAlgorithm::Alg2Disjoint;
+    cfg.channel = ChannelId::LruAlg2;
     cfg.d = 5;
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     EXPECT_LT(res.error_rate, 0.05);
 }
 
@@ -52,11 +56,11 @@ TEST(CovertChannel, Alg2EvenDPathology)
 {
     // Fig. 4 bottom: even d is bad for Algorithm 2 on Tree-PLRU.
     auto cfg = baseConfig();
-    cfg.alg = LruAlgorithm::Alg2Disjoint;
+    cfg.channel = ChannelId::LruAlg2;
     cfg.d = 5;
-    const double odd_err = runCovertChannel(cfg).error_rate;
+    const double odd_err = runSession(cfg).error_rate;
     cfg.d = 4;
-    const double even_err = runCovertChannel(cfg).error_rate;
+    const double even_err = runSession(cfg).error_rate;
     EXPECT_GT(even_err, odd_err + 0.05);
 }
 
@@ -64,25 +68,25 @@ TEST(CovertChannel, FasterTsRaisesErrorOrKeepsLow)
 {
     // Error must not *decrease* when pushing the rate (Fig. 4 trend).
     auto cfg = baseConfig();
-    cfg.alg = LruAlgorithm::Alg2Disjoint;
+    cfg.channel = ChannelId::LruAlg2;
     cfg.d = 5;
     cfg.ts = 30000;
-    const double slow_err = runCovertChannel(cfg).error_rate;
+    const double slow_err = runSession(cfg).error_rate;
     cfg.ts = 4500;
-    const double fast_err = runCovertChannel(cfg).error_rate;
+    const double fast_err = runSession(cfg).error_rate;
     EXPECT_GE(fast_err + 0.02, slow_err);
 }
 
 TEST(CovertChannel, SenderNeverMissesInSteadyState)
 {
     // The stealth property: the LRU sender encodes with cache hits.
-    const auto res = runCovertChannel(baseConfig());
+    const auto res = runSession(baseConfig());
     EXPECT_LT(res.sender_l1.missRate(), 0.01);
 }
 
 TEST(CovertChannel, ThresholdMatchesUarch)
 {
-    const auto res = runCovertChannel(baseConfig());
+    const auto res = runSession(baseConfig());
     const timing::MeasurementModel model(
         timing::Uarch::intelXeonE52690());
     EXPECT_EQ(res.threshold, model.chaseThreshold());
@@ -90,8 +94,8 @@ TEST(CovertChannel, ThresholdMatchesUarch)
 
 TEST(CovertChannel, DeterministicForSeed)
 {
-    const auto a = runCovertChannel(baseConfig());
-    const auto b = runCovertChannel(baseConfig());
+    const auto a = runSession(baseConfig());
+    const auto b = runSession(baseConfig());
     EXPECT_EQ(a.error_rate, b.error_rate);
     EXPECT_EQ(a.elapsed_cycles, b.elapsed_cycles);
     ASSERT_EQ(a.samples.size(), b.samples.size());
@@ -105,8 +109,7 @@ TEST(CovertChannel, DifferentSeedsStillDecode)
         auto cfg = baseConfig();
         cfg.seed = seed;
         cfg.message = randomBits(64, seed * 13);
-        EXPECT_LT(runCovertChannel(cfg).error_rate, 0.03)
-            << "seed " << seed;
+        EXPECT_LT(runSession(cfg).error_rate, 0.03) << "seed " << seed;
     }
 }
 
@@ -114,7 +117,7 @@ TEST(CovertChannel, WorksUnderTrueLru)
 {
     auto cfg = baseConfig();
     cfg.l1_policy = sim::ReplPolicyKind::TrueLru;
-    EXPECT_LT(runCovertChannel(cfg).error_rate, 0.02);
+    EXPECT_LT(runSession(cfg).error_rate, 0.02);
 }
 
 TEST(CovertChannel, NaiveProtocolDiesUnderBitPlru)
@@ -126,7 +129,7 @@ TEST(CovertChannel, NaiveProtocolDiesUnderBitPlru)
     // transfer as-is.
     auto cfg = baseConfig();
     cfg.l1_policy = sim::ReplPolicyKind::BitPlru;
-    EXPECT_GT(runCovertChannel(cfg).error_rate, 0.25);
+    EXPECT_GT(runSession(cfg).error_rate, 0.25);
 }
 
 TEST(Defense, RandomReplacementKillsChannel)
@@ -135,7 +138,7 @@ TEST(Defense, RandomReplacementKillsChannel)
     // line 0's fate is independent of the sender.
     auto cfg = baseConfig();
     cfg.l1_policy = sim::ReplPolicyKind::Random;
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     EXPECT_GT(res.error_rate, 0.25);
 }
 
@@ -149,14 +152,36 @@ TEST(Defense, FifoRemovesTheHitBasedChannel)
     // misses orders of magnitude more often than under Tree-PLRU,
     // destroying the stealth property of Section VII.
     auto plru = baseConfig();
-    const auto plru_res = runCovertChannel(plru);
+    const auto plru_res = runSession(plru);
 
     auto fifo = baseConfig();
     fifo.l1_policy = sim::ReplPolicyKind::Fifo;
-    const auto fifo_res = runCovertChannel(fifo);
+    const auto fifo_res = runSession(fifo);
 
     EXPECT_GT(fifo_res.sender_l1.missRate(),
               20 * std::max(plru_res.sender_l1.missRate(), 1e-6));
+}
+
+TEST(Defense, DawgL1KillsTheLruChannel)
+{
+    // Section IX-B: partitioning the ways *and* the replacement state
+    // per protection domain removes the cross-thread LRU channel
+    // entirely -- the receiver's lines live in their own partition.
+    auto cfg = baseConfig();
+    cfg.l1_secure = sim::SecureMode::Dawg;
+    const auto res = runSession(cfg);
+    EXPECT_GT(res.error_rate, 0.25);
+}
+
+TEST(Defense, RandomFillL1DegradesTheChannel)
+{
+    // Random Fill decouples the fill address from the miss address, so
+    // the receiver's init phase no longer deterministically plants its
+    // lines and the decode collapses.
+    auto cfg = baseConfig();
+    cfg.l1_secure = sim::SecureMode::RandomFill;
+    const auto res = runSession(cfg);
+    EXPECT_GT(res.error_rate, 0.25);
 }
 
 TEST(Amd, CrossAddressSpaceAlg1IsDead)
@@ -169,7 +194,7 @@ TEST(Amd, CrossAddressSpaceAlg1IsDead)
     cfg.ts = 100'000;
     cfg.tr = 1000;
     cfg.shared_same_vaddr = false;
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     EXPECT_GT(res.error_rate, 0.3);
 }
 
@@ -181,7 +206,7 @@ TEST(Amd, SameAddressSpaceAlg1Works)
     cfg.ts = 100'000;
     cfg.tr = 1000;
     cfg.shared_same_vaddr = true; // pthreads in one process
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     EXPECT_LT(res.error_rate, 0.1);
     // Table IV: AMD an order of magnitude slower than Intel.
     EXPECT_LT(res.kbps, 50.0);
@@ -192,12 +217,12 @@ TEST(Amd, Alg2WorksAcrossProcesses)
 {
     auto cfg = baseConfig();
     cfg.uarch = timing::Uarch::amdEpyc7571();
-    cfg.alg = LruAlgorithm::Alg2Disjoint;
+    cfg.channel = ChannelId::LruAlg2;
     cfg.d = 5;
     cfg.message = alternatingBits(24);
     cfg.ts = 100'000;
     cfg.tr = 1000;
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     EXPECT_LT(res.error_rate, 0.1);
 }
 
@@ -205,15 +230,16 @@ TEST(TimeSliced, Fig6OperatingPoint)
 {
     // d = 8, Tr = 1e8: sending 1 is read as 1 in a clearly nonzero
     // fraction of samples; sending 0 almost never (Fig. 6).
-    CovertConfig cfg;
+    SessionConfig cfg;
+    cfg.channel = ChannelId::LruAlg1;
     cfg.mode = SharingMode::TimeSliced;
     cfg.d = 8;
     cfg.tr = 100'000'000;
     cfg.encode_gap = 20'000;
     cfg.max_samples = 80;
     cfg.seed = 3;
-    const double p1 = runPercentOnes(cfg, 1);
-    const double p0 = runPercentOnes(cfg, 0);
+    const double p1 = sessionPercentOnes(cfg, 1);
+    const double p0 = sessionPercentOnes(cfg, 0);
     EXPECT_LT(p0, 0.05);
     EXPECT_GT(p1, 0.10);
     EXPECT_GT(p1, p0 + 0.10);
@@ -223,32 +249,56 @@ TEST(TimeSliced, TinyTrSeesAlmostNothing)
 {
     // Well below the quantum, most measurements never interleave with
     // the sender.
-    CovertConfig cfg;
+    SessionConfig cfg;
+    cfg.channel = ChannelId::LruAlg1;
     cfg.mode = SharingMode::TimeSliced;
     cfg.d = 8;
     cfg.tr = 10'000'000;
     cfg.encode_gap = 20'000;
     cfg.max_samples = 80;
     cfg.seed = 3;
-    const double p1 = runPercentOnes(cfg, 1);
+    const double p1 = sessionPercentOnes(cfg, 1);
     EXPECT_LT(p1, 0.15);
 }
 
 TEST(CovertChannel, SamplesCarryMonotonicTimestamps)
 {
-    const auto res = runCovertChannel(baseConfig());
+    const auto res = runSession(baseConfig());
     for (std::size_t i = 1; i < res.samples.size(); ++i)
         ASSERT_GE(res.samples[i].tsc, res.samples[i - 1].tsc);
 }
 
-TEST(CovertChannel, HierarchyForHonoursConfig)
+TEST(CovertChannel, SessionLayoutHonoursConfig)
 {
-    CovertConfig cfg;
-    cfg.uarch = timing::Uarch::amdEpyc7571();
-    cfg.l1_policy = sim::ReplPolicyKind::BitPlru;
-    cfg.pl_mode = sim::PlMode::Original;
-    const auto h = hierarchyFor(cfg);
-    EXPECT_TRUE(h.l1_way_predictor);
-    EXPECT_EQ(h.l1.policy, sim::ReplPolicyKind::BitPlru);
-    EXPECT_EQ(h.l1_pl_mode, sim::PlMode::Original);
+    // The session derives its carrier geometry from the config: an
+    // L1-carried channel speaks 8-way L1 geometry on the single-core
+    // topology; an LLC-native channel gets the 16-way LLC plan, and
+    // cross-core mode forces the multi-core topology.
+    SessionConfig cfg;
+    cfg.channel = ChannelId::LruAlg1;
+    EXPECT_EQ(sessionCarrier(cfg), Carrier::L1);
+    EXPECT_FALSE(sessionMultiCore(cfg));
+    EXPECT_EQ(sessionLayoutFor(cfg).ways(), 8u);
+
+    cfg.channel = ChannelId::XCoreLruAlg2;
+    EXPECT_EQ(sessionCarrier(cfg), Carrier::Llc);
+    EXPECT_EQ(sessionLayoutFor(cfg).ways(), 16u);
+
+    cfg.mode = SharingMode::CrossCore;
+    EXPECT_TRUE(sessionMultiCore(cfg));
+}
+
+TEST(CovertChannel, CollectSymbolsAlignsWithSentBits)
+{
+    // The leakage plumbing: one decoded symbol per sent bit, erasures
+    // included, and on the clean hyper-threaded channel the symbols
+    // match the sent bits almost everywhere.
+    auto cfg = baseConfig();
+    cfg.collect_symbols = true;
+    const auto res = runSession(cfg);
+    ASSERT_EQ(res.decoded_symbols.size(), res.sent.size());
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < res.sent.size(); ++i)
+        agree += res.decoded_symbols[i] == res.sent[i] ? 1 : 0;
+    EXPECT_GT(agree, res.sent.size() * 9 / 10);
 }

@@ -16,17 +16,18 @@ TEST(Integration, TableIVRateOrdering)
 {
     // Hyper-threaded Intel ~500 Kbps >> hyper-threaded AMD ~20 Kbps >>
     // time-sliced (bits per second).
-    CovertConfig intel;
+    SessionConfig intel;
+    intel.channel = ChannelId::LruAlg1;
     intel.message = randomBits(64, 1);
     intel.ts = 6000;
     intel.tr = 600;
-    const auto intel_res = runCovertChannel(intel);
+    const auto intel_res = runSession(intel);
 
-    CovertConfig amd = intel;
+    SessionConfig amd = intel;
     amd.uarch = timing::Uarch::amdEpyc7571();
     amd.ts = 100'000;
     amd.tr = 1000;
-    const auto amd_res = runCovertChannel(amd);
+    const auto amd_res = runSession(amd);
 
     EXPECT_GT(intel_res.kbps, 10 * amd_res.kbps)
         << "AMD must be about an order of magnitude slower (Table IV)";
@@ -36,12 +37,13 @@ TEST(Integration, TableIVRateOrdering)
 TEST(Integration, SkylakeBehavesLikeSandyBridge)
 {
     // Appendix B: the attack transfers across Intel generations.
-    CovertConfig cfg;
+    SessionConfig cfg;
+    cfg.channel = ChannelId::LruAlg1;
     cfg.uarch = timing::Uarch::intelXeonE31245v5();
     cfg.message = randomBits(96, 14);
     cfg.ts = 6000;
     cfg.tr = 600;
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     EXPECT_LT(res.error_rate, 0.02);
     // 3.9 GHz vs 3.8 GHz: slightly higher effective rate (paper: 580
     // vs 480 Kbps).
@@ -53,12 +55,12 @@ TEST(Integration, WholeStackDeterminism)
     // Same seed: identical samples, decode, counters -- across the
     // scheduler, cache, timing and decoder layers at once.
     auto run = [] {
-        CovertConfig cfg;
-        cfg.alg = LruAlgorithm::Alg2Disjoint;
+        SessionConfig cfg;
+        cfg.channel = ChannelId::LruAlg2;
         cfg.d = 5;
         cfg.message = randomBits(64, 3);
         cfg.seed = 99;
-        return runCovertChannel(cfg);
+        return runSession(cfg);
     };
     const auto a = run();
     const auto b = run();
@@ -85,12 +87,12 @@ TEST(Integration, LockedAlg1IsProtectedByPlCache)
 {
     // Paper footnote 8: if line 0 is locked in a PL cache, Algorithm 1
     // dies (line 0 can never be evicted, the receiver always hits).
-    CovertConfig cfg;
-    cfg.alg = LruAlgorithm::Alg1Shared;
+    SessionConfig cfg;
+    cfg.channel = ChannelId::LruAlg1;
     cfg.pl_mode = sim::PlMode::Original;
     cfg.sender_locks_line = true; // the shared line gets locked
     cfg.message = randomBits(48, 5);
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     // The receiver should observe (almost) all hits -> no information.
     const auto bits = thresholdSamples(res.samples, res.threshold, false);
     EXPECT_GT(fractionOnes(bits), 0.95);
@@ -110,11 +112,12 @@ TEST(Integration, SpectreThroughEveryLayer)
 TEST(Integration, ChannelSurvivesDifferentTargetSets)
 {
     for (std::uint32_t set : {0u, 1u, 31u, 62u}) {
-        CovertConfig cfg;
+        SessionConfig cfg;
+        cfg.channel = ChannelId::LruAlg1;
         cfg.target_set = set;
         cfg.chase_set = (set + 32) % 64;
         cfg.message = randomBits(48, set + 1);
-        EXPECT_LT(runCovertChannel(cfg).error_rate, 0.03)
+        EXPECT_LT(runSession(cfg).error_rate, 0.03)
             << "target set " << set;
     }
 }
@@ -122,9 +125,10 @@ TEST(Integration, ChannelSurvivesDifferentTargetSets)
 TEST(Integration, TextMessageRoundTrip)
 {
     // The quickstart scenario: send ASCII text through the channel.
-    CovertConfig cfg;
+    SessionConfig cfg;
+    cfg.channel = ChannelId::LruAlg1;
     cfg.message = textToBits("LRU states leak!");
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     EXPECT_EQ(bitsToText(res.received), "LRU states leak!");
 }
 
@@ -133,8 +137,9 @@ TEST(Integration, ReceiverCountersShowDecodePressure)
     // The receiver's misses come from the decode-phase evictions; they
     // must be visible in its counters (this is what a defender's perf
     // monitoring would see: receiver noisy, sender quiet).
-    CovertConfig cfg;
+    SessionConfig cfg;
+    cfg.channel = ChannelId::LruAlg1;
     cfg.message = randomBits(64, 17);
-    const auto res = runCovertChannel(cfg);
+    const auto res = runSession(cfg);
     EXPECT_GT(res.receiver_l1.missRate(), res.sender_l1.missRate());
 }

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Analytic ground-truth tests for the leakage estimator: channels with
+ * known closed-form mutual information / capacity must score correctly,
+ * the Blahut-Arimoto bound must dominate the plugin estimate, and the
+ * Miller-Madow correction must shrink with sample count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "leakage/estimator.hpp"
+#include "leakage/report.hpp"
+
+using namespace lruleak::leakage;
+
+namespace {
+
+/** Binary entropy in bits. */
+double
+h2(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+/** A 2x2 BSC(p) matrix with exact counts: n per input row. */
+ConfusionMatrix
+bscMatrix(double p, std::uint64_t n)
+{
+    const auto flips = static_cast<std::uint64_t>(
+        std::llround(p * static_cast<double>(n)));
+    ConfusionMatrix m(2, 2);
+    m.add(0, 0, n - flips);
+    m.add(0, 1, flips);
+    m.add(1, 0, flips);
+    m.add(1, 1, n - flips);
+    return m;
+}
+
+} // namespace
+
+TEST(Estimator, NoiselessBinaryChannelIsOneBitPerUse)
+{
+    // y = x with a uniform input: I(X;Y) = H(X) = exactly 1 bit/use.
+    ConfusionMatrix m(2, 2);
+    m.add(0, 0, 500);
+    m.add(1, 1, 500);
+    EXPECT_NEAR(pluginMutualInformation(m), 1.0, 1e-12);
+}
+
+TEST(Estimator, IndependentChannelIsZeroBitsPerUse)
+{
+    // The joint factorises exactly: I = 0, and the clamped Miller-Madow
+    // estimate must not go negative.
+    ConfusionMatrix m(2, 2);
+    m.add(0, 0, 250);
+    m.add(0, 1, 250);
+    m.add(1, 0, 250);
+    m.add(1, 1, 250);
+    EXPECT_NEAR(pluginMutualInformation(m), 0.0, 1e-12);
+    EXPECT_GE(millerMadowMutualInformation(m), 0.0);
+    EXPECT_NEAR(millerMadowMutualInformation(m), 0.0, 1e-3);
+}
+
+TEST(Estimator, BscMatchesOneMinusBinaryEntropy)
+{
+    // With exact BSC(p) counts and a uniform input, the plugin MI is
+    // the analytic I = 1 - H(p) to floating-point accuracy; the
+    // Miller-Madow correction moves it by at most O(1/N).
+    for (double p : {0.05, 0.11, 0.25, 0.4}) {
+        const auto m = bscMatrix(p, 10'000);
+        const double analytic = 1.0 - h2(p);
+        EXPECT_NEAR(pluginMutualInformation(m), analytic, 1e-9)
+            << "p = " << p;
+        EXPECT_NEAR(millerMadowMutualInformation(m), analytic, 1e-4)
+            << "p = " << p;
+    }
+}
+
+TEST(Estimator, BscCapacityIsOneMinusBinaryEntropy)
+{
+    // The BSC's capacity-achieving input is uniform, so capacity equals
+    // the uniform-input MI: Blahut-Arimoto must converge to 1 - H(p).
+    for (double p : {0.05, 0.2, 0.35}) {
+        const auto cap = blahutArimoto(bscMatrix(p, 10'000));
+        EXPECT_TRUE(cap.converged) << "p = " << p;
+        EXPECT_NEAR(cap.capacity_bits, 1.0 - h2(p), 1e-6) << "p = " << p;
+    }
+}
+
+TEST(Estimator, ErasureChannelCapacityIsOneMinusErasureRate)
+{
+    // Binary erasure channel with erasure probability e: C = 1 - e.
+    // Exercises the session alphabet ({0,1} in, {0,1,erasure} out).
+    const double e = 0.3;
+    ConfusionMatrix m(2, 3);
+    m.add(0, 0, 700);
+    m.add(0, 2, 300);
+    m.add(1, 1, 700);
+    m.add(1, 2, 300);
+    const auto cap = blahutArimoto(m);
+    EXPECT_TRUE(cap.converged);
+    EXPECT_NEAR(cap.capacity_bits, 1.0 - e, 1e-6);
+}
+
+TEST(Estimator, CapacityDominatesPluginMi)
+{
+    // Capacity optimises over input distributions, so it can only be
+    // >= the empirical-input MI — including on skewed and asymmetric
+    // (Z-channel) matrices where the empirical input is far from
+    // capacity-achieving.
+    std::vector<ConfusionMatrix> cases;
+
+    auto skewed_bsc = bscMatrix(0.15, 1000);
+    skewed_bsc.add(0, 0, 5000); // input 0 heavily over-represented
+    cases.push_back(skewed_bsc);
+
+    ConfusionMatrix z(2, 2); // Z-channel: 0 is clean, 1 flips
+    z.add(0, 0, 900);
+    z.add(1, 0, 350);
+    z.add(1, 1, 650);
+    cases.push_back(z);
+
+    ConfusionMatrix ternary(2, 3);
+    ternary.add(0, 0, 500);
+    ternary.add(0, 2, 120);
+    ternary.add(1, 1, 300);
+    ternary.add(1, 0, 80);
+    ternary.add(1, 2, 40);
+    cases.push_back(ternary);
+
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const double plugin = pluginMutualInformation(cases[i]);
+        const auto cap = blahutArimoto(cases[i]);
+        EXPECT_GE(cap.capacity_bits + 1e-12, plugin) << "case " << i;
+    }
+}
+
+TEST(Estimator, MillerMadowCorrectionShrinksWithSampleCount)
+{
+    // For a fixed channel shape the |corrected - plugin| gap is
+    // (Kx + Ky - Kxy - 1) / 2N ln 2: scaling every count by k must
+    // shrink it by exactly k, and the estimate converges on the
+    // analytic value from below (full 2x2 support => negative bias
+    // correction of the upward-biased plugin estimator).
+    const double analytic = 1.0 - h2(0.2);
+    double prev_gap = 1e9;
+    for (std::uint64_t n : {50ULL, 500ULL, 5000ULL, 50'000ULL}) {
+        const auto m = bscMatrix(0.2, n);
+        const double gap = std::abs(millerMadowMutualInformation(m) -
+                                    pluginMutualInformation(m));
+        EXPECT_LT(gap, prev_gap) << "n = " << n;
+        prev_gap = gap;
+        EXPECT_NEAR(millerMadowMutualInformation(m), analytic,
+                    1.0 / static_cast<double>(n))
+            << "n = " << n;
+    }
+    EXPECT_LT(prev_gap, 1e-5);
+}
+
+TEST(Estimator, DegenerateMatricesScoreZero)
+{
+    // Empty matrix, and a single-input matrix (capacity needs >= 2
+    // observed inputs): both must be well-defined zeros, not NaNs.
+    ConfusionMatrix empty(2, 3);
+    EXPECT_EQ(pluginMutualInformation(empty), 0.0);
+    EXPECT_EQ(millerMadowMutualInformation(empty), 0.0);
+    EXPECT_EQ(blahutArimoto(empty).capacity_bits, 0.0);
+
+    ConfusionMatrix one_row(2, 2);
+    one_row.add(0, 0, 40);
+    one_row.add(0, 1, 10);
+    EXPECT_EQ(pluginMutualInformation(one_row), 0.0);
+    const auto cap = blahutArimoto(one_row);
+    EXPECT_TRUE(cap.converged);
+    EXPECT_EQ(cap.capacity_bits, 0.0);
+}
+
+TEST(Estimator, MatrixForCountsAlignedPairsAndRejectsBadSymbols)
+{
+    const Estimator est; // {0,1} -> {0,1,erasure}
+    const std::vector<std::uint8_t> sent = {0, 1, 0, 1, 1};
+    const std::vector<std::uint8_t> decoded = {0, 1, 2, 1, 0};
+    const auto m = est.matrixFor(sent, decoded);
+    EXPECT_EQ(m.total(), 5u);
+    EXPECT_EQ(m.count(0, 0), 1u);
+    EXPECT_EQ(m.count(0, 2), 1u);
+    EXPECT_EQ(m.count(1, 1), 2u);
+    EXPECT_EQ(m.count(1, 0), 1u);
+
+    ConfusionMatrix strict(2, 2);
+    const std::vector<std::uint8_t> bad = {0, 2};
+    const std::vector<std::uint8_t> ok = {0, 0};
+    EXPECT_THROW(strict.addPairs(bad, ok), std::out_of_range);
+    EXPECT_THROW(strict.addPairs(ok, bad), std::out_of_range);
+}
+
+TEST(Estimator, ScoreConvertsRateToBitsPerSecond)
+{
+    const Estimator est(2, 2);
+    const auto m = bscMatrix(0.1, 2000);
+    const Estimate e = est.score(m, 500'000.0); // 500 K uses/s
+    EXPECT_EQ(e.pairs, m.total());
+    EXPECT_NEAR(e.bits_per_second,
+                e.corrected_bits_per_use * 500'000.0, 1e-6);
+    EXPECT_EQ(est.score(m, 0.0).bits_per_second, 0.0);
+}
+
+TEST(Report, BootstrapCiIsDeterministicAndBracketsTheMean)
+{
+    const std::vector<double> values = {0.8, 0.9, 0.85, 0.95, 0.7,
+                                        0.88, 0.92, 0.81, 0.9, 0.86};
+    const Interval a = bootstrapMeanCi(values, 200, 7);
+    const Interval b = bootstrapMeanCi(values, 200, 7);
+    EXPECT_EQ(a.lo, b.lo);
+    EXPECT_EQ(a.hi, b.hi);
+    EXPECT_LT(a.lo, a.hi);
+
+    double mean = 0.0;
+    for (double v : values)
+        mean += v;
+    mean /= static_cast<double>(values.size());
+    EXPECT_LE(a.lo, mean);
+    EXPECT_GE(a.hi, mean);
+
+    // Degenerate inputs collapse rather than crash.
+    const Interval single = bootstrapMeanCi(std::vector<double>{0.5},
+                                            200, 7);
+    EXPECT_EQ(single.lo, 0.5);
+    EXPECT_EQ(single.hi, 0.5);
+}
+
+TEST(Report, PoolsTrialsAndBeatsPerTrialBias)
+{
+    // Two noiseless 16-pair trials: the pooled matrix has 32 pairs, so
+    // its Miller-Madow estimate sits closer to the true 1 bit/use than
+    // the per-trial mean does (the whole point of pooling).
+    Report::Config cfg;
+    cfg.seed = 11;
+    Report report(cfg);
+    const std::vector<std::uint8_t> half = {0, 1, 0, 1, 0, 1, 0, 1,
+                                            0, 1, 0, 1, 0, 1, 0, 1};
+    report.addTrial(half, half, 100.0);
+    report.addTrial(half, half, 300.0);
+
+    const Aggregate agg = report.aggregate();
+    EXPECT_EQ(agg.trials, 2u);
+    EXPECT_EQ(agg.pairs, 32u);
+    EXPECT_LT(std::abs(agg.pooled.corrected_bits_per_use - 1.0),
+              std::abs(agg.mean_bits_per_use - 1.0));
+    EXPECT_NEAR(agg.pooled.plugin_bits_per_use, 1.0, 1e-12);
+    // Pooled bits/s is scored at the mean trial rate (200 uses/s here).
+    EXPECT_NEAR(agg.pooled.bits_per_second,
+                agg.pooled.corrected_bits_per_use * 200.0, 1e-9);
+    // Identical trials: the CI collapses onto the common value.
+    EXPECT_NEAR(agg.bits_per_use_ci.lo, agg.mean_bits_per_use, 1e-12);
+    EXPECT_NEAR(agg.bits_per_use_ci.hi, agg.mean_bits_per_use, 1e-12);
+}

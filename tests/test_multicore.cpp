@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "channel/xcore_channel.hpp"
+#include "channel/session.hpp"
 #include "exec/multicore_scheduler.hpp"
 #include "sim/multicore_hierarchy.hpp"
 
@@ -16,6 +16,24 @@ using namespace lruleak;
 using namespace lruleak::sim;
 
 namespace {
+
+/**
+ * The canonical cross-core session: Algorithm 2 over the shared LLC
+ * with the operating point the legacy runXCoreChannel shim used
+ * (Tree-PLRU LLC, d = 12, Tr = 3000, Ts = 30000).
+ */
+channel::SessionConfig
+xcoreConfig()
+{
+    channel::SessionConfig cfg;
+    cfg.channel = channel::ChannelId::XCoreLruAlg2;
+    cfg.mode = channel::SharingMode::CrossCore;
+    cfg.llc_policy = ReplPolicyKind::TreePlru;
+    cfg.d = 12;
+    cfg.tr = 3000;
+    cfg.ts = 30000;
+    return cfg;
+}
 
 /** A small topology so eviction pressure is cheap to create. */
 MultiCoreConfig
@@ -243,11 +261,11 @@ TEST(MultiCoreScheduler, EveryStepAuditPassesOnChannelTraffic)
     // Run a real (tiny) cross-core transmission with the audit walk on
     // after EVERY executed operation: the inclusion property must hold
     // at each step of scheduler interleaving, not just at the end.
-    channel::XCoreConfig cfg;
+    auto cfg = xcoreConfig();
     cfg.noise_cores = 1;
     cfg.message = channel::alternatingBits(4);
     cfg.sched.audit_every = 1;
-    const auto res = channel::runXCoreChannel(cfg); // throws on violation
+    const auto res = channel::runSession(cfg); // throws on violation
     EXPECT_FALSE(res.samples.empty());
     EXPECT_GT(res.back_invalidations, 0u);
 }
@@ -264,11 +282,11 @@ TEST(MultiCoreScheduler, RequiresOneProgramPerCore)
 TEST(MultiCoreScheduler, DeterministicForFixedSeed)
 {
     auto run = [] {
-        channel::XCoreConfig cfg;
+        auto cfg = xcoreConfig();
         cfg.noise_cores = 2;
         cfg.message = channel::randomBits(16, 7);
         cfg.seed = 21;
-        return channel::runXCoreChannel(cfg);
+        return channel::runSession(cfg);
     };
     const auto a = run();
     const auto b = run();
@@ -285,10 +303,10 @@ TEST(MultiCoreScheduler, DeterministicForFixedSeed)
 
 TEST(XCoreChannel, TransmitsThroughSharedLlc)
 {
-    channel::XCoreConfig cfg;
+    auto cfg = xcoreConfig();
     cfg.message = channel::randomBits(24, 3);
     cfg.repeats = 2;
-    const auto res = channel::runXCoreChannel(cfg);
+    const auto res = channel::runSession(cfg);
 
     EXPECT_EQ(res.cores, 2u);
     EXPECT_EQ(res.sent.size(), 48u);
@@ -309,12 +327,12 @@ TEST(XCoreChannel, ErrorDegradesWithNoiseCoresOnAverage)
     auto meanError = [](std::uint32_t noise) {
         double sum = 0;
         for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-            channel::XCoreConfig cfg;
+            auto cfg = xcoreConfig();
             cfg.noise_cores = noise;
             cfg.ts = 15000;
             cfg.message = channel::randomBits(32, 40 + seed);
             cfg.seed = seed;
-            sum += channel::runXCoreChannel(cfg).error_rate;
+            sum += channel::runSession(cfg).error_rate;
         }
         return sum / 3;
     };
@@ -330,9 +348,9 @@ TEST(XCoreChannel, BackInvalidationIsWhatClosesTheLoop)
     // the channel set shared, the receiver's walk is what causes the
     // sender's line to leave its private cache.  Compare sender L1
     // misses with and without a running receiver walk.
-    channel::XCoreConfig cfg;
+    auto cfg = xcoreConfig();
     cfg.message = channel::alternatingBits(8);
-    const auto res = channel::runXCoreChannel(cfg);
+    const auto res = channel::runSession(cfg);
     // If the sender's line were never back-invalidated, every encode
     // access after the first would hit its private L1 and the sender
     // would be invisible at the LLC; the channel would decode garbage.
@@ -340,11 +358,12 @@ TEST(XCoreChannel, BackInvalidationIsWhatClosesTheLoop)
         << "sender must keep missing privately (back-invalidation)";
 }
 
-TEST(XCoreChannel, MultiCoreConfigReflectsNoiseCores)
+TEST(XCoreChannel, TopologyReflectsNoiseCores)
 {
-    channel::XCoreConfig cfg;
+    // Every noise core becomes a real simulated core beyond the pair.
+    auto cfg = xcoreConfig();
     cfg.noise_cores = 3;
-    const auto mc = channel::multiCoreConfigFor(cfg);
-    EXPECT_EQ(mc.cores, 5u);
-    EXPECT_EQ(mc.llc.policy, cfg.llc_policy);
+    cfg.message = channel::alternatingBits(4);
+    const auto res = channel::runSession(cfg);
+    EXPECT_EQ(res.cores, 5u);
 }
