@@ -107,6 +107,24 @@ LruSender::LruSender(const ChannelLayout &layout, SenderConfig config)
                                            ChannelLayout::kSenderBase);
         stack_.push_back(sim::MemRef{a, a, kSenderThread, false});
     }
+
+    // kick_private: 16 lines sharing the target line's private L1/L2
+    // index but living in other LLC sets (same aliasing scheme as the
+    // spies' kick pool, own tag base).  Sixteen cycles both 8-way
+    // private levels, so after a kick burst no private copy of the
+    // target line survives and its LLC line is unowned under SHARP.
+    if (config_.kick_private) {
+        constexpr sim::Addr kSenderKickBase = 0x2800'0000'0000ULL;
+        const std::uint32_t sets = layout_.layout().numSets();
+        const std::uint32_t stride = std::max<std::uint32_t>(sets / 4, 1);
+        for (std::uint32_t i = 0; i < 16; ++i) {
+            const std::uint32_t kick_set =
+                (layout_.targetSet() + stride * (i % 3 + 1)) % sets;
+            const sim::Addr a = sim::lineInSet(layout_.layout(), kick_set,
+                                               i / 3, kSenderKickBase);
+            kick_.push_back(sim::MemRef{a, a, kSenderThread, false});
+        }
+    }
 }
 
 int
@@ -124,12 +142,18 @@ exec::Op
 LruSender::next(std::uint64_t now)
 {
     if (phase_ == Phase::Prewarm) {
-        phase_ = Phase::Encode;
-        if (config_.prewarm) {
+        if (config_.prewarm && pre_step_ == 0) {
+            ++pre_step_;
             return config_.lock_line
                        ? exec::Op::accessLock(line_, sim::LockReq::Lock)
                        : exec::Op::access(line_);
         }
+        // kick_private: expel the prewarmed private copies right away,
+        // so the team's warm-up pressure lands on the (unowned) target
+        // line instead of wedging into a spy's slice.
+        if (config_.prewarm && pre_step_ <= kick_.size())
+            return exec::Op::access(kick_[pre_step_++ - 1]);
+        phase_ = Phase::Encode;
     }
 
     if (phase_ == Phase::Finished)
@@ -146,6 +170,7 @@ LruSender::next(std::uint64_t now)
         ++bit_index_;
         bit_deadline_ += config_.ts;
         sub_step_ = 0;
+        fresh_bit_ = true;
     }
 
     const int bit = currentBit(bit_index_);
@@ -154,8 +179,10 @@ LruSender::next(std::uint64_t now)
         return exec::Op::done();
     }
 
-    // One encode iteration: (encode access if sending 1) -> local stack
-    // work -> short spin.  The iteration then repeats until Ts expires.
+    // One encode iteration: (encode access if sending 1) -> (kick walk
+    // if kick_private and the line was touched) -> local stack work ->
+    // short spin.  The iteration then repeats until Ts expires.
+    const std::uint32_t kicks = static_cast<std::uint32_t>(kick_.size());
     if (sub_step_ == 0) {
         sub_step_ = 1;
         if (config_.write_polarity) {
@@ -167,13 +194,26 @@ LruSender::next(std::uint64_t now)
             return exec::Op::access(ref);
         }
         if (bit == 1) {
+            fresh_bit_ = false;
             awaiting_encode_ = true;
             return exec::Op::access(line_);
         }
-        // Sending 0: no access to the target set.
+        // Sending 0 under the anti-SHARP protocol: park the line once
+        // at the start of the bit — resident but (after the kick)
+        // unowned, it is the absorber that lets the spies' churn damp
+        // back to the quiet state instead of cycling through forced
+        // evictions for the rest of the window.
+        if (config_.kick_private && fresh_bit_) {
+            fresh_bit_ = false;
+            return exec::Op::access(line_);
+        }
+        // Sending 0: no access to the target set, and nothing to kick.
+        sub_step_ = 1 + kicks;
     }
-    if (sub_step_ <= config_.stack_lines) {
-        const auto &ref = stack_[sub_step_ - 1];
+    if (sub_step_ <= kicks)
+        return exec::Op::access(kick_[sub_step_++ - 1]);
+    if (sub_step_ <= kicks + config_.stack_lines) {
+        const auto &ref = stack_[sub_step_ - kicks - 1];
         ++sub_step_;
         return exec::Op::access(ref);
     }

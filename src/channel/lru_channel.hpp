@@ -108,6 +108,18 @@ struct SenderConfig
      * write-back latency (dirty-evict) or flush latency (flush-dirty).
      */
     bool write_polarity = false;
+
+    /**
+     * Anti-SHARP team protocol (see channel/multi_spy.hpp): after every
+     * encode access the sender expels its own private copies of the
+     * target line (a kick walk over lines that conflict in the private
+     * L1/L2 but map to other LLC sets).  With no private copy left the
+     * LLC line is *unowned* under SHARP's ownership rule, so the
+     * cooperating spies may evict it through the ordinary re-victimize
+     * path — the covert sender deliberately waives the protection a
+     * victim would enjoy.  Off for single-receiver sessions.
+     */
+    bool kick_private = false;
 };
 
 /**
@@ -154,13 +166,16 @@ class LruSender : public exec::ThreadProgram
     SenderConfig config_;
     sim::MemRef line_;
     std::vector<sim::MemRef> stack_;
+    std::vector<sim::MemRef> kick_; //!< kick_private: private-copy expellers
 
     Phase phase_ = Phase::Prewarm;
+    std::uint32_t pre_step_ = 0;   //!< prewarm sub-step
     std::size_t bit_index_ = 0;
     std::uint64_t bit_deadline_ = 0;
     std::uint64_t start_tsc_ = 0;
     bool started_ = false;
     std::uint32_t sub_step_ = 0;   //!< 0 = encode access, then stack work
+    bool fresh_bit_ = true;        //!< first iteration of the current bit
     bool awaiting_encode_ = false; //!< next result is an encode access
     std::vector<sim::HitLevel> encode_levels_;
 };

@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "channel/multi_spy.hpp"
 #include "sim/access_port.hpp"
 #include "util/strings.hpp"
 
@@ -178,19 +180,26 @@ runSingleCore(const SessionConfig &config, ChannelPair &pair,
 /**
  * Multi-core stage: MultiCoreHierarchy under LowestClock, with the
  * sharing mode's intra-core policy nested on the party core(s) and
- * noise programs pinned to the remaining cores.
+ * noise programs pinned to the remaining cores.  @p receivers holds
+ * one program per receiving thread (the factory receiver, or the K
+ * spies of a multi-spy session); cross-core receiver j runs on core
+ * 1 + j.
  */
 RunOutcome
-runMultiCore(const SessionConfig &config, ChannelPair &pair,
+runMultiCore(const SessionConfig &config, LruSender &sender,
+             std::span<exec::ThreadProgram *const> receivers,
              sim::MultiCoreHierarchy &hierarchy)
 {
     const bool xcore = config.mode == SharingMode::CrossCore;
-    const std::uint32_t first_noise_core = xcore ? 2 : 1;
+    const std::uint32_t nrecv =
+        static_cast<std::uint32_t>(receivers.size());
+    const std::uint32_t first_noise_core = xcore ? 1 + nrecv : 1;
 
     const auto noise =
         makeNoisePrograms(config.noise, config.noise_cores, config.seed);
-    std::vector<exec::ThreadSpec> specs{
-        {&pair.sender(), 0}, {&pair.receiver(), xcore ? 1u : 0u}};
+    std::vector<exec::ThreadSpec> specs{{&sender, 0}};
+    for (std::uint32_t j = 0; j < nrecv; ++j)
+        specs.push_back(exec::ThreadSpec{receivers[j], xcore ? 1 + j : 0});
     for (std::uint32_t i = 0; i < config.noise_cores; ++i)
         specs.push_back(exec::ThreadSpec{noise[i].get(),
                                          first_noise_core + i});
@@ -205,10 +214,9 @@ runMultiCore(const SessionConfig &config, ChannelPair &pair,
             // Layer OS time-slicing on the party cores: TimeSlice nests
             // under the cross-core LowestClock arbitration.  Noise
             // cores stay dedicated (pinned background processes).
-            policy.nest(0, std::make_unique<exec::TimeSlice>(
-                               partyCoreTimeSlice(config, 0)));
-            policy.nest(1, std::make_unique<exec::TimeSlice>(
-                               partyCoreTimeSlice(config, 1)));
+            for (std::uint32_t core = 0; core <= nrecv; ++core)
+                policy.nest(core, std::make_unique<exec::TimeSlice>(
+                                      partyCoreTimeSlice(config, core)));
         }
         break;
       case SharingMode::HyperThreaded:
@@ -233,6 +241,13 @@ runSession(const SessionConfig &config)
 {
     const std::size_t nbits = config.message.size() * config.repeats;
     const bool multi = sessionMultiCore(config);
+    const std::uint32_t spy_count =
+        std::max<std::uint32_t>(config.spies, 1);
+    if (spy_count > 1 && (config.mode != SharingMode::CrossCore ||
+                          config.channel != ChannelId::XCoreLruAlg2))
+        throw std::invalid_argument(
+            "multi-spy sessions (spies > 1) require the crosscore "
+            "sharing mode and the xcore-lru-alg2 channel");
 
     // ----- stage 1: sender/receiver over the carrier-geometry layout.
     ChannelPairConfig pc;
@@ -256,7 +271,47 @@ runSession(const SessionConfig &config)
                      8);
 
     const ChannelLayout layout = sessionLayoutFor(config);
-    ChannelPair pair(config.channel, layout, pc);
+
+    // One factory pair for the ordinary case; for a multi-spy session
+    // the sender is built directly (same knobs the factory would use)
+    // and the receiving side is the K-spy team.
+    std::unique_ptr<ChannelPair> pair;
+    std::unique_ptr<LruSender> team_sender;
+    std::unique_ptr<MultiSpyReceiver> team;
+    LruSender *sender = nullptr;
+    std::vector<exec::ThreadProgram *> receivers;
+    if (spy_count > 1) {
+        SenderConfig sc;
+        sc.alg = senderAlgorithmFor(config.channel);
+        sc.message = pc.message;
+        sc.repeats = pc.repeats;
+        sc.ts = pc.ts;
+        sc.encode_gap = pc.encode_gap;
+        sc.infinite = pc.infinite;
+        sc.lock_line = pc.lock_line;
+        // Against SHARP the team runs the pin-slices protocol and the
+        // cooperating sender waives its own line's ownership (see
+        // channel/multi_spy.hpp).
+        sc.kick_private = config.llc_secure == sim::SecureMode::Sharp;
+        team_sender = std::make_unique<LruSender>(layout, sc);
+        sender = team_sender.get();
+
+        MultiSpyConfig msc;
+        msc.spies = spy_count;
+        msc.d = pc.d ? pc.d
+                     : defaultInitDepth(config.channel, layout.ways());
+        msc.tr = pc.tr;
+        msc.max_samples = pc.max_samples;
+        msc.chain_len = pc.chain_len;
+        msc.pin_slices = config.llc_secure == sim::SecureMode::Sharp;
+        team = std::make_unique<MultiSpyReceiver>(layout, msc);
+        for (std::uint32_t j = 0; j < spy_count; ++j)
+            receivers.push_back(&team->spy(j));
+    } else {
+        pair = std::make_unique<ChannelPair>(config.channel, layout, pc);
+        sender = &pair->sender();
+        receivers.push_back(&pair->receiver());
+    }
 
     // ----- stage 2: topology + arbitration policy, then the run.
     SessionResult res;
@@ -267,19 +322,22 @@ runSession(const SessionConfig &config)
     };
     if (multi) {
         sim::MultiCoreConfig mc;
-        mc.cores = (config.mode == SharingMode::CrossCore ? 2u : 1u) +
-                   config.noise_cores;
+        mc.cores =
+            (config.mode == SharingMode::CrossCore ? 1u + spy_count : 1u) +
+            config.noise_cores;
         mc.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
         mc.l1.secure = config.l1_secure;
         if (config.llc_policy)
             mc.llc.policy = *config.llc_policy;
+        mc.llc.secure = config.llc_secure;
+        mc.llc.sharp_alarm_threshold = config.llc_alarm_threshold;
         mc.seed = config.seed;
         applyWritePolicy(mc.l1);
         applyWritePolicy(mc.l2);
         applyWritePolicy(mc.llc);
         sim::MultiCoreHierarchy hierarchy(mc);
 
-        run = runMultiCore(config, pair, hierarchy);
+        run = runMultiCore(config, *sender, receivers, hierarchy);
 
         const std::uint32_t rcore =
             config.mode == SharingMode::CrossCore ? 1 : 0;
@@ -292,6 +350,15 @@ runSession(const SessionConfig &config)
             hierarchy.l1(rcore).counters().forThread(kReceiverThread);
         res.receiver_llc =
             hierarchy.llc().counters().forThread(kReceiverThread);
+        if (config.llc_secure == sim::SecureMode::Sharp) {
+            const sim::Cache &llc = hierarchy.llc();
+            res.sharp_alarms = llc.sharpAlarmsTotal();
+            res.sharp_forced = llc.sharpForcedTotal();
+            res.sharp_denied = llc.sharpDeniedTotal();
+            res.sharp_core_alarms.resize(hierarchy.cores());
+            for (std::uint32_t c = 0; c < hierarchy.cores(); ++c)
+                res.sharp_core_alarms[c] = llc.sharpAlarms(c);
+        }
     } else {
         sim::HierarchyConfig h;
         h.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
@@ -306,7 +373,7 @@ runSession(const SessionConfig &config)
         applyWritePolicy(h.llc);
         sim::CacheHierarchy hierarchy(h);
 
-        run = runSingleCore(config, pair, hierarchy);
+        run = runSingleCore(config, *pair, hierarchy);
 
         res.sender_l1 = hierarchy.l1().counters().forThread(kSenderThread);
         res.sender_l2 = hierarchy.l2().counters().forThread(kSenderThread);
@@ -327,17 +394,41 @@ runSession(const SessionConfig &config)
     res.threshold = cal.threshold;
     res.invert = cal.invert;
 
-    res.samples = pair.samples();
-    res.sent = pair.sender().sentBits();
-    res.sender_start = pair.sender().startTsc();
+    res.spies = spy_count;
+    res.samples = team ? team->mergedSamples() : pair->samples();
+    res.sent = sender->sentBits();
+    res.sender_start = sender->startTsc();
     if (!config.infinite) {
-        res.received = windowDecode(res.samples, res.threshold, res.invert,
-                                    res.sender_start, config.ts, nbits);
-        res.error_rate = editErrorRate(res.sent, res.received);
-        if (config.collect_symbols)
-            res.decoded_symbols =
-                windowSymbols(res.samples, res.threshold, res.invert,
-                              res.sender_start, config.ts, nbits);
+        if (team) {
+            // Per-spy alignment first, then the any-spy-wins merge: each
+            // spy's trace is windowed against the same sender bit clock,
+            // so the merged row keeps the K=1 sent-bit alignment.
+            std::vector<Bits> rows;
+            rows.reserve(spy_count);
+            for (std::uint32_t j = 0; j < spy_count; ++j) {
+                rows.push_back(windowSymbols(
+                    team->spySamples(j), res.threshold, res.invert,
+                    res.sender_start, config.ts, nbits));
+            }
+            const Bits merged = mergeSpySymbols(rows);
+            res.received.clear();
+            for (const std::uint8_t s : merged) {
+                if (s != kErasureSymbol)
+                    res.received.push_back(s);
+            }
+            res.error_rate = editErrorRate(res.sent, res.received);
+            if (config.collect_symbols)
+                res.decoded_symbols = merged;
+        } else {
+            res.received =
+                windowDecode(res.samples, res.threshold, res.invert,
+                             res.sender_start, config.ts, nbits);
+            res.error_rate = editErrorRate(res.sent, res.received);
+            if (config.collect_symbols)
+                res.decoded_symbols =
+                    windowSymbols(res.samples, res.threshold, res.invert,
+                                  res.sender_start, config.ts, nbits);
+        }
     }
 
     res.elapsed_cycles =

@@ -86,6 +86,31 @@ struct SessionConfig
     sim::SecureMode l1_secure = sim::SecureMode::None;
 
     /**
+     * Secure-cache mode of the shared LLC (multi-core topology only;
+     * ignored on single-core sessions, whose LLC the channels never
+     * carry state through).  SecureMode::Sharp turns on per-line
+     * ownership with eviction filtering: the cross-core receiver's walk
+     * can no longer displace the sender-owned line, which is the
+     * detect-and-defend scenario `sharp_defense` scores.
+     */
+    sim::SecureMode llc_secure = sim::SecureMode::None;
+
+    /**
+     * SHARP LLC only: alarm budget per core before its forced evictions
+     * are denied (access served uncached).  0 = detection only.
+     */
+    std::uint32_t llc_alarm_threshold = 0;
+
+    /**
+     * Number of cooperating receiver threads (the multi-spy adversary;
+     * see channel/multi_spy.hpp).  1 = the ordinary factory receiver.
+     * Values > 1 require CrossCore + ChannelId::XCoreLruAlg2: spy j
+     * runs on core 1 + j over probe-slice j, and the per-spy symbol
+     * rows are merged (any-spy-wins) before scoring.
+     */
+    std::uint32_t spies = 1;
+
+    /**
      * Write policy of every cache level (applied uniformly to the whole
      * topology).  Write-back + write-allocate is the default every
      * modeled machine uses; the write-through settings exist for the
@@ -162,6 +187,14 @@ struct SessionResult
     std::uint64_t sender_start = 0;
     std::uint64_t back_invalidations = 0; //!< topology-wide (multi-core)
     std::uint32_t cores = 1;       //!< total cores simulated
+    std::uint32_t spies = 1;       //!< receiver threads that ran
+
+    // SHARP defender telemetry (all zero unless llc_secure == Sharp).
+    std::uint64_t sharp_alarms = 0; //!< refusal events, all cores
+    std::uint64_t sharp_forced = 0; //!< forced (all-foreign) evictions
+    std::uint64_t sharp_denied = 0; //!< fills denied past the threshold
+    /** Per-core alarm counts (index = core; attacker vs benign split). */
+    std::vector<std::uint64_t> sharp_core_alarms;
 
     // Per-party cache behaviour (Tables IV-VII).  On the multi-core
     // topology the private levels are the party's own core's.

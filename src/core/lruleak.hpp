@@ -13,7 +13,7 @@
  *
  *   sim      -> caches, replacement policies, PL cache, prefetchers
  *   timing   -> CPU models, timestamp counters, measurement primitives
- *   exec     -> thread programs, SMT & time-sliced schedulers
+ *   exec     -> thread programs, the engine + arbitration policies
  *   channel  -> LRU channels (Alg 1/2/3), baselines, decoding
  *   leakage  -> empirical MI / capacity estimation over channel traces
  *   spectre  -> transient execution + disclosure primitives
@@ -43,9 +43,8 @@
 #include "timing/uarch.hpp"
 
 // exec
+#include "exec/engine.hpp"
 #include "exec/op.hpp"
-#include "exec/smt_scheduler.hpp"
-#include "exec/timeslice_scheduler.hpp"
 
 // channel
 #include "channel/bitstring.hpp"

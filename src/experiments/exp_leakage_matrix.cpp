@@ -20,7 +20,11 @@
  * modes — which turns the repo's defenses into entries on one leakage
  * scale.  DAWG partitions the L1 ways and replacement state between
  * the sender and receiver domains, so the L1-carried channels should
- * score ~0 bits/use under it.
+ * score ~0 bits/use under it.  A final section runs the cross-core
+ * column under a SHARP-protected LLC (sim::SecureMode::Sharp), whose
+ * eviction filtering refuses the single receiver's displacement of the
+ * sender-owned line — the x-core LRU channel's bits/use collapses to
+ * ~0 (the multi-spy counter-attack is scored by `sharp_defense`).
  *
  * Determinism: one flat core::runTrials sweep per section with
  * per-session seeds derived only from the flat index, then strictly
@@ -331,6 +335,60 @@ class LeakageMatrix final : public Experiment
                        ") ---",
                    sec_table);
 
+        // ----- section C: SHARP on the shared LLC over the cross-core
+        // column (first listed policy, single receiver, threshold 0 —
+        // the pure detector already refuses every cross-owner eviction,
+        // which is what kills the single-spy channel).  The "none"
+        // baseline is section A's cross-core cell.  The multi-spy
+        // counter-attack and the alarm economics live in the dedicated
+        // `sharp_defense` experiment.
+        const std::uint32_t xc_mode = n_modes - 1; // CrossCore
+        const std::uint64_t sharp_base =
+            sec_base + n_secure * n_channels * trials;
+        const auto sharp_traces = core::runTrials(
+            n_channels * trials, sharp_base,
+            [&](std::uint32_t idx, sim::Xoshiro256 &) {
+                const std::uint32_t chan_idx = idx / trials;
+
+                SessionConfig cfg;
+                cfg.channel = channels[chan_idx];
+                cfg.mode = SharingMode::CrossCore;
+                cfg.uarch = uarch;
+                cfg.tr = kModes[xc_mode].tr;
+                cfg.ts = kModes[xc_mode].ts;
+                cfg.message = message;
+                cfg.repeats = repeats;
+                cfg.collect_symbols = true;
+                cfg.seed = sharp_base + idx;
+                if (sessionCarrier(cfg) == Carrier::Llc)
+                    cfg.llc_policy = policies[0];
+                else
+                    cfg.l1_policy = policies[0];
+                cfg.llc_secure = sim::SecureMode::Sharp;
+                const auto res = runSession(cfg);
+                return TrialTrace{res.sent, res.decoded_symbols, res.kbps};
+            });
+
+        Table sharp_table({"Channel", "none", "sharp"});
+        for (std::uint32_t c = 0; c < n_channels; ++c) {
+            const auto a =
+                aggregateCell(sharp_traces, c, 0x5a9f + c);
+            sharp_table.addRow(
+                {channelDisplayName(channels[c]),
+                 fmtDouble(
+                     cellAgg(0, c, xc_mode).pooled.corrected_bits_per_use,
+                     3),
+                 fmtDouble(a.pooled.corrected_bits_per_use, 3)});
+            const std::string key =
+                std::string(channelIdToken(channels[c])) + "_sharp";
+            sink.scalar("bpu_" + key, a.pooled.corrected_bits_per_use);
+            sink.scalar("bps_" + key, a.pooled.bits_per_second);
+        }
+        sink.table("--- SHARP-protected LLC, bits/use (crosscore, " +
+                       std::string(sim::replPolicyName(policies[0])) +
+                       ") ---",
+                   sharp_table);
+
         sink.note("\nReading the matrix: a cell near 1.0 b/u leaks its "
                   "full input bit every use; the\nsecure-mode columns "
                   "show what each defense buys — DAWG partitions the "
@@ -339,9 +397,12 @@ class LeakageMatrix final : public Experiment
                   "memory-latency and LLC channels ride straight "
                   "through; the original PL\ndesign still updates LRU "
                   "state on locked hits, which is the residue Alg. 2 "
-                  "keeps.\nbits/s folds the session's real pace in: a "
-                  "clean but slow channel can leak less\nper second "
-                  "than a noisy fast one.");
+                  "keeps.\nThe SHARP row plays the same role for the "
+                  "shared LLC: refusing cross-owner\nevictions severs "
+                  "the x-core carrier for a lone receiver.  bits/s "
+                  "folds the\nsession's real pace in: a clean but slow "
+                  "channel can leak less per second than a\nnoisy fast "
+                  "one.");
     }
 
   private:

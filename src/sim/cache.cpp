@@ -5,6 +5,8 @@
 
 #include "sim/cache.hpp"
 
+#include <algorithm>
+
 #include "sim/way_predictor.hpp"
 
 namespace lruleak::sim {
@@ -32,6 +34,18 @@ Cache::Cache(const CacheConfig &config, PlMode pl_mode, bool way_predictor)
         config_.fill_window == 0)
         throw std::invalid_argument(config_.name +
             ": RandomFill window must be non-zero");
+    if (config_.secure == SecureMode::Sharp) {
+        if (config_.secure_domains == 0)
+            throw std::invalid_argument(config_.name +
+                ": SHARP needs at least one protection domain");
+        if (way_predictor_ || pl_mode_ != PlMode::Disabled)
+            throw std::invalid_argument(config_.name +
+                ": SHARP composes with neither the way predictor nor "
+                "PL lock bits");
+        sharp_alarms_.assign(config_.secure_domains, 0);
+        sharp_forced_.assign(config_.secure_domains, 0);
+        sharp_denied_.assign(config_.secure_domains, 0);
+    }
 
     sets_.reserve(static_cast<std::size_t>(layout_.numSets()) * per_set);
     for (std::uint32_t s = 0; s < layout_.numSets() * per_set; ++s) {
@@ -68,8 +82,99 @@ Cache::randomFill(const MemRef &ref, std::uint32_t &fill_set)
 }
 
 CacheAccessResult
+Cache::accessSharpImpl(std::uint32_t domain, const MemRef &ref)
+{
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    const Addr tag = layout_.tag(ref.paddr);
+    domain %= config_.secure_domains;
+
+    // A domain whose alarm count already crossed the threshold gets its
+    // forced evictions denied outright (threshold 0 = pure detector).
+    const bool flagged =
+        config_.sharp_alarm_threshold > 0 &&
+        sharp_alarms_[domain] >= config_.sharp_alarm_threshold;
+
+    SharpSetEvents ev;
+    const SetAccessResult sr = sets_[set].accessSharp(
+        tag, ref.thread, ref.is_write, domain, flagged, ev);
+    sharp_alarms_[domain] += ev.alarms;
+    sharp_forced_[domain] += ev.forced ? 1 : 0;
+    sharp_denied_[domain] += ev.denied ? 1 : 0;
+
+    CacheAccessResult res;
+    res.hit = sr.hit;
+    res.set = set;
+    res.way = sr.way;
+    res.filled = sr.filled;
+    res.bypassed = sr.bypassed;
+    res.dirty_writeback = sr.dirty_writeback;
+    res.write_no_alloc = sr.write_no_alloc;
+    if (sr.evicted)
+        res.evicted_line = layout_.compose(sr.evicted_tag, set);
+
+    counters_.record(ref.thread, sr.hit);
+    if (sr.dirty_writeback)
+        counters_.recordWriteback(ref.thread);
+    return res;
+}
+
+CacheAccessResult
+Cache::accessFrom(std::uint32_t domain, const MemRef &ref, LockReq lock_req)
+{
+    if (config_.secure == SecureMode::Sharp)
+        return accessSharpImpl(domain, ref);
+    return access(ref, lock_req);
+}
+
+void
+Cache::releaseOwner(std::uint32_t domain, Addr line_base)
+{
+    if (config_.secure != SecureMode::Sharp)
+        return;
+    const MemRef ref = MemRef::load(line_base);
+    const std::uint32_t set = layout_.setIndex(ref.vaddr);
+    sets_[set].releaseOwner(layout_.tag(ref.paddr),
+                            domain % config_.secure_domains);
+}
+
+std::uint64_t
+Cache::sharpAlarmsTotal() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : sharp_alarms_)
+        total += v;
+    return total;
+}
+
+std::uint64_t
+Cache::sharpForcedTotal() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : sharp_forced_)
+        total += v;
+    return total;
+}
+
+std::uint64_t
+Cache::sharpDeniedTotal() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : sharp_denied_)
+        total += v;
+    return total;
+}
+
+CacheAccessResult
 Cache::access(const MemRef &ref, LockReq lock_req)
 {
+    if (config_.secure == SecureMode::Sharp) {
+        // No explicit domain: fall back to the thread id, which matches
+        // the core on single-core topologies (and keeps standalone
+        // SHARP caches usable without a hierarchy).
+        return accessSharpImpl(
+            static_cast<std::uint32_t>(ref.thread), ref);
+    }
+
     const std::uint32_t set = layout_.setIndex(ref.vaddr);
     const Addr tag = layout_.tag(ref.paddr);
     const std::uint16_t utag =
@@ -264,6 +369,9 @@ Cache::reset()
         set.reset();
     counters_.reset();
     fill_rng_ = Xoshiro256(config_.seed ^ 0xf177ed5ecULL);
+    std::fill(sharp_alarms_.begin(), sharp_alarms_.end(), 0);
+    std::fill(sharp_forced_.begin(), sharp_forced_.end(), 0);
+    std::fill(sharp_denied_.begin(), sharp_denied_.end(), 0);
 }
 
 void

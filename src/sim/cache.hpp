@@ -60,7 +60,11 @@ struct CacheFlushResult
  * must, visibility must not).  Under SecureMode::RandomFill a demand
  * miss is served uncached and a random neighbourhood line is installed
  * instead (deterministically, from a seed-derived stream); hits —
- * including their replacement-state update — behave normally.
+ * including their replacement-state update — behave normally.  Under
+ * SecureMode::Sharp every line carries an owning protection domain and
+ * evictions of foreign-owned lines are refused / re-victimized /
+ * alarmed (accessFrom names the domain; plain access derives it from
+ * ref.thread % secure_domains).
  */
 class Cache
 {
@@ -72,6 +76,44 @@ class Cache
     /** Demand access (load/store), with optional PL lock request. */
     CacheAccessResult access(const MemRef &ref,
                              LockReq lock_req = LockReq::None);
+
+    /**
+     * Demand access on behalf of protection domain @p domain (the
+     * issuing core, for a SHARP-protected shared LLC — ref.thread is a
+     * software thread id and does *not* name the core).  Identical to
+     * access() unless this level runs SecureMode::Sharp.
+     */
+    CacheAccessResult accessFrom(std::uint32_t domain, const MemRef &ref,
+                                 LockReq lock_req = LockReq::None);
+
+    /**
+     * SHARP: drop @p domain's ownership of @p line_base (the domain's
+     * last private copy above this level went away).  Stale calls — the
+     * line is absent or owned by someone else by now — are no-ops.
+     */
+    void releaseOwner(std::uint32_t domain, Addr line_base);
+
+    /** SHARP per-domain refusal alarms (0 when not Sharp). */
+    std::uint64_t
+    sharpAlarms(std::uint32_t domain) const
+    {
+        return domain < sharp_alarms_.size() ? sharp_alarms_[domain] : 0;
+    }
+    /** SHARP per-domain forced evictions (all ways foreign-owned). */
+    std::uint64_t
+    sharpForced(std::uint32_t domain) const
+    {
+        return domain < sharp_forced_.size() ? sharp_forced_[domain] : 0;
+    }
+    /** SHARP per-domain denied fills (forced eviction refused). */
+    std::uint64_t
+    sharpDenied(std::uint32_t domain) const
+    {
+        return domain < sharp_denied_.size() ? sharp_denied_[domain] : 0;
+    }
+    std::uint64_t sharpAlarmsTotal() const;
+    std::uint64_t sharpForcedTotal() const;
+    std::uint64_t sharpDeniedTotal() const;
 
     /**
      * Replay a whole access sequence (plain demand loads, no lock
@@ -182,6 +224,10 @@ class Cache
     /** RandomFill miss handler: install a random neighbourhood line. */
     SetAccessResult randomFill(const MemRef &ref, std::uint32_t &fill_set);
 
+    /** The SHARP access path shared by access() and accessFrom(). */
+    CacheAccessResult accessSharpImpl(std::uint32_t domain,
+                                      const MemRef &ref);
+
     CacheConfig config_;
     AddressLayout layout_;
     PlMode pl_mode_;
@@ -189,6 +235,10 @@ class Cache
     std::vector<CacheSet> sets_;
     PerfCounters counters_;
     Xoshiro256 fill_rng_; //!< RandomFill neighbourhood stream
+    // SHARP per-domain event counters (sized secure_domains iff Sharp).
+    std::vector<std::uint64_t> sharp_alarms_;
+    std::vector<std::uint64_t> sharp_forced_;
+    std::vector<std::uint64_t> sharp_denied_;
 };
 
 } // namespace lruleak::sim

@@ -30,15 +30,26 @@ namespace lruleak::sim {
  *    and a random line from the +-`fill_window` neighbourhood is
  *    installed instead; hits (including their replacement-state
  *    update) behave normally.
+ *  - Sharp: SHARP-style protected cache (Yan et al.).  Every line
+ *    tracks the protection domain that currently owns it (the core
+ *    whose private caches hold the line, for a shared LLC); a miss
+ *    whose replacement-chosen victim belongs to *another* domain is
+ *    refused and re-victimized among unowned/self-owned ways, and the
+ *    requester's per-domain alarm counter increments.  When every way
+ *    is foreign-owned the eviction is forced (still alarmed) — unless
+ *    the requester's alarms already crossed `sharp_alarm_threshold`,
+ *    in which case the fill itself is denied and the access is served
+ *    uncached.  Threshold 0 = never deny (detection only).
  */
 enum class SecureMode : std::uint8_t
 {
     None,
     Dawg,
     RandomFill,
+    Sharp,
 };
 
-/** Stable token: "none", "dawg", "randomfill". */
+/** Stable token: "none", "dawg", "randomfill", "sharp". */
 constexpr std::string_view
 secureModeName(SecureMode mode)
 {
@@ -46,6 +57,7 @@ secureModeName(SecureMode mode)
       case SecureMode::None:       return "none";
       case SecureMode::Dawg:       return "dawg";
       case SecureMode::RandomFill: return "randomfill";
+      case SecureMode::Sharp:      return "sharp";
     }
     return "unknown";
 }
@@ -71,8 +83,15 @@ struct CacheConfig
 
     // Secure-cache mode of this level (None = plain cache).
     SecureMode secure = SecureMode::None;
-    std::uint32_t secure_domains = 2; //!< DAWG protection domains
+    std::uint32_t secure_domains = 2; //!< DAWG/SHARP protection domains
     std::uint32_t fill_window = 64;   //!< RandomFill neighbourhood (lines)
+    /**
+     * SHARP only: alarms a domain may raise before its forced evictions
+     * are denied outright (the fill is refused, the access served
+     * uncached).  0 = never deny — the alarm counters still count, so
+     * SHARP degrades to a pure detector.
+     */
+    std::uint32_t sharp_alarm_threshold = 0;
 
     std::uint32_t
     numSets() const

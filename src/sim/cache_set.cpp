@@ -13,7 +13,7 @@ CacheSet::CacheSet(std::uint32_t ways, ReplState state, PlMode pl_mode,
                    WriteHitPolicy write_hit, WriteMissPolicy write_miss)
     : ways_(ways), pl_mode_(pl_mode), write_hit_(write_hit),
       write_miss_(write_miss), tags_(ways, 0), utags_(ways, 0),
-      filled_by_(ways, 0), repl_(std::move(state))
+      filled_by_(ways, 0), owners_(ways, kNoOwner), repl_(std::move(state))
 {
 }
 
@@ -50,6 +50,8 @@ CacheSet::fill(std::uint32_t way, Addr tag, bool lock, std::uint16_t utag,
         dirty_mask_ &= ~(1u << way);
     utags_[way] = utag;
     filled_by_[way] = thread;
+    owners_[way] = kNoOwner; // plain fills install unowned lines;
+                             // accessSharp re-stamps after filling
 }
 
 SetAccessResult
@@ -147,6 +149,110 @@ CacheSet::access(Addr tag, std::uint16_t utag, bool check_utag,
     res.way = victim_way;
     res.filled = true;
     return res;
+}
+
+SetAccessResult
+CacheSet::accessSharp(Addr tag, ThreadId thread, bool is_write,
+                      std::uint32_t domain, bool flagged, SharpSetEvents &ev)
+{
+    SetAccessResult res;
+    const bool mark_dirty =
+        is_write && write_hit_ == WriteHitPolicy::WriteBack;
+
+    if (auto way = probe(tag)) {
+        // Hit: identical to the plain path, plus an ownership transfer —
+        // the accessor's private caches now hold the freshest copy.
+        const std::uint32_t w = *way;
+        res.hit = true;
+        res.way = w;
+        repl_.touch(w);
+        if (mark_dirty)
+            dirty_mask_ |= 1u << w;
+        owners_[w] = domain;
+        return res;
+    }
+
+    if (is_write && write_miss_ == WriteMissPolicy::NoWriteAllocate) {
+        res.write_no_alloc = true;
+        return res;
+    }
+
+    const std::uint32_t first_invalid = std::countr_one(valid_mask_);
+    if (first_invalid < ways_) {
+        fill(first_invalid, tag, false, 0, thread, mark_dirty);
+        repl_.onFill(first_invalid);
+        owners_[first_invalid] = domain;
+        res.way = first_invalid;
+        res.filled = true;
+        return res;
+    }
+
+    // Victim filtering: preview what the replacement state would evict
+    // (victim() is guaranteed to preview the exact way selectVictim()
+    // commits).  A foreign-owned choice is a refusal event.
+    std::uint32_t foreign = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (owners_[w] != kNoOwner && owners_[w] != domain)
+            foreign |= 1u << w;
+    }
+
+    std::uint32_t victim_way;
+    if ((foreign >> repl_.victim()) & 1u) {
+        ++ev.alarms;
+        if (foreign == fullMask()) {
+            // Every way belongs to someone else: nothing safe to evict.
+            if (flagged) {
+                // The requester has alarmed too often already — deny the
+                // fill outright.  Nothing (including the replacement
+                // state) changes; the access is served uncached.
+                ev.denied = true;
+                res.bypassed = true;
+                return res;
+            }
+            ev.forced = true;
+            victim_way = repl_.selectVictim();
+        } else {
+            // Re-victimize like the SHARP paper: prefer a line nobody
+            // holds privately (unowned) before sacrificing one of the
+            // requester's own lines — evicting the requester's own
+            // recently-touched data would let any cross-core miss stream
+            // degrade an innocent core's working set.
+            std::uint32_t unowned = kNoWay;
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                if (owners_[w] == kNoOwner) {
+                    unowned = w;
+                    break;
+                }
+            }
+            victim_way = unowned != kNoWay
+                             ? unowned
+                             : repl_.selectVictimUnlocked(foreign);
+        }
+    } else {
+        victim_way = repl_.selectVictim();
+    }
+
+    res.evicted = true;
+    res.evicted_tag = tags_[victim_way];
+    res.dirty_writeback = ((dirty_mask_ >> victim_way) & 1u) != 0;
+    fill(victim_way, tag, false, 0, thread, mark_dirty);
+    repl_.onFill(victim_way);
+    owners_[victim_way] = domain;
+    res.way = victim_way;
+    res.filled = true;
+    return res;
+}
+
+bool
+CacheSet::releaseOwner(Addr tag, std::uint32_t domain)
+{
+    if (auto way = probe(tag)) {
+        if (owners_[*way] == domain) {
+            owners_[*way] = kNoOwner;
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace {
@@ -406,6 +512,7 @@ CacheSet::flushLine(Addr tag)
         tags_[*way] = 0;
         utags_[*way] = 0;
         filled_by_[*way] = 0;
+        owners_[*way] = kNoOwner;
     }
     return res;
 }
@@ -450,6 +557,7 @@ CacheSet::reset()
         tags_[w] = 0;
         utags_[w] = 0;
         filled_by_[w] = 0;
+        owners_[w] = kNoOwner;
     }
     repl_.reset();
 }

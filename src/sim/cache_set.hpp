@@ -108,6 +108,23 @@ struct SetFlushResult
     bool dirty = false;   //!< ... and was dirty: a write-back is due
 };
 
+/** Owner sentinel: the line belongs to no protection domain. */
+inline constexpr std::uint32_t kNoOwner = 0xffff'ffffu;
+
+/**
+ * What one SHARP access did beyond the plain access outcome.  The cache
+ * folds these into its per-domain alarm/forced/denial counters.
+ */
+struct SharpSetEvents
+{
+    std::uint32_t alarms = 0; //!< refusals: the replacement-chosen victim
+                              //!< was foreign-owned (includes forced)
+    bool forced = false;      //!< every way foreign-owned: the proposed
+                              //!< victim was evicted anyway
+    bool denied = false;      //!< forced eviction refused (requester
+                              //!< flagged): the fill was bypassed
+};
+
 /**
  * A single cache set.  The cache decomposes addresses; the set works in
  * tag space only.  Value type: copy, assign and move freely.
@@ -152,6 +169,41 @@ class CacheSet
     SetAccessResult access(Addr tag, std::uint16_t utag, bool check_utag,
                            LockReq lock_req, ThreadId thread,
                            bool is_write = false);
+
+    /**
+     * SHARP-protected access (SecureMode::Sharp).  Hits behave exactly
+     * like plain access() (and re-stamp the line's owner to @p domain:
+     * a cross-domain hit transfers ownership to the accessor).  On a
+     * miss, the replacement-chosen victim is previewed first: if it is
+     * owned by another domain the eviction is refused — @p ev.alarms
+     * increments and the victim is re-selected among ways that are not
+     * foreign-owned.  When *every* way is foreign-owned, the original
+     * victim is evicted anyway (`ev.forced`), unless @p flagged is set,
+     * in which case the fill is denied outright (`ev.denied`,
+     * result.bypassed) and no state changes at all.
+     *
+     * With a single accessing domain no way is ever foreign, so the
+     * replacement-state call sequence is identical to access() — plain
+     * and SHARP traces are bit-identical in that regime.
+     *
+     * No utag / way-predictor or PL-lock modelling on this path (the
+     * cache rejects those combinations at construction).
+     */
+    SetAccessResult accessSharp(Addr tag, ThreadId thread, bool is_write,
+                                std::uint32_t domain, bool flagged,
+                                SharpSetEvents &ev);
+
+    /** Owning domain of @p way (kNoOwner when unowned or invalid). */
+    std::uint32_t owner(std::uint32_t way) const { return owners_[way]; }
+
+    /**
+     * Drop @p domain's ownership of the line holding @p tag, if it is
+     * present *and* currently owned by exactly that domain (a stale
+     * release after an ownership transfer is a no-op).  How the
+     * hierarchy reflects "the last private copy left this core" down
+     * into the shared level.  @return true iff ownership was cleared.
+     */
+    bool releaseOwner(Addr tag, std::uint32_t domain);
 
     /**
      * Replay a whole tag sequence (plain loads: no utag checking, no
@@ -275,6 +327,8 @@ class CacheSet
     std::vector<Addr> tags_;
     std::vector<std::uint16_t> utags_;
     std::vector<ThreadId> filled_by_;
+    std::vector<std::uint32_t> owners_; //!< SHARP owner per way (kNoOwner
+                                        //!< unless stamped by accessSharp)
     ReplState repl_;
 };
 

@@ -39,6 +39,10 @@ MultiCoreHierarchy::MultiCoreHierarchy(const MultiCoreConfig &config)
     }
     CacheConfig llc = config.llc;
     llc.seed = config.seed + 0x51ed2700'51ed2700ULL;
+    if (llc.secure == SecureMode::Sharp) {
+        // SHARP protection domains on a shared LLC are the cores.
+        llc.secure_domains = config.cores;
+    }
     llc_ = std::make_unique<Cache>(llc);
 }
 
@@ -69,6 +73,12 @@ MultiCoreHierarchy::access(std::uint32_t core, const MemRef &ref)
         landPrivateWriteback(core, 0, *l1_res.evicted_line);
         ++res.writebacks;
     }
+    if (l1_res.evicted_line && sharpLlc() &&
+        !l2_[core]->contains(MemRef::load(*l1_res.evicted_line))) {
+        // The core's last private copy of the victim is gone: its SHARP
+        // ownership of the LLC line lapses.
+        llc_->releaseOwner(core, *l1_res.evicted_line);
+    }
     if (l1_res.hit) {
         // Inclusion invariant: a private hit implies LLC presence, so
         // the shared level is not referenced at all (no LRU update —
@@ -97,6 +107,9 @@ MultiCoreHierarchy::access(std::uint32_t core, const MemRef &ref)
         landPrivateWriteback(core, 1, *l2_res.evicted_line);
         ++res.writebacks;
     }
+    if (l2_res.evicted_line && sharpLlc() &&
+        !l1_[core]->contains(MemRef::load(*l2_res.evicted_line)))
+        llc_->releaseOwner(core, *l2_res.evicted_line);
     if (down.is_write && (l2_res.hit || l2_res.filled)) {
         if (config_.l2.write_hit == WriteHitPolicy::WriteBack) {
             down.is_write = false;
@@ -118,9 +131,22 @@ MultiCoreHierarchy::access(std::uint32_t core, const MemRef &ref)
     // the same access, and any LLC victim is back-invalidated out of
     // every core before the access completes — writing its dirty data
     // back first if any copy (LLC or private) was modified.
-    const auto llc_res = llc_->access(down);
+    const auto llc_res = llc_->accessFrom(core, down);
     res.level = llc_res.hit ? HitLevel::LLC : HitLevel::Memory;
     res.llc_filled = llc_res.filled;
+    if (llc_res.bypassed && sharpLlc()) {
+        // SHARP denied the fill: the access is served uncached, so the
+        // private copies installed above must go too (inclusion).  A
+        // store absorbed into one of them drains to memory first.
+        const Addr line = llc_->layout().lineBase(down.paddr);
+        const auto f1 = l1_[core]->invalidateLine(line);
+        const auto f2 = l2_[core]->invalidateLine(line);
+        if (f1.dirty || f2.dirty) {
+            ++dirty_writebacks_;
+            ++res.writebacks;
+        }
+        return res;
+    }
     if (down.is_write && (llc_res.hit || llc_res.filled) &&
         config_.llc.write_hit == WriteHitPolicy::WriteThrough) {
         ++dirty_writebacks_; // passes through the LLC to memory
@@ -250,7 +276,9 @@ MultiCoreHierarchy::auditInclusion() const
             }
         }
     }
-    // The shared level obeys the same dirty-subset-of-valid invariant.
+    // The shared level obeys the same dirty-subset-of-valid invariant,
+    // and under SHARP its ownership must be coherent: a line owned by
+    // core c is a line whose freshest copy sits in c's private caches.
     for (std::uint32_t s = 0; s < llc_->storageSets(); ++s) {
         const CacheSet &set = llc_->cacheSet(s);
         if ((set.dirtyMask() & ~set.validMask()) != 0) {
@@ -260,6 +288,31 @@ MultiCoreHierarchy::auditInclusion() const
                << (set.dirtyMask() & ~set.validMask()) << std::dec
                << " on invalid ways";
             return os.str();
+        }
+        if (!sharpLlc())
+            continue;
+        for (std::uint32_t w = 0; w < set.ways(); ++w) {
+            if (!((set.validMask() >> w) & 1u))
+                continue;
+            const std::uint32_t owner = set.owner(w);
+            if (owner == kNoOwner)
+                continue;
+            const Addr base =
+                llc_->layout().compose(set.line(w).tag,
+                                       llc_->addressSetOf(s));
+            const MemRef probe = MemRef::load(base);
+            if (owner >= cores() || (!l1_[owner]->contains(probe) &&
+                                     !l2_[owner]->contains(probe))) {
+                std::ostringstream os;
+                os << "ownership violation: LLC line 0x" << std::hex
+                   << base << std::dec << " set " << s << " way " << w
+                   << " owned by core " << owner;
+                if (owner >= cores())
+                    os << " which does not exist";
+                else
+                    os << " but absent from that core's private caches";
+                return os.str();
+            }
         }
     }
     return std::nullopt;

@@ -163,6 +163,13 @@ class MultiCoreHierarchy
     void landPrivateWriteback(std::uint32_t core, int level,
                               Addr line_base);
 
+    /** Is the shared level a SHARP-protected cache? */
+    bool
+    sharpLlc() const
+    {
+        return config_.llc.secure == SecureMode::Sharp;
+    }
+
     MultiCoreConfig config_;
     std::vector<std::unique_ptr<Cache>> l1_;
     std::vector<std::unique_ptr<Cache>> l2_;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "channel/multi_spy.hpp"
 #include "channel/session.hpp"
 
 using namespace lruleak;
@@ -301,4 +302,87 @@ TEST(CovertChannel, CollectSymbolsAlignsWithSentBits)
     for (std::size_t i = 0; i < res.sent.size(); ++i)
         agree += res.decoded_symbols[i] == res.sent[i] ? 1 : 0;
     EXPECT_GT(agree, res.sent.size() * 9 / 10);
+}
+
+// ------------------------------------------------------------ multi-spy
+
+TEST(MultiSpy, MergeFollowsAnySpyWinsContract)
+{
+    constexpr std::uint8_t E = kErasureSymbol;
+    const Bits a = {1, 0, E, E, 0};
+    const Bits b = {0, 0, 1, E, E};
+    const Bits c = {0, E, E, E, 0};
+    const Bits merged = mergeSpySymbols({a, b, c});
+    const Bits expected = {1, 0, 1, E, 0};
+    EXPECT_EQ(merged, expected);
+
+    // K = 1 degenerates to the single-receiver row unchanged, so the
+    // estimator sees exactly what windowSymbols() would have produced.
+    EXPECT_EQ(mergeSpySymbols({a}), a);
+    EXPECT_EQ(mergeSpySymbols({}), Bits{});
+    EXPECT_THROW(mergeSpySymbols({a, Bits{0, 1}}), std::invalid_argument);
+}
+
+namespace {
+
+/** The sharp_defense operating point: classic LRU LLC, slow clocks. */
+SessionConfig
+teamConfig(std::uint32_t spies)
+{
+    SessionConfig cfg;
+    cfg.channel = ChannelId::XCoreLruAlg2;
+    cfg.mode = SharingMode::CrossCore;
+    cfg.llc_policy = sim::ReplPolicyKind::TrueLru;
+    cfg.spies = spies;
+    cfg.message = randomBits(16, 4711);
+    cfg.d = 12;
+    cfg.tr = 3000;
+    cfg.ts = 30000;
+    cfg.seed = 47;
+    cfg.collect_symbols = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MultiSpy, KSpySymbolsAlignOneToOneWithSentBits)
+{
+    // The satellite guarantee: the K-spy merged trace keeps the exact
+    // one-symbol-per-sent-bit alignment collect_symbols gives for K = 1.
+    const auto res = runSession(teamConfig(3));
+    EXPECT_EQ(res.spies, 3u);
+    EXPECT_GE(res.cores, 4u); // sender + three spies
+    ASSERT_EQ(res.decoded_symbols.size(), res.sent.size());
+    for (std::uint8_t s : res.decoded_symbols)
+        EXPECT_TRUE(s == 0 || s == 1 || s == kErasureSymbol) << int(s);
+    // On the unprotected LRU LLC the team decodes cleanly.
+    EXPECT_LT(res.error_rate, 0.15);
+}
+
+TEST(MultiSpy, RequiresCrossCoreAlg2)
+{
+    auto cfg = teamConfig(2);
+    cfg.channel = ChannelId::LruAlg2;
+    EXPECT_THROW(runSession(cfg), std::invalid_argument);
+    auto smt = teamConfig(2);
+    smt.mode = SharingMode::HyperThreaded;
+    EXPECT_THROW(runSession(smt), std::invalid_argument);
+}
+
+TEST(MultiSpy, PinSlicesTeamRestoresChannelSharpKills)
+{
+    // SHARP vs the adversary sizes (the sharp_defense headline): the
+    // single spy is blinded outright; the three-spy pin-slices team
+    // decodes through the defense, paying a loud alarm trail for it.
+    auto solo = teamConfig(1);
+    solo.llc_secure = sim::SecureMode::Sharp;
+    const auto solo_res = runSession(solo);
+    EXPECT_GT(solo_res.error_rate, 0.3);
+
+    auto team = teamConfig(3);
+    team.llc_secure = sim::SecureMode::Sharp;
+    const auto team_res = runSession(team);
+    EXPECT_LT(team_res.error_rate, 0.15);
+    EXPECT_GT(team_res.sharp_alarms, 0u);
+    ASSERT_EQ(team_res.decoded_symbols.size(), team_res.sent.size());
 }

@@ -8,7 +8,8 @@
 #include "channel/decoder.hpp"
 #include "channel/edit_distance.hpp"
 #include "channel/flush_reload.hpp"
-#include "exec/smt_scheduler.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 
 using namespace lruleak;
 using namespace lruleak::channel;
@@ -42,8 +43,10 @@ runFr(FlushKind kind, const Bits &message, std::uint64_t ts = 6000,
 
     LruSender sender(layout, sc);
     FrReceiver receiver(layout, rc);
-    exec::SmtScheduler sched(hierarchy, timing::Uarch::intelXeonE52690());
-    sched.run(sender, receiver, 1);
+    sim::SingleCorePort port(hierarchy);
+    exec::RoundRobinSmt policy;
+    exec::Engine engine(port, timing::Uarch::intelXeonE52690(), policy);
+    engine.run(sender, receiver, 1);
 
     FrRun out;
     out.samples = receiver.samples();
@@ -111,8 +114,10 @@ TEST(FlushReload, L1VariantSenderHitsL2)
     rc.max_samples = 300;
     LruSender sender(layout, sc);
     FrReceiver receiver(layout, rc);
-    exec::SmtScheduler sched(hierarchy, timing::Uarch::intelXeonE52690());
-    sched.run(sender, receiver, 1);
+    sim::SingleCorePort port(hierarchy);
+    exec::RoundRobinSmt policy;
+    exec::Engine engine(port, timing::Uarch::intelXeonE52690(), policy);
+    engine.run(sender, receiver, 1);
     // Encode accesses that missed L1 must all be L2 hits, not memory.
     bool saw_l2 = false;
     for (auto level : sender.encodeLevels()) {

@@ -359,6 +359,160 @@ INSTANTIATE_TEST_SUITE_P(AllPoliciesAllWritePolicies, WritePathFuzz,
                          ::testing::ValuesIn(writeFuzzMatrix()),
                          writeFuzzCaseName);
 
+// ----------------------------------------------------------- SHARP fuzz
+
+namespace {
+
+class SharpFuzz : public ::testing::TestWithParam<FuzzCase>
+{};
+
+std::vector<FuzzCase>
+sharpFuzzMatrix()
+{
+    // SHARP guards the shared LLC, so the interesting way counts are the
+    // wide ones; keep one narrow case for the corner where a couple of
+    // owners can already wedge the whole set.
+    std::vector<FuzzCase> cases;
+    for (ReplPolicyKind kind : allReplPolicyKinds())
+        for (std::uint32_t ways : {4u, 8u, 16u})
+            cases.push_back(FuzzCase{kind, ways});
+    return cases;
+}
+
+} // namespace
+
+/**
+ * With a single accessing domain no way is ever foreign-owned, so the
+ * SHARP path must never alarm and must drive the replacement state
+ * through exactly the same call sequence as the plain path: results and
+ * state bits stay identical access by access (the documented
+ * "bit-identical in the single-owner regime" contract of accessSharp).
+ */
+TEST_P(SharpFuzz, SingleOwnerTraceMatchesPlainAccessBitForBit)
+{
+    const auto [kind, ways] = GetParam();
+    constexpr std::uint64_t kSeed = 77001;
+    constexpr std::size_t kAccesses = 10'000;
+
+    CacheSet plain(ways, ReplState::make(kind, ways, kSeed));
+    CacheSet sharp(ways, ReplState::make(kind, ways, kSeed));
+
+    Xoshiro256 rng(kSeed ^ ways);
+    SharpSetEvents ev;
+    for (std::size_t i = 0; i < kAccesses; ++i) {
+        const Addr tag = rng.below(ways * 3 + 1);
+        const bool write = rng.chance(1.0 / 3.0);
+        const auto a = plain.access(tag, 0, false, LockReq::None, 0, write);
+        const auto b = sharp.accessSharp(tag, 0, write, /*domain=*/0,
+                                         /*flagged=*/false, ev);
+        ASSERT_EQ(a.hit, b.hit) << "access " << i;
+        ASSERT_EQ(a.way, b.way) << "access " << i;
+        ASSERT_EQ(a.filled, b.filled) << "access " << i;
+        ASSERT_EQ(a.evicted, b.evicted) << "access " << i;
+        if (a.evicted)
+            ASSERT_EQ(a.evicted_tag, b.evicted_tag) << "access " << i;
+        ASSERT_EQ(a.dirty_writeback, b.dirty_writeback) << "access " << i;
+        ASSERT_EQ(plain.repl(), sharp.repl())
+            << "replacement state diverged at access " << i;
+    }
+    EXPECT_EQ(ev.alarms, 0u)
+        << "a single-owner trace must never trip a SHARP alarm";
+    EXPECT_EQ(plain.validMask(), sharp.validMask());
+    EXPECT_EQ(plain.dirtyMask(), sharp.dirtyMask());
+    for (std::uint32_t w = 0; w < ways; ++w)
+        EXPECT_EQ(plain.line(w).tag, sharp.line(w).tag) << w;
+}
+
+/**
+ * Multi-owner random traces: a fill may displace a foreign-owned line
+ * only through the forced branch (every way foreign-owned), and that
+ * branch always raised at least one alarm first.  Flagged domains never
+ * get a forced eviction at all — their fill is denied and the set is
+ * left untouched.
+ */
+TEST_P(SharpFuzz, ForeignEvictionImpliesAlarmOrDenial)
+{
+    const auto [kind, ways] = GetParam();
+    constexpr std::uint64_t kSeed = 77002;
+    constexpr std::size_t kAccesses = 10'000;
+    constexpr std::uint32_t kDomains = 3;
+
+    CacheSet sharp(ways, ReplState::make(kind, ways, kSeed));
+    Xoshiro256 rng(kSeed ^ ways);
+
+    std::uint64_t alarms = 0, forced = 0, denied = 0;
+    std::vector<std::uint32_t> owners_before(ways);
+    for (std::size_t i = 0; i < kAccesses; ++i) {
+        const Addr tag = rng.below(ways * 2 + 3);
+        const std::uint32_t domain = rng.below(kDomains);
+        const bool flagged = domain == kDomains - 1;
+        for (std::uint32_t w = 0; w < ways; ++w)
+            owners_before[w] = sharp.owner(w);
+        const std::uint32_t valid_before = sharp.validMask();
+
+        SharpSetEvents ev;
+        const auto res = sharp.accessSharp(tag, 0, false, domain,
+                                           flagged, ev);
+        alarms += ev.alarms;
+        forced += ev.forced ? 1 : 0;
+        denied += ev.denied ? 1 : 0;
+
+        if (res.evicted) {
+            const std::uint32_t prev = owners_before[res.way];
+            if (prev != kNoOwner && prev != domain) {
+                ASSERT_TRUE(ev.forced)
+                    << "access " << i << ": foreign-owned way " << res.way
+                    << " displaced outside the forced branch";
+                ASSERT_GE(ev.alarms, 1u)
+                    << "access " << i << ": forced eviction without alarm";
+            }
+        }
+        if (ev.denied) {
+            ASSERT_TRUE(flagged) << "access " << i;
+            ASSERT_TRUE(res.bypassed) << "access " << i;
+            ASSERT_FALSE(res.filled) << "access " << i;
+            ASSERT_EQ(sharp.validMask(), valid_before)
+                << "access " << i << ": a denied fill must not touch the set";
+        }
+        if (res.hit)
+            ASSERT_EQ(sharp.owner(res.way), domain)
+                << "access " << i << ": a hit must transfer ownership";
+    }
+    // The contended trace must actually exercise the refusal machinery,
+    // or the invariants above were vacuous.
+    EXPECT_GT(alarms, 0u);
+    EXPECT_GT(forced + denied, 0u);
+}
+
+/** Alarm / forced / denial tallies are a pure function of the seed. */
+TEST_P(SharpFuzz, AlarmCountsDeterministicPerSeed)
+{
+    const auto [kind, ways] = GetParam();
+
+    auto runTrace = [&](std::uint64_t seed) {
+        CacheSet sharp(ways, ReplState::make(kind, ways, seed));
+        Xoshiro256 rng(seed ^ ways);
+        std::uint64_t alarms = 0, forced = 0, denied = 0;
+        for (std::size_t i = 0; i < 5'000; ++i) {
+            const Addr tag = rng.below(ways * 2 + 3);
+            const std::uint32_t domain = rng.below(3u);
+            SharpSetEvents ev;
+            sharp.accessSharp(tag, 0, false, domain, domain == 2, ev);
+            alarms += ev.alarms;
+            forced += ev.forced ? 1 : 0;
+            denied += ev.denied ? 1 : 0;
+        }
+        return std::tuple{alarms, forced, denied};
+    };
+
+    EXPECT_EQ(runTrace(11), runTrace(11));
+    EXPECT_EQ(runTrace(12), runTrace(12));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesSharp, SharpFuzz,
+                         ::testing::ValuesIn(sharpFuzzMatrix()),
+                         fuzzCaseName);
+
 TEST(DifferentialFuzz, TreePlruRejectsNonPowerOfTwoWaysEverywhere)
 {
     // Both the value core and the legacy oracle must refuse the way

@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "channel/decoder.hpp"
+#include "channel/multi_spy.hpp"
 #include "leakage/estimator.hpp"
 #include "leakage/report.hpp"
 
@@ -260,4 +262,33 @@ TEST(Report, PoolsTrialsAndBeatsPerTrialBias)
     // Identical trials: the CI collapses onto the common value.
     EXPECT_NEAR(agg.bits_per_use_ci.lo, agg.mean_bits_per_use, 1e-12);
     EXPECT_NEAR(agg.bits_per_use_ci.hi, agg.mean_bits_per_use, 1e-12);
+}
+
+TEST(Estimator, MergedSpyRowScoresLikeTheSingleReceiverRow)
+{
+    // The K-spy decode path hands the estimator a mergeSpySymbols() row
+    // instead of a windowSymbols() row; both live in the same {0, 1,
+    // erasure} output alphabet with the same one-symbol-per-sent-bit
+    // alignment, so matrixFor/score need no special casing.  A merge of
+    // identical rows must therefore score identically to the single
+    // row, and a merge that only fills erasures in can only help.
+    const Estimator est;
+    const std::vector<std::uint8_t> sent = {0, 1, 0, 1, 1, 0, 1, 0};
+    const lruleak::channel::Bits solo = {0, 1, 0, 1, 2, 0, 1, 0};
+
+    const auto merged_same =
+        lruleak::channel::mergeSpySymbols({solo, solo, solo});
+    EXPECT_EQ(merged_same, solo);
+    const auto a = est.score(est.matrixFor(sent, solo), 1.0);
+    const auto b = est.score(est.matrixFor(sent, merged_same), 1.0);
+    EXPECT_EQ(a.plugin_bits_per_use, b.plugin_bits_per_use);
+
+    // A second spy that saw the bit the first one's window missed.
+    lruleak::channel::Bits other(solo.size(),
+                                 lruleak::channel::kErasureSymbol);
+    other[4] = 1;
+    const auto merged = lruleak::channel::mergeSpySymbols({solo, other});
+    const auto c = est.score(est.matrixFor(sent, merged), 1.0);
+    EXPECT_EQ(est.matrixFor(sent, merged).count(1, 2), 0u);
+    EXPECT_GE(c.plugin_bits_per_use, a.plugin_bits_per_use);
 }

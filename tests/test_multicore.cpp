@@ -2,15 +2,17 @@
  * @file
  * Tests for the multi-core topology: inclusive-LLC semantics,
  * back-invalidation, the inclusion audit (including fault injection),
- * the multi-core scheduler's determinism, and the cross-core channel
+ * the multi-core engine's determinism, and the cross-core channel
  * end to end.
  */
 
 #include <gtest/gtest.h>
 
 #include "channel/session.hpp"
-#include "exec/multicore_scheduler.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 #include "sim/multicore_hierarchy.hpp"
+#include "timing/uarch.hpp"
 
 using namespace lruleak;
 using namespace lruleak::sim;
@@ -270,13 +272,15 @@ TEST(MultiCoreScheduler, EveryStepAuditPassesOnChannelTraffic)
     EXPECT_GT(res.back_invalidations, 0u);
 }
 
-TEST(MultiCoreScheduler, RequiresOneProgramPerCore)
+TEST(MultiCoreScheduler, RejectsThreadBoundToMissingCore)
 {
     MultiCoreHierarchy h(tinyConfig(3));
     WalkProgram a({}), b({});
-    exec::ThreadProgram *programs[] = {&a, &b};
-    exec::MultiCoreScheduler sched(h, timing::Uarch::intelXeonE52690());
-    EXPECT_THROW(sched.run(programs, 0), std::invalid_argument);
+    sim::MultiCorePort port(h);
+    exec::LowestClock policy;
+    exec::Engine engine(port, timing::Uarch::intelXeonE52690(), policy);
+    const exec::ThreadSpec specs[] = {{&a, 0}, {&b, 3}}; // core 3 of 0..2
+    EXPECT_THROW(engine.run(specs, 0), std::invalid_argument);
 }
 
 TEST(MultiCoreScheduler, DeterministicForFixedSeed)

@@ -10,7 +10,8 @@
 #include "channel/decoder.hpp"
 #include "channel/edit_distance.hpp"
 #include "channel/prime_probe.hpp"
-#include "exec/smt_scheduler.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 
 using namespace lruleak;
 using namespace lruleak::channel;
@@ -44,8 +45,10 @@ runPp(const Bits &message, std::uint64_t ts = 6000, std::uint64_t tr = 600,
 
     LruSender sender(layout, sc);
     PpReceiver receiver(layout, rc);
-    exec::SmtScheduler sched(hierarchy, timing::Uarch::intelXeonE52690());
-    sched.run(sender, receiver, 1);
+    sim::SingleCorePort port(hierarchy);
+    exec::RoundRobinSmt smt;
+    exec::Engine engine(port, timing::Uarch::intelXeonE52690(), smt);
+    engine.run(sender, receiver, 1);
 
     return PpRun{receiver.samples(), sender.sentBits(),
                  sender.startTsc()};

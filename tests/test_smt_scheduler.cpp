@@ -1,13 +1,15 @@
 /**
  * @file
- * Tests for the SMT (hyper-threaded) scheduler.
+ * Tests for the SMT (hyper-threaded) execution model: exec::Engine
+ * driving two programs on one core under the RoundRobinSmt policy.
  */
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
-#include "exec/smt_scheduler.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 #include "sim/hierarchy.hpp"
 #include "timing/uarch.hpp"
 
@@ -64,16 +66,37 @@ class SpinAccessProgram : public ThreadProgram
     sim::Addr addr_;
 };
 
+/** Engine + port + policy bundle for the two-program SMT shape. */
+class SmtRig
+{
+  public:
+    explicit SmtRig(sim::CacheHierarchy &hierarchy, EngineConfig config = {})
+        : port_(hierarchy),
+          engine_(port_, timing::Uarch::intelXeonE52690(), policy_, config)
+    {}
+
+    std::uint64_t
+    run(ThreadProgram &thread0, ThreadProgram &thread1, unsigned primary)
+    {
+        return engine_.run(thread0, thread1, primary);
+    }
+
+  private:
+    sim::SingleCorePort port_;
+    RoundRobinSmt policy_;
+    Engine engine_;
+};
+
 } // namespace
 
 TEST(SmtScheduler, RunsUntilPrimaryDone)
 {
     sim::CacheHierarchy h;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690());
+    SmtRig rig(h);
     ScriptProgram receiver({Op::access(sim::MemRef::load(0x40)),
                             Op::access(sim::MemRef::load(0x80))});
     SpinAccessProgram sender(0x4000);
-    sched.run(sender, receiver, 1);
+    rig.run(sender, receiver, 1);
     EXPECT_EQ(receiver.results_.size(), 2u);
     // The sender ran too but did not block completion.
     EXPECT_GT(sender.issued_, 0u);
@@ -82,11 +105,11 @@ TEST(SmtScheduler, RunsUntilPrimaryDone)
 TEST(SmtScheduler, DeliversHitLevels)
 {
     sim::CacheHierarchy h;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690());
+    SmtRig rig(h);
     ScriptProgram a({Op::access(sim::MemRef::load(0x40)),
                      Op::access(sim::MemRef::load(0x40))});
     ScriptProgram b({});
-    sched.run(b, a, 1);
+    rig.run(b, a, 1);
     ASSERT_EQ(a.results_.size(), 2u);
     EXPECT_EQ(a.results_[0].level, sim::HitLevel::Memory);
     EXPECT_EQ(a.results_[1].level, sim::HitLevel::L1);
@@ -95,11 +118,11 @@ TEST(SmtScheduler, DeliversHitLevels)
 TEST(SmtScheduler, SpinAdvancesClock)
 {
     sim::CacheHierarchy h;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690());
+    SmtRig rig(h);
     ScriptProgram a({Op::spinUntil(100'000),
                      Op::access(sim::MemRef::load(0x40))});
     ScriptProgram b({});
-    sched.run(b, a, 1);
+    rig.run(b, a, 1);
     ASSERT_EQ(a.results_.size(), 1u);
     EXPECT_GE(a.results_[0].tsc, 100'000u);
 }
@@ -107,12 +130,12 @@ TEST(SmtScheduler, SpinAdvancesClock)
 TEST(SmtScheduler, StaleSpinDeadlineStillProgresses)
 {
     sim::CacheHierarchy h;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690());
-    // Deadline 0 is already past; the scheduler must not livelock.
+    SmtRig rig(h);
+    // Deadline 0 is already past; the engine must not livelock.
     ScriptProgram a({Op::spinUntil(0), Op::spinUntil(0),
                      Op::access(sim::MemRef::load(0x40))});
     ScriptProgram b({});
-    const auto end = sched.run(b, a, 1);
+    const auto end = rig.run(b, a, 1);
     EXPECT_EQ(a.results_.size(), 1u);
     EXPECT_LT(end, 10'000u);
 }
@@ -120,12 +143,12 @@ TEST(SmtScheduler, StaleSpinDeadlineStillProgresses)
 TEST(SmtScheduler, BothThreadsShareTheCache)
 {
     sim::CacheHierarchy h;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690());
+    SmtRig rig(h);
     // Thread 0 fetches a line; thread 1 then hits on the same line.
     ScriptProgram warm({Op::access(sim::MemRef::load(0x40, 0))});
     ScriptProgram probe({Op::spinUntil(10'000),
                          Op::access(sim::MemRef::load(0x40, 1))});
-    sched.run(warm, probe, 1);
+    rig.run(warm, probe, 1);
     ASSERT_EQ(probe.results_.size(), 1u);
     EXPECT_EQ(probe.results_[0].level, sim::HitLevel::L1);
 }
@@ -133,13 +156,13 @@ TEST(SmtScheduler, BothThreadsShareTheCache)
 TEST(SmtScheduler, MeasureUsesChainLevels)
 {
     sim::CacheHierarchy h;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690());
+    SmtRig rig(h);
     h.access(sim::MemRef::load(0x40)); // target warm in L1
     ScriptProgram a({Op::measure(sim::MemRef::load(0x40),
                                  std::vector<sim::HitLevel>(
                                      7, sim::HitLevel::L1))});
     ScriptProgram b({});
-    sched.run(b, a, 1);
+    rig.run(b, a, 1);
     ASSERT_EQ(a.results_.size(), 1u);
     EXPECT_EQ(a.results_[0].kind, OpKind::Measure);
     // ~ chase_overhead + 8 * L1 = 35 cycles on the E5-2690 model.
@@ -149,12 +172,12 @@ TEST(SmtScheduler, MeasureUsesChainLevels)
 TEST(SmtScheduler, FlushOpFlushesAllLevels)
 {
     sim::CacheHierarchy h;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690());
+    SmtRig rig(h);
     const auto ref = sim::MemRef::load(0x40);
     h.access(ref);
     ScriptProgram a({Op::flush(ref)});
     ScriptProgram b({});
-    sched.run(b, a, 1);
+    rig.run(b, a, 1);
     EXPECT_FALSE(h.inAnyLevel(ref));
 }
 
@@ -162,15 +185,15 @@ TEST(SmtScheduler, DeterministicForSeed)
 {
     auto run = [](std::uint64_t seed) {
         sim::CacheHierarchy h;
-        SmtConfig cfg;
+        EngineConfig cfg;
         cfg.seed = seed;
-        SmtScheduler sched(h, timing::Uarch::intelXeonE52690(), cfg);
+        SmtRig rig(h, cfg);
         ScriptProgram a({Op::access(sim::MemRef::load(0x40)),
                          Op::access(sim::MemRef::load(0x80)),
                          Op::measure(sim::MemRef::load(0x40),
                                      {sim::HitLevel::L1})});
         ScriptProgram b({});
-        sched.run(b, a, 1);
+        rig.run(b, a, 1);
         return a.results_.back().measured;
     };
     EXPECT_EQ(run(5), run(5));
@@ -181,11 +204,11 @@ TEST(SmtScheduler, InterleavingIsFineGrained)
     // Both threads must make progress in overlapping time, not strictly
     // one after the other.
     sim::CacheHierarchy h;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690());
+    SmtRig rig(h);
     SpinAccessProgram sender(0x8000);
     ScriptProgram receiver({Op::spinUntil(5'000),
                             Op::access(sim::MemRef::load(0x40))});
-    sched.run(sender, receiver, 1);
+    rig.run(sender, receiver, 1);
     // In 5000 cycles at ~15 cycles/op the sender gets many ops in.
     EXPECT_GT(sender.issued_, 100u);
 }
@@ -193,11 +216,11 @@ TEST(SmtScheduler, InterleavingIsFineGrained)
 TEST(SmtScheduler, MaxCyclesStopsRunawayRuns)
 {
     sim::CacheHierarchy h;
-    SmtConfig cfg;
+    EngineConfig cfg;
     cfg.max_cycles = 50'000;
-    SmtScheduler sched(h, timing::Uarch::intelXeonE52690(), cfg);
+    SmtRig rig(h, cfg);
     SpinAccessProgram forever_a(0x1000);
     SpinAccessProgram forever_b(0x2000);
-    const auto end = sched.run(forever_a, forever_b, 1);
+    const auto end = rig.run(forever_a, forever_b, 1);
     EXPECT_LE(end, 60'000u);
 }

@@ -1,14 +1,16 @@
 /**
  * @file
- * Tests for the time-sliced scheduler: quantum rotation, kernel noise,
- * timer ticks, and spin handling across slices.
+ * Tests for the time-sliced execution model (exec::Engine under the
+ * TimeSlice policy): quantum rotation, kernel noise, timer ticks, and
+ * spin handling across slices.
  */
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
-#include "exec/timeslice_scheduler.hpp"
+#include "exec/engine.hpp"
+#include "sim/access_port.hpp"
 #include "sim/hierarchy.hpp"
 #include "timing/uarch.hpp"
 
@@ -41,29 +43,53 @@ class StampingProgram : public ThreadProgram
     std::size_t limit_;
 };
 
-TimeSliceConfig
+TimeSlicePolicyConfig
 quietConfig()
 {
-    TimeSliceConfig cfg;
+    TimeSlicePolicyConfig cfg;
     cfg.background_prob = 0.0;
     cfg.kernel_noise_lines = 0;
     cfg.tick_lines = 0;
     return cfg;
 }
 
+/** Engine + port + policy bundle for the two-program sliced shape. */
+class TimeSliceRig
+{
+  public:
+    TimeSliceRig(sim::CacheHierarchy &hierarchy,
+                 TimeSlicePolicyConfig policy_config,
+                 EngineConfig engine_config = {})
+        : port_(hierarchy), policy_(policy_config),
+          engine_(port_, timing::Uarch::intelXeonE52690(), policy_,
+                  engine_config)
+    {}
+
+    std::uint64_t
+    run(ThreadProgram &thread0, ThreadProgram &thread1, unsigned primary)
+    {
+        return engine_.run(thread0, thread1, primary);
+    }
+
+  private:
+    sim::SingleCorePort port_;
+    TimeSlice policy_;
+    Engine engine_;
+};
+
 } // namespace
 
 TEST(TimeSlice, ThreadsAlternateByQuantum)
 {
     sim::CacheHierarchy h;
-    TimeSliceConfig cfg = quietConfig();
+    TimeSlicePolicyConfig cfg = quietConfig();
     cfg.quantum = 100'000;
     cfg.quantum_jitter = 0;
-    TimeSliceScheduler sched(h, timing::Uarch::intelXeonE52690(), cfg);
+    TimeSliceRig rig(h, cfg);
 
     StampingProgram a(0x1000, 1'000'000);
     StampingProgram b(0x2000, 20'000); // spans several slices
-    sched.run(a, b, 1);
+    rig.run(a, b, 1);
 
     // While B runs its slice, A must not issue: check that A's stamps
     // have a gap of at least one quantum somewhere.
@@ -76,36 +102,34 @@ TEST(TimeSlice, ThreadsAlternateByQuantum)
 TEST(TimeSlice, PrimaryDoneStopsRun)
 {
     sim::CacheHierarchy h;
-    TimeSliceScheduler sched(h, timing::Uarch::intelXeonE52690(),
-                             quietConfig());
+    TimeSliceRig rig(h, quietConfig());
     StampingProgram a(0x1000, 1'000'000); // effectively endless
     StampingProgram b(0x2000, 10);
-    sched.run(a, b, 1);
+    rig.run(a, b, 1);
     EXPECT_EQ(b.stamps_.size(), 10u);
 }
 
 TEST(TimeSlice, KernelNoisePollutesCaches)
 {
     sim::CacheHierarchy h;
-    TimeSliceConfig cfg = quietConfig();
+    TimeSlicePolicyConfig cfg = quietConfig();
     cfg.kernel_noise_lines = 64;
     cfg.quantum = 50'000;
-    TimeSliceScheduler sched(h, timing::Uarch::intelXeonE52690(), cfg);
+    TimeSliceRig rig(h, cfg);
     StampingProgram a(0x1000, 20'000);
     StampingProgram b(0x2000, 100);
-    sched.run(a, b, 1);
-    const auto kstats = h.l1().counters().forThread(
-        TimeSliceScheduler::kKernelThread);
+    rig.run(a, b, 1);
+    const auto kstats = h.l1().counters().forThread(cfg.kernel_thread);
     EXPECT_GT(kstats.accesses, 0u);
 }
 
 TEST(TimeSlice, TicksFireWhileSpinning)
 {
     sim::CacheHierarchy h;
-    TimeSliceConfig cfg = quietConfig();
+    TimeSlicePolicyConfig cfg = quietConfig();
     cfg.tick_period = 10'000;
     cfg.tick_lines = 8;
-    TimeSliceScheduler sched(h, timing::Uarch::intelXeonE52690(), cfg);
+    TimeSliceRig rig(h, cfg);
 
     // One program spins for a long time; ticks must still pollute.
     class Sleeper : public ThreadProgram
@@ -124,40 +148,38 @@ TEST(TimeSlice, TicksFireWhileSpinning)
         bool done_ = false;
     } sleeper;
     StampingProgram other(0x2000, 1);
-    sched.run(other, sleeper, 1);
+    rig.run(other, sleeper, 1);
 
-    const auto kstats = h.l1().counters().forThread(
-        TimeSliceScheduler::kKernelThread);
+    const auto kstats = h.l1().counters().forThread(cfg.kernel_thread);
     EXPECT_GT(kstats.accesses, 8u);
 }
 
 TEST(TimeSlice, BackgroundProcessStealsSlices)
 {
     sim::CacheHierarchy h;
-    TimeSliceConfig cfg = quietConfig();
+    TimeSlicePolicyConfig cfg = quietConfig();
     cfg.background_prob = 1.0; // every contested slice goes to background
     cfg.background_lines = 64;
     cfg.quantum = 20'000;
-    TimeSliceScheduler sched(h, timing::Uarch::intelXeonE52690(), cfg);
     StampingProgram a(0x1000, 10);
     StampingProgram b(0x2000, 10);
     // With background_prob = 1 neither a nor b ever runs; cap the run.
-    cfg.max_cycles = 1'000'000;
-    TimeSliceScheduler capped(h, timing::Uarch::intelXeonE52690(), cfg);
+    EngineConfig ec;
+    ec.max_cycles = 1'000'000;
+    TimeSliceRig capped(h, cfg, ec);
     capped.run(a, b, 1);
     EXPECT_EQ(b.stamps_.size(), 0u);
-    const auto bg = h.l1().counters().forThread(
-        TimeSliceScheduler::kBackgroundThread);
+    const auto bg = h.l1().counters().forThread(cfg.background_thread);
     EXPECT_GT(bg.accesses, 0u);
 }
 
 TEST(TimeSlice, SpinCompletesAcrossSlices)
 {
     sim::CacheHierarchy h;
-    TimeSliceConfig cfg = quietConfig();
+    TimeSlicePolicyConfig cfg = quietConfig();
     cfg.quantum = 10'000;
     cfg.quantum_jitter = 0;
-    TimeSliceScheduler sched(h, timing::Uarch::intelXeonE52690(), cfg);
+    TimeSliceRig rig(h, cfg);
 
     class SleepThenAccess : public ThreadProgram
     {
@@ -182,7 +204,7 @@ TEST(TimeSlice, SpinCompletesAcrossSlices)
     } sleeper;
 
     StampingProgram other(0x2000, 1'000'000);
-    sched.run(other, sleeper, 1);
+    rig.run(other, sleeper, 1);
     EXPECT_GE(sleeper.wake_, 100'000u);
 }
 
@@ -190,14 +212,14 @@ TEST(TimeSlice, DeterministicForSeed)
 {
     auto run = [](std::uint64_t seed) {
         sim::CacheHierarchy h;
-        TimeSliceConfig cfg;
-        cfg.seed = seed;
+        TimeSlicePolicyConfig cfg;
         cfg.quantum = 30'000;
-        TimeSliceScheduler sched(h, timing::Uarch::intelXeonE52690(), cfg);
+        EngineConfig ec;
+        ec.seed = seed;
+        TimeSliceRig rig(h, cfg, ec);
         StampingProgram a(0x1000, 100'000);
         StampingProgram b(0x2000, 50);
-        sched.run(a, b, 1);
-        return sched.now();
+        return rig.run(a, b, 1);
     };
     EXPECT_EQ(run(7), run(7));
     EXPECT_NE(run(7), run(8));
