@@ -35,7 +35,7 @@ enum class ChannelId
     LruAlg2,    //!< LRU channel, no shared memory (paper Algorithm 2)
     PrimeProbe, //!< Prime+Probe baseline (Osvik et al.)
     XCoreLruAlg2, //!< Algorithm 2 over the shared inclusive LLC
-                  //!< (cross-core; see channel/xcore_channel.hpp)
+                  //!< (cross-core; SharingMode::CrossCore sessions)
     DirtyEvict,   //!< dirty-state channel: write-back latency of the
                   //!< receiver's refill distinguishes whether the evicted
                   //!< sender line was dirty (Cui et al.)
@@ -111,6 +111,14 @@ struct ChannelPairConfig
     std::uint32_t encode_gap = 40;
     bool infinite = false;         //!< sender loops the message forever
     bool lock_line = false;        //!< PL cache: lock the sender's line
+
+    /**
+     * Issue the parties' multi-line walks as single AccessRun engine
+     * events (LRU sender/receiver only; the other designs ignore it).
+     * Identical per-access charges but coarser interleaving — the
+     * throughput mode of the bench lanes, not bit-exact with per-op.
+     */
+    bool batch_walks = false;
 };
 
 /**

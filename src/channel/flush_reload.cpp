@@ -12,7 +12,8 @@ namespace lruleak::channel {
 FrReceiver::FrReceiver(const ChannelLayout &layout, FrReceiverConfig config)
     : layout_(layout), config_(config),
       target_(layout.sharedLine(kReceiverThread)),
-      chase_(layout.chaseRefs(config.chain_len))
+      chase_(layout.chaseRefs(config.chain_len)),
+      chain_hint_(chase_.size(), sim::HitLevel::L1)
 {
     // Eviction set for the FromL1 variant: the receiver's own lines of
     // the target set (as many as the cache has ways).
@@ -63,9 +64,7 @@ FrReceiver::next(std::uint64_t now)
 
       case Phase::Measure:
         phase_ = Phase::Flush;
-        return exec::Op::measure(
-            target_,
-            std::vector<sim::HitLevel>(chase_.size(), sim::HitLevel::L1));
+        return exec::Op::measure(target_, chain_hint_);
 
       case Phase::Flush:
         if (config_.kind == FlushKind::ToMemory) {

@@ -70,6 +70,8 @@ class FrReceiver : public exec::ThreadProgram
     FrReceiverConfig config_;
     sim::MemRef target_;
     std::vector<sim::MemRef> chase_;
+    /** All-L1 chain expectation reused by every measure op. */
+    std::vector<sim::HitLevel> chain_hint_;
     std::vector<sim::MemRef> evict_; //!< FromL1 eviction lines
     std::vector<Sample> samples_;
 

@@ -47,6 +47,16 @@ struct ReceiverConfig
     std::uint64_t tr = 600;         //!< sampling period in cycles
     std::uint64_t max_samples = 1000;
     std::uint32_t chain_len = 7;    //!< chase-chain length
+
+    /**
+     * Issue each protocol walk (prewarm, init, decode, chain refetch)
+     * as one OpKind::AccessRun engine event instead of one Op per line.
+     * Per-access charges are identical, but a walk becomes a single
+     * scheduling event, so the interleaving under SMT/time-slicing is
+     * coarser — a throughput mode for the bench lanes and bulk sweeps,
+     * NOT bit-exact with the per-op default.
+     */
+    bool batch_walks = false;
 };
 
 /**
@@ -75,14 +85,23 @@ class LruReceiver : public exec::ThreadProgram
         Finished,
     };
 
+    /** batch_walks: the whole protocol iteration as AccessRun events. */
+    exec::Op nextBatch(std::uint64_t now);
+
     ChannelLayout layout_;
     ReceiverConfig config_;
     std::vector<sim::MemRef> chase_;
+    /** All-L1 chain expectation reused by every measure op. */
+    std::vector<sim::HitLevel> chain_hint_;
     std::vector<Sample> samples_;
+    /** batch_walks: precomputed init / decode walks. */
+    std::vector<sim::MemRef> init_refs_;
+    std::vector<sim::MemRef> decode_refs_;
 
     Phase phase_ = Phase::Prewarm;
     std::uint32_t index_ = 0;      //!< loop index within the phase
     std::uint64_t mark_ = 0;       //!< Tlast of Algorithm 3
+    bool first_init_ = true;       //!< batch_walks: arm mark_ once
     std::uint32_t last_line_;      //!< N for Alg 1, N-1 for Alg 2
 };
 
@@ -108,6 +127,14 @@ struct SenderConfig
      * write-back latency (dirty-evict) or flush latency (flush-dirty).
      */
     bool write_polarity = false;
+
+    /**
+     * Issue each encode iteration's access burst (encode access, kick
+     * walk, stack work) as one OpKind::AccessRun engine event.  Same
+     * per-access charges, coarser interleaving — the throughput twin of
+     * ReceiverConfig::batch_walks; not bit-exact with the default.
+     */
+    bool batch_walks = false;
 
     /**
      * Anti-SHARP team protocol (see channel/multi_spy.hpp): after every
@@ -167,6 +194,8 @@ class LruSender : public exec::ThreadProgram
     sim::MemRef line_;
     std::vector<sim::MemRef> stack_;
     std::vector<sim::MemRef> kick_; //!< kick_private: private-copy expellers
+    /** batch_walks: reusable per-iteration run buffer (encode first). */
+    std::vector<sim::MemRef> iter_refs_;
 
     Phase phase_ = Phase::Prewarm;
     std::uint32_t pre_step_ = 0;   //!< prewarm sub-step

@@ -102,6 +102,7 @@ SpyReceiver::SpyReceiver(const ChannelLayout &layout,
         kick_.push_back(sim::MemRef{a, a, thread, false});
     }
 
+    chain_hint_.assign(config_.chain_len, sim::HitLevel::L1);
     samples_.reserve(config_.max_samples);
 }
 
@@ -193,10 +194,7 @@ SpyReceiver::next(std::uint64_t now)
         // memory (slow): the holder both observes the eviction and
         // re-pins the line.
         if (step_ < hi_ - lo_)
-            return exec::Op::measure(
-                probeLine(lo_ + step_++),
-                std::vector<sim::HitLevel>(config_.chain_len,
-                                           sim::HitLevel::L1));
+            return exec::Op::measure(probeLine(lo_ + step_++), chain_hint_);
         step_ = 0;
         phase_ = ++iter_ >= config_.max_samples ? Phase::Finished
                                                 : Phase::Sleep;
@@ -212,10 +210,7 @@ SpyReceiver::next(std::uint64_t now)
       case Phase::Measure:
         if (classic) {
             phase_ = Phase::Init;
-            return exec::Op::measure(
-                probeLine(lo_),
-                std::vector<sim::HitLevel>(chase_.size(),
-                                           sim::HitLevel::L1));
+            return exec::Op::measure(probeLine(lo_), chain_hint_);
         }
         // Trigger: one timed canary access per iteration.  A fast
         // access means the canary still sits in the LLC (sender idle);
@@ -229,9 +224,7 @@ SpyReceiver::next(std::uint64_t now)
         else
             phase_ = ++iter_ >= config_.max_samples ? Phase::Finished
                                                     : Phase::Sleep;
-        return exec::Op::measure(
-            canary_, std::vector<sim::HitLevel>(config_.chain_len,
-                                                sim::HitLevel::L1));
+        return exec::Op::measure(canary_, chain_hint_);
 
       case Phase::Finished:
         break;

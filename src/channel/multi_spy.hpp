@@ -152,6 +152,8 @@ class SpyReceiver : public exec::ThreadProgram
     std::uint32_t hi_ = 0;         //!< one past the last probe line
     std::uint32_t d_ = 0;          //!< K = 1: init depth of the walk
     std::vector<sim::MemRef> chase_;
+    /** All-L1 chain expectation reused by every measure op. */
+    std::vector<sim::HitLevel> chain_hint_;
     std::vector<sim::MemRef> kick_;
     sim::MemRef canary_{};         //!< trigger only: the planted line
     std::vector<Sample> samples_;

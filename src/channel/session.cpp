@@ -138,6 +138,45 @@ partyCoreTimeSlice(const SessionConfig &config, std::uint32_t core)
     return tc;
 }
 
+/**
+ * Topology reuse pool.  Building a topology is the dominant cost of a
+ * short session (the LLC alone is 8192 sets, each with four per-way
+ * vectors), while reset() — verified by test_session_fastpath — returns
+ * a used topology to its exactly-as-constructed state: every
+ * replacement-state struct's constructor delegates to its reset(), and
+ * Cache::reset() reseeds the fill RNG with the constructor expression.
+ * So runSession caches the last topology per thread and swaps it in
+ * whenever the config tuple repeats, which is every repeated-session
+ * workload (bench lanes, matrix sweeps, percent-ones loops).
+ */
+sim::CacheHierarchy &
+pooledHierarchy(const sim::HierarchyConfig &config)
+{
+    static thread_local std::unique_ptr<sim::CacheHierarchy> pool;
+    static thread_local sim::HierarchyConfig pool_config;
+    if (pool && pool_config == config) {
+        pool->reset();
+        return *pool;
+    }
+    pool = std::make_unique<sim::CacheHierarchy>(config);
+    pool_config = config;
+    return *pool;
+}
+
+sim::MultiCoreHierarchy &
+pooledMultiCore(const sim::MultiCoreConfig &config)
+{
+    static thread_local std::unique_ptr<sim::MultiCoreHierarchy> pool;
+    static thread_local sim::MultiCoreConfig pool_config;
+    if (pool && pool_config == config) {
+        pool->reset();
+        return *pool;
+    }
+    pool = std::make_unique<sim::MultiCoreHierarchy>(config);
+    pool_config = config;
+    return *pool;
+}
+
 /** End-of-run values that must outlive the engine. */
 struct RunOutcome
 {
@@ -260,6 +299,7 @@ runSession(const SessionConfig &config)
     pc.encode_gap = config.encode_gap;
     pc.infinite = config.infinite;
     pc.lock_line = config.sender_locks_line;
+    pc.batch_walks = config.batch_walks;
     // Sample slightly past the end of the message so the last bit gets
     // its full window even with scheduling skew.
     pc.max_samples = config.max_samples
@@ -335,7 +375,7 @@ runSession(const SessionConfig &config)
         applyWritePolicy(mc.l1);
         applyWritePolicy(mc.l2);
         applyWritePolicy(mc.llc);
-        sim::MultiCoreHierarchy hierarchy(mc);
+        sim::MultiCoreHierarchy &hierarchy = pooledMultiCore(mc);
 
         run = runMultiCore(config, *sender, receivers, hierarchy);
 
@@ -371,7 +411,7 @@ runSession(const SessionConfig &config)
         applyWritePolicy(h.l1);
         applyWritePolicy(h.l2);
         applyWritePolicy(h.llc);
-        sim::CacheHierarchy hierarchy(h);
+        sim::CacheHierarchy &hierarchy = pooledHierarchy(h);
 
         run = runSingleCore(config, *pair, hierarchy);
 

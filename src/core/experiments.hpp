@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "channel/channel_factory.hpp"
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "core/histogram.hpp"
 #include "sim/replacement.hpp"
 #include "timing/uarch.hpp"

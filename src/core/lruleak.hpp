@@ -49,7 +49,7 @@
 // channel
 #include "channel/bitstring.hpp"
 #include "channel/channel_factory.hpp"
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "channel/decoder.hpp"
 #include "channel/edit_distance.hpp"
 #include "channel/flush_reload.hpp"

@@ -65,6 +65,33 @@ Engine::executeOp(unsigned idx, const Op &op, std::uint64_t start)
         t.stats.busy_cycles += cost;
         return cost;
       }
+      case OpKind::AccessRun: {
+        const std::size_t n = op.run_refs.size();
+        if (n == 0)
+            return 0;
+        run_levels_.resize(n);
+        const std::uint64_t wbs =
+            port_.accessRun(t.core, op.run_refs, run_levels_);
+        // Charge exactly what n individual Access ops would have cost:
+        // per-access latency, overhead and one jitter draw each (the
+        // draw at the top of this function covers the first access).
+        std::uint64_t cost = uarch_.latency(run_levels_[0]) +
+                             config_.op_overhead + jitter;
+        for (std::size_t i = 1; i < n; ++i)
+            cost += uarch_.latency(run_levels_[i]) + config_.op_overhead +
+                    (config_.jitter ? rng_.below(config_.jitter) : 0);
+        cost += wbs * uarch_.wb_latency;
+        OpResult out;
+        out.kind = OpKind::AccessRun;
+        out.level = run_levels_[0];
+        out.writebacks = static_cast<std::uint32_t>(wbs);
+        out.tsc = start;
+        t.program->onResult(out);
+        t.stats.accesses += n;
+        maybeAudit();
+        t.stats.busy_cycles += cost;
+        return cost;
+      }
       case OpKind::Measure: {
         const auto pa = port_.access(t.core, op.ref, op.lock_req);
         OpResult out;
@@ -425,6 +452,21 @@ TimeSlice::step(Engine &engine)
         if (now_ >= engine.config().max_cycles)
             return false;
         openSlice(engine);
+        if (state_ == State::InSlice && config_.slice_events && !nested_) {
+            // Slice-event fast path (root policy only): within a slice
+            // no other actor has events — only the resident thread runs
+            // and ticks/background work are serviced inside runInSlice —
+            // so looping here executes the exact per-op sequence without
+            // a step()/nextEventTime() round trip per op.  When the
+            // primary finishes, stop before closeSlice: per-op stepping
+            // never reaches the switch either (the run loop exits
+            // first), and the switch's RNG draws must not happen.
+            const auto &t = engine.thread(threads_[active_]);
+            while (now_ < slice_end_ && !t.done)
+                runInSlice(engine);
+            if (!engine.thread(engine.primary()).done)
+                closeSlice(engine);
+        }
         return true;
     }
     if (now_ >= slice_end_ ||
@@ -495,6 +537,7 @@ LowestClock::begin(Engine &engine, std::span<const unsigned> threads)
             leaves_.push_back(std::make_unique<RoundRobinSmt>());
             child = leaves_.back().get();
         }
+        child->onNested();
         child->begin(engine, group);
         children_.push_back(Child{core, child});
     }

@@ -108,6 +108,15 @@ class ArbitrationPolicy
                        std::span<const unsigned> threads) = 0;
 
     /**
+     * Called by a nesting parent (LowestClock) before begin().  A
+     * nested policy must keep step() one bounded event so the parent
+     * can re-arbitrate between its children after every shared-level
+     * access; a root policy is free to batch (TimeSlice's slice-event
+     * fast path).  Default: nothing to adjust.
+     */
+    virtual void onNested() {}
+
+    /**
      * Earliest time this policy could execute its next event, or
      * nullopt when it has nothing left to run (all threads done, or the
      * policy's stop condition — e.g. max_cycles at a slice boundary —
@@ -238,6 +247,7 @@ class Engine
     unsigned primary_ = 0;
     std::vector<sim::MemRef> burst_refs_;     //!< reused burst buffer
     std::vector<sim::HitLevel> burst_levels_; //!< reused burst buffer
+    std::vector<sim::HitLevel> run_levels_;   //!< reused AccessRun buffer
 };
 
 // ------------------------------------------------- arbitration policies
@@ -295,6 +305,20 @@ struct TimeSlicePolicyConfig
     std::uint64_t tick_period = 4'000'000; //!< ~1 ms at ~4 GHz
     std::uint32_t tick_lines = 24;         //!< mean lines per tick
 
+    /**
+     * Slice-event fast path: when TimeSlice is the ROOT policy (not
+     * nested under LowestClock), one step() call advances the whole
+     * slice — open, run the resident thread to the slice end, close —
+     * instead of one op per step.  Within a slice only the resident
+     * thread ever runs, so the op order, every RNG draw and every
+     * latency are identical to per-op stepping (the differential suite
+     * in tests/test_slice_events.cpp proves it); only the step()/
+     * nextEventTime() call cadence changes.  Nested instances ignore
+     * this and stay per-op: the parent must be able to interleave
+     * other cores' shared-LLC traffic between ops.
+     */
+    bool slice_events = true;
+
     /** Kernel working set in lines (spread uniformly over all sets). */
     std::uint64_t kernel_footprint_lines = 4096;
     sim::Addr kernel_base = 0x7f00'0000'0000ULL;
@@ -322,6 +346,7 @@ class TimeSlice final : public ArbitrationPolicy
     std::string_view name() const override { return "timeslice"; }
     void begin(Engine &engine,
                std::span<const unsigned> threads) override;
+    void onNested() override { nested_ = true; }
     std::optional<std::uint64_t>
     nextEventTime(const Engine &engine) const override;
     bool step(Engine &engine) override;
@@ -349,6 +374,7 @@ class TimeSlice final : public ArbitrationPolicy
     TimeSlicePolicyConfig config_;
     std::vector<unsigned> threads_;
     std::uint32_t core_ = 0;
+    bool nested_ = false; //!< under LowestClock: slice events disabled
     State state_ = State::NeedSlice;
     std::size_t active_ = 0;        //!< index into threads_
     std::uint64_t now_ = 0;         //!< core-local clock

@@ -14,7 +14,7 @@
 #define LRULEAK_EXEC_OP_HPP
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "sim/address.hpp"
 #include "sim/cache_set.hpp"
@@ -26,6 +26,12 @@ namespace lruleak::exec {
 enum class OpKind
 {
     Access,       //!< one load/store through the hierarchy
+    AccessRun,    //!< a span of loads/stores as ONE engine event; each
+                  //!< access is charged exactly like a lone Access op
+                  //!< (per-access latency, overhead and jitter draw), but
+                  //!< other threads cannot interleave inside the run and
+                  //!< the program gets one aggregated OpResult.  Opt-in
+                  //!< for throughput paths (SessionConfig::batch_walks).
     Measure,      //!< timed load of @c ref using the pointer-chase readout
     Flush,        //!< clflush @c ref from all levels
     MeasureFlush, //!< timed clflush of @c ref: the readout depends on
@@ -46,9 +52,18 @@ struct Op
     /**
      * For Measure: the observed hit levels of the preceding chase-chain
      * accesses (the receiver issues those as ordinary Access ops and
-     * collects their levels via onResult).
+     * collects their levels via onResult).  A view into program-owned
+     * storage: the engine consumes the op before the program's next()
+     * runs again, so the program may reuse one buffer across samples
+     * instead of allocating a fresh vector per measurement.
      */
-    std::vector<sim::HitLevel> chain_levels;
+    std::span<const sim::HitLevel> chain_levels;
+
+    /**
+     * For AccessRun: the accesses, in issue order.  A view into
+     * program-owned storage, like chain_levels.
+     */
+    std::span<const sim::MemRef> run_refs;
 
     /**
      * For Measure: write-back transactions the preceding chain accesses
@@ -76,13 +91,22 @@ struct Op
     }
 
     static Op
-    measure(const sim::MemRef &ref, std::vector<sim::HitLevel> chain,
+    accessRun(std::span<const sim::MemRef> refs)
+    {
+        Op op;
+        op.kind = OpKind::AccessRun;
+        op.run_refs = refs;
+        return op;
+    }
+
+    static Op
+    measure(const sim::MemRef &ref, std::span<const sim::HitLevel> chain,
             std::uint32_t chain_writebacks = 0)
     {
         Op op;
         op.kind = OpKind::Measure;
         op.ref = ref;
-        op.chain_levels = std::move(chain);
+        op.chain_levels = chain;
         op.chain_writebacks = chain_writebacks;
         return op;
     }
@@ -121,15 +145,19 @@ struct Op
     }
 };
 
-/** Outcome of an executed Access/Measure/Flush/MeasureFlush op. */
+/** Outcome of an executed Access/AccessRun/Measure/Flush op. */
 struct OpResult
 {
     OpKind kind = OpKind::Access;
     sim::HitLevel level = sim::HitLevel::Memory; //!< where it was served
+                                  //!< (AccessRun: the run's FIRST access
+                                  //!< — senders put the encode access
+                                  //!< first so its level survives)
     std::uint32_t measured = 0;   //!< latency readout (Measure kinds only)
     std::uint32_t writebacks = 0; //!< write-back transactions triggered
-                                  //!< (Access/Measure; receivers fold
-                                  //!< these into the next timed readout)
+                                  //!< (Access/Measure; AccessRun: summed
+                                  //!< over the run; receivers fold these
+                                  //!< into the next timed readout)
     std::uint64_t tsc = 0;        //!< completion time
 };
 

@@ -7,7 +7,7 @@
  * channel error.
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "core/histogram.hpp"
 #include "experiments/common.hpp"
 #include "timing/pointer_chase.hpp"
@@ -75,9 +75,10 @@ class AblationChaseLength final : public Experiment
                                              rng));
             }
 
-            channel::CovertConfig cfg;
+            channel::SessionConfig cfg;
+            cfg.d = 8;
             cfg.message = channel::randomBits(96, 5);
-            const auto res = channel::runCovertChannel(cfg);
+            const auto res = channel::runSession(cfg);
 
             table.addRow({std::to_string(len),
                           fmtPercent(overlapCoefficient(amd_hit,

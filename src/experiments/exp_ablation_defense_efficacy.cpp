@@ -6,7 +6,7 @@
  * performance cost from Fig. 9.
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "core/experiments.hpp"
 #include "experiments/common.hpp"
 
@@ -74,25 +74,29 @@ class AblationDefenseEfficacy final : public Experiment
 
         // Baseline: no defense.
         {
-            CovertConfig cfg;
+            SessionConfig cfg;
+            cfg.channel = ChannelId::LruAlg1;
+            cfg.d = 8;
             cfg.message = randomBits(bits, msg_seed);
-            const auto a1 = runCovertChannel(cfg);
-            cfg.alg = LruAlgorithm::Alg2Disjoint;
+            const auto a1 = runSession(cfg);
+            cfg.channel = ChannelId::LruAlg2;
             cfg.d = 5;
-            const auto a2 = runCovertChannel(cfg);
+            const auto a2 = runSession(cfg);
             table.addRow({"none (Tree-PLRU)", fmtPercent(a1.error_rate),
                           fmtPercent(a2.error_rate), "1.000"});
         }
 
         for (auto policy : {sim::ReplPolicyKind::Random,
                             sim::ReplPolicyKind::Fifo}) {
-            CovertConfig cfg;
+            SessionConfig cfg;
+            cfg.channel = ChannelId::LruAlg1;
+            cfg.d = 8;
             cfg.l1_policy = policy;
             cfg.message = randomBits(bits, msg_seed);
-            const auto a1 = runCovertChannel(cfg);
-            cfg.alg = LruAlgorithm::Alg2Disjoint;
+            const auto a1 = runSession(cfg);
+            cfg.channel = ChannelId::LruAlg2;
             cfg.d = 5;
-            const auto a2 = runCovertChannel(cfg);
+            const auto a2 = runSession(cfg);
             table.addRow({std::string(sim::replPolicyName(policy)) +
                               " replacement",
                           fmtPercent(a1.error_rate),

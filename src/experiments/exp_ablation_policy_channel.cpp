@@ -6,7 +6,7 @@
  * end-to-end (true LRU, Bit-PLRU, SRRIP).
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "core/trial_runner.hpp"
 #include "experiments/common.hpp"
 
@@ -73,15 +73,17 @@ class AblationPolicyChannel final : public Experiment
             static_cast<std::uint32_t>(policies.size()),
             params.getUint("seed"),
             [&](std::uint32_t idx, sim::Xoshiro256 &) {
-                CovertConfig cfg;
+                SessionConfig cfg;
+                cfg.channel = ChannelId::LruAlg1;
+                cfg.d = 8;
                 cfg.l1_policy = policies[idx];
                 cfg.message = randomBits(bits, 4242);
                 cfg.seed = params.getUint("seed");
-                const auto a1 = runCovertChannel(cfg);
+                const auto a1 = runSession(cfg);
 
-                cfg.alg = LruAlgorithm::Alg2Disjoint;
+                cfg.channel = ChannelId::LruAlg2;
                 cfg.d = 5;
-                const auto a2 = runCovertChannel(cfg);
+                const auto a2 = runSession(cfg);
                 return Row{a1.error_rate, a2.error_rate,
                            a1.sender_l1.missRate()};
             });

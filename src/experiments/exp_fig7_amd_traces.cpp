@@ -10,7 +10,7 @@
  * Algorithm 2 runs across separate processes.
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -62,9 +62,12 @@ class Fig7AmdTraces final : public Experiment
     amdTrace(LruAlgorithm alg, std::uint32_t d, const ParamMap &params,
              ResultSink &sink)
     {
-        CovertConfig cfg;
+        SessionConfig cfg;
+        cfg.channel = alg == LruAlgorithm::Alg1Shared
+                          ? ChannelId::LruAlg1
+                          : ChannelId::LruAlg2;
+        cfg.mode = SharingMode::HyperThreaded;
         cfg.uarch = timing::Uarch::amdEpyc7571();
-        cfg.alg = alg;
         cfg.d = d;
         cfg.tr = 1000;
         cfg.ts = 100'000;
@@ -72,7 +75,7 @@ class Fig7AmdTraces final : public Experiment
             static_cast<std::size_t>(params.getUint("bits")));
         cfg.shared_same_vaddr = true;
         cfg.seed = params.getUint("seed");
-        const auto res = runCovertChannel(cfg);
+        const auto res = runSession(cfg);
 
         const auto window = params.getUint32("window");
         const auto lat = latencies(res.samples);

@@ -5,7 +5,7 @@
  * 0 or 1 (Algorithm 1 between threads of one address space).
  */
 
-#include "channel/covert_channel.hpp"
+#include "channel/session.hpp"
 #include "experiments/common.hpp"
 
 namespace lruleak::experiments {
@@ -58,7 +58,7 @@ class Fig8AmdTimesliced final : public Experiment
                 std::vector<std::string> row{
                     std::to_string(tr / 1'000'000)};
                 for (std::uint32_t d : {2u, 4u, 6u, 8u}) {
-                    CovertConfig cfg;
+                    SessionConfig cfg;
                     cfg.uarch = timing::Uarch::amdEpyc7571();
                     cfg.mode = SharingMode::TimeSliced;
                     cfg.d = d;
@@ -66,7 +66,8 @@ class Fig8AmdTimesliced final : public Experiment
                     cfg.encode_gap = 20'000;
                     cfg.max_samples = max_samples;
                     cfg.seed = seed + d;
-                    row.push_back(fmtPercent(runPercentOnes(cfg, bit)));
+                    row.push_back(
+                        fmtPercent(sessionPercentOnes(cfg, bit)));
                 }
                 table.addRow(row);
             }

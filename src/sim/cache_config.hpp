@@ -93,6 +93,9 @@ struct CacheConfig
      */
     std::uint32_t sharp_alarm_threshold = 0;
 
+    /** Member-wise equality (drives the session topology reuse pool). */
+    bool operator==(const CacheConfig &) const = default;
+
     std::uint32_t
     numSets() const
     {

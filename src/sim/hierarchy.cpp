@@ -136,6 +136,19 @@ CacheHierarchy::accessBatch(std::span<const MemRef> refs,
         levels[i] = access(refs[i]).level;
 }
 
+std::uint64_t
+CacheHierarchy::accessRun(std::span<const MemRef> refs,
+                          std::span<HitLevel> levels)
+{
+    std::uint64_t writebacks = 0;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        const auto res = access(refs[i]);
+        levels[i] = res.level;
+        writebacks += res.writebacks;
+    }
+    return writebacks;
+}
+
 CacheFlushResult
 CacheHierarchy::flush(const MemRef &ref)
 {

@@ -54,6 +54,9 @@ struct HierarchyConfig
     PlMode l1_pl_mode = PlMode::Disabled;
     bool l1_way_predictor = false;  //!< AMD utag model
     bool enable_prefetcher = false; //!< attach a stride prefetcher to L1
+
+    /** Member-wise equality (drives the session topology reuse pool). */
+    bool operator==(const HierarchyConfig &) const = default;
 };
 
 /**
@@ -94,6 +97,16 @@ class CacheHierarchy
      */
     void accessBatch(std::span<const MemRef> refs,
                      std::span<HitLevel> levels);
+
+    /**
+     * Batched demand run for the engine's AccessRun op: one access()
+     * per reference, recording the level each was served from and
+     * returning the run's summed write-back transactions (the caller
+     * charges per-access latency plus the aggregate write-back stall).
+     * @pre levels.size() >= refs.size()
+     */
+    std::uint64_t accessRun(std::span<const MemRef> refs,
+                            std::span<HitLevel> levels);
 
     /**
      * clflush: remove the line from every level.  Reports whether any

@@ -184,6 +184,19 @@ MultiCoreHierarchy::accessBatch(std::uint32_t core,
         access(core, ref);
 }
 
+std::uint64_t
+MultiCoreHierarchy::accessRun(std::uint32_t core, std::span<const MemRef> refs,
+                              std::span<HitLevel> levels)
+{
+    std::uint64_t writebacks = 0;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        const auto res = access(core, refs[i]);
+        levels[i] = res.level;
+        writebacks += res.writebacks;
+    }
+    return writebacks;
+}
+
 bool
 MultiCoreHierarchy::backInvalidate(Addr line_base)
 {

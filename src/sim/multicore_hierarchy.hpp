@@ -46,6 +46,9 @@ struct MultiCoreConfig
     CacheConfig l2 = CacheConfig::intelL2();   //!< per-core private L2
     CacheConfig llc = CacheConfig::intelLlc(); //!< shared inclusive LLC
     std::uint64_t seed = 0; //!< base seed (per-core caches derive theirs)
+
+    /** Member-wise equality (drives the session topology reuse pool). */
+    bool operator==(const MultiCoreConfig &) const = default;
 };
 
 /** Outcome of one multi-core access. */
@@ -96,6 +99,14 @@ class MultiCoreHierarchy
 
     /** Same, for callers that do not need the individual outcomes. */
     void accessBatch(std::uint32_t core, std::span<const MemRef> refs);
+
+    /**
+     * Batched demand run for the engine's AccessRun op: per-ref levels
+     * out, summed write-back transactions returned.
+     * @pre levels.size() >= refs.size()
+     */
+    std::uint64_t accessRun(std::uint32_t core, std::span<const MemRef> refs,
+                            std::span<HitLevel> levels);
 
     /**
      * clflush: remove the line from every cache of every core.  Reports

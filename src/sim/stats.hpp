@@ -10,7 +10,7 @@
 #define LRULEAK_SIM_STATS_HPP
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "sim/address.hpp"
 
@@ -66,17 +66,17 @@ class PerfCounters
     record(ThreadId thread, bool hit)
     {
         total_.record(hit);
-        per_thread_[thread].record(hit);
+        slot(thread).record(hit);
     }
 
-    /** Bulk tally for batched accesses: one map lookup per batch run. */
+    /** Bulk tally for batched accesses: one slot lookup per batch run. */
     void
     recordMany(ThreadId thread, std::uint64_t hits, std::uint64_t accesses)
     {
         total_.accesses += accesses;
         total_.hits += hits;
         total_.misses += accesses - hits;
-        LevelStats &s = per_thread_[thread];
+        LevelStats &s = slot(thread);
         s.accesses += accesses;
         s.hits += hits;
         s.misses += accesses - hits;
@@ -87,7 +87,7 @@ class PerfCounters
     recordWriteback(ThreadId thread)
     {
         ++total_.writebacks;
-        ++per_thread_[thread].writebacks;
+        ++slot(thread).writebacks;
     }
 
     const LevelStats &total() const { return total_; }
@@ -96,8 +96,10 @@ class PerfCounters
     LevelStats
     forThread(ThreadId thread) const
     {
-        auto it = per_thread_.find(thread);
-        return it == per_thread_.end() ? LevelStats{} : it->second;
+        for (const Entry &e : per_thread_)
+            if (e.thread == thread)
+                return e.stats;
+        return LevelStats{};
     }
 
     void
@@ -105,11 +107,42 @@ class PerfCounters
     {
         total_ = LevelStats{};
         per_thread_.clear();
+        last_ = 0;
     }
 
   private:
+    struct Entry
+    {
+        ThreadId thread = 0;
+        LevelStats stats;
+    };
+
+    /**
+     * A handful of distinct thread ids ever touch one cache (parties,
+     * spies, kernel/background/noise ids), and accesses arrive in long
+     * same-thread runs, so a memoized linear scan over a flat vector
+     * beats the tree map this used to be — record() sat on the channel
+     * hot path.
+     */
+    LevelStats &
+    slot(ThreadId thread)
+    {
+        if (last_ < per_thread_.size() &&
+            per_thread_[last_].thread == thread)
+            return per_thread_[last_].stats;
+        for (std::size_t i = 0; i < per_thread_.size(); ++i)
+            if (per_thread_[i].thread == thread) {
+                last_ = i;
+                return per_thread_[i].stats;
+            }
+        last_ = per_thread_.size();
+        per_thread_.push_back(Entry{thread, LevelStats{}});
+        return per_thread_.back().stats;
+    }
+
     LevelStats total_;
-    std::map<ThreadId, LevelStats> per_thread_;
+    std::vector<Entry> per_thread_;
+    std::size_t last_ = 0;
 };
 
 } // namespace lruleak::sim

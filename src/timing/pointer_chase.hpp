@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/hierarchy.hpp"
@@ -41,7 +42,7 @@ class MeasurementModel
      * where the timed 8th access was served.
      */
     std::uint32_t
-    chase(const std::vector<sim::HitLevel> &chain_levels,
+    chase(std::span<const sim::HitLevel> chain_levels,
           sim::HitLevel target_level, sim::Xoshiro256 &rng) const
     {
         double total = uarch_.chase_overhead;

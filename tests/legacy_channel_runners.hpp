@@ -1,17 +1,23 @@
 /**
  * @file
  * Test-only reference copies of the three retired transmission
- * harnesses.
+ * harnesses, together with the legacy configuration structs and their
+ * SessionConfig translations.
  *
  * channel::Session replaced runCovertChannel / runXCoreChannel /
- * runSmtMulticore (and the ad-hoc ChannelPair loops) with one pipeline;
- * the production entry points are now thin config-translating shims
- * over runSession.  To keep the equivalence claim *testable* (the shims
- * cannot differ from the Session by construction), the pre-refactor
- * harness bodies live on here verbatim — independent hierarchy
- * construction, engine wiring, calibration and decode — as the oracle
- * tests/test_session_differential.cpp compares the Session against,
- * the same pattern tests/legacy_schedulers.hpp uses for the engine.
+ * runSmtMulticore (and the ad-hoc ChannelPair loops) with one pipeline.
+ * The deprecated production shims are gone; what lives on here is the
+ * complete pre-refactor world, frozen for the differential suite:
+ *
+ *  - the legacy config/result structs (CovertConfig, XCoreConfig,
+ *    SmtMultiCoreConfig, ...) exactly as they shipped;
+ *  - the pre-Session harness bodies verbatim — independent hierarchy
+ *    construction, engine wiring, calibration and decode;
+ *  - the pure config translations (sessionConfigFor) the shims used,
+ *    so tests/test_session_differential.cpp can drive channel::runSession
+ *    with the very same randomized legacy configs and compare results
+ *    field by field — the same pattern tests/legacy_schedulers.hpp uses
+ *    for the engine.
  *
  * Do not "fix" or modernise this code: its value is being the
  * pre-Session behaviour, byte for byte.
@@ -21,17 +27,248 @@
 #define LRULEAK_TESTS_LEGACY_CHANNEL_RUNNERS_HPP
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "channel/covert_channel.hpp"
-#include "channel/xcore_channel.hpp"
+#include "channel/session.hpp"
 #include "sim/access_port.hpp"
 #include "timing/pointer_chase.hpp"
 
 namespace lruleak::legacy {
 
 using namespace lruleak::channel;
+
+// ------------------------------------------------ legacy config structs
+
+/** Full configuration of one covert-channel run (pre-Session). */
+struct CovertConfig
+{
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+    LruAlgorithm alg = LruAlgorithm::Alg1Shared;
+    SharingMode mode = SharingMode::HyperThreaded;
+    sim::ReplPolicyKind l1_policy = sim::ReplPolicyKind::TreePlru;
+    sim::PlMode pl_mode = sim::PlMode::Disabled;
+
+    std::uint32_t d = 8;          //!< receiver init-phase parameter
+    std::uint64_t tr = 600;       //!< receiver sampling period (cycles)
+    std::uint64_t ts = 6000;      //!< sender per-bit period (cycles)
+    Bits message;                 //!< bits to transmit
+    std::uint32_t repeats = 1;
+
+    std::uint32_t target_set = 7;
+    std::uint32_t chase_set = 63;
+    bool shared_same_vaddr = true;  //!< false: separate address spaces
+    bool sender_locks_line = false; //!< PL-cache attack (Fig. 11)
+    std::uint32_t encode_gap = 40;
+    std::uint64_t max_samples = 0;  //!< 0: derived from bits, Ts and Tr
+
+    exec::TimeSlicePolicyConfig tslice{}; //!< TimeSliced-mode OS knobs
+    std::uint64_t seed = 1;
+};
+
+/** Everything a figure/table needed from one run (pre-Session). */
+struct CovertResult
+{
+    std::vector<Sample> samples;
+    Bits sent;
+    Bits received;
+    double error_rate = 0.0;
+    double kbps = 0.0;
+    std::uint64_t elapsed_cycles = 0;
+    std::uint32_t threshold = 0;
+    std::uint64_t sender_start = 0;
+
+    sim::LevelStats sender_l1;
+    sim::LevelStats sender_l2;
+    sim::LevelStats sender_llc;
+    sim::LevelStats receiver_l1;
+};
+
+/** Full configuration of one cross-core channel run (pre-Session). */
+struct XCoreConfig
+{
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+    sim::ReplPolicyKind llc_policy = sim::ReplPolicyKind::TreePlru;
+    std::uint32_t noise_cores = 0;
+
+    std::uint32_t d = 12;           //!< receiver init depth (<= LLC ways)
+    std::uint64_t tr = 3000;
+    std::uint64_t ts = 30000;
+    Bits message;
+    std::uint32_t repeats = 1;
+
+    std::uint32_t target_set = 7;
+    std::uint32_t chase_set = 63;
+    std::uint32_t encode_gap = 40;
+    std::uint64_t max_samples = 0;
+
+    exec::NoiseConfig noise{};
+    exec::EngineConfig sched{};
+
+    /** 0: parties own their cores; > 0: per-core OS time-slicing. */
+    std::uint64_t quantum = 0;
+    exec::TimeSlicePolicyConfig tslice{};
+    std::uint64_t seed = 1;
+};
+
+/** Everything a figure/table needed from one cross-core run. */
+struct XCoreResult
+{
+    std::vector<Sample> samples;
+    Bits sent;
+    Bits received;
+    double error_rate = 0.0;
+    double kbps = 0.0;
+    std::uint64_t elapsed_cycles = 0;
+    std::uint32_t threshold = 0;
+    std::uint64_t sender_start = 0;
+    std::uint64_t back_invalidations = 0;
+    std::uint32_t cores = 2;
+
+    sim::LevelStats sender_l1;
+    sim::LevelStats sender_llc;
+    sim::LevelStats receiver_llc;
+};
+
+/** SMT pair on core 0 of an N-core system (pre-Session). */
+struct SmtMultiCoreConfig
+{
+    timing::Uarch uarch = timing::Uarch::intelXeonE52690();
+    LruAlgorithm alg = LruAlgorithm::Alg1Shared;
+    sim::ReplPolicyKind l1_policy = sim::ReplPolicyKind::TreePlru;
+    std::uint32_t noise_cores = 2;
+
+    std::uint32_t d = 8;
+    std::uint64_t tr = 600;
+    std::uint64_t ts = 6000;
+    Bits message;
+    std::uint32_t repeats = 1;
+
+    std::uint32_t target_set = 7;
+    std::uint32_t chase_set = 63;
+    std::uint32_t encode_gap = 40;
+    std::uint64_t max_samples = 0;
+
+    exec::NoiseConfig noise{};
+    exec::EngineConfig sched{};
+    std::uint64_t seed = 1;
+};
+
+/** Everything the traces experiment needed from one combined run. */
+struct SmtMultiCoreResult
+{
+    std::vector<Sample> samples;
+    Bits sent;
+    Bits received;
+    double error_rate = 0.0;
+    double kbps = 0.0;
+    std::uint64_t elapsed_cycles = 0;
+    std::uint32_t threshold = 0;
+    std::uint64_t sender_start = 0;
+    std::uint64_t back_invalidations = 0;
+    std::uint32_t cores = 1;
+
+    sim::LevelStats sender_l1;
+    sim::LevelStats receiver_l1;
+};
+
+// --------------------------------------------- shim config translations
+
+/** Derive the hierarchy configuration a CovertConfig implies. */
+inline sim::HierarchyConfig
+hierarchyFor(const CovertConfig &config)
+{
+    sim::HierarchyConfig h;
+    h.l1 = sim::CacheConfig::intelL1d(config.l1_policy);
+    h.l1.seed = config.seed;
+    h.l1_way_predictor = config.uarch.way_predictor;
+    h.l1_pl_mode = config.pl_mode;
+    return h;
+}
+
+/** The SessionConfig the retired runCovertChannel shim built. */
+inline SessionConfig
+sessionConfigFor(const CovertConfig &config)
+{
+    SessionConfig s;
+    s.channel = config.alg == LruAlgorithm::Alg1Shared
+                    ? ChannelId::LruAlg1
+                    : ChannelId::LruAlg2;
+    s.mode = config.mode;
+    s.uarch = config.uarch;
+    s.l1_policy = config.l1_policy;
+    s.pl_mode = config.pl_mode;
+    s.d = config.d;
+    s.tr = config.tr;
+    s.ts = config.ts;
+    s.message = config.message;
+    s.repeats = config.repeats;
+    s.target_set = config.target_set;
+    s.chase_set = config.chase_set;
+    s.shared_same_vaddr = config.shared_same_vaddr;
+    s.sender_locks_line = config.sender_locks_line;
+    s.encode_gap = config.encode_gap;
+    s.max_samples = config.max_samples;
+    s.tslice = config.tslice;
+    s.seed = config.seed;
+    return s;
+}
+
+/** The SessionConfig the retired runXCoreChannel shim built. */
+inline SessionConfig
+sessionConfigFor(const XCoreConfig &config)
+{
+    SessionConfig s;
+    s.channel = ChannelId::XCoreLruAlg2;
+    s.mode = SharingMode::CrossCore;
+    s.uarch = config.uarch;
+    s.llc_policy = config.llc_policy;
+    s.noise_cores = config.noise_cores;
+    s.d = config.d;
+    s.tr = config.tr;
+    s.ts = config.ts;
+    s.message = config.message;
+    s.repeats = config.repeats;
+    s.target_set = config.target_set;
+    s.chase_set = config.chase_set;
+    s.encode_gap = config.encode_gap;
+    s.max_samples = config.max_samples;
+    s.noise = config.noise;
+    s.quantum = config.quantum;
+    s.tslice = config.tslice;
+    s.sched = config.sched;
+    s.seed = config.seed;
+    return s;
+}
+
+/** The SessionConfig the retired runSmtMulticore shim built. */
+inline SessionConfig
+sessionConfigFor(const SmtMultiCoreConfig &config)
+{
+    SessionConfig s;
+    s.channel = config.alg == LruAlgorithm::Alg1Shared
+                    ? ChannelId::LruAlg1
+                    : ChannelId::LruAlg2;
+    s.mode = SharingMode::HyperThreaded;
+    s.multicore = true; // core 0's private L1 carries the channel
+    s.uarch = config.uarch;
+    s.l1_policy = config.l1_policy;
+    s.noise_cores = config.noise_cores;
+    s.d = config.d;
+    s.tr = config.tr;
+    s.ts = config.ts;
+    s.message = config.message;
+    s.repeats = config.repeats;
+    s.target_set = config.target_set;
+    s.chase_set = config.chase_set;
+    s.encode_gap = config.encode_gap;
+    s.max_samples = config.max_samples;
+    s.noise = config.noise;
+    s.sched = config.sched;
+    s.seed = config.seed;
+    return s;
+}
 
 // ----------------------------------------------- single-core (covert)
 

@@ -100,14 +100,14 @@ TEST(Engine, ThreadStatsCountOpsAndCycles)
               case 1: return Op::flush(sim::MemRef::load(0x40));
               case 2: return Op::spinUntil(now + 100);
               case 3:
-                return Op::measure(sim::MemRef::load(0x40),
-                                   {sim::HitLevel::L1});
+                return Op::measure(sim::MemRef::load(0x40), chain_);
               default: return Op::done();
             }
         }
 
       private:
         int step_ = 0;
+        std::vector<sim::HitLevel> chain_{sim::HitLevel::L1};
     } mixed;
     StampingProgram other(0x80, 1);
     engine.run(mixed, other, /*primary=*/0);

@@ -43,9 +43,8 @@ class RandomProgram : public ThreadProgram
             if (kind < 60) {
                 script_.push_back(Op::access(sim::MemRef::load(line)));
             } else if (kind < 75) {
-                script_.push_back(Op::measure(
-                    sim::MemRef::load(line),
-                    std::vector<sim::HitLevel>(7, sim::HitLevel::L1)));
+                script_.push_back(
+                    Op::measure(sim::MemRef::load(line), chain_));
             } else if (kind < 85) {
                 script_.push_back(Op::flush(sim::MemRef::load(line)));
             } else {
@@ -95,6 +94,9 @@ class RandomProgram : public ThreadProgram
     }
 
   private:
+    /** Owns the chain the measure ops' spans view. */
+    std::vector<sim::HitLevel> chain_ =
+        std::vector<sim::HitLevel>(7, sim::HitLevel::L1);
     std::vector<Op> script_;
     std::map<std::size_t, std::uint64_t> spin_gaps_;
     std::size_t index_ = 0;

@@ -1,9 +1,9 @@
 /**
  * @file
- * Differential suite: channel::Session (through the deprecated shims,
- * which are pure config translations) must be byte-equal to the three
- * pre-refactor transmission harnesses — preserved verbatim in
- * tests/legacy_channel_runners.hpp — across randomized configurations:
+ * Differential suite: channel::Session — driven through the pure
+ * config translations preserved in tests/legacy_channel_runners.hpp —
+ * must be byte-equal to the three pre-refactor transmission harnesses
+ * (kept verbatim in the same header) across randomized configurations:
  * the raw trace (tsc, latency, ground-truth level per sample), the
  * decoded bits, the error rate, the per-level counters, the derived
  * rates and the calibrated threshold.  Together with the 27+1 golden
@@ -13,14 +13,15 @@
 
 #include <gtest/gtest.h>
 
-#include "channel/covert_channel.hpp"
 #include "channel/session.hpp"
-#include "channel/xcore_channel.hpp"
 #include "legacy_channel_runners.hpp"
 #include "sim/random.hpp"
 
 using namespace lruleak;
 using namespace lruleak::channel;
+using lruleak::legacy::CovertConfig;
+using lruleak::legacy::SmtMultiCoreConfig;
+using lruleak::legacy::XCoreConfig;
 
 namespace {
 
@@ -90,7 +91,7 @@ TEST(SessionDifferential, HyperThreadedMatchesLegacyCovert)
         cfg.seed = rng();
 
         const auto legacy = legacy::legacyRunCovertChannel(cfg);
-        const auto now = runCovertChannel(cfg);
+        const auto now = runSession(legacy::sessionConfigFor(cfg));
 
         SCOPED_TRACE("trial " + std::to_string(trial));
         expectSamplesEqual(legacy.samples, now.samples);
@@ -123,7 +124,7 @@ TEST(SessionDifferential, TimeSlicedPercentOnesMatchesLegacy)
 
         const std::uint8_t bit = trial % 2;
         EXPECT_EQ(legacy::legacyRunPercentOnes(cfg, bit),
-                  runPercentOnes(cfg, bit))
+                  sessionPercentOnes(legacy::sessionConfigFor(cfg), bit))
             << "trial " << trial;
     }
 }
@@ -146,7 +147,7 @@ TEST(SessionDifferential, TimeSlicedDecodeMatchesLegacy)
         cfg.seed = rng();
 
         const auto legacy = legacy::legacyRunCovertChannel(cfg);
-        const auto now = runCovertChannel(cfg);
+        const auto now = runSession(legacy::sessionConfigFor(cfg));
 
         SCOPED_TRACE("trial " + std::to_string(trial));
         expectSamplesEqual(legacy.samples, now.samples);
@@ -176,7 +177,7 @@ TEST(SessionDifferential, CrossCoreMatchesLegacyXCore)
         cfg.seed = rng();
 
         const auto legacy = legacy::legacyRunXCoreChannel(cfg);
-        const auto now = runXCoreChannel(cfg);
+        const auto now = runSession(legacy::sessionConfigFor(cfg));
 
         SCOPED_TRACE("trial " + std::to_string(trial));
         expectSamplesEqual(legacy.samples, now.samples);
@@ -213,7 +214,7 @@ TEST(SessionDifferential, SmtMulticoreMatchesLegacy)
         cfg.seed = rng();
 
         const auto legacy = legacy::legacyRunSmtMulticore(cfg);
-        const auto now = runSmtMulticore(cfg);
+        const auto now = runSession(legacy::sessionConfigFor(cfg));
 
         SCOPED_TRACE("trial " + std::to_string(trial));
         expectSamplesEqual(legacy.samples, now.samples);

@@ -18,6 +18,10 @@ using namespace lruleak::exec;
 
 namespace {
 
+/** Static chain storage: Op::chain_levels views it (spans don't own). */
+const std::vector<sim::HitLevel> kChain7(7, sim::HitLevel::L1);
+const std::vector<sim::HitLevel> kChain1(1, sim::HitLevel::L1);
+
 /** Issues a fixed list of ops, then Done; records results. */
 class ScriptProgram : public ThreadProgram
 {
@@ -158,9 +162,7 @@ TEST(SmtScheduler, MeasureUsesChainLevels)
     sim::CacheHierarchy h;
     SmtRig rig(h);
     h.access(sim::MemRef::load(0x40)); // target warm in L1
-    ScriptProgram a({Op::measure(sim::MemRef::load(0x40),
-                                 std::vector<sim::HitLevel>(
-                                     7, sim::HitLevel::L1))});
+    ScriptProgram a({Op::measure(sim::MemRef::load(0x40), kChain7)});
     ScriptProgram b({});
     rig.run(b, a, 1);
     ASSERT_EQ(a.results_.size(), 1u);
@@ -190,8 +192,7 @@ TEST(SmtScheduler, DeterministicForSeed)
         SmtRig rig(h, cfg);
         ScriptProgram a({Op::access(sim::MemRef::load(0x40)),
                          Op::access(sim::MemRef::load(0x80)),
-                         Op::measure(sim::MemRef::load(0x40),
-                                     {sim::HitLevel::L1})});
+                         Op::measure(sim::MemRef::load(0x40), kChain1)});
         ScriptProgram b({});
         rig.run(b, a, 1);
         return a.results_.back().measured;
