@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "channel/multi_spy.hpp"
+#include "exec/trace_program.hpp"
 #include "sim/access_port.hpp"
 #include "util/strings.hpp"
 
@@ -103,19 +104,29 @@ namespace {
 constexpr std::uint64_t kTimeSlicedMaxCycles = 4'000'000'000'000ULL;
 
 /**
- * Build one NoiseProgram per noise core, with per-core seed and
- * footprint base so the cores never run in lockstep.
+ * Build one background program per noise core.  Default: a
+ * NoiseProgram with per-core seed and footprint base so the cores
+ * never run in lockstep.  With SessionConfig::noise_trace set: a
+ * looping TraceProgram per core, start offsets staggered across the
+ * trace so N cores approximate N concurrent phases of the recorded
+ * victim.
  */
-std::vector<std::unique_ptr<exec::NoiseProgram>>
-makeNoisePrograms(const exec::NoiseConfig &base_config,
-                  std::uint32_t noise_cores, std::uint64_t seed)
+std::vector<std::unique_ptr<exec::ThreadProgram>>
+makeNoisePrograms(const SessionConfig &config)
 {
-    std::vector<std::unique_ptr<exec::NoiseProgram>> noise;
-    noise.reserve(noise_cores);
-    for (std::uint32_t i = 0; i < noise_cores; ++i) {
-        exec::NoiseConfig nc = base_config;
-        nc.seed = seed + 0x6e01'0000ULL + i;
-        nc.base = base_config.base + i * 0x0100'0000'0000ULL;
+    std::vector<std::unique_ptr<exec::ThreadProgram>> noise;
+    noise.reserve(config.noise_cores);
+    for (std::uint32_t i = 0; i < config.noise_cores; ++i) {
+        if (config.noise_trace && !config.noise_trace->empty()) {
+            const std::size_t stagger =
+                i * (config.noise_trace->size() / config.noise_cores);
+            noise.push_back(std::make_unique<exec::TraceProgram>(
+                config.noise_trace, stagger, /*loop=*/true));
+            continue;
+        }
+        exec::NoiseConfig nc = config.noise;
+        nc.seed = config.seed + 0x6e01'0000ULL + i;
+        nc.base = config.noise.base + i * 0x0100'0000'0000ULL;
         noise.push_back(std::make_unique<exec::NoiseProgram>(nc));
     }
     return noise;
@@ -234,8 +245,7 @@ runMultiCore(const SessionConfig &config, LruSender &sender,
         static_cast<std::uint32_t>(receivers.size());
     const std::uint32_t first_noise_core = xcore ? 1 + nrecv : 1;
 
-    const auto noise =
-        makeNoisePrograms(config.noise, config.noise_cores, config.seed);
+    const auto noise = makeNoisePrograms(config);
     std::vector<exec::ThreadSpec> specs{{&sender, 0}};
     for (std::uint32_t j = 0; j < nrecv; ++j)
         specs.push_back(exec::ThreadSpec{receivers[j], xcore ? 1 + j : 0});

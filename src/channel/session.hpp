@@ -33,6 +33,7 @@
 #define LRULEAK_CHANNEL_SESSION_HPP
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 
@@ -44,6 +45,7 @@
 #include "sim/multicore_hierarchy.hpp"
 #include "sim/plcache.hpp"
 #include "timing/uarch.hpp"
+#include "workload/trace_file.hpp"
 
 namespace lruleak::channel {
 
@@ -162,6 +164,15 @@ struct SessionConfig
     std::uint32_t noise_cores = 0;  //!< background cores beyond the
                                     //!< party core(s)
     exec::NoiseConfig noise{};      //!< per-noise-core knobs (seed varies)
+
+    /**
+     * When set, noise cores replay THIS trace (looping, staggered
+     * per-core start offsets) instead of running the synthetic
+     * NoiseProgram — the trace-replay front end's way of putting a
+     * recorded victim workload beside the covert parties.  Shared so
+     * N cores replay one loaded trace without copying it.
+     */
+    std::shared_ptr<const workload::TraceFile> noise_trace;
 
     /**
      * CrossCore only: > 0 layers OS time-slicing with this quantum on

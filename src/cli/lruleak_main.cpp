@@ -21,6 +21,7 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,6 +29,11 @@
 #include "channel/session.hpp"
 #include "core/bench.hpp"
 #include "core/experiment.hpp"
+#include "core/fleet.hpp"
+#include "core/result_cache.hpp"
+#include "util/hash.hpp"
+#include "workload/trace_file.hpp"
+#include "workload/trace_gen.hpp"
 
 namespace {
 
@@ -43,9 +49,15 @@ usage(std::ostream &os, int code)
           "  lruleak describe <experiment|channel>\n"
           "  lruleak run <experiment> [--format=table|json|csv] "
           "[--smoke] [--seed=N]\n"
-          "              [--<param>=<value> ...]\n"
+          "              [--cache-dir=DIR] [--<param>=<value> ...]\n"
           "  lruleak run-all [--format=table|json|csv] [--smoke] "
           "[--seed=N]\n"
+          "              [--shard=i/N] [--cache-dir=DIR]\n"
+          "  lruleak merge <out.json|-> <shard.json> "
+          "[<shard.json> ...]\n"
+          "  lruleak trace-gen <workload> <out-file> [--accesses=N] "
+          "[--writes=F]\n"
+          "              [--seed=N] [--format=text|binary]\n"
           "  lruleak bench [--accesses=N] [--policies=a,b,...] "
           "[--out=FILE] [--smoke] [--check]\n"
           "\n"
@@ -57,12 +69,25 @@ usage(std::ostream &os, int code)
           "per-experiment defaults shown by\n`describe` keep golden "
           "runs reproducible).  On `run-all` it applies to each\n"
           "seed-taking experiment and is ignored by the rest.\n"
+          "`--shard=i/N` runs shard i of an N-way split of the catalog "
+          "(a stable hash of\nthe experiment name, so N workers cover "
+          "every experiment exactly once);\n`lruleak merge` unions the "
+          "workers' --format=json outputs back into the exact\nbytes "
+          "of an unsharded run.  `--cache-dir=DIR` (or the "
+          "LRULEAK_CACHE env var)\nenables the content-addressed "
+          "result cache: runs keyed on (binary, experiment,\nresolved "
+          "parameters, format) are served from the store instead of "
+          "executing;\nthe run summary on stderr reports hit/miss/skip "
+          "counts.\n"
           "`lruleak list` shows every registered experiment; "
           "`lruleak describe <name>`\nshows its parameters and their "
-          "defaults.  `lruleak bench` times the batched\nvalue-semantic "
-          "simulator path against the legacy virtual per-access path\n"
-          "(accesses/sec per replacement policy), runs the macro "
-          "subsystem lanes, and\nwrites BENCH_sim.json.\n";
+          "defaults.  `lruleak trace-gen` exports a\nsynthetic "
+          "workload as a replayable access trace (see the "
+          "trace_replay\nexperiment).  `lruleak bench` times the "
+          "batched value-semantic simulator path\nagainst the legacy "
+          "virtual per-access path (accesses/sec per replacement\n"
+          "policy), runs the macro subsystem lanes, and writes "
+          "BENCH_sim.json.\n";
     return code;
 }
 
@@ -268,6 +293,12 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
     bool smoke = false;
     if (!parseOverrides(args, overrides, format, &smoke))
         return 2;
+    std::string cache_dir_flag;
+    if (const auto it = overrides.find("cache-dir");
+        it != overrides.end()) {
+        cache_dir_flag = it->second;
+        overrides.erase(it);
+    }
     if (smoke) {
         // Smoke scale first, explicit --param overrides on top.
         auto merged = e->smokeParams();
@@ -281,8 +312,27 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
                      "does not apply\n";
         return 2;
     }
-    std::cout << renderOne(*e, overrides,
-                           core::outputFormatFromName(format));
+    const auto fmt = core::outputFormatFromName(format);
+    const std::string cache_dir = core::resolveCacheDir(cache_dir_flag);
+    if (!cache_dir.empty()) {
+        const core::ResultCache cache(cache_dir,
+                                      util::selfBinaryHashHex());
+        const core::ParamMap resolved =
+            core::resolveParams(e->params(), overrides);
+        const std::string key =
+            cache.keyFor(e->name(), resolved.values(), format);
+        if (const auto artifact = cache.fetch(key)) {
+            std::cout << *artifact;
+            std::cerr << "cache: 1 hit, 0 miss, 0 skip\n";
+            return 0;
+        }
+        const std::string rendered = renderOne(*e, overrides, fmt);
+        cache.store(key, rendered);
+        std::cout << rendered;
+        std::cerr << "cache: 0 hit, 1 miss, 0 skip\n";
+        return 0;
+    }
+    std::cout << renderOne(*e, overrides, fmt);
     return 0;
 }
 
@@ -294,55 +344,158 @@ cmdRunAll(const std::vector<std::string> &args)
     bool smoke = false;
     if (!parseOverrides(args, overrides, format, &smoke))
         return 2;
+    core::RunAllOptions options;
+    options.smoke = smoke;
     // --seed is first-class: it fans out to every experiment that
-    // declares the conventional seed parameter.  Anything else is
-    // experiment-specific and rejected here.
-    std::string seed;
+    // declares the conventional seed parameter.
     if (const auto it = overrides.find("seed"); it != overrides.end()) {
-        seed = it->second;
+        options.seed = it->second;
+        overrides.erase(it);
+    }
+    std::string cache_dir_flag;
+    if (const auto it = overrides.find("cache-dir");
+        it != overrides.end()) {
+        cache_dir_flag = it->second;
+        overrides.erase(it);
+    }
+    if (const auto it = overrides.find("shard"); it != overrides.end()) {
+        try {
+            options.shard = core::parseShardSpec(it->second);
+        } catch (const std::invalid_argument &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 2;
+        }
         overrides.erase(it);
     }
     if (!overrides.empty()) {
-        std::cerr << "run-all only accepts --format, --smoke and --seed "
-                     "(other parameters are experiment-specific)\n";
+        // Anything else is experiment-specific (`lruleak run` takes
+        // those); show the whole usage block rather than a stale list.
+        std::cerr << "run-all does not take '--"
+                  << overrides.begin()->first
+                  << "' (per-experiment parameters go through `lruleak "
+                     "run`)\n\n";
+        return usage(std::cerr, 2);
+    }
+    options.format = core::outputFormatFromName(format);
+
+    const std::string cache_dir = core::resolveCacheDir(cache_dir_flag);
+    std::optional<core::ResultCache> cache;
+    if (!cache_dir.empty())
+        cache.emplace(cache_dir, util::selfBinaryHashHex());
+    options.cache = cache ? &*cache : nullptr;
+
+    const auto outcome =
+        core::runAllCatalog(options, std::cout, std::cerr);
+    std::cerr << core::runAllSummary(options, outcome) << "\n";
+    return outcome.failures == 0 ? 0 : 1;
+}
+
+int
+cmdMerge(const std::vector<std::string> &args)
+{
+    if (args.size() < 2) {
+        std::cerr << "merge wants an output path ('-' for stdout) and "
+                     "at least one shard document:\n  lruleak merge "
+                     "<out.json|-> <shard.json> [<shard.json> ...]\n";
         return 2;
     }
-    const auto fmt = core::outputFormatFromName(format);
-    int failures = 0;
-    bool first = true;
-    if (fmt == core::OutputFormat::Json)
-        std::cout << "[\n";
-    for (const Experiment *e : Registry::instance().all()) {
-        std::string rendered;
-        try {
-            auto merged = smoke ? e->smokeParams()
-                                : std::map<std::string, std::string>{};
-            if (!seed.empty() && declaresParam(*e, "seed"))
-                merged["seed"] = seed;
-            rendered = renderOne(*e, merged, fmt);
-        } catch (const std::exception &ex) {
-            std::cerr << e->name() << " FAILED: " << ex.what() << "\n";
-            ++failures;
-            continue;
+    std::vector<std::string> documents;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        std::ifstream in(args[i], std::ios::binary);
+        if (!in) {
+            std::cerr << "cannot read shard document " << args[i]
+                      << "\n";
+            return 2;
         }
-        switch (fmt) {
-          case core::OutputFormat::Table:
-            std::cout << "\n##### " << e->name() << " #####\n\n"
-                      << rendered;
-            break;
-          case core::OutputFormat::Json:
-            // Each experiment renders one object; join into an array.
-            std::cout << (first ? "" : ",\n") << rendered;
-            break;
-          case core::OutputFormat::Csv:
-            std::cout << (first ? "" : "\n") << rendered;
-            break;
-        }
-        first = false;
+        std::ostringstream os;
+        os << in.rdbuf();
+        documents.push_back(os.str());
     }
-    if (fmt == core::OutputFormat::Json)
-        std::cout << "]\n";
-    return failures == 0 ? 0 : 1;
+    std::string merged;
+    try {
+        merged = core::mergeRunAllJson(documents);
+    } catch (const std::invalid_argument &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+    if (args[0] == "-") {
+        std::cout << merged;
+        return 0;
+    }
+    std::ofstream out(args[0], std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::cerr << "cannot write " << args[0] << "\n";
+        return 1;
+    }
+    out << merged;
+    if (!out.good()) {
+        std::cerr << "write failed: " << args[0] << "\n";
+        return 1;
+    }
+    std::cerr << "merged " << (args.size() - 1) << " document(s) into "
+              << args[0] << "\n";
+    return 0;
+}
+
+int
+cmdTraceGen(const std::vector<std::string> &args)
+{
+    if (args.size() < 2 || args[0].rfind("--", 0) == 0 ||
+        args[1].rfind("--", 0) == 0) {
+        std::cerr << "trace-gen wants a workload and an output path:\n"
+                     "  lruleak trace-gen <workload> <out-file> "
+                     "[--accesses=N] [--writes=F]\n"
+                     "                    [--seed=N] "
+                     "[--format=text|binary]\nworkloads:";
+        for (const auto &w : workload::workloadNames())
+            std::cerr << " " << w;
+        std::cerr << "\n";
+        return 2;
+    }
+    const std::string &name = args[0];
+    const std::string &out_path = args[1];
+    std::map<std::string, std::string> overrides;
+    std::string format = "text";
+    if (!parseOverrides({args.begin() + 2, args.end()}, overrides,
+                        format))
+        return 2;
+    std::size_t accesses = 100'000;
+    std::uint64_t seed = 1;
+    double writes = 0.0;
+    for (const auto &[key, value] : overrides) {
+        try {
+            if (key == "accesses")
+                accesses = std::stoull(value);
+            else if (key == "seed")
+                seed = std::stoull(value);
+            else if (key == "writes")
+                writes = std::stod(value);
+            else {
+                std::cerr << "unknown trace-gen option '--" << key
+                          << "' (valid: --accesses --writes --seed "
+                             "--format)\n";
+                return 2;
+            }
+        } catch (const std::exception &) {
+            std::cerr << "--" << key << " got unparsable value '"
+                      << value << "'\n";
+            return 2;
+        }
+    }
+    if (format != "text" && format != "binary") {
+        std::cerr << "trace-gen --format must be text or binary, got '"
+                  << format << "'\n";
+        return 2;
+    }
+    const auto trace =
+        workload::generateTrace(name, accesses, seed, writes);
+    if (format == "binary")
+        workload::saveBinaryTrace(trace, out_path);
+    else
+        workload::saveTextTrace(trace, out_path);
+    std::cerr << "wrote " << trace.size() << " accesses of '" << name
+              << "' to " << out_path << " (" << format << ")\n";
+    return 0;
 }
 
 int
@@ -505,6 +658,10 @@ main(int argc, char **argv)
         }
         if (cmd == "run-all")
             return cmdRunAll({args.begin() + 1, args.end()});
+        if (cmd == "merge")
+            return cmdMerge({args.begin() + 1, args.end()});
+        if (cmd == "trace-gen")
+            return cmdTraceGen({args.begin() + 1, args.end()});
         if (cmd == "bench")
             return cmdBench({args.begin() + 1, args.end()});
         if (cmd == "help" || cmd == "--help" || cmd == "-h")

@@ -12,6 +12,8 @@
 #include <ostream>
 
 #include "channel/session.hpp"
+#include "exec/trace_program.hpp"
+#include "sim/access_port.hpp"
 #include "sim/cache_set.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/random.hpp"
@@ -344,6 +346,33 @@ runMacroBench(const SimBenchConfig &config)
                         accessesPerSecond(walk_ops, start, stop)});
     }
     {
+        // Trace-fed hierarchy replay: the fleet front end's fast path
+        // (workload::TraceFile pumped through AccessPort::accessBatch),
+        // on a mixed load/store trace so the write path is in the lane.
+        const auto trace = workload::generateTrace(
+            "gccmix", static_cast<std::size_t>(walk_ops),
+            config.seed + 5, 0.2);
+        sim::CacheHierarchy h;
+        sim::SingleCorePort port(h);
+        {
+            // Warm-up: first-touch page faults of the ref/level buffers
+            // and the trace pages stay out of the measured window.
+            workload::TraceFile warm;
+            warm.records.assign(
+                trace.records.begin(),
+                trace.records.begin() +
+                    std::min<std::size_t>(trace.size(), 10'000));
+            exec::replayTrace(port, 0, warm);
+            h.reset();
+        }
+        const auto start = Clock::now();
+        const auto stats = exec::replayTrace(port, 0, trace);
+        const auto stop = Clock::now();
+        g_bench_sink = g_bench_sink + stats.hits;
+        rows.push_back({"trace_replay_access", stats.accesses,
+                        accessesPerSecond(stats.accesses, start, stop)});
+    }
+    {
         // End-to-end covert-channel bits through the execution engine
         // (RoundRobinSmt over the single-core hierarchy), on the
         // Session fast path: pooled topology, memoized calibration,
@@ -495,6 +524,7 @@ checkSimBench(const BenchCheckConfig &check,
     };
     macroFloor("covert_channel_bit", check.covert_bit_floor);
     macroFloor("xcore_channel_bit", check.xcore_bit_floor);
+    macroFloor("trace_replay_access", check.trace_replay_floor);
     return ok;
 }
 

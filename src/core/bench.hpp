@@ -116,6 +116,7 @@ struct BenchCheckConfig
 {
     double covert_bit_floor = 30'000.0; //!< covert_channel_bit items/s
     double xcore_bit_floor = 15'000.0;  //!< xcore_channel_bit items/s
+    double trace_replay_floor = 500'000.0; //!< trace_replay_access items/s
     double replay_ratio_floor = 1.0;    //!< replay_over_legacy, all cells
 };
 

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * On-disk content-addressed result store.
+ */
+
+#include "core/result_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "util/hash.hpp"
+
+namespace lruleak::core {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir, std::string binary_hash)
+    : dir_(std::move(dir)), binary_hash_(std::move(binary_hash))
+{}
+
+std::string
+ResultCache::keyFor(std::string_view experiment,
+                    const std::map<std::string, std::string> &params,
+                    std::string_view format) const
+{
+    // Length-prefix every field so no two tuples can serialize to the
+    // same byte string (a params *value* containing "format=" must not
+    // alias the format field).
+    util::Sha256 h;
+    const auto field = [&h](std::string_view text) {
+        const std::string len = std::to_string(text.size()) + ":";
+        h.update(len);
+        h.update(text);
+    };
+    field("lruleak-result-v1");
+    field(binary_hash_);
+    field(experiment);
+    field(std::to_string(params.size()));
+    for (const auto &[name, value] : params) {
+        field(name);
+        field(value);
+    }
+    field(format);
+    return h.hex();
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return (fs::path(dir_) / (key + ".artifact")).string();
+}
+
+std::optional<std::string>
+ResultCache::fetch(const std::string &key) const
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream os;
+    os << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    return os.str();
+}
+
+bool
+ResultCache::store(const std::string &key, const std::string &artifact) const
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        return false;
+    // Write-then-rename: the entry appears atomically under its final
+    // name, so parallel shard workers sharing one cache dir can race
+    // on the same key harmlessly.
+    const std::string final_path = entryPath(key);
+    const std::string tmp_path =
+        final_path + ".tmp." +
+        std::to_string(static_cast<unsigned long long>(
+            std::hash<std::string>{}(artifact) & 0xffffff));
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << artifact;
+        if (!out.good())
+            return false;
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+std::string
+resolveCacheDir(const std::string &flag_value)
+{
+    if (!flag_value.empty())
+        return flag_value;
+    if (const char *env = std::getenv("LRULEAK_CACHE"))
+        return env;
+    return {};
+}
+
+} // namespace lruleak::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Self-contained hashing primitives for the fleet-serving layer.
+ *
+ * Two hashes with two jobs:
+ *
+ *   - fnv1a64: the shard partitioner.  `run-all --shard=i/N` must put
+ *     every experiment in exactly one shard no matter which worker
+ *     computes the assignment, so the hash is a pure function of the
+ *     experiment *name* (never of registry order), tiny, and frozen —
+ *     changing it re-shuffles every fleet's work split.
+ *
+ *   - SHA-256: the result-cache key.  Cache hits substitute stored
+ *     bytes for a run, so colliding keys would silently serve the
+ *     wrong artifact; a cryptographic digest makes that a non-concern.
+ *     Implemented here (FIPS 180-4, ~100 lines) because the toolchain
+ *     image carries no crypto library.
+ */
+
+#ifndef LRULEAK_UTIL_HASH_HPP
+#define LRULEAK_UTIL_HASH_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lruleak::util {
+
+/** 64-bit FNV-1a of @p data (the offset-basis/prime constants). */
+constexpr std::uint64_t
+fnv1a64(std::string_view data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x00000100000001b3ULL;
+    }
+    return h;
+}
+
+/** Streaming SHA-256 (FIPS 180-4). */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const void *data, std::size_t len);
+    void
+    update(std::string_view data)
+    {
+        update(data.data(), data.size());
+    }
+
+    /** Finish and return the 32-byte digest (object must be reset()
+     *  before reuse). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finish and return the digest as 64 lowercase hex characters. */
+    std::string hex();
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::uint64_t total_ = 0; //!< bytes consumed
+    std::size_t buffered_ = 0;
+};
+
+/** One-shot SHA-256 of a byte string, as hex. */
+std::string sha256Hex(std::string_view data);
+
+/**
+ * SHA-256 of a file's contents, as hex; empty string when the file
+ * cannot be read.  Used to key the result cache on the exact binary
+ * that produced an artifact.
+ */
+std::string sha256FileHex(const std::string &path);
+
+/**
+ * Content hash of the running executable (via /proc/self/exe), as hex;
+ * empty when unavailable.  Computed once and memoized — the binary
+ * does not change under a running process.
+ */
+const std::string &selfBinaryHashHex();
+
+} // namespace lruleak::util
+
+#endif // LRULEAK_UTIL_HASH_HPP

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Trace file parsing, serialization and synthetic generation.
+ */
+
+#include "workload/trace_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace lruleak::workload {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'R', 'U', 'T'};
+constexpr std::uint8_t kVersion = 1;
+constexpr sim::Addr kWriteBit = sim::Addr{1} << 63;
+
+[[noreturn]] void
+badTrace(const std::string &source, const std::string &why)
+{
+    throw std::runtime_error("malformed trace " + source + ": " + why);
+}
+
+std::uint64_t
+readLe64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+void
+writeLe64(std::ostream &out, std::uint64_t v)
+{
+    char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<char>(v >> (8 * i));
+    out.write(bytes, 8);
+}
+
+} // namespace
+
+TraceFile
+parseTextTrace(std::istream &in, const std::string &source)
+{
+    TraceFile trace;
+    trace.source = source;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const auto begin = line.find_first_not_of(" \t");
+        if (begin == std::string::npos || line[begin] == '#')
+            continue;
+        std::istringstream fields(line.substr(begin));
+        std::string op, addr_text, extra;
+        fields >> op >> addr_text;
+        if (op != "R" && op != "W") {
+            badTrace(source, "line " + std::to_string(lineno) +
+                                 ": opcode must be R or W, got '" + op +
+                                 "'");
+        }
+        if (addr_text.empty()) {
+            badTrace(source, "line " + std::to_string(lineno) +
+                                 ": missing address");
+        }
+        if (fields >> extra) {
+            badTrace(source, "line " + std::to_string(lineno) +
+                                 ": trailing text '" + extra + "'");
+        }
+        sim::Addr addr = 0;
+        try {
+            std::size_t used = 0;
+            addr = std::stoull(addr_text, &used, 0);
+            if (used != addr_text.size())
+                throw std::invalid_argument(addr_text);
+        } catch (const std::exception &) {
+            badTrace(source, "line " + std::to_string(lineno) +
+                                 ": bad address '" + addr_text + "'");
+        }
+        trace.records.push_back(TraceRecord{addr, op == "W"});
+    }
+    return trace;
+}
+
+TraceFile
+parseBinaryTrace(std::istream &in, const std::string &source)
+{
+    unsigned char header[16];
+    in.read(reinterpret_cast<char *>(header), sizeof(header));
+    if (in.gcount() != sizeof(header))
+        badTrace(source, "truncated header");
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        badTrace(source, "bad magic (not an LRUT trace)");
+    if (header[4] != kVersion) {
+        badTrace(source, "unsupported version " +
+                             std::to_string(header[4]) + " (expected " +
+                             std::to_string(kVersion) + ")");
+    }
+    if (header[5] != 0 || header[6] != 0 || header[7] != 0)
+        badTrace(source, "nonzero header padding");
+    const std::uint64_t count = readLe64(header + 8);
+
+    TraceFile trace;
+    trace.source = source;
+    trace.records.reserve(static_cast<std::size_t>(count));
+    unsigned char word[8];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        in.read(reinterpret_cast<char *>(word), sizeof(word));
+        if (in.gcount() != sizeof(word)) {
+            badTrace(source, "truncated at record " + std::to_string(i) +
+                                 " of " + std::to_string(count));
+        }
+        const std::uint64_t packed = readLe64(word);
+        trace.records.push_back(
+            TraceRecord{packed & ~kWriteBit, (packed & kWriteBit) != 0});
+    }
+    if (in.peek() != std::istream::traits_type::eof())
+        badTrace(source, "trailing bytes after the last record");
+    return trace;
+}
+
+TraceFile
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    const bool binary = in.gcount() == sizeof(magic) &&
+                        std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+    in.clear();
+    in.seekg(0);
+    return binary ? parseBinaryTrace(in, path) : parseTextTrace(in, path);
+}
+
+void
+saveTextTrace(const TraceFile &trace, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("cannot write trace file: " + path);
+    for (const TraceRecord &r : trace.records) {
+        out << (r.is_write ? 'W' : 'R') << " 0x" << std::hex << r.addr
+            << std::dec << "\n";
+    }
+    if (!out.good())
+        throw std::runtime_error("write failed: " + path);
+}
+
+void
+saveBinaryTrace(const TraceFile &trace, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("cannot write trace file: " + path);
+    out.write(kMagic, sizeof(kMagic));
+    const char version_pad[4] = {static_cast<char>(kVersion), 0, 0, 0};
+    out.write(version_pad, sizeof(version_pad));
+    writeLe64(out, trace.records.size());
+    for (const TraceRecord &r : trace.records) {
+        if (r.addr > kTraceAddrMax) {
+            throw std::runtime_error(
+                "address does not fit the binary trace format: 0x" +
+                [&] {
+                    std::ostringstream os;
+                    os << std::hex << r.addr;
+                    return os.str();
+                }());
+        }
+        writeLe64(out, r.addr | (r.is_write ? kWriteBit : 0));
+    }
+    if (!out.good())
+        throw std::runtime_error("write failed: " + path);
+}
+
+TraceFile
+generateTrace(const std::string &workload, std::size_t count,
+              std::uint64_t seed, double write_fraction)
+{
+    if (!(write_fraction >= 0.0 && write_fraction <= 1.0)) {
+        throw std::invalid_argument(
+            "write fraction must be in [0, 1], got " +
+            std::to_string(write_fraction));
+    }
+    const auto generator = makeWorkload(workload); // throws on bad name
+    sim::Xoshiro256 addr_rng(seed);
+    // Separate stream for the store promotion so the address sequence
+    // is identical across write fractions.
+    sim::Xoshiro256 write_rng(seed ^ 0x57524954'45532121ULL);
+
+    TraceFile trace;
+    trace.source = workload;
+    trace.records.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const sim::Addr addr = generator->next(addr_rng);
+        const bool is_write =
+            write_fraction > 0.0 &&
+            write_rng.uniform() < write_fraction;
+        trace.records.push_back(TraceRecord{addr, is_write});
+    }
+    return trace;
+}
+
+} // namespace lruleak::workload

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Memory-access trace files: load, store, generate.
+ *
+ * A trace is the fleet-mode answer to "what does the victim's traffic
+ * look like?": instead of wiring a synthetic generator into every
+ * scenario, a workload is captured ONCE into a file and replayed
+ * anywhere an AccessPort exists — noise cores beside a covert Session,
+ * the bench harness, or a bare hierarchy in a test.  Two formats share
+ * one in-memory representation:
+ *
+ *   text    one access per line, `R <addr>` / `W <addr>` (addresses in
+ *           decimal or 0x hex), `#` comments and blank lines ignored —
+ *           trivially hand-editable and diffable;
+ *
+ *   binary  "LRUT" magic, a version byte, a record count, then one
+ *           little-endian u64 per access with the write flag in bit 63
+ *           (simulator addresses stay far below it) — 8 bytes per
+ *           access for traces with millions of records.
+ *
+ * Loading sniffs the magic, so callers never pass a format flag.  Both
+ * loaders reject malformed input with error messages naming the
+ * offending line/offset; round-tripping either format preserves the
+ * record sequence exactly.
+ */
+
+#ifndef LRULEAK_WORKLOAD_TRACE_FILE_HPP
+#define LRULEAK_WORKLOAD_TRACE_FILE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/address.hpp"
+
+namespace lruleak::workload {
+
+/** One replayable access: an address and a load/store direction. */
+struct TraceRecord
+{
+    sim::Addr addr = 0;
+    bool is_write = false;
+
+    /** As a MemRef issued by @p thread (same VA/PA, like the synthetic
+     *  generators). */
+    constexpr sim::MemRef
+    ref(sim::ThreadId thread = 0) const
+    {
+        return sim::MemRef{addr, addr, thread, is_write};
+    }
+
+    friend constexpr bool
+    operator==(const TraceRecord &a, const TraceRecord &b)
+    {
+        return a.addr == b.addr && a.is_write == b.is_write;
+    }
+};
+
+/** An ordered access sequence plus where it came from. */
+struct TraceFile
+{
+    std::vector<TraceRecord> records;
+    std::string source; //!< path or generator label, for messages
+
+    bool empty() const { return records.empty(); }
+    std::size_t size() const { return records.size(); }
+};
+
+/** Highest address the binary format can carry (bit 63 is the write
+ *  flag). */
+inline constexpr sim::Addr kTraceAddrMax = ~(sim::Addr{1} << 63);
+
+/** Parse the text format from a stream.  @p source names the input in
+ *  error messages.  Throws std::runtime_error on malformed lines. */
+TraceFile parseTextTrace(std::istream &in, const std::string &source);
+
+/** Parse the binary format ("LRUT") from a stream.  Throws
+ *  std::runtime_error on bad magic/version, truncation or trailing
+ *  bytes. */
+TraceFile parseBinaryTrace(std::istream &in, const std::string &source);
+
+/**
+ * Load a trace from @p path, sniffing the format from the first bytes
+ * (binary magic wins, anything else is text).  Throws
+ * std::runtime_error on an unreadable file or malformed content.
+ */
+TraceFile loadTrace(const std::string &path);
+
+/** Write the text format.  Throws std::runtime_error on I/O failure. */
+void saveTextTrace(const TraceFile &trace, const std::string &path);
+
+/** Write the binary format.  Throws std::runtime_error on I/O failure
+ *  or an address above kTraceAddrMax. */
+void saveBinaryTrace(const TraceFile &trace, const std::string &path);
+
+/**
+ * Materialize @p count accesses of a synthetic workload (trace_gen
+ * suite name) into a trace.  The generators produce load addresses;
+ * each access is independently promoted to a store with probability
+ * @p write_fraction, so one trace exercises the write path too.
+ * Deterministic in (workload, count, seed, write_fraction).  Throws
+ * std::invalid_argument on an unknown workload name or a
+ * write_fraction outside [0, 1].
+ */
+TraceFile generateTrace(const std::string &workload, std::size_t count,
+                        std::uint64_t seed, double write_fraction);
+
+} // namespace lruleak::workload
+
+#endif // LRULEAK_WORKLOAD_TRACE_FILE_HPP

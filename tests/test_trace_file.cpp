@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Trace files and their replay: format round trips, malformed-input
+ * rejection, and the equivalence of export-then-replay with running
+ * the synthetic generator live — on both topologies, write path
+ * included.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exec/trace_program.hpp"
+#include "sim/access_port.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/multicore_hierarchy.hpp"
+#include "sim/random.hpp"
+#include "workload/trace_file.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace lruleak;
+using workload::TraceFile;
+using workload::TraceRecord;
+
+namespace {
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return (std::filesystem::path(testing::TempDir()) / leaf).string();
+}
+
+// ----------------------------------------------------------- round trips
+
+TEST(TraceFile, TextRoundTripPreservesRecords)
+{
+    const auto trace = workload::generateTrace("gccmix", 2000, 7, 0.3);
+    const std::string path = tempPath("rt.trace");
+    workload::saveTextTrace(trace, path);
+    const TraceFile loaded = workload::loadTrace(path);
+    EXPECT_EQ(loaded.records, trace.records);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, BinaryRoundTripPreservesRecords)
+{
+    auto trace = workload::generateTrace("ptrchase", 2000, 11, 0.5);
+    // Edge addresses the packing must keep intact.
+    trace.records.push_back(TraceRecord{0, true});
+    trace.records.push_back(TraceRecord{workload::kTraceAddrMax, false});
+    trace.records.push_back(TraceRecord{workload::kTraceAddrMax, true});
+    const std::string path = tempPath("rt.bintrace");
+    workload::saveBinaryTrace(trace, path);
+    const TraceFile loaded = workload::loadTrace(path);
+    EXPECT_EQ(loaded.records, trace.records);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, TextAndBinaryLoadIdentically)
+{
+    const auto trace = workload::generateTrace("stencil3d", 1500, 3, 0.2);
+    const std::string text_path = tempPath("same.trace");
+    const std::string bin_path = tempPath("same.bintrace");
+    workload::saveTextTrace(trace, text_path);
+    workload::saveBinaryTrace(trace, bin_path);
+    EXPECT_EQ(workload::loadTrace(text_path).records,
+              workload::loadTrace(bin_path).records);
+    std::filesystem::remove(text_path);
+    std::filesystem::remove(bin_path);
+}
+
+TEST(TraceFile, TextParserAcceptsCommentsBlanksAndBothBases)
+{
+    std::istringstream in("# header comment\n"
+                          "\n"
+                          "R 0x1000\n"
+                          "  W 4096\r\n" // indented, CRLF
+                          "\t#indented comment\n"
+                          "W 0xABCDEF\n");
+    const TraceFile trace = workload::parseTextTrace(in, "inline");
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.records[0], (TraceRecord{0x1000, false}));
+    EXPECT_EQ(trace.records[1], (TraceRecord{4096, true}));
+    EXPECT_EQ(trace.records[2], (TraceRecord{0xABCDEF, true}));
+}
+
+// ------------------------------------------------------ malformed input
+
+TEST(TraceFile, TextParserRejectsMalformedLines)
+{
+    for (const char *bad : {"X 0x1000\n",      // bad opcode
+                            "R\n",             // missing address
+                            "R zzz\n",         // unparsable address
+                            "R 0x10 extra\n",  // trailing token
+                            "read 0x10\n"}) {
+        std::istringstream in(bad);
+        EXPECT_THROW(workload::parseTextTrace(in, "inline"),
+                     std::runtime_error)
+            << "accepted: " << bad;
+    }
+}
+
+TEST(TraceFile, BinaryParserRejectsCorruptStreams)
+{
+    const auto trace = workload::generateTrace("stream", 16, 5, 0.0);
+    const std::string path = tempPath("corrupt.bintrace");
+    workload::saveBinaryTrace(trace, path);
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        bytes = os.str();
+    }
+    std::filesystem::remove(path);
+
+    const auto expectBad = [](std::string data, const char *what) {
+        std::istringstream in(data);
+        EXPECT_THROW(workload::parseBinaryTrace(in, "inline"),
+                     std::runtime_error)
+            << what;
+    };
+    expectBad(bytes.substr(0, 10), "truncated header");
+    expectBad(bytes.substr(0, bytes.size() - 3), "truncated payload");
+    expectBad(bytes + "x", "trailing bytes");
+    {
+        std::string wrong_magic = bytes;
+        wrong_magic[0] = 'X';
+        expectBad(wrong_magic, "bad magic");
+    }
+    {
+        std::string wrong_version = bytes;
+        wrong_version[4] = 9;
+        expectBad(wrong_version, "unsupported version");
+    }
+    {
+        std::string dirty_pad = bytes;
+        dirty_pad[5] = 1;
+        expectBad(dirty_pad, "nonzero padding");
+    }
+}
+
+TEST(TraceFile, LoadRejectsMissingFile)
+{
+    EXPECT_THROW(workload::loadTrace(tempPath("no-such.trace")),
+                 std::runtime_error);
+}
+
+// ----------------------------------------------------------- generation
+
+TEST(TraceGen, DeterministicAndSeedSensitive)
+{
+    const auto a = workload::generateTrace("hashjoin", 1000, 42, 0.25);
+    const auto b = workload::generateTrace("hashjoin", 1000, 42, 0.25);
+    const auto c = workload::generateTrace("hashjoin", 1000, 43, 0.25);
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_NE(a.records, c.records);
+}
+
+TEST(TraceGen, WriteFractionControlsStoresNotAddresses)
+{
+    const auto loads = workload::generateTrace("zipfobj", 1000, 9, 0.0);
+    const auto mixed = workload::generateTrace("zipfobj", 1000, 9, 0.5);
+    const auto stores = workload::generateTrace("zipfobj", 1000, 9, 1.0);
+    ASSERT_EQ(loads.size(), mixed.size());
+    std::size_t mixed_stores = 0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        // The address stream is identical across write fractions: the
+        // store promotion draws from its own RNG stream.
+        EXPECT_EQ(loads.records[i].addr, mixed.records[i].addr);
+        EXPECT_EQ(loads.records[i].addr, stores.records[i].addr);
+        EXPECT_FALSE(loads.records[i].is_write);
+        EXPECT_TRUE(stores.records[i].is_write);
+        mixed_stores += mixed.records[i].is_write ? 1 : 0;
+    }
+    EXPECT_GT(mixed_stores, 350u);
+    EXPECT_LT(mixed_stores, 650u);
+}
+
+TEST(TraceGen, RejectsBadArguments)
+{
+    EXPECT_THROW(workload::generateTrace("no-such-workload", 10, 1, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(workload::generateTrace("stream", 10, 1, 1.5),
+                 std::invalid_argument);
+    EXPECT_THROW(workload::generateTrace("stream", 10, 1, -0.1),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------- replay equals live execution
+
+/** Issue the trace record-by-record and collect the exact outcome. */
+struct DirectStats
+{
+    std::vector<sim::HitLevel> levels;
+    std::uint64_t writebacks = 0;
+};
+
+DirectStats
+accessDirect(sim::AccessPort &port, std::uint32_t core,
+             const TraceFile &trace)
+{
+    DirectStats stats;
+    stats.levels.reserve(trace.size());
+    for (const TraceRecord &r : trace.records) {
+        const auto res = port.access(core, r.ref(core));
+        stats.levels.push_back(res.level);
+        stats.writebacks += res.writebacks;
+    }
+    return stats;
+}
+
+/** Run the generator live against the port, exactly as generateTrace
+ *  would have recorded it. */
+DirectStats
+runGeneratorLive(sim::AccessPort &port, std::uint32_t core,
+                 const std::string &workload, std::size_t count,
+                 std::uint64_t seed, double write_fraction)
+{
+    const auto generator = workload::makeWorkload(workload);
+    sim::Xoshiro256 addr_rng(seed);
+    sim::Xoshiro256 write_rng(seed ^ 0x57524954'45532121ULL);
+    DirectStats stats;
+    stats.levels.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const sim::Addr addr = generator->next(addr_rng);
+        const bool is_write = write_fraction > 0.0 &&
+                              write_rng.uniform() < write_fraction;
+        const sim::MemRef ref{addr, addr, core, is_write};
+        const auto res = port.access(core, ref);
+        stats.levels.push_back(res.level);
+        stats.writebacks += res.writebacks;
+    }
+    return stats;
+}
+
+TEST(TraceReplay, ExportThenReplayEqualsLiveGeneratorSingleCore)
+{
+    // A write-heavy mix so dirty lines and write-backs are part of
+    // what must match.
+    const std::string workload = "gccmix";
+    const std::size_t count = 6000;
+    const std::uint64_t seed = 77;
+    const double writes = 0.4;
+    const auto trace =
+        workload::generateTrace(workload, count, seed, writes);
+
+    sim::CacheHierarchy live_h, replay_h, batch_h;
+    sim::SingleCorePort live(live_h), replay(replay_h), batch(batch_h);
+
+    const auto direct =
+        runGeneratorLive(live, 0, workload, count, seed, writes);
+    const auto replayed = accessDirect(replay, 0, trace);
+    EXPECT_EQ(replayed.levels, direct.levels);
+    EXPECT_EQ(replayed.writebacks, direct.writebacks);
+    ASSERT_GT(direct.writebacks, 0u); // the write path actually ran
+
+    // The chunked accessBatch fast path sees the same hit/miss totals.
+    const auto stats = exec::replayTrace(batch, 0, trace, 512);
+    std::uint64_t live_misses = 0;
+    for (const auto level : direct.levels)
+        live_misses += level == sim::HitLevel::Memory ? 1 : 0;
+    EXPECT_EQ(stats.accesses, count);
+    EXPECT_EQ(stats.misses, live_misses);
+    EXPECT_EQ(stats.hits, count - live_misses);
+}
+
+TEST(TraceReplay, ExportThenReplayEqualsLiveGeneratorMultiCore)
+{
+    const std::string workload = "dualstream";
+    const std::size_t count = 4000;
+    const std::uint64_t seed = 13;
+    const double writes = 0.3;
+    const auto trace =
+        workload::generateTrace(workload, count, seed, writes);
+
+    sim::MultiCoreHierarchy live_h, replay_h;
+    sim::MultiCorePort live(live_h), replay(replay_h);
+    const std::uint32_t core = live.cores() - 1;
+
+    const auto direct =
+        runGeneratorLive(live, core, workload, count, seed, writes);
+    const auto replayed = accessDirect(replay, core, trace);
+    EXPECT_EQ(replayed.levels, direct.levels);
+    EXPECT_EQ(replayed.writebacks, direct.writebacks);
+    EXPECT_EQ(replay.auditInclusion(), std::nullopt);
+}
+
+// ------------------------------------------------------- TraceProgram
+
+TEST(TraceProgram, ReplaysInOrderThenStops)
+{
+    auto trace = std::make_shared<TraceFile>();
+    trace->records = {TraceRecord{0x100, false}, TraceRecord{0x200, true},
+                      TraceRecord{0x300, false}};
+    exec::TraceProgram program(trace);
+    program.setThreadId(5);
+    for (const auto &expected : trace->records) {
+        const exec::Op op = program.next(0);
+        ASSERT_EQ(op.kind, exec::OpKind::Access);
+        EXPECT_EQ(op.ref.vaddr, expected.addr);
+        EXPECT_EQ(op.ref.is_write, expected.is_write);
+        EXPECT_EQ(op.ref.thread, 5u);
+    }
+    EXPECT_EQ(program.next(0).kind, exec::OpKind::Done);
+    EXPECT_EQ(program.replayed(), 3u);
+}
+
+TEST(TraceProgram, LoopsWithStaggeredOffset)
+{
+    auto trace = std::make_shared<TraceFile>();
+    trace->records = {TraceRecord{0xA, false}, TraceRecord{0xB, false},
+                      TraceRecord{0xC, false}};
+    exec::TraceProgram program(trace, /*start_offset=*/5, /*loop=*/true);
+    // 5 % 3 = 2: starts at the third record, then wraps forever.
+    const sim::Addr expected[] = {0xC, 0xA, 0xB, 0xC, 0xA, 0xB, 0xC};
+    for (const sim::Addr addr : expected) {
+        const exec::Op op = program.next(0);
+        ASSERT_EQ(op.kind, exec::OpKind::Access);
+        EXPECT_EQ(op.ref.vaddr, addr);
+    }
+}
+
+TEST(TraceProgram, EmptyTraceIsDone)
+{
+    exec::TraceProgram no_trace(nullptr);
+    EXPECT_EQ(no_trace.next(0).kind, exec::OpKind::Done);
+    exec::TraceProgram empty(std::make_shared<TraceFile>(),
+                             /*start_offset=*/3, /*loop=*/true);
+    EXPECT_EQ(empty.next(0).kind, exec::OpKind::Done);
+}
+
+} // namespace
